@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.addons import CORPUS
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "table(name): which paper table/figure a benchmark regenerates"
+    )
+
+
+@pytest.fixture(params=CORPUS, ids=[spec.name for spec in CORPUS])
+def addon_spec(request):
+    """One benchmark addon per parametrization."""
+    return request.param

@@ -1,0 +1,78 @@
+"""Ablation: the staged CDG construction vs an unclassified CDG.
+
+Section 3.3 builds the CDG in four stages precisely so control edges can
+be *classified* (local / nonlocexp / nonlocimp, ±amp). This ablation
+degrades the PDG as a single-pass construction would — every control
+edge gets the weakest classification (nonlocimp, amplification kept) —
+and re-runs signature inference. The flow types collapse toward
+type7/type8, destroying the distinctions the vetter relies on (e.g.
+HyperTranslate's intended type3 becomes type7).
+"""
+
+import pytest
+
+from repro.addons import BY_NAME
+from repro.api import analyze_addon, build_addon_pdg
+from repro.browser import mozilla_spec
+from repro.pdg.annotations import Annotation
+from repro.pdg.graph import PDG
+from repro.signatures import FlowType, infer_signature
+
+
+def degrade_control_edges(pdg: PDG) -> PDG:
+    """What a single-pass CDG gives you: control dependence with no
+    provenance — everything might be an implicit-exception edge."""
+    degraded = PDG(program=pdg.program, cyclic=set(pdg.cyclic))
+    for (source, target), annotations in pdg.edges.items():
+        for annotation in annotations:
+            if not annotation.is_control:
+                degraded.add_edge(source, target, annotation)
+            elif annotation.is_amplified:
+                degraded.add_edge(source, target, Annotation.NONLOC_IMP_AMP)
+            else:
+                degraded.add_edge(source, target, Annotation.NONLOC_IMP)
+    return degraded
+
+
+def run_both(name):
+    spec = BY_NAME[name]
+    program, result = analyze_addon(spec.source())
+    pdg = build_addon_pdg(result)
+    security = mozilla_spec()
+    staged = infer_signature(result, pdg, security).signature
+    degraded = infer_signature(
+        result, degrade_control_edges(pdg), security
+    ).signature
+    return staged, degraded
+
+
+@pytest.mark.table("ablation-cdg-staging")
+def test_staging_preserves_hypertranslate_type3(benchmark):
+    staged, degraded = benchmark.pedantic(
+        run_both, args=("HyperTranslate",), rounds=1, iterations=1
+    )
+    assert {e.flow_type for e in staged.flows} == {FlowType.TYPE3}
+    # Without staging, the same flow is indistinguishable from an
+    # implicit-exception channel.
+    assert {e.flow_type for e in degraded.flows} == {FlowType.TYPE7}
+
+
+@pytest.mark.table("ablation-cdg-staging")
+def test_staging_irrelevant_for_pure_data_flows(benchmark):
+    staged, degraded = benchmark.pedantic(
+        run_both, args=("LivePagerank",), rounds=1, iterations=1
+    )
+    # type1 flows ride only data edges: classification of control edges
+    # cannot affect them.
+    assert staged.flows == degraded.flows
+
+
+@pytest.mark.table("ablation-cdg-staging")
+def test_staging_separates_transliterate_from_worst_case(benchmark):
+    staged, degraded = benchmark.pedantic(
+        run_both, args=("GoogleTransliterate",), rounds=1, iterations=1
+    )
+    staged_types = {e.flow_type for e in staged.flows}
+    degraded_types = {e.flow_type for e in degraded.flows}
+    assert staged_types == {FlowType.TYPE5}
+    assert degraded_types == {FlowType.TYPE7}

@@ -1,0 +1,63 @@
+"""Ablation/extension: the k-bounded string-set domain vs the paper's
+prefix domain on the two Table 2 failure patterns.
+
+The paper's fails (LessSpamPlease, VKVideoDownloader) are both prefix-
+domain joins of unrelated hosts. This benchmark replays exactly those
+URL-construction patterns under both domains and checks that the set
+domain (k=3) recovers every domain the prefix domain loses — the
+extension DESIGN.md calls out.
+"""
+
+import pytest
+
+from repro.domains import prefix as p
+from repro.domains.stringset import StringSet
+
+VK_HOSTS = [
+    "vk.example/video_ext.php?oid=",
+    "video.sibnet.example/shell.php?videoid=",
+    "rutube.example/api/video/",
+]
+
+LESSPAM_HOSTS = [
+    "api.lesspam.example/v2/alias/new?site=",
+    "mirror-lsp.example/v2/alias/new?site=",
+]
+
+
+def prefix_domain_run(hosts):
+    scheme = p.exact("https://")
+    joined = p.BOTTOM
+    for host in hosts:
+        joined = joined.join(scheme.concat(p.exact(host)).concat(p.TOP))
+    return joined
+
+
+def stringset_domain_run(hosts):
+    scheme = StringSet.exact("https://")
+    joined = StringSet.bottom()
+    for host in hosts:
+        url = scheme.concat(StringSet.exact(host)).concat(StringSet.top())
+        joined = joined.join(url)
+    return joined
+
+
+@pytest.mark.table("ablation-stringset")
+@pytest.mark.parametrize(
+    "hosts", [VK_HOSTS, LESSPAM_HOSTS], ids=["vk-3-hosts", "lesspam-2-hosts"]
+)
+def test_prefix_domain_loses_hosts(benchmark, hosts):
+    joined = benchmark(prefix_domain_run, hosts)
+    # The common prefix is at most the scheme: the host is gone.
+    assert len(joined.text) <= len("https://")
+
+
+@pytest.mark.table("ablation-stringset")
+@pytest.mark.parametrize(
+    "hosts", [VK_HOSTS, LESSPAM_HOSTS], ids=["vk-3-hosts", "lesspam-2-hosts"]
+)
+def test_stringset_domain_keeps_hosts(benchmark, hosts):
+    joined = benchmark(stringset_domain_run, hosts)
+    assert len(joined.elements) == len(hosts)
+    for host in hosts:
+        assert joined.admits("https://" + host + "anything")

@@ -1,0 +1,74 @@
+"""Baseline comparison: signature inference vs VEX-style explicit taint.
+
+VEX (the paper's closest related work) tracks only explicit flows. This
+benchmark runs both analyses over the corpus and checks the qualitative
+claim that motivates full dependence tracking: the taint baseline misses
+every implicit flow — including one of the paper's three real leaks
+(GoogleTransliterate) and the whole HyperTranslate signature.
+"""
+
+import pytest
+
+from repro.addons import BY_NAME, CORPUS
+from repro.api import analyze_addon, build_addon_pdg
+from repro.browser import mozilla_spec
+from repro.signatures import FlowType, infer_signature
+from repro.signatures.taint import implicit_only_flows, infer_taint_signature
+
+
+def run_both(name):
+    spec = BY_NAME[name]
+    program, result = analyze_addon(spec.source())
+    pdg = build_addon_pdg(result)
+    security = mozilla_spec()
+    full = infer_signature(result, pdg, security).signature
+    taint = infer_taint_signature(result, pdg, security).signature
+    return full, taint
+
+
+@pytest.mark.table("baseline-taint")
+def test_taint_baseline_misses_hypertranslate(benchmark):
+    full, taint = benchmark.pedantic(
+        run_both, args=("HyperTranslate",), rounds=1, iterations=1
+    )
+    # The entire interesting signature of HyperTranslate is implicit.
+    assert any(e.flow_type is FlowType.TYPE3 for e in full.flows)
+    assert not taint.flows
+
+
+@pytest.mark.table("baseline-taint")
+def test_taint_baseline_misses_googletransliterate_leak(benchmark):
+    full, taint = benchmark.pedantic(
+        run_both, args=("GoogleTransliterate",), rounds=1, iterations=1
+    )
+    missed = implicit_only_flows(full, taint)
+    assert any(e.source == "url" for e in missed)
+
+
+@pytest.mark.table("baseline-taint")
+def test_taint_baseline_agrees_on_explicit_flows(benchmark):
+    full, taint = benchmark.pedantic(
+        run_both, args=("LivePagerank",), rounds=1, iterations=1
+    )
+    # Purely explicit addon: the two analyses coincide.
+    assert taint.flows == full.flows
+    assert all(
+        e.flow_type in (FlowType.TYPE1, FlowType.TYPE2) for e in taint.flows
+    )
+
+
+@pytest.mark.table("baseline-taint")
+def test_corpus_wide_implicit_coverage_gap(benchmark):
+    def sweep():
+        gaps = {}
+        for spec in CORPUS:
+            full, taint = run_both(spec.name)
+            gaps[spec.name] = len(implicit_only_flows(full, taint))
+        return gaps
+
+    gaps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Exactly the two implicit-flow addons show a gap.
+    assert gaps["HyperTranslate"] >= 1
+    assert gaps["GoogleTransliterate"] >= 1
+    assert gaps["LivePagerank"] == 0
+    assert gaps["Chess.comNotifier"] == 0

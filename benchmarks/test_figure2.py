@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 2 (the annotated PDG of the Figure 1
+example program), verifying all the edges the paper highlights."""
+
+import pytest
+
+from repro.evaluation import FIGURE1_PROGRAM, check_figure2, figure2_edges
+
+
+@pytest.mark.table("figure2")
+def test_figure2_pdg(benchmark):
+    edges = benchmark(figure2_edges)
+    assert edges
+    for source, target, annotation, ok in check_figure2():
+        assert ok, f"missing {source} --{annotation}--> {target}"

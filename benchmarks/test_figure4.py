@@ -1,0 +1,27 @@
+"""Benchmark regenerating Figure 4 (the flow-type lattice): exercises
+the extend/max operations over the whole lattice and checks the paper's
+worked examples."""
+
+import pytest
+
+from repro.pdg.annotations import Annotation
+from repro.signatures.flowtypes import DEFAULT_LATTICE, FlowType
+
+
+def exercise_lattice():
+    lattice = DEFAULT_LATTICE
+    results = {}
+    for flow_type in FlowType:
+        for annotation in Annotation:
+            results[(flow_type, annotation)] = lattice.extend(flow_type, annotation)
+    antichain = lattice.max(set(FlowType))
+    return results, antichain
+
+
+@pytest.mark.table("figure4")
+def test_figure4_lattice_operations(benchmark):
+    results, antichain = benchmark(exercise_lattice)
+    # The paper's worked examples:
+    assert results[(FlowType.TYPE4, Annotation.NONLOC_EXP_AMP)] is FlowType.TYPE6
+    assert results[(FlowType.TYPE3, Annotation.NONLOC_EXP_AMP)] is FlowType.TYPE5
+    assert antichain == {FlowType.TYPE1}

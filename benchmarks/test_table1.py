@@ -1,0 +1,32 @@
+"""Benchmark regenerating Table 1 (the benchmark-suite table).
+
+Times the frontend (parse + AST node count) over the whole corpus and
+checks the table's content: categories and the size metric.
+"""
+
+import pytest
+
+from repro.addons import CORPUS
+from repro.evaluation import compute_table1, render_table1
+from repro.js import node_count, parse
+
+
+@pytest.mark.table("table1")
+def test_table1_frontend(benchmark):
+    rows = benchmark(compute_table1)
+    assert len(rows) == 10
+    # Size sanity: every synthetic addon is a real program, and the
+    # largest-vs-smallest spread is preserved from the paper (oDesk is
+    # the smallest addon in both).
+    sizes = {row.spec.name: row.measured_ast_nodes for row in rows}
+    assert min(sizes.values()) == sizes["oDeskJobWatcher"]
+    print()
+    print(render_table1(rows))
+
+
+@pytest.mark.table("table1")
+@pytest.mark.parametrize("spec", CORPUS, ids=[s.name for s in CORPUS])
+def test_table1_per_addon_parse(benchmark, spec):
+    source = spec.source()
+    tree = benchmark(parse, source)
+    assert node_count(tree) > 50

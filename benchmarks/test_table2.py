@@ -1,0 +1,66 @@
+"""Benchmarks regenerating Table 2 (results + per-phase timings).
+
+One benchmark per addon per phase (P1 base analysis, P2 PDG
+construction, P3 signature inference), mirroring the paper's per-phase
+columns, plus a verdict check per addon against the paper's
+pass/fail/leak row.
+"""
+
+import pytest
+
+from repro.addons import CORPUS, vet_addon
+from repro.analysis import analyze
+from repro.browser import BrowserEnvironment, mozilla_spec
+from repro.ir import lower
+from repro.js import parse
+from repro.pdg import build_pdg
+from repro.signatures import infer_signature
+
+_IDS = [spec.name for spec in CORPUS]
+
+
+@pytest.mark.table("table2")
+@pytest.mark.parametrize("spec", CORPUS, ids=_IDS)
+def test_phase1_base_analysis(benchmark, spec):
+    source = spec.source()
+
+    def phase1():
+        program = lower(parse(source), event_loop=True)
+        return analyze(program, BrowserEnvironment())
+
+    result = benchmark.pedantic(phase1, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.states
+
+
+@pytest.mark.table("table2")
+@pytest.mark.parametrize("spec", CORPUS, ids=_IDS)
+def test_phase2_pdg_construction(benchmark, spec):
+    program = lower(parse(spec.source()), event_loop=True)
+    result = analyze(program, BrowserEnvironment())
+    pdg = benchmark.pedantic(
+        build_pdg, args=(result,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert pdg.edges
+
+
+@pytest.mark.table("table2")
+@pytest.mark.parametrize("spec", CORPUS, ids=_IDS)
+def test_phase3_signature_inference(benchmark, spec):
+    program = lower(parse(spec.source()), event_loop=True)
+    result = analyze(program, BrowserEnvironment())
+    pdg = build_pdg(result)
+    security_spec = mozilla_spec()
+    detail = benchmark.pedantic(
+        infer_signature, args=(result, pdg, security_spec),
+        rounds=5, iterations=1, warmup_rounds=1,
+    )
+    assert len(detail.signature) >= 1
+
+
+@pytest.mark.table("table2")
+@pytest.mark.parametrize("spec", CORPUS, ids=_IDS)
+def test_verdict_matches_paper(benchmark, spec):
+    report = benchmark.pedantic(
+        vet_addon, args=(spec,), rounds=1, iterations=1
+    )
+    assert report.comparison.verdict.value == spec.expected_verdict

@@ -1,0 +1,98 @@
+"""Configuring the analysis: custom sources/sinks and a custom flow-type
+lattice.
+
+The paper stresses that both the "interesting things" specification and
+the flow-type lattice are configurable ("they are easily configurable if
+desired"; "the lattice is independently configurable"). This example:
+
+1. adds a *custom source* — the addon's own settings object, treated as
+   confidential;
+2. re-ranks the lattice for a vetter who considers amplified implicit
+   flows the most dangerous kind (they can exfiltrate arbitrary data one
+   bit at a time);
+3. shows how the same addon's signature reads under each configuration.
+
+Run: ``python examples/custom_policy.py``
+"""
+
+from repro.api import analyze_addon, build_addon_pdg
+from repro.browser import mozilla_spec
+from repro.pdg.annotations import Annotation
+from repro.signatures import (
+    CallSource,
+    FlowType,
+    FlowTypeLattice,
+    infer_signature,
+)
+
+ADDON = """
+var SYNC_API = "https://sync.example/push?blob=";
+
+function syncSettings() {
+    // The user's API token lives in the preferences store.
+    var token = Services.prefs.getCharPref("extensions.myaddon.token");
+    var req = new XMLHttpRequest();
+    req.open("GET", SYNC_API + encodeURIComponent(token), true);
+    req.send(null);
+}
+
+window.addEventListener("load", function (e) {
+    if (content.location.href != "about:blank") {
+        syncSettings();
+    }
+}, false);
+"""
+
+
+def main() -> None:
+    program, result = analyze_addon(ADDON)
+    pdg = build_addon_pdg(result)
+
+    # --- 1. default Mozilla spec: prefs are not a source -------------
+    default_spec = mozilla_spec()
+    default_detail = infer_signature(result, pdg, default_spec)
+    print("Default spec (prefs not interesting):")
+    for entry in default_detail.signature:
+        print(f"  {entry.render()}")
+
+    # --- 2. custom spec: treat preference reads as a source ----------
+    # Reading the method object is not the source; *calling* it is, so a
+    # CallSource keyed on the stub's native tag is the right matcher.
+    custom_spec = mozilla_spec()
+    custom_spec.sources.append(
+        CallSource("prefs", frozenset({"prefs.getCharPref"}))
+    )
+    custom_detail = infer_signature(result, pdg, custom_spec)
+    print()
+    print("Custom spec (preference reads are confidential):")
+    for entry in custom_detail.signature:
+        print(f"  {entry.render()}")
+
+    # --- 3. custom lattice: implicit-amplified flows strongest -------
+    paranoid = FlowTypeLattice(
+        structure={
+            FlowType.TYPE1: (0, Annotation.NONLOC_IMP_AMP),
+            FlowType.TYPE2: (1, Annotation.LOCAL_AMP),
+            FlowType.TYPE3: (1, Annotation.NONLOC_EXP_AMP),
+            FlowType.TYPE4: (2, Annotation.DATA_STRONG),
+            FlowType.TYPE5: (3, Annotation.DATA_WEAK),
+            FlowType.TYPE6: (4, Annotation.LOCAL),
+            FlowType.TYPE7: (5, Annotation.NONLOC_EXP),
+            FlowType.TYPE8: (6, Annotation.NONLOC_IMP),
+        }
+    )
+    paranoid_detail = infer_signature(result, pdg, custom_spec, lattice=paranoid)
+    print()
+    print("Same spec under the covert-channel-first lattice:")
+    for entry in paranoid_detail.signature:
+        print(f"  {entry.render()}")
+    print()
+    print(
+        "Under the default lattice the url flow ranks by its data/control\n"
+        "strength; under the re-ranked lattice, amplified implicit flows\n"
+        "surface as the strongest types instead."
+    )
+
+
+if __name__ == "__main__":
+    main()

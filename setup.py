@@ -1,0 +1,7 @@
+"""Thin setup.py shim so `pip install -e . --no-use-pep517` works offline
+(the sandbox has setuptools but not `wheel`, which PEP 517 editable
+installs require). All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

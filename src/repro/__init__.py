@@ -1,0 +1,12 @@
+"""repro: security signature inference for JavaScript-based browser addons.
+
+A from-scratch reproduction of Kashyap & Hardekopf, \"Security Signature
+Inference for JavaScript-based Browser Addons\" (CGO 2014): a JavaScript
+frontend, a flow- and context-sensitive abstract interpreter (the JSAI
+role), annotated program dependence graphs, and the security-signature
+inference built on top of them.
+
+The convenient entry points live in :mod:`repro.api`.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,5 @@
+"""The benchmark addon corpus (synthetic recreations of Table 1)."""
+
+from repro.addons.corpus import BY_NAME, CORPUS, AddonSpec, load_source, vet_addon
+
+__all__ = ["CORPUS", "BY_NAME", "AddonSpec", "load_source", "vet_addon"]

@@ -1,0 +1,258 @@
+"""The benchmark corpus: synthetic recreations of the paper's ten addons.
+
+The paper evaluates on ten real addons from the Mozilla repository
+(Table 1). Those addons are not redistributable (and not available
+offline), so this corpus contains faithful *synthetic recreations*
+written from the paper's per-addon descriptions: each reproduces the
+original's security-relevant structure — its sources, sinks, flow types,
+the prefix-domain outcome (including the two precision failures), and
+the documented cause of each leak. See DESIGN.md for the substitution
+argument.
+
+Each :class:`AddonSpec` carries:
+
+- the paper's Table 1 metadata (purpose, category, Rhino AST-node size,
+  download count) for the Table 1 reproduction,
+- the *manual signature* written from the developer summary (the
+  paper's methodology: authored before looking at inference output),
+- the ground-truth ``real_extras``: entries beyond the manual signature
+  that are genuinely real (by construction), which lets the harness make
+  the paper's fail/leak distinction mechanically,
+- the expected Table 2 verdict.
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.signatures import Signature, parse_signature
+
+
+@dataclass(frozen=True)
+class AddonSpec:
+    """Metadata for one benchmark addon."""
+
+    name: str
+    filename: str
+    purpose: str
+    category: str  # "A" | "B" | "C" (Section 6.2)
+    paper_ast_nodes: int
+    paper_downloads: int
+    expected_verdict: str  # "pass" | "fail" | "leak" (Table 2)
+    manual_signature_text: str
+    real_extras_text: str = ""
+    notes: str = ""
+
+    @property
+    def manual_signature(self) -> Signature:
+        return parse_signature(self.manual_signature_text)
+
+    @property
+    def real_extras(self) -> frozenset:
+        return frozenset(parse_signature(self.real_extras_text).entries)
+
+    def source(self) -> str:
+        return load_source(self.filename)
+
+
+@lru_cache(maxsize=None)
+def load_source(filename: str) -> str:
+    resource = importlib.resources.files("repro.addons").joinpath("js", filename)
+    return resource.read_text(encoding="utf-8")
+
+
+CORPUS: list[AddonSpec] = [
+    AddonSpec(
+        name="LivePagerank",
+        filename="live_pagerank.js",
+        purpose="Display PageRank for active URL",
+        category="A",
+        paper_ast_nodes=3900,
+        paper_downloads=515_671,
+        expected_verdict="pass",
+        manual_signature_text=(
+            "url -type1-> send(http://toolbarqueries.google.example/"
+            "tbr?client=navclient&q=...)"
+        ),
+        notes=(
+            "Sends the active URL to the toolbar-queries service, exactly "
+            "as its summary says: the inferred signature matches."
+        ),
+    ),
+    AddonSpec(
+        name="LessSpamPlease",
+        filename="less_spam_please.js",
+        purpose="Generates a reusable anonymous real mail address",
+        category="A",
+        paper_ast_nodes=3696,
+        paper_downloads=194_604,
+        expected_verdict="fail",
+        manual_signature_text="""
+            url -type1-> send(https://api.lesspam.example/v2/alias/new?site=...)
+            clipboard-write
+        """,
+        notes=(
+            "Load-balances between two alias-service hosts with no common "
+            "prefix; the prefix domain joins them to 'https://' and the "
+            "network domain is lost — the paper's first fail (flow source/"
+            "sink/type all still correct). The clipboard write is the "
+            "documented copy-alias button."
+        ),
+    ),
+    AddonSpec(
+        name="YoutubeDownloader",
+        filename="youtube_downloader.js",
+        purpose="Youtube video downloader",
+        category="B",
+        paper_ast_nodes=3755,
+        paper_downloads=7_600_428,
+        expected_verdict="leak",
+        manual_signature_text=(
+            "url -type3-> send(http://www.youtube.example/get_video_info?video_id=...)"
+        ),
+        real_extras_text=(
+            "url -type1-> send(http://www.youtube.example/get_video_info?video_id=...)"
+        ),
+        notes=(
+            "Summary admits only activating on video pages (implicit URL "
+            "dependence); the addon actually sends a video id computed "
+            "directly from the URL — a real explicit flow (type1)."
+        ),
+    ),
+    AddonSpec(
+        name="VKVideoDownloader",
+        filename="vk_video_downloader.js",
+        purpose="Downloads videos from sites",
+        category="B",
+        paper_ast_nodes=2016,
+        paper_downloads=459_028,
+        expected_verdict="fail",
+        manual_signature_text="""
+            url -type1-> send(http://vk.example/video_ext.php?oid=...)
+            url -type1-> send(http://video.sibnet.example/shell.php?videoid=...)
+            url -type1-> send(http://rutube.example/api/video/...)
+        """,
+        notes=(
+            "Checks the URL against three video-player domains and talks "
+            "to the matching one; the prefix domain cannot keep the three "
+            "apart, so the inferred domain degrades to 'http://' — the "
+            "paper's second fail."
+        ),
+    ),
+    AddonSpec(
+        name="HyperTranslate",
+        filename="hyper_translate.js",
+        purpose="Translates selected text when key shorts are pressed",
+        category="B",
+        paper_ast_nodes=3576,
+        paper_downloads=62_633,
+        expected_verdict="pass",
+        manual_signature_text=(
+            "key -type3-> send(https://translate.google.example/translate_a/single)"
+        ),
+        notes=(
+            "Key presses implicitly gate the translation request, and the "
+            "addon listens continuously, so the flow is amplified: type3, "
+            "matching the paper's manual signature."
+        ),
+    ),
+    AddonSpec(
+        name="Chess.comNotifier",
+        filename="chess_com_notifier.js",
+        purpose="Notifies your turn on chess.com",
+        category="C",
+        paper_ast_nodes=1079,
+        paper_downloads=2_402,
+        expected_verdict="pass",
+        manual_signature_text=(
+            "send(https://chess.example/api/echess/get_move_count)"
+        ),
+        notes=(
+            "Polls game status; communicates with chess.example but leaks "
+            "nothing interesting — a bare send entry."
+        ),
+    ),
+    AddonSpec(
+        name="CoffeePodsDeals",
+        filename="coffee_pods_deals.js",
+        purpose="Indicates coffee pods for sale",
+        category="C",
+        paper_ast_nodes=1670,
+        paper_downloads=1_158,
+        expected_verdict="pass",
+        manual_signature_text=(
+            "send(https://www.coffeepods.example/api/deals.json)"
+        ),
+    ),
+    AddonSpec(
+        name="oDeskJobWatcher",
+        filename="odesk_job_watcher.js",
+        purpose="Indicates oDesk job opening",
+        category="C",
+        paper_ast_nodes=609,
+        paper_downloads=8_279,
+        expected_verdict="pass",
+        manual_signature_text=(
+            "send(https://jobs.odesk.example/api/openings.json?feed=saved)"
+        ),
+    ),
+    AddonSpec(
+        name="PinPoints",
+        filename="pin_points.js",
+        purpose="Save clips (addresses) from web text",
+        category="C",
+        paper_ast_nodes=2146,
+        paper_downloads=7_042,
+        expected_verdict="leak",
+        manual_signature_text=(
+            "send(https://www.yourpinpoints.example/api/clips/save)"
+        ),
+        real_extras_text=(
+            "send(https://maps.google.example/maps/api/geocode/json?address=...)"
+        ),
+        notes=(
+            "Besides the documented save endpoint it geocodes clips via "
+            "maps.google.example — intended behavior, but only mentioned "
+            "in the addon's fine print; the signature surfaces it."
+        ),
+    ),
+    AddonSpec(
+        name="GoogleTransliterate",
+        filename="google_transliterate.js",
+        purpose="Allows user to type in Indian languages",
+        category="C",
+        paper_ast_nodes=4270,
+        paper_downloads=77_413,
+        expected_verdict="leak",
+        manual_signature_text=(
+            "send(https://inputtools.google.example/request?itc=...)"
+        ),
+        real_extras_text=(
+            "url -type5-> send(https://inputtools.google.example/request?itc=...)"
+        ),
+        notes=(
+            "Transliterates only when the current URL is not about:blank: "
+            "a real implicit flow of one bit about the browsed page. The "
+            "guard is an early return, so the control dependence is "
+            "explicit-nonlocal and amplified (type5) — a finer "
+            "classification than the paper's illustrative type3."
+        ),
+    ),
+]
+
+#: Name -> spec, for convenient lookup.
+BY_NAME: dict[str, AddonSpec] = {spec.name: spec for spec in CORPUS}
+
+
+def vet_addon(spec: AddonSpec, k: int = 1):
+    """Run the pipeline on one benchmark addon, with comparison."""
+    from repro.api import vet
+
+    return vet(
+        spec.source(),
+        manual=spec.manual_signature,
+        real_extras=spec.real_extras,
+        k=k,
+    )

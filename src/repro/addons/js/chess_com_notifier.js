@@ -1,0 +1,80 @@
+// Chess.comNotifier — notifies you when it is your turn to play on
+// chess.example (echess correspondence games).
+//
+// Category C: talks to chess.example about game status, but reveals no
+// interesting information over the network.
+
+var CHESS_API = "https://chess.example/api/echess/get_move_count";
+var POLL_SECONDS = 90;
+
+var notifier = {
+  enabled: true,
+  lastMoveCount: 0,
+  soundOn: true,
+  badge: null,
+
+  init: function () {
+    this.badge = document.getElementById("chess-notifier-badge");
+    var toggle = document.getElementById("chess-notifier-toggle");
+    if (toggle) {
+      toggle.addEventListener("command", onToggle, false);
+    }
+    setInterval(pollMoves, POLL_SECONDS * 1000);
+  },
+
+  notify: function (count) {
+    if (!this.enabled) {
+      return;
+    }
+    if (count > this.lastMoveCount) {
+      alert("Chess.com: it is your move in " + (count - this.lastMoveCount) + " game(s)!");
+      if (this.badge) {
+        this.badge.textContent = "" + count;
+      }
+    }
+    this.lastMoveCount = count;
+  }
+};
+
+function onToggle(event) {
+  notifier.enabled = !notifier.enabled;
+  var label = notifier.enabled ? "on" : "off";
+  var toggle = document.getElementById("chess-notifier-toggle");
+  if (toggle) {
+    toggle.setAttribute("label", "Notifications " + label);
+  }
+}
+
+function parseMoveCount(body) {
+  // Response body looks like: {"games_waiting": N, ...}
+  var key = "\"games_waiting\":";
+  var at = body.indexOf(key);
+  if (at == -1) {
+    return 0;
+  }
+  var tail = body.substring(at + key.length);
+  var count = parseInt(tail, 10);
+  if (isNaN(count)) {
+    return 0;
+  }
+  return count;
+}
+
+function pollMoves() {
+  if (!notifier.enabled) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", CHESS_API, true);
+  req.setRequestHeader("Accept", "application/json");
+  req.onreadystatechange = function () {
+    if (req.readyState == 4) {
+      if (req.status == 200) {
+        notifier.notify(parseMoveCount(req.responseText));
+      }
+    }
+  };
+  req.send(null);
+}
+
+notifier.init();

@@ -1,0 +1,105 @@
+// CoffeePodsDeals — indicates coffee pods on sale at coffeepods.example.
+//
+// Category C: fetches the public deals feed on a timer and renders a
+// little panel; nothing interesting flows out.
+
+var DEALS_FEED = "https://www.coffeepods.example/api/deals.json";
+var REFRESH_MINUTES = 30;
+var MAX_DEALS_SHOWN = 5;
+
+var dealsPanel = {
+  container: null,
+  rows: [],
+  lastFetched: 0,
+
+  init: function () {
+    this.container = document.getElementById("coffeepods-panel");
+    var refresh = document.getElementById("coffeepods-refresh");
+    if (refresh) {
+      refresh.addEventListener("command", fetchDeals, false);
+    }
+    setInterval(fetchDeals, REFRESH_MINUTES * 60 * 1000);
+    fetchDeals();
+  },
+
+  clear: function () {
+    this.rows = [];
+    if (this.container) {
+      this.container.textContent = "";
+    }
+  },
+
+  addRow: function (name, price, discount) {
+    if (this.rows.length >= MAX_DEALS_SHOWN) {
+      return;
+    }
+    var row = document.createElement("hbox");
+    row.textContent = name + " — $" + price + " (" + discount + "% off)";
+    if (this.container) {
+      this.container.appendChild(row);
+    }
+    this.rows.push(row);
+  },
+
+  showError: function (status) {
+    this.clear();
+    var row = document.createElement("hbox");
+    row.textContent = "deals unavailable (HTTP " + status + ")";
+    if (this.container) {
+      this.container.appendChild(row);
+    }
+  }
+};
+
+function parseDeals(body) {
+  // Very small hand-rolled parser for [{"name":..,"price":..,"off":..}].
+  var deals = [];
+  var cursor = 0;
+  var guard = 0;
+  while (guard < MAX_DEALS_SHOWN * 4) {
+    guard++;
+    var at = body.indexOf("\"name\":\"", cursor);
+    if (at == -1) {
+      break;
+    }
+    var start = at + 8;
+    var end = body.indexOf("\"", start);
+    if (end == -1) {
+      break;
+    }
+    deals.push({
+      name: body.substring(start, end),
+      price: "?",
+      off: "?"
+    });
+    cursor = end;
+  }
+  return deals;
+}
+
+function renderDeals(deals) {
+  dealsPanel.clear();
+  for (var i = 0; i < deals.length; i++) {
+    var deal = deals[i];
+    dealsPanel.addRow(deal.name, deal.price, deal.off);
+  }
+}
+
+function fetchDeals() {
+  var req = new XMLHttpRequest();
+  req.open("GET", DEALS_FEED, true);
+  req.onreadystatechange = function () {
+    if (req.readyState != 4) {
+      return;
+    }
+    if (req.status == 200) {
+      renderDeals(parseDeals(req.responseText));
+      dealsPanel.lastFetched = 1;
+    } else {
+      dealsPanel.showError(req.status);
+    }
+  };
+  req.send(null);
+}
+
+dealsPanel.init();

@@ -1,0 +1,267 @@
+// GoogleTransliterate — lets the user type in Indian languages: the
+// Latin-script text in a field is transliterated via the input-tools
+// web API as they type.
+//
+// The summary only documents talking to the input-tools service. But the
+// addon skips transliteration on blank pages — it consults the current
+// URL before each request — so *whether* a request happens reveals one
+// bit about the page being browsed. A real (if probably harmless)
+// implicit flow; the paper's third leak.
+
+var INPUT_TOOLS_API = "https://inputtools.google.example/request?itc=";
+var BLANK_PAGE = "about:blank";
+var MAX_SUGGESTIONS = 5;
+var MAX_WORD_LENGTH = 40;
+var MAX_CACHE_ENTRIES = 128;
+
+var SCHEMES = [
+  { code: "hi-t-i0-und", label: "Hindi" },
+  { code: "ta-t-i0-und", label: "Tamil" },
+  { code: "te-t-i0-und", label: "Telugu" },
+  { code: "kn-t-i0-und", label: "Kannada" },
+  { code: "ml-t-i0-und", label: "Malayalam" },
+  { code: "bn-t-i0-und", label: "Bengali" },
+  { code: "gu-t-i0-und", label: "Gujarati" }
+];
+
+var transliterator = {
+  scheme: SCHEMES[0].code,
+  lastWord: "",
+  suggestions: [],
+  suggestionBox: null,
+  schemeMenu: null,
+  enabled: true,
+  requestCount: 0,
+  cache: {},
+  cacheSize: 0,
+
+  init: function () {
+    this.scheme = loadScheme();
+    this.suggestionBox = document.getElementById("transliterate-suggestions");
+    this.schemeMenu = document.getElementById("transliterate-schemes");
+    this.buildSchemeMenu();
+    var box = document.getElementById("transliterate-input");
+    if (box) {
+      box.addEventListener("keyup", onKeyUp, false);
+    }
+    var toggle = document.getElementById("transliterate-toggle");
+    if (toggle) {
+      toggle.addEventListener("command", onToggle, false);
+    }
+  },
+
+  buildSchemeMenu: function () {
+    if (!this.schemeMenu) {
+      return;
+    }
+    this.schemeMenu.textContent = "";
+    for (var i = 0; i < SCHEMES.length; i++) {
+      var item = document.createElement("menuitem");
+      item.setAttribute("label", SCHEMES[i].label);
+      item.setAttribute("value", SCHEMES[i].code);
+      item.addEventListener("command", onSchemePicked, false);
+      this.schemeMenu.appendChild(item);
+    }
+  },
+
+  renderSuggestions: function () {
+    if (!this.suggestionBox) {
+      return;
+    }
+    this.suggestionBox.textContent = "";
+    var shown = 0;
+    for (var i = 0; i < this.suggestions.length && shown < MAX_SUGGESTIONS; i++) {
+      var row = document.createElement("label");
+      row.textContent = (shown + 1) + ". " + this.suggestions[i];
+      this.suggestionBox.appendChild(row);
+      shown = shown + 1;
+    }
+  },
+
+  applySuggestion: function (box) {
+    if (this.suggestions.length > 0 && box) {
+      box.value = this.suggestions[0];
+    }
+    this.renderSuggestions();
+  },
+
+  remember: function (word, suggestions) {
+    if (this.cacheSize >= MAX_CACHE_ENTRIES) {
+      this.cache = {};
+      this.cacheSize = 0;
+    }
+    this.cache[this.scheme + "|" + word] = suggestions;
+    this.cacheSize = this.cacheSize + 1;
+  },
+
+  lookup: function (word) {
+    var hit = this.cache[this.scheme + "|" + word];
+    if (hit) {
+      return hit;
+    }
+    return null;
+  }
+};
+
+function loadScheme() {
+  var configured = Services.prefs.getCharPref("extensions.transliterate.scheme");
+  if (!configured) {
+    return SCHEMES[0].code;
+  }
+  for (var i = 0; i < SCHEMES.length; i++) {
+    if (SCHEMES[i].code == configured) {
+      return configured;
+    }
+  }
+  return SCHEMES[0].code;
+}
+
+function onSchemePicked(event) {
+  transliterator.scheme = event.target.value;
+  Services.prefs.setCharPref("extensions.transliterate.scheme", transliterator.scheme);
+  transliterator.cache = {};
+  transliterator.cacheSize = 0;
+  transliterator.suggestions = [];
+  transliterator.renderSuggestions();
+  var toggle = document.getElementById("transliterate-toggle");
+  if (toggle) {
+    toggle.setAttribute(
+      "tooltiptext", "Transliterating to " + schemeLabel(transliterator.scheme)
+    );
+  }
+}
+
+function onToggle(event) {
+  transliterator.enabled = !transliterator.enabled;
+  var state = transliterator.enabled ? "enabled" : "disabled";
+  event.target.setAttribute("label", "Transliteration " + state);
+}
+
+function schemeLabel(code) {
+  for (var i = 0; i < SCHEMES.length; i++) {
+    if (SCHEMES[i].code == code) {
+      return SCHEMES[i].label;
+    }
+  }
+  return code;
+}
+
+function countWords(text) {
+  var count = 0;
+  var inWord = false;
+  for (var i = 0; i < text.length; i++) {
+    var blank = text.charCodeAt(i) == 32;
+    if (!blank && !inWord) {
+      count = count + 1;
+      inWord = true;
+    } else if (blank) {
+      inWord = false;
+    }
+  }
+  return count;
+}
+
+function currentWord(text) {
+  var at = text.lastIndexOf(" ");
+  var word = at == -1 ? text : text.substring(at + 1);
+  if (word.length > MAX_WORD_LENGTH) {
+    word = word.substring(word.length - MAX_WORD_LENGTH);
+  }
+  return word;
+}
+
+function isLatinWord(word) {
+  if (!word) {
+    return false;
+  }
+  for (var i = 0; i < word.length; i++) {
+    var code = word.charCodeAt(i);
+    if (code > 127) {
+      return false;
+    }
+  }
+  return true;
+}
+
+function parseSuggestions(body) {
+  // Response shape: ["SUCCESS",[["word",["s1","s2",...]]]]
+  var list = [];
+  var ok = body.indexOf("\"SUCCESS\"");
+  if (ok == -1) {
+    return list;
+  }
+  var cursor = body.indexOf("[[", ok);
+  var guard = 0;
+  while (guard < MAX_SUGGESTIONS + 3) {
+    guard++;
+    var start = body.indexOf("\"", cursor + 1);
+    if (start == -1) {
+      break;
+    }
+    var end = body.indexOf("\"", start + 1);
+    if (end == -1) {
+      break;
+    }
+    list.push(body.substring(start + 1, end));
+    cursor = end;
+  }
+  return list;
+}
+
+function buildQuery(word) {
+  var query = INPUT_TOOLS_API + transliterator.scheme;
+  query = query + "&num=" + MAX_SUGGESTIONS;
+  query = query + "&cp=0&cs=1&ie=utf-8&oe=utf-8";
+  query = query + "&text=" + encodeURIComponent(word);
+  return query;
+}
+
+function requestTransliteration(word, box) {
+  transliterator.requestCount = transliterator.requestCount + 1;
+  var req = new XMLHttpRequest();
+  req.open("GET", buildQuery(word), true);
+  req.onreadystatechange = function () {
+    if (req.readyState != 4) {
+      return;
+    }
+    if (req.status == 200) {
+      var suggestions = parseSuggestions(req.responseText);
+      transliterator.suggestions = suggestions;
+      transliterator.remember(word, suggestions);
+      transliterator.applySuggestion(box);
+    }
+  };
+  req.send(null);
+}
+
+function onKeyUp(event) {
+  if (!transliterator.enabled) {
+    return;
+  }
+  // Don't bother transliterating on blank pages — but this consults the
+  // browsed URL, which is exactly the undocumented implicit flow.
+  if (content.location.href == BLANK_PAGE) {
+    return;
+  }
+  var box = event.target;
+  if (countWords(box.value) > 100) {
+    return;  // a pasted document, not typing: skip
+  }
+  var word = currentWord(box.value);
+  if (!isLatinWord(word)) {
+    return;
+  }
+  if (word == transliterator.lastWord) {
+    return;
+  }
+  transliterator.lastWord = word;
+  var cached = transliterator.lookup(word);
+  if (cached) {
+    transliterator.suggestions = cached;
+    transliterator.applySuggestion(box);
+    return;
+  }
+  requestTransliteration(word, box);
+}
+
+transliterator.init();

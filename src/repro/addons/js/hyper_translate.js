@@ -1,0 +1,223 @@
+// HyperTranslate — translates the selected text when the keyboard
+// shortcut (Ctrl+Shift+T by default) is pressed.
+//
+// Category B: whether a request happens at all depends on which keys the
+// user presses, so key presses flow *implicitly* to the translation
+// service — and since the addon listens for keys continuously, the flow
+// is amplified (type3 in the paper's manual signature).
+
+var TRANSLATE_ENDPOINT = "https://translate.google.example/translate_a/single";
+var MAX_TEXT_LENGTH = 500;
+var MAX_CACHE_ENTRIES = 64;
+var SUPPORTED_LANGUAGES = ["en", "fr", "de", "es", "ja", "hi", "pt", "ru"];
+var DEFAULT_SHORTCUT = "ctrl+shift+84";  // Ctrl+Shift+T
+
+var hyperTranslate = {
+  targetLanguage: "en",
+  shortcut: { ctrl: true, shift: true, keyCode: 84 },
+  bubble: null,
+  languageMenu: null,
+  busy: false,
+  cache: {},
+  cacheSize: 0,
+
+  init: function () {
+    this.bubble = document.getElementById("hyper-translate-bubble");
+    this.languageMenu = document.getElementById("hyper-translate-languages");
+    this.targetLanguage = loadTargetLanguage();
+    this.shortcut = loadShortcut();
+    this.buildLanguageMenu();
+    window.addEventListener("keypress", onKeyPress, false);
+  },
+
+  buildLanguageMenu: function () {
+    if (!this.languageMenu) {
+      return;
+    }
+    this.languageMenu.textContent = "";
+    for (var i = 0; i < SUPPORTED_LANGUAGES.length; i++) {
+      var item = document.createElement("menuitem");
+      item.setAttribute("label", languageName(SUPPORTED_LANGUAGES[i]));
+      item.setAttribute("value", SUPPORTED_LANGUAGES[i]);
+      item.addEventListener("command", onLanguagePicked, false);
+      this.languageMenu.appendChild(item);
+    }
+  },
+
+  show: function (translation) {
+    if (this.bubble) {
+      this.bubble.textContent = translation;
+      this.bubble.setAttribute("hidden", "false");
+    }
+    this.busy = false;
+  },
+
+  showError: function (status) {
+    if (this.bubble) {
+      this.bubble.textContent = "(translation failed: " + status + ")";
+    }
+    this.busy = false;
+  },
+
+  remember: function (text, translation) {
+    if (this.cacheSize >= MAX_CACHE_ENTRIES) {
+      this.cache = {};
+      this.cacheSize = 0;
+    }
+    this.cache[this.targetLanguage + ":" + text] = translation;
+    this.cacheSize = this.cacheSize + 1;
+  },
+
+  lookup: function (text) {
+    var hit = this.cache[this.targetLanguage + ":" + text];
+    if (hit) {
+      return hit;
+    }
+    return null;
+  }
+};
+
+function languageName(code) {
+  switch (code) {
+    case "en": return "English";
+    case "fr": return "French";
+    case "de": return "German";
+    case "es": return "Spanish";
+    case "ja": return "Japanese";
+    case "hi": return "Hindi";
+    case "pt": return "Portuguese";
+    case "ru": return "Russian";
+    default: return code;
+  }
+}
+
+function loadTargetLanguage() {
+  var configured = Services.prefs.getCharPref("extensions.hypertranslate.lang");
+  if (!configured) {
+    return "en";
+  }
+  for (var i = 0; i < SUPPORTED_LANGUAGES.length; i++) {
+    if (SUPPORTED_LANGUAGES[i] == configured) {
+      return configured;
+    }
+  }
+  return "en";
+}
+
+function loadShortcut() {
+  // Shortcut preference format: "ctrl+shift+<keyCode>".
+  var raw = Services.prefs.getCharPref("extensions.hypertranslate.shortcut");
+  if (!raw) {
+    raw = DEFAULT_SHORTCUT;
+  }
+  var parsed = { ctrl: false, shift: false, keyCode: 84 };
+  var rest = raw;
+  var guard = 0;
+  while (guard < 4) {
+    guard++;
+    var plus = rest.indexOf("+");
+    var part = plus == -1 ? rest : rest.substring(0, plus);
+    if (part == "ctrl") {
+      parsed.ctrl = true;
+    } else if (part == "shift") {
+      parsed.shift = true;
+    } else {
+      var code = parseInt(part, 10);
+      if (!isNaN(code)) {
+        parsed.keyCode = code;
+      }
+    }
+    if (plus == -1) {
+      break;
+    }
+    rest = rest.substring(plus + 1);
+  }
+  return parsed;
+}
+
+function onLanguagePicked(event) {
+  var picked = event.target.value;
+  hyperTranslate.targetLanguage = picked;
+  Services.prefs.setCharPref("extensions.hypertranslate.lang", picked);
+  hyperTranslate.cache = {};
+  hyperTranslate.cacheSize = 0;
+}
+
+function clampText(text) {
+  if (text.length > MAX_TEXT_LENGTH) {
+    return text.substring(0, MAX_TEXT_LENGTH);
+  }
+  return text;
+}
+
+function parseTranslation(body) {
+  // Response shape: [[["<translated>", ...]]]
+  var start = body.indexOf("[[[\"");
+  if (start == -1) {
+    return "";
+  }
+  var end = body.indexOf("\"", start + 4);
+  if (end == -1) {
+    return "";
+  }
+  return body.substring(start + 4, end);
+}
+
+function buildRequestBody(text, language) {
+  var body = "client=ext&sl=auto";
+  body = body + "&tl=" + language;
+  body = body + "&dt=t&ie=UTF-8&oe=UTF-8";
+  body = body + "&q=" + encodeURIComponent(text);
+  return body;
+}
+
+function requestTranslation(text, language) {
+  var req = new XMLHttpRequest();
+  req.open("POST", TRANSLATE_ENDPOINT, true);
+  req.setRequestHeader("Content-Type", "application/x-www-form-urlencoded");
+  req.onreadystatechange = function () {
+    if (req.readyState != 4) {
+      return;
+    }
+    if (req.status == 200) {
+      var translation = parseTranslation(req.responseText);
+      hyperTranslate.remember(text, translation);
+      hyperTranslate.show(translation);
+    } else {
+      hyperTranslate.showError(req.status);
+    }
+  };
+  req.send(buildRequestBody(text, language));
+}
+
+function matchesShortcut(event, shortcut) {
+  if (shortcut.ctrl && !event.ctrlKey) {
+    return false;
+  }
+  if (shortcut.shift && !event.shiftKey) {
+    return false;
+  }
+  return event.keyCode == shortcut.keyCode;
+}
+
+function onKeyPress(event) {
+  if (hyperTranslate.busy) {
+    return;
+  }
+  if (matchesShortcut(event, hyperTranslate.shortcut)) {
+    var selection = content.getSelection();
+    var text = clampText("" + selection);
+    if (!text) {
+      return;
+    }
+    var cached = hyperTranslate.lookup(text);
+    if (cached) {
+      hyperTranslate.show(cached);
+      return;
+    }
+    hyperTranslate.busy = true;
+    requestTranslation(text, hyperTranslate.targetLanguage);
+  }
+}
+
+hyperTranslate.init();

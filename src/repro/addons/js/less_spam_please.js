@@ -1,0 +1,240 @@
+// LessSpamPlease — generates a reusable anonymous e-mail address for the
+// site you are visiting.
+//
+// Category A: sending the current site to the alias service is the whole
+// point. The addon load-balances between the primary API host and a
+// mirror, and the two host names share no common prefix — so the prefix
+// string domain joins them to 'https://' and the inferred network domain
+// is imprecise. That is the paper's "fail" row: source, sink, and flow
+// type are right, only the domain is lost.
+
+var PRIMARY_HOST = "api.lesspam.example/v2/alias/new?site=";
+var MIRROR_HOST = "mirror-lsp.example/v2/alias/new?site=";
+var SCHEME = "https://";
+var MAX_HISTORY_ENTRIES = 50;
+var MAX_ALIAS_LENGTH = 64;
+
+var aliasManager = {
+  field: null,
+  historyMenu: null,
+  statusLabel: null,
+  useMirror: false,
+  requestCount: 0,
+  mirrorFailures: 0,
+  history: [],
+
+  init: function () {
+    this.field = document.getElementById("lsp-alias-field");
+    this.historyMenu = document.getElementById("lsp-history-menu");
+    this.statusLabel = document.getElementById("lsp-status");
+    var button = document.getElementById("lsp-generate-button");
+    if (button) {
+      button.addEventListener("command", onGenerateClick, false);
+    }
+    var copyButton = document.getElementById("lsp-copy-button");
+    if (copyButton) {
+      copyButton.addEventListener("command", onCopyClick, false);
+    }
+    this.useMirror = loadMirrorPreference();
+  },
+
+  setStatus: function (message) {
+    if (this.statusLabel) {
+      this.statusLabel.textContent = message;
+    }
+  },
+
+  record: function (site, alias) {
+    this.history.push({ site: site, alias: alias });
+    if (this.history.length > MAX_HISTORY_ENTRIES) {
+      this.history.shift();
+    }
+    this.requestCount = this.requestCount + 1;
+    if (this.field) {
+      this.field.value = alias;
+    }
+    this.refreshHistoryMenu();
+    this.setStatus("Alias ready (" + this.requestCount + " generated so far)");
+  },
+
+  refreshHistoryMenu: function () {
+    if (!this.historyMenu) {
+      return;
+    }
+    this.historyMenu.textContent = "";
+    for (var i = this.history.length - 1; i >= 0; i--) {
+      var entry = this.history[i];
+      var item = document.createElement("menuitem");
+      item.setAttribute("label", entry.alias);
+      item.setAttribute("tooltiptext", formatHistoryTooltip(entry));
+      this.historyMenu.appendChild(item);
+    }
+  },
+
+  findExisting: function (site) {
+    for (var i = 0; i < this.history.length; i++) {
+      if (this.history[i].site == site) {
+        return this.history[i].alias;
+      }
+    }
+    return null;
+  },
+
+  serviceHost: function () {
+    // Spread load: every other request goes to the mirror, unless the
+    // mirror has been failing.
+    if (this.mirrorFailures >= 3) {
+      return PRIMARY_HOST;
+    }
+    if (this.useMirror && this.requestCount % 2 == 1) {
+      return MIRROR_HOST;
+    }
+    return PRIMARY_HOST;
+  }
+};
+
+function loadMirrorPreference() {
+  var pref = Services.prefs.getCharPref("extensions.lesspam.usemirror");
+  return pref == "true";
+}
+
+function formatHistoryTooltip(entry) {
+  var tip = "generated for " + entry.site;
+  if (entry.alias.indexOf("@") != -1) {
+    var at = entry.alias.indexOf("@");
+    tip = tip + " (inbox " + entry.alias.substring(0, at) + ")";
+  }
+  return tip;
+}
+
+function countAliasesFor(history, site) {
+  var count = 0;
+  for (var i = 0; i < history.length; i++) {
+    if (history[i].site == site) {
+      count = count + 1;
+    }
+  }
+  return count;
+}
+
+function siteKey(url) {
+  // Normalize to scheme+host so one alias covers a whole site.
+  var schemeEnd = url.indexOf("://");
+  if (schemeEnd == -1) {
+    return url;
+  }
+  var pathStart = url.indexOf("/", schemeEnd + 3);
+  if (pathStart == -1) {
+    return url;
+  }
+  return url.substring(0, pathStart);
+}
+
+function describeService(host) {
+  if (host == MIRROR_HOST) {
+    return "mirror";
+  }
+  return "primary";
+}
+
+function validateAlias(alias) {
+  if (!alias) {
+    return false;
+  }
+  if (alias.length > MAX_ALIAS_LENGTH) {
+    return false;
+  }
+  if (alias.indexOf("@") == -1) {
+    return false;
+  }
+  if (alias.indexOf(" ") != -1) {
+    return false;
+  }
+  return true;
+}
+
+function parseAlias(body) {
+  var marker = body.indexOf("\"alias\":\"");
+  if (marker == -1) {
+    return "";
+  }
+  var start = marker + 9;
+  var end = body.indexOf("\"", start);
+  if (end == -1) {
+    return "";
+  }
+  return body.substring(start, end);
+}
+
+function parseErrorMessage(body) {
+  var marker = body.indexOf("\"error\":\"");
+  if (marker == -1) {
+    return "unknown error";
+  }
+  var start = marker + 9;
+  var end = body.indexOf("\"", start);
+  if (end == -1) {
+    return "unknown error";
+  }
+  return body.substring(start, end);
+}
+
+function requestAlias(site) {
+  var host = aliasManager.serviceHost();
+  var endpoint = SCHEME + host + encodeURIComponent(site);
+  var req = new XMLHttpRequest();
+  req.open("GET", endpoint, true);
+  req.setRequestHeader("Accept", "application/json");
+  req.onreadystatechange = function () {
+    if (req.readyState != 4) {
+      return;
+    }
+    if (req.status == 200) {
+      var alias = parseAlias(req.responseText);
+      if (validateAlias(alias)) {
+        aliasManager.record(site, alias);
+      } else {
+        aliasManager.setStatus("Service returned a malformed alias");
+      }
+    } else if (req.status >= 500 && host == MIRROR_HOST) {
+      aliasManager.mirrorFailures = aliasManager.mirrorFailures + 1;
+      aliasManager.setStatus("Mirror unavailable: " + parseErrorMessage(req.responseText));
+    } else {
+      aliasManager.setStatus(
+        "Alias " + describeService(host) + " service error " + req.status
+      );
+    }
+  };
+  req.send(null);
+}
+
+function onGenerateClick(event) {
+  var page = content.location.href;
+  if (!page || page == "about:blank") {
+    aliasManager.setStatus("Open the site you want an alias for first");
+    return;
+  }
+  var site = siteKey(page);
+  var existing = aliasManager.findExisting(site);
+  if (existing) {
+    if (aliasManager.field) {
+      aliasManager.field.value = existing;
+    }
+    var already = countAliasesFor(aliasManager.history, site);
+    aliasManager.setStatus(
+      "Reusing one of " + already + " alias(es) generated earlier"
+    );
+    return;
+  }
+  aliasManager.setStatus("Requesting alias...");
+  requestAlias(site);
+}
+
+function onCopyClick(event) {
+  if (aliasManager.field && aliasManager.field.value) {
+    Services.clipboard.setData(aliasManager.field.value);
+    aliasManager.setStatus("Alias copied to clipboard");
+  }
+}
+
+aliasManager.init();

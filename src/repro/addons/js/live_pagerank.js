@@ -1,0 +1,257 @@
+// LivePagerank — displays the Google PageRank for the active URL.
+//
+// Category A: its whole point is to send the URL you are browsing to the
+// toolbar-queries service, so the url -> network flow is expected and
+// documented in the addon summary.
+
+var PAGERANK_SERVICE = "http://toolbarqueries.google.example/tbr?client=navclient&q=";
+var RANK_UNKNOWN = "-";
+var RANK_ERROR = "x";
+var MAX_CACHE_ENTRIES = 200;
+var MAX_HISTORY_ENTRIES = 25;
+var MAX_RETRIES = 2;
+var RETRY_DELAY_MS = 2000;
+
+var livePagerank = {
+  label: null,
+  icon: null,
+  menu: null,
+  cache: {},
+  cacheSize: 0,
+  history: [],
+  enabled: true,
+  showIcon: true,
+  retries: 0,
+
+  init: function () {
+    this.label = document.getElementById("live-pagerank-label");
+    this.icon = document.getElementById("live-pagerank-icon");
+    this.menu = document.getElementById("live-pagerank-menu");
+    var toggle = document.getElementById("live-pagerank-toggle");
+    if (toggle) {
+      toggle.addEventListener("command", onToggle, false);
+    }
+    var clearItem = document.getElementById("live-pagerank-clear-cache");
+    if (clearItem) {
+      clearItem.addEventListener("command", onClearCache, false);
+    }
+    this.loadPreferences();
+    window.addEventListener("load", onPageLoad, false);
+    window.addEventListener("DOMContentLoaded", onPageLoad, false);
+  },
+
+  loadPreferences: function () {
+    var enabledPref = Services.prefs.getCharPref("extensions.livepagerank.enabled");
+    if (enabledPref == "false") {
+      this.enabled = false;
+    }
+    var iconPref = Services.prefs.getCharPref("extensions.livepagerank.showicon");
+    if (iconPref == "false") {
+      this.showIcon = false;
+    }
+  },
+
+  display: function (rank) {
+    if (this.label) {
+      this.label.textContent = "PR: " + rank;
+    }
+    if (this.icon && this.showIcon) {
+      this.icon.setAttribute("rank", rank);
+      this.icon.setAttribute("tooltiptext", describeRank(rank));
+    }
+  },
+
+  remember: function (url, rank) {
+    if (this.cacheSize >= MAX_CACHE_ENTRIES) {
+      this.cache = {};
+      this.cacheSize = 0;
+    }
+    this.cache[url] = rank;
+    this.cacheSize = this.cacheSize + 1;
+    this.pushHistory(rank);
+  },
+
+  pushHistory: function (rank) {
+    this.history.push(rank);
+    if (this.history.length > MAX_HISTORY_ENTRIES) {
+      this.history.shift();
+    }
+    this.refreshMenu();
+  },
+
+  refreshMenu: function () {
+    if (!this.menu) {
+      return;
+    }
+    this.menu.textContent = "";
+    var summary = document.createElement("menuitem");
+    summary.setAttribute(
+      "label",
+      "avg " + averageRank(this.history) + " " + trendArrow(this.history)
+    );
+    summary.setAttribute("disabled", "true");
+    this.menu.appendChild(summary);
+    for (var i = 0; i < this.history.length; i++) {
+      var item = document.createElement("menuitem");
+      item.setAttribute("label", "rank " + this.history[i]);
+      this.menu.appendChild(item);
+    }
+  },
+
+  lookup: function (url) {
+    var cached = this.cache[url];
+    if (cached) {
+      return cached;
+    }
+    return null;
+  }
+};
+
+function averageRank(history) {
+  if (history.length == 0) {
+    return 0;
+  }
+  var total = 0;
+  var counted = 0;
+  for (var i = 0; i < history.length; i++) {
+    var value = parseInt(history[i], 10);
+    if (!isNaN(value)) {
+      total = total + value;
+      counted = counted + 1;
+    }
+  }
+  if (counted == 0) {
+    return 0;
+  }
+  return total / counted;
+}
+
+function trendArrow(history) {
+  if (history.length < 2) {
+    return "·";
+  }
+  var last = parseInt(history[history.length - 1], 10);
+  var prior = parseInt(history[history.length - 2], 10);
+  if (isNaN(last) || isNaN(prior)) {
+    return "·";
+  }
+  if (last > prior) {
+    return "↑";
+  }
+  if (last < prior) {
+    return "↓";
+  }
+  return "→";
+}
+
+function describeRank(rank) {
+  if (rank == RANK_UNKNOWN) {
+    return "Rank not available";
+  }
+  if (rank == RANK_ERROR) {
+    return "Service error; will retry";
+  }
+  var value = parseInt(rank, 10);
+  if (isNaN(value)) {
+    return "Rank not available";
+  }
+  if (value >= 8) {
+    return "Extremely popular page";
+  }
+  if (value >= 5) {
+    return "Popular page";
+  }
+  if (value >= 2) {
+    return "Average page";
+  }
+  return "Rarely linked page";
+}
+
+function onToggle(event) {
+  livePagerank.enabled = !livePagerank.enabled;
+  var state = livePagerank.enabled ? "true" : "false";
+  Services.prefs.setCharPref("extensions.livepagerank.enabled", state);
+  livePagerank.display(RANK_UNKNOWN);
+}
+
+function onClearCache(event) {
+  livePagerank.cache = {};
+  livePagerank.cacheSize = 0;
+  livePagerank.history = [];
+  livePagerank.refreshMenu();
+  livePagerank.display(RANK_UNKNOWN);
+}
+
+function checksumQuery(url) {
+  // The real service requires a checksum of the query; the exact hash is
+  // irrelevant to vetting, but the shape (derived from the URL) is not.
+  var sum = 0;
+  for (var i = 0; i < url.length; i++) {
+    sum = (sum * 31 + url.charCodeAt(i)) % 1000000007;
+  }
+  return "&ch=8" + sum;
+}
+
+function parseRank(body) {
+  // The service answers lines like "Rank_1:1:7".
+  var at = body.lastIndexOf(":");
+  if (at == -1) {
+    return RANK_UNKNOWN;
+  }
+  var rank = parseInt(body.substring(at + 1), 10);
+  if (isNaN(rank) || rank < 0 || rank > 10) {
+    return RANK_UNKNOWN;
+  }
+  return "" + rank;
+}
+
+function requestRank(url) {
+  var req = new XMLHttpRequest();
+  var query = PAGERANK_SERVICE + encodeURIComponent(url) + checksumQuery(url);
+  req.open("GET", query, true);
+  req.onreadystatechange = function () {
+    if (req.readyState != 4) {
+      return;
+    }
+    if (req.status == 200) {
+      livePagerank.retries = 0;
+      var rank = parseRank(req.responseText);
+      livePagerank.remember(url, rank);
+      livePagerank.display(rank);
+    } else if (livePagerank.retries < MAX_RETRIES) {
+      livePagerank.retries = livePagerank.retries + 1;
+      livePagerank.display(RANK_ERROR);
+      // Retry by refreshing from the current page state rather than
+      // re-sending a captured URL (the page may have changed meanwhile).
+      setTimeout(refreshCurrentPage, RETRY_DELAY_MS * livePagerank.retries);
+    } else {
+      livePagerank.retries = 0;
+      livePagerank.display(RANK_UNKNOWN);
+    }
+  };
+  req.send(null);
+}
+
+function refreshCurrentPage() {
+  onPageLoad(null);
+}
+
+function onPageLoad(event) {
+  if (!livePagerank.enabled) {
+    return;
+  }
+  var url = content.location.href;
+  if (!url || url == "about:blank") {
+    livePagerank.display(RANK_UNKNOWN);
+    return;
+  }
+  var cached = livePagerank.lookup(url);
+  if (cached) {
+    livePagerank.display(cached);
+    return;
+  }
+  livePagerank.display(RANK_UNKNOWN);
+  requestRank(url);
+}
+
+livePagerank.init();

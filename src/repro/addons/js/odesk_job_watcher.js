@@ -1,0 +1,40 @@
+// oDeskJobWatcher — indicates new oDesk job openings matching your feed.
+//
+// Smallest benchmark addon: a single polling loop against the oDesk jobs
+// feed, updating a toolbar badge when the count grows.
+
+var ODESK_FEED = "https://jobs.odesk.example/api/openings.json?feed=saved";
+var POLL_MINUTES = 15;
+
+var lastCount = 0;
+
+function updateBadge(count) {
+  var badge = document.getElementById("odesk-watcher-badge");
+  if (badge) {
+    badge.textContent = "" + count;
+    badge.style = count > lastCount ? "highlight" : "normal";
+  }
+  lastCount = count;
+}
+
+function parseCount(body) {
+  var marker = body.indexOf("\"total\":");
+  if (marker == -1) {
+    return 0;
+  }
+  return parseInt(body.substring(marker + 8), 10);
+}
+
+function pollJobs() {
+  var req = new XMLHttpRequest();
+  req.open("GET", ODESK_FEED, true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      updateBadge(parseCount(req.responseText));
+    }
+  };
+  req.send(null);
+}
+
+setInterval(pollJobs, POLL_MINUTES * 60 * 1000);
+pollJobs();

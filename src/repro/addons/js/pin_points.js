@@ -1,0 +1,170 @@
+// PinPoints — save clips (addresses) from web text to your account.
+//
+// The summary documents communication with yourpinpoints.example. It
+// does not mention that saved clips are first geocoded through the maps
+// service — behavior buried in the extended description. The analysis
+// surfaces the second network domain; the paper classifies this as a
+// (benign but undocumented) leak.
+
+var SAVE_ENDPOINT = "https://www.yourpinpoints.example/api/clips/save";
+var GEOCODE_ENDPOINT = "https://maps.google.example/maps/api/geocode/json?address=";
+var MAX_CLIP_LENGTH = 250;
+var MAX_PENDING = 10;
+
+var pinPoints = {
+  statusLabel: null,
+  counterLabel: null,
+  savedCount: 0,
+  failedCount: 0,
+  pending: [],
+
+  init: function () {
+    this.statusLabel = document.getElementById("pinpoints-status");
+    this.counterLabel = document.getElementById("pinpoints-counter");
+    var saveItem = document.getElementById("pinpoints-save-menuitem");
+    if (saveItem) {
+      saveItem.addEventListener("command", onSaveCommand, false);
+    }
+    var retryItem = document.getElementById("pinpoints-retry-menuitem");
+    if (retryItem) {
+      retryItem.addEventListener("command", onRetryCommand, false);
+    }
+  },
+
+  setStatus: function (message) {
+    if (this.statusLabel) {
+      this.statusLabel.textContent = message;
+    }
+  },
+
+  refreshCounter: function () {
+    if (this.counterLabel) {
+      this.counterLabel.textContent =
+        this.savedCount + " saved / " + this.failedCount + " failed";
+    }
+  },
+
+  queueForRetry: function (clip) {
+    if (this.pending.length < MAX_PENDING) {
+      this.pending.push(clip);
+    }
+    this.failedCount = this.failedCount + 1;
+    this.refreshCounter();
+  }
+};
+
+function sanitizeClip(text) {
+  var clip = text;
+  if (clip.length > MAX_CLIP_LENGTH) {
+    clip = clip.substring(0, MAX_CLIP_LENGTH);
+  }
+  clip = clip.replace("\n", " ");
+  clip = clip.replace("\t", " ");
+  clip = clip.replace("\r", " ");
+  var guard = 0;
+  while (clip.indexOf("  ") != -1 && guard < 8) {
+    clip = clip.replace("  ", " ");
+    guard = guard + 1;
+  }
+  return clip;
+}
+
+function looksLikeAddress(clip) {
+  // Heuristic: addresses tend to contain a digit and a comma.
+  var hasDigit = false;
+  for (var i = 0; i < clip.length; i++) {
+    var code = clip.charCodeAt(i);
+    if (code >= 48 && code <= 57) {
+      hasDigit = true;
+      break;
+    }
+  }
+  return hasDigit && clip.indexOf(",") != -1;
+}
+
+function parseCoordinates(body) {
+  var at = body.indexOf("\"location\"");
+  if (at == -1) {
+    return "";
+  }
+  var end = body.indexOf("}", at);
+  if (end == -1) {
+    return "";
+  }
+  return body.substring(at, end + 1);
+}
+
+function geocodeClip(clip, onDone) {
+  var req = new XMLHttpRequest();
+  req.open("GET", GEOCODE_ENDPOINT + encodeURIComponent(clip), true);
+  req.onreadystatechange = function () {
+    if (req.readyState != 4) {
+      return;
+    }
+    if (req.status == 200) {
+      onDone(parseCoordinates(req.responseText));
+    } else {
+      onDone("");
+    }
+  };
+  req.send(null);
+}
+
+function uploadClip(clip, coordinates) {
+  var req = new XMLHttpRequest();
+  req.open("POST", SAVE_ENDPOINT, true);
+  req.setRequestHeader("Content-Type", "application/x-www-form-urlencoded");
+  req.onreadystatechange = function () {
+    if (req.readyState != 4) {
+      return;
+    }
+    if (req.status == 200) {
+      pinPoints.savedCount = pinPoints.savedCount + 1;
+      pinPoints.refreshCounter();
+      pinPoints.setStatus("Saved " + pinPoints.savedCount + " clip(s)");
+    } else {
+      pinPoints.queueForRetry(clip);
+      pinPoints.setStatus("Save failed; queued for retry");
+    }
+  };
+  var body = "clip=" + encodeURIComponent(clip);
+  body = body + "&geo=" + encodeURIComponent(coordinates);
+  body = body + "&v=2";
+  req.send(body);
+}
+
+function saveClip(clip) {
+  if (looksLikeAddress(clip)) {
+    // Enrich street addresses with coordinates before saving — the
+    // undocumented maps.google.example communication.
+    geocodeClip(clip, function (coordinates) {
+      uploadClip(clip, coordinates);
+    });
+  } else {
+    uploadClip(clip, "");
+  }
+}
+
+function onSaveCommand(event) {
+  var selection = "" + content.getSelection();
+  if (!selection) {
+    pinPoints.setStatus("Nothing selected");
+    return;
+  }
+  saveClip(sanitizeClip(selection));
+}
+
+function onRetryCommand(event) {
+  var batch = pinPoints.pending;
+  if (batch.length == 0) {
+    pinPoints.setStatus("Nothing queued for retry");
+    return;
+  }
+  pinPoints.pending = [];
+  for (var i = 0; i < batch.length; i++) {
+    saveClip(batch[i]);
+  }
+  pinPoints.setStatus("Retrying " + batch.length + " clip(s)");
+}
+
+pinPoints.init();

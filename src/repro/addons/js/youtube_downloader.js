@@ -1,0 +1,230 @@
+// YoutubeDownloader — adds a "download video" button on video pages.
+//
+// The summary only admits that the addon activates on video pages (an
+// implicit dependence on the current URL). In reality it computes the
+// video id *directly from the URL* and sends it to the video-info
+// endpoint — a real explicit flow the summary never mentioned, which is
+// exactly the leak the paper reports for this addon.
+
+var VIDEO_INFO_SERVICE = "http://www.youtube.example/get_video_info?video_id=";
+var WATCH_MARKER = "youtube.example/watch";
+var ID_PARAM = "v=";
+var MAX_FILENAME_LENGTH = 80;
+
+var FORMATS = [
+  { key: "mp4", label: "MP4 (720p)", itag: "22" },
+  { key: "mp4sd", label: "MP4 (360p)", itag: "18" },
+  { key: "flv", label: "FLV (480p)", itag: "35" },
+  { key: "3gp", label: "3GP (mobile)", itag: "36" }
+];
+
+var downloader = {
+  button: null,
+  formatMenu: null,
+  statusLabel: null,
+  currentLink: null,
+  currentTitle: "",
+  preferredFormat: "mp4",
+  downloadCount: 0,
+
+  init: function () {
+    this.button = document.getElementById("ytdl-button");
+    this.formatMenu = document.getElementById("ytdl-format-menu");
+    this.statusLabel = document.getElementById("ytdl-status");
+    if (this.button) {
+      this.button.addEventListener("command", onDownloadClick, false);
+    }
+    this.preferredFormat = loadFormatPreference();
+    this.buildFormatMenu();
+    window.addEventListener("load", onPageLoad, false);
+  },
+
+  buildFormatMenu: function () {
+    if (!this.formatMenu) {
+      return;
+    }
+    this.formatMenu.textContent = "";
+    for (var i = 0; i < FORMATS.length; i++) {
+      var item = document.createElement("menuitem");
+      item.setAttribute("label", FORMATS[i].label);
+      item.setAttribute("value", FORMATS[i].key);
+      item.addEventListener("command", onFormatPicked, false);
+      this.formatMenu.appendChild(item);
+    }
+  },
+
+  setStatus: function (message) {
+    if (this.statusLabel) {
+      this.statusLabel.textContent = message;
+    }
+  },
+
+  enable: function (link, title) {
+    this.currentLink = link;
+    this.currentTitle = title;
+    if (this.button) {
+      this.button.setAttribute("disabled", "false");
+      this.button.setAttribute("tooltiptext", "Download " + suggestFilename(title));
+    }
+    this.setStatus("Video ready to download");
+  },
+
+  disable: function (reason) {
+    this.currentLink = null;
+    this.currentTitle = "";
+    if (this.button) {
+      this.button.setAttribute("disabled", "true");
+    }
+    this.setStatus(reason);
+  }
+};
+
+function loadFormatPreference() {
+  var configured = Services.prefs.getCharPref("extensions.ytdl.format");
+  for (var i = 0; i < FORMATS.length; i++) {
+    if (FORMATS[i].key == configured) {
+      return configured;
+    }
+  }
+  return "mp4";
+}
+
+function onFormatPicked(event) {
+  downloader.preferredFormat = event.target.value;
+  Services.prefs.setCharPref("extensions.ytdl.format", downloader.preferredFormat);
+}
+
+function itagFor(formatKey) {
+  for (var i = 0; i < FORMATS.length; i++) {
+    if (FORMATS[i].key == formatKey) {
+      return FORMATS[i].itag;
+    }
+  }
+  return FORMATS[0].itag;
+}
+
+function extractVideoId(url) {
+  var at = url.indexOf(ID_PARAM);
+  if (at == -1) {
+    return "";
+  }
+  var id = url.substring(at + ID_PARAM.length);
+  var amp = id.indexOf("&");
+  if (amp != -1) {
+    id = id.substring(0, amp);
+  }
+  var hash = id.indexOf("#");
+  if (hash != -1) {
+    id = id.substring(0, hash);
+  }
+  return id;
+}
+
+function suggestFilename(title) {
+  var name = title ? title : "video";
+  name = name.replace("/", "_");
+  name = name.replace("\\", "_");
+  name = name.replace(":", "_");
+  if (name.length > MAX_FILENAME_LENGTH) {
+    name = name.substring(0, MAX_FILENAME_LENGTH);
+  }
+  return name + "." + downloader.preferredFormat;
+}
+
+function parseField(body, key) {
+  var marker = key + "=";
+  var at = body.indexOf(marker);
+  if (at == -1) {
+    return "";
+  }
+  var end = body.indexOf("&", at);
+  if (end == -1) {
+    end = body.length;
+  }
+  return body.substring(at + marker.length, end);
+}
+
+function parseDownloadLink(body, itag) {
+  var streams = parseField(body, "url_encoded_fmt_stream_map");
+  if (!streams) {
+    return null;
+  }
+  var decoded = decodeURIComponent(streams);
+  var marker = "itag=" + itag;
+  var at = decoded.indexOf(marker);
+  if (at == -1) {
+    return null;
+  }
+  var urlField = decoded.indexOf("url=", at);
+  if (urlField == -1) {
+    return null;
+  }
+  var end = decoded.indexOf(",", urlField);
+  if (end == -1) {
+    end = decoded.length;
+  }
+  return decodeURIComponent(decoded.substring(urlField + 4, end));
+}
+
+function parseTitle(body) {
+  var raw = parseField(body, "title");
+  if (!raw) {
+    return "";
+  }
+  return decodeURIComponent(raw).replace("+", " ");
+}
+
+function fetchVideoInfo(videoId) {
+  downloader.setStatus("Fetching video info...");
+  var req = new XMLHttpRequest();
+  req.open("GET", VIDEO_INFO_SERVICE + videoId, true);
+  req.onreadystatechange = function () {
+    if (req.readyState != 4) {
+      return;
+    }
+    if (req.status != 200) {
+      downloader.disable("Video info unavailable (" + req.status + ")");
+      return;
+    }
+    var status = parseField(req.responseText, "status");
+    if (status == "fail") {
+      downloader.disable("Video not downloadable");
+      return;
+    }
+    var itag = itagFor(downloader.preferredFormat);
+    var link = parseDownloadLink(req.responseText, itag);
+    var title = parseTitle(req.responseText);
+    if (link) {
+      downloader.enable(link, title);
+    } else {
+      downloader.disable("Preferred format not offered");
+    }
+  };
+  req.send(null);
+}
+
+function onPageLoad(event) {
+  var url = content.location.href;
+  if (url.indexOf(WATCH_MARKER) == -1) {
+    downloader.disable("Not a video page");
+    return;
+  }
+  var videoId = extractVideoId(url);
+  if (videoId) {
+    fetchVideoInfo(videoId);
+  } else {
+    downloader.disable("No video id in the address");
+  }
+}
+
+function onDownloadClick(event) {
+  if (downloader.currentLink) {
+    downloader.downloadCount = downloader.downloadCount + 1;
+    downloader.setStatus(
+      "Downloading " + suggestFilename(downloader.currentTitle)
+      + " (" + downloader.downloadCount + " total)"
+    );
+  }
+}
+
+downloader.init();

@@ -1,0 +1,47 @@
+"""The base analysis (the JSAI role in the paper's pipeline).
+
+A flow- and context-sensitive abstract interpreter computing a reduced
+product of pointer, string (prefix domain), and control-flow analysis,
+plus the per-statement read/write sets the annotated PDG construction
+consumes.
+"""
+
+from repro.analysis.contexts import (
+    EMPTY_CONTEXT,
+    CallSiteSensitivity,
+    Context,
+)
+from repro.analysis.environment import (
+    DefaultEnvironment,
+    Environment,
+    NativeCall,
+    NativeImpl,
+)
+from repro.analysis.interpreter import (
+    RETURN_SLOT,
+    exception_slot,
+    AnalysisBudgetExceeded,
+    AnalysisResult,
+    Interpreter,
+    analyze,
+)
+from repro.analysis.readwrite import PropAccess, ReadWriteSets, RWSet
+
+__all__ = [
+    "analyze",
+    "Interpreter",
+    "AnalysisResult",
+    "AnalysisBudgetExceeded",
+    "CallSiteSensitivity",
+    "Context",
+    "EMPTY_CONTEXT",
+    "Environment",
+    "DefaultEnvironment",
+    "NativeCall",
+    "NativeImpl",
+    "ReadWriteSets",
+    "RWSet",
+    "PropAccess",
+    "RETURN_SLOT",
+    "exception_slot",
+]

@@ -1,0 +1,437 @@
+"""Language built-ins: String/Array/Object methods and global functions.
+
+Addons lean on a small set of ECMAScript built-ins (string slicing and
+concatenation while assembling URLs, array iteration, ``encodeURIComponent``
+before a network send, ...). This module models them as native objects at
+fixed negative heap addresses:
+
+- string method results stay as precise as the prefix domain allows
+  (``concat`` is exact/prefix-preserving; ``toLowerCase``/``substring``/
+  ``replace`` are computed when the receiver and arguments are exact),
+- everything else degrades soundly to ⊤ of the right type.
+
+The interpreter consults :data:`STRING_METHODS` / :data:`ARRAY_METHODS` /
+:data:`OBJECT_METHODS` when a property read on a primitive string or an
+object misses its own properties.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+
+from repro.analysis.environment import NativeCall, NativeImpl
+from repro.domains import prefix as prefix_domain
+from repro.domains import values as values_domain
+from repro.domains.objects import AbstractObject, native_object
+from repro.domains.prefix import Prefix
+from repro.domains.state import State
+from repro.domains.values import AbstractValue
+
+#: Pre-allocated address of the generic error object used as the value of
+#: implicit exceptions.
+ERROR_ADDRESS = -9
+
+#: The value bound to a catch parameter for implicit exceptions.
+ERROR_VALUE = AbstractValue(addresses=frozenset({ERROR_ADDRESS}))
+
+_UNKNOWN = (
+    values_domain.UNDEF
+    .join(values_domain.NULL)
+    .join(values_domain.ANY_BOOL)
+    .join(values_domain.ANY_NUMBER)
+    .join(values_domain.ANY_STRING)
+)
+
+
+def unknown_value() -> AbstractValue:
+    """A sound "could be any primitive" result for unmodeled operations."""
+    return _UNKNOWN
+
+
+# ----------------------------------------------------------------------
+# String methods
+
+
+def _this_string(call: NativeCall) -> Prefix:
+    return call.this.to_property_name()
+
+
+def _arg_string(call: NativeCall, index: int) -> Prefix:
+    return call.arg(index).to_property_name()
+
+
+def _string_concat(call: NativeCall) -> AbstractValue:
+    result = _this_string(call)
+    for index in range(len(call.args)):
+        result = result.concat(_arg_string(call, index))
+    return values_domain.from_string(result)
+
+
+def _string_case(upper: bool):
+    def impl(call: NativeCall) -> AbstractValue:
+        this = _this_string(call)
+        text = this.concrete()
+        if text is not None:
+            return values_domain.from_constant(
+                text.upper() if upper else text.lower()
+            )
+        if this.is_bottom:
+            return values_domain.BOTTOM
+        assert this.text is not None
+        transformed = this.text.upper() if upper else this.text.lower()
+        return values_domain.from_string(prefix_domain.prefix(transformed))
+    return impl
+
+
+def _string_substring(call: NativeCall) -> AbstractValue:
+    this = _this_string(call)
+    text = this.concrete()
+    start = call.arg(0).number.concrete()
+    end = call.arg(1).number.concrete()
+    if text is not None and start is not None:
+        begin = max(0, int(start))
+        if call.arg(0) is not values_domain.UNDEF and end is not None:
+            return values_domain.from_constant(text[begin:int(end)])
+        if call.arg(1).may_undef and end is None:
+            return values_domain.from_constant(text[begin:])
+    return values_domain.ANY_STRING
+
+
+def _string_char_at(call: NativeCall) -> AbstractValue:
+    this = _this_string(call)
+    text = this.concrete()
+    index = call.arg(0).number.concrete()
+    if text is not None and index is not None:
+        position = int(index)
+        if 0 <= position < len(text):
+            return values_domain.from_constant(text[position])
+        return values_domain.from_constant("")
+    return values_domain.ANY_STRING
+
+
+def _string_replace(call: NativeCall) -> AbstractValue:
+    this = _this_string(call)
+    pattern = call.arg(0).string.concrete()
+    replacement = call.arg(1).string.concrete()
+    text = this.concrete()
+    if text is not None and pattern is not None and replacement is not None:
+        # String patterns replace the first occurrence only (ES5).
+        return values_domain.from_constant(text.replace(pattern, replacement, 1))
+    return values_domain.ANY_STRING
+
+
+def _string_split(call: NativeCall) -> AbstractValue:
+    address = call.interpreter.alloc_at(
+        call.stmt.sid, salt=1,
+        obj=AbstractObject(kind="array", unknown=values_domain.ANY_STRING),
+        state=call.state,
+    )
+    return values_domain.from_addresses(address)
+
+
+def _string_match(call: NativeCall) -> AbstractValue:
+    address = call.interpreter.alloc_at(
+        call.stmt.sid, salt=2,
+        obj=AbstractObject(kind="array", unknown=values_domain.ANY_STRING),
+        state=call.state,
+    )
+    return values_domain.from_addresses(address).join(values_domain.NULL)
+
+
+def _string_index_of(call: NativeCall) -> AbstractValue:
+    this = _this_string(call)
+    needle = call.arg(0).string.concrete()
+    text = this.concrete()
+    if text is not None and needle is not None:
+        return values_domain.from_constant(float(text.find(needle)))
+    return values_domain.ANY_NUMBER
+
+
+def _any_number(call: NativeCall) -> AbstractValue:
+    return values_domain.ANY_NUMBER
+
+
+def _any_string(call: NativeCall) -> AbstractValue:
+    return values_domain.ANY_STRING
+
+
+def _any_bool(call: NativeCall) -> AbstractValue:
+    return values_domain.ANY_BOOL
+
+
+def _identity_string(call: NativeCall) -> AbstractValue:
+    return values_domain.from_string(_this_string(call))
+
+
+STRING_METHODS: dict[str, NativeImpl] = {
+    "concat": _string_concat,
+    "toLowerCase": _string_case(upper=False),
+    "toUpperCase": _string_case(upper=True),
+    "substring": _string_substring,
+    "substr": _string_substring,
+    "slice": _string_substring,
+    "charAt": _string_char_at,
+    "charCodeAt": _any_number,
+    "replace": _string_replace,
+    "split": _string_split,
+    "match": _string_match,
+    "indexOf": _string_index_of,
+    "lastIndexOf": _any_number,
+    "search": _any_number,
+    "trim": _any_string,
+    "toString": _identity_string,
+    "valueOf": _identity_string,
+}
+
+
+# ----------------------------------------------------------------------
+# Array and object methods
+
+
+def _array_push(call: NativeCall) -> AbstractValue:
+    for index in range(len(call.args)):
+        call.state.heap.write(
+            call.this.addresses, prefix_domain.TOP, call.arg(index)
+        )
+    return values_domain.ANY_NUMBER
+
+
+def _array_pop(call: NativeCall) -> AbstractValue:
+    return call.state.heap.read(call.this.addresses, prefix_domain.TOP)
+
+
+def _array_join(call: NativeCall) -> AbstractValue:
+    return values_domain.ANY_STRING
+
+
+def _array_slice(call: NativeCall) -> AbstractValue:
+    elements = call.state.heap.read(call.this.addresses, prefix_domain.TOP)
+    address = call.interpreter.alloc_at(
+        call.stmt.sid, salt=3,
+        obj=AbstractObject(kind="array", unknown=elements),
+        state=call.state,
+    )
+    return values_domain.from_addresses(address)
+
+
+ARRAY_METHODS: dict[str, NativeImpl] = {
+    "push": _array_push,
+    "pop": _array_pop,
+    "shift": _array_pop,
+    "unshift": _array_push,
+    "join": _array_join,
+    "slice": _array_slice,
+    "concat": _array_slice,
+    "indexOf": _any_number,
+    "splice": _array_slice,
+}
+
+OBJECT_METHODS: dict[str, NativeImpl] = {
+    "hasOwnProperty": _any_bool,
+    "toString": _any_string,
+    "valueOf": lambda call: call.this,
+}
+
+
+# ----------------------------------------------------------------------
+# Global functions
+
+
+def _parse_int(call: NativeCall) -> AbstractValue:
+    text = call.arg(0).string.concrete()
+    if text is not None:
+        try:
+            return values_domain.from_constant(float(int(text.strip() or "x")))
+        except ValueError:
+            return values_domain.from_constant(float("nan"))
+    return values_domain.ANY_NUMBER
+
+
+def _encode_uri_component(call: NativeCall) -> AbstractValue:
+    source = call.arg(0).to_property_name()
+    if source.is_bottom:
+        return values_domain.BOTTOM
+    assert source.text is not None
+    encoded = urllib.parse.quote(source.text, safe="!'()*-._~")
+    # Percent-encoding is prefix-preserving character by character, so an
+    # abstract prefix encodes to an abstract prefix.
+    return values_domain.from_string(Prefix(encoded, source.is_exact))
+
+
+def _decode_uri_component(call: NativeCall) -> AbstractValue:
+    source = call.arg(0).string.concrete()
+    if source is not None:
+        return values_domain.from_constant(urllib.parse.unquote(source))
+    return values_domain.ANY_STRING
+
+
+def _string_constructor(call: NativeCall) -> AbstractValue:
+    return values_domain.from_string(call.arg(0).to_property_name())
+
+
+GLOBAL_FUNCTIONS: dict[str, NativeImpl] = {
+    "parseInt": _parse_int,
+    "parseFloat": _parse_int,
+    "isNaN": _any_bool,
+    "encodeURIComponent": _encode_uri_component,
+    "encodeURI": _encode_uri_component,
+    "decodeURIComponent": _decode_uri_component,
+    "decodeURI": _decode_uri_component,
+    "String": _string_constructor,
+    "Number": _any_number,
+    "Boolean": _any_bool,
+}
+
+MATH_METHODS: dict[str, NativeImpl] = {
+    "random": _any_number,
+    "floor": _any_number,
+    "ceil": _any_number,
+    "round": _any_number,
+    "abs": _any_number,
+    "max": _any_number,
+    "min": _any_number,
+}
+
+JSON_METHODS: dict[str, NativeImpl] = {
+    "stringify": _any_string,
+    "parse": lambda call: unknown_value(),
+}
+
+
+# ----------------------------------------------------------------------
+# Installation
+
+#: tag -> implementation, for every builtin native.
+NATIVE_TABLE: dict[str, NativeImpl] = {}
+
+#: Heap effects per native tag, consumed by the read/write-set
+#: computation so data flow through native methods shows up in the DDG.
+#: Flags: "read_this_props", "write_this_props", "read_arg_props",
+#: "write_arg_props". Tags absent from this table are pure (their only
+#: flow is args -> result, which the call statement itself captures).
+NATIVE_EFFECTS: dict[str, frozenset[str]] = {
+    "array.push": frozenset({"write_this_props"}),
+    "array.unshift": frozenset({"write_this_props"}),
+    "array.pop": frozenset({"read_this_props", "write_this_props"}),
+    "array.shift": frozenset({"read_this_props", "write_this_props"}),
+    "array.join": frozenset({"read_this_props"}),
+    "array.slice": frozenset({"read_this_props"}),
+    "array.concat": frozenset({"read_this_props", "read_arg_props"}),
+    "array.splice": frozenset({"read_this_props", "write_this_props"}),
+    "json.stringify": frozenset({"read_arg_props"}),
+}
+
+#: The conservative effect set assumed for completely unknown callees.
+UNKNOWN_CALL_EFFECTS = frozenset(
+    {"read_this_props", "write_this_props", "read_arg_props", "write_arg_props"}
+)
+
+#: method name -> fixed heap address, per family.
+_STRING_METHOD_ADDRESSES: dict[str, int] = {}
+_ARRAY_METHOD_ADDRESSES: dict[str, int] = {}
+_OBJECT_METHOD_ADDRESSES: dict[str, int] = {}
+_GLOBAL_ADDRESSES: dict[str, int] = {}
+
+_next_address = -100
+
+
+def _reserve(tag: str, impl: NativeImpl) -> int:
+    global _next_address
+    address = _next_address
+    _next_address -= 1
+    NATIVE_TABLE[tag] = impl
+    return address
+
+
+for _name, _impl in STRING_METHODS.items():
+    _STRING_METHOD_ADDRESSES[_name] = _reserve(f"string.{_name}", _impl)
+for _name, _impl in ARRAY_METHODS.items():
+    _ARRAY_METHOD_ADDRESSES[_name] = _reserve(f"array.{_name}", _impl)
+for _name, _impl in OBJECT_METHODS.items():
+    _OBJECT_METHOD_ADDRESSES[_name] = _reserve(f"object.{_name}", _impl)
+for _name, _impl in GLOBAL_FUNCTIONS.items():
+    _GLOBAL_ADDRESSES[_name] = _reserve(f"global.{_name}", _impl)
+
+_MATH_ADDRESS = _next_address
+_next_address -= 1
+_MATH_METHOD_ADDRESSES = {
+    name: _reserve(f"math.{name}", impl) for name, impl in MATH_METHODS.items()
+}
+_JSON_ADDRESS = _next_address
+_next_address -= 1
+_JSON_METHOD_ADDRESSES = {
+    name: _reserve(f"json.{name}", impl) for name, impl in JSON_METHODS.items()
+}
+
+_TAG_OF_ADDRESS: dict[int, str] = {}
+for _family, _addresses in (
+    ("string", _STRING_METHOD_ADDRESSES),
+    ("array", _ARRAY_METHOD_ADDRESSES),
+    ("object", _OBJECT_METHOD_ADDRESSES),
+    ("global", _GLOBAL_ADDRESSES),
+    ("math", _MATH_METHOD_ADDRESSES),
+    ("json", _JSON_METHOD_ADDRESSES),
+):
+    for _name, _address in _addresses.items():
+        _TAG_OF_ADDRESS[_address] = f"{_family}.{_name}"
+
+
+def string_method_address(name: str) -> int | None:
+    return _STRING_METHOD_ADDRESSES.get(name)
+
+
+def array_method_address(name: str) -> int | None:
+    return _ARRAY_METHOD_ADDRESSES.get(name)
+
+
+def object_method_address(name: str) -> int | None:
+    return _OBJECT_METHOD_ADDRESSES.get(name)
+
+
+def install(state: State) -> None:
+    """Pre-allocate builtin objects in the heap and bind the globals."""
+    from repro.ir.nodes import GLOBAL_SCOPE, Var
+
+    heap = state.heap
+    heap.allocate(ERROR_ADDRESS, native_object("error"))
+    heap.singletons.discard(ERROR_ADDRESS)  # summarizes all errors
+
+    for family_addresses in (
+        _STRING_METHOD_ADDRESSES,
+        _ARRAY_METHOD_ADDRESSES,
+        _OBJECT_METHOD_ADDRESSES,
+        _GLOBAL_ADDRESSES,
+        _MATH_METHOD_ADDRESSES,
+        _JSON_METHOD_ADDRESSES,
+    ):
+        for address in family_addresses.values():
+            heap.allocate(address, native_object(_TAG_OF_ADDRESS[address], kind="function"))
+
+    for name, address in _GLOBAL_ADDRESSES.items():
+        state.write_var(Var(name, GLOBAL_SCOPE), values_domain.from_addresses(address))
+
+    math_obj = AbstractObject(
+        kind="native",
+        native="math",
+        properties=tuple(
+            sorted(
+                (name, values_domain.from_addresses(address))
+                for name, address in _MATH_METHOD_ADDRESSES.items()
+            )
+        ),
+    )
+    heap.allocate(_MATH_ADDRESS, math_obj)
+    state.write_var(Var("Math", GLOBAL_SCOPE), values_domain.from_addresses(_MATH_ADDRESS))
+
+    json_obj = AbstractObject(
+        kind="native",
+        native="json",
+        properties=tuple(
+            sorted(
+                (name, values_domain.from_addresses(address))
+                for name, address in _JSON_METHOD_ADDRESSES.items()
+            )
+        ),
+    )
+    heap.allocate(_JSON_ADDRESS, json_obj)
+    state.write_var(Var("JSON", GLOBAL_SCOPE), values_domain.from_addresses(_JSON_ADDRESS))

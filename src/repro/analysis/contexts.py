@@ -1,0 +1,34 @@
+"""Context sensitivity for the base analysis.
+
+The paper's base analysis is context-sensitive ("one node per statement
+per context"). We use k-limited call-site sensitivity (k-CFA on call
+strings): a context is the tuple of the most recent k call-site statement
+ids. ``k=0`` degenerates to a context-insensitive analysis — the contexts
+ablation benchmark sweeps k to show the precision/time trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: A context: the last k call-site statement ids, most recent last.
+Context = tuple[int, ...]
+
+#: The context of top-level code.
+EMPTY_CONTEXT: Context = ()
+
+
+@dataclass(frozen=True)
+class CallSiteSensitivity:
+    """k-limited call-string context policy."""
+
+    k: int = 1
+
+    def push(self, context: Context, call_site: int) -> Context:
+        """The callee context for a call made at ``call_site``."""
+        if self.k == 0:
+            return EMPTY_CONTEXT
+        return (context + (call_site,))[-self.k:]
+
+    def __str__(self) -> str:
+        return f"{self.k}-call-site"

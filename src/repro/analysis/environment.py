@@ -1,0 +1,93 @@
+"""The environment interface between the interpreter and native APIs.
+
+The paper extends JSAI with "manually-written stubs for the native APIs
+(e.g. DOM and XPCOM APIs)". We mirror that split: the interpreter knows
+nothing about the browser; an :class:`Environment` contributes
+
+- initial global bindings and pre-allocated heap objects (``setup``),
+- implementations for native callables, keyed by their ``native`` tag
+  (``natives``),
+- the abstract event object handed to event handlers by the synthetic
+  event loop, and the global ``this``.
+
+:mod:`repro.browser.env` provides the full browser environment;
+:class:`DefaultEnvironment` (language built-ins only) serves plain-script
+analyses and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Protocol
+
+from repro.domains import values as values_domain
+from repro.domains.state import State
+from repro.domains.values import AbstractValue
+
+if TYPE_CHECKING:
+    from repro.analysis.contexts import Context
+    from repro.analysis.interpreter import Interpreter
+    from repro.ir.nodes import Stmt
+
+
+@dataclass
+class NativeCall:
+    """Everything a native stub sees about one abstract call.
+
+    Stubs may mutate ``state`` (it is the post-call state being built) and
+    may use ``interpreter`` services: ``alloc_at`` for site-keyed heap
+    allocation and ``register_event_handler`` for listener registration.
+    """
+
+    interpreter: "Interpreter"
+    state: State
+    stmt: "Stmt"
+    context: "Context"
+    this: AbstractValue
+    args: list[AbstractValue]
+    is_construct: bool = False
+
+    def arg(self, index: int) -> AbstractValue:
+        """The index-th argument, or ``undefined`` when absent."""
+        if index < len(self.args):
+            return self.args[index]
+        return values_domain.UNDEF
+
+
+#: A native implementation: receives the call, returns the result value.
+NativeImpl = Callable[[NativeCall], AbstractValue]
+
+
+class Environment(Protocol):
+    """What the interpreter needs from its hosting environment."""
+
+    #: Native implementations by tag.
+    natives: dict[str, NativeImpl]
+
+    def setup(self, state: State, interpreter: "Interpreter") -> None:
+        """Populate the initial state (globals + pre-allocated objects)."""
+        ...
+
+    def event_value(self, state: State) -> AbstractValue:
+        """The abstract event object passed to event-loop handlers."""
+        ...
+
+    def global_this(self, state: State) -> AbstractValue:
+        """The value of ``this`` in functions called without a receiver."""
+        ...
+
+
+@dataclass
+class DefaultEnvironment:
+    """Language built-ins only — no browser APIs."""
+
+    natives: dict[str, NativeImpl] = field(default_factory=dict)
+
+    def setup(self, state: State, interpreter: "Interpreter") -> None:
+        return None
+
+    def event_value(self, state: State) -> AbstractValue:
+        return values_domain.UNDEF
+
+    def global_this(self, state: State) -> AbstractValue:
+        return values_domain.UNDEF

@@ -1,0 +1,742 @@
+"""The flow- and context-sensitive abstract interpreter (the JSAI role).
+
+A worklist fixpoint over ``(statement, context)`` pairs. Each pair has an
+*input* abstract state; processing a statement applies its transfer
+function and propagates the result along the statement's CFG edges:
+
+- SEQ edges carry normal flow,
+- JUMP edges carry returns (to the function exit) and throws (to the
+  innermost handler),
+- IMPLICIT edges carry the state at a potential implicit exception
+  (property access on undefined/null, call of a non-function) — and the
+  statements for which this actually fires are recorded in ``throwing``,
+  which later prunes the stage-3 CDG (Section 3.3),
+- calls flow into callee entries under a pushed context; function exits
+  flow back to every recorded return site.
+
+The analysis computes exactly what the paper's PDG construction consumes:
+a context-sensitive interprocedural CFG (statement × context reachability
+plus call/return edges) and, via :mod:`repro.analysis.readwrite`, the
+per-statement read/write sets with strong/weak qualification.
+
+The synthetic event loop statement dispatches, non-deterministically, to
+every handler registered through the browser stubs — the paper's
+treatment of the addon event-driven execution model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.analysis import builtins, transfer
+from repro.analysis.contexts import EMPTY_CONTEXT, CallSiteSensitivity, Context
+from repro.analysis.environment import DefaultEnvironment, Environment, NativeCall
+from repro.domains import values as values_domain
+from repro.domains.objects import AbstractObject, function_object
+from repro.domains.state import State
+from repro.domains.values import AbstractValue
+from repro.ir.nodes import (
+    AllocStmt,
+    AssignStmt,
+    Atom,
+    AtomRhs,
+    BinOpRhs,
+    BranchStmt,
+    CallStmt,
+    CatchStmt,
+    ClosureStmt,
+    Const,
+    ConstructStmt,
+    DeletePropStmt,
+    EdgeKind,
+    EntryStmt,
+    EventLoopStmt,
+    ExitStmt,
+    ForInNextStmt,
+    LoadPropStmt,
+    NopStmt,
+    ProgramIR,
+    ReturnStmt,
+    Rhs,
+    Stmt,
+    StorePropStmt,
+    ThrowStmt,
+    UnOpRhs,
+    Var,
+)
+
+#: Analysis-internal variable name for the per-function return slot.
+RETURN_SLOT = "%ret"
+
+
+def exception_slot(handler_sid: int) -> str:
+    """The analysis-internal variable carrying the in-flight exception
+    for one specific catch handler. Keeping the slot per-handler (rather
+    than per-function) prevents spurious data edges between unrelated
+    try blocks."""
+    return f"%exc@{handler_sid}"
+
+Node = tuple[int, Context]
+
+
+class AnalysisBudgetExceeded(RuntimeError):
+    """The fixpoint did not stabilize within the step budget."""
+
+
+@dataclass
+class AnalysisResult:
+    """Everything downstream phases need from the base analysis."""
+
+    program: ProgramIR
+    #: Input abstract state per (statement id, context).
+    states: dict[Node, State]
+    #: (call sid, caller ctx) -> {(callee fid, callee ctx)}.
+    call_edges: dict[Node, set[tuple[int, Context]]]
+    #: (callee fid, callee ctx) -> {(call sid, caller ctx)}.
+    return_sites: dict[tuple[int, Context], set[Node]]
+    #: Statements that may raise an implicit exception.
+    throwing: frozenset[int]
+    #: Call statements whose callee the analysis could not resolve at all.
+    unknown_callees: frozenset[int]
+    #: Joined value of all registered event handlers.
+    handlers: AbstractValue
+    #: Functions that may have several simultaneously live frames
+    #: (recursion): their locals never admit strong updates.
+    multi_instance: frozenset[int]
+    #: (tag, statement id) diagnostics raised by native stubs — e.g.
+    #: dynamic-code patterns like a string argument to setTimeout
+    #: (restricted by the vetting policy, Section 2).
+    diagnostics: frozenset[tuple[str, int]]
+    sensitivity: CallSiteSensitivity
+
+    def contexts(self, sid: int) -> list[Context]:
+        return [ctx for (node_sid, ctx) in self.states if node_sid == sid]
+
+    def reachable(self, sid: int) -> bool:
+        return any(True for _ in self.contexts(sid))
+
+    def in_state(self, sid: int, context: Context) -> State:
+        return self.states[(sid, context)]
+
+    def atom_value(self, sid: int, context: Context, atom: Atom) -> AbstractValue:
+        """The value of ``atom`` in the input state of (sid, context)."""
+        state = self.states.get((sid, context))
+        if state is None:
+            return values_domain.BOTTOM
+        return _eval_atom(atom, state)
+
+    def atom_value_joined(self, sid: int, atom: Atom) -> AbstractValue:
+        """The value of ``atom`` at ``sid``, joined over all contexts."""
+        result = values_domain.BOTTOM
+        for context in self.contexts(sid):
+            result = result.join(self.atom_value(sid, context, atom))
+        return result
+
+    def callee_functions(self, sid: int) -> set[int]:
+        """All IR functions a call statement may invoke (any context)."""
+        fids: set[int] = set()
+        for (node_sid, _ctx), targets in self.call_edges.items():
+            if node_sid == sid:
+                fids.update(fid for fid, _ in targets)
+        return fids
+
+    def callee_native_tags(self, sid: int) -> set[str]:
+        """Native tags a call statement may invoke (any context)."""
+        stmt = self.program.stmts[sid]
+        if not isinstance(stmt, (CallStmt, ConstructStmt)):
+            return set()
+        tags: set[str] = set()
+        for context in self.contexts(sid):
+            state = self.states[(sid, context)]
+            callee = _eval_atom(stmt.callee, state)
+            for address in callee.addresses:
+                if state.heap.contains(address):
+                    native = state.heap.get(address).native
+                    if native is not None:
+                        tags.add(native)
+        return tags
+
+
+def _eval_atom(atom: Atom, state: State) -> AbstractValue:
+    if isinstance(atom, Const):
+        return values_domain.from_constant(atom.value)
+    assert isinstance(atom, Var)
+    return state.read_var(atom)
+
+
+def _has_normal_continuation(base: AbstractValue) -> bool:
+    """A property access continues normally unless the base can only be
+    undefined or null."""
+    return bool(base.addresses) or (
+        not base.boolean.is_bottom
+        or not base.number.is_bottom
+        or not base.string.is_bottom
+    )
+
+
+class Interpreter:
+    """Runs the abstract interpretation to a fixpoint."""
+
+    def __init__(
+        self,
+        program: ProgramIR,
+        environment: Environment | None = None,
+        k: int = 1,
+        max_steps: int = 400_000,
+    ):
+        self.program = program
+        self.environment = environment or DefaultEnvironment()
+        self.sensitivity = CallSiteSensitivity(k)
+        self.max_steps = max_steps
+        self.natives = dict(builtins.NATIVE_TABLE)
+        self.natives.update(self.environment.natives)
+
+        self.states: dict[Node, State] = {}
+        self.worklist: list[Node] = []  # heapq, ordered by (sid, context)
+        self.on_worklist: set[Node] = set()
+        self.call_edges: dict[Node, set[tuple[int, Context]]] = {}
+        self.return_sites: dict[tuple[int, Context], set[Node]] = {}
+        self.throwing: set[int] = set()
+        self.unknown_callees: set[int] = set()
+        self.handler_value: AbstractValue = values_domain.BOTTOM
+        self.diagnostics: set[tuple[str, int]] = set()
+        self._eventloop_nodes: set[Node] = set()
+        self._stub_addresses: dict[tuple[int, int], int] = {}
+        self._next_stub_address = -1_000_000
+        self._call_graph: dict[int, set[int]] = {}
+        self._multi_instance: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Services used by native stubs
+
+    def alloc_at(self, sid: int, salt: int, obj: AbstractObject, state: State) -> int:
+        """Allocate an object on behalf of a native stub, with a stable
+        address derived from the call site (so the fixpoint converges)."""
+        key = (sid, salt)
+        address = self._stub_addresses.get(key)
+        if address is None:
+            address = self._next_stub_address
+            self._next_stub_address -= 1
+            self._stub_addresses[key] = address
+        state.heap.allocate(address, obj)
+        return address
+
+    def report_diagnostic(self, tag: str, sid: int) -> None:
+        """Record a stub-raised vetting diagnostic (e.g. dynamic code)."""
+        self.diagnostics.add((tag, sid))
+
+    def register_event_handler(self, value: AbstractValue) -> None:
+        """Record a handler value registered via addEventListener-style
+        stubs; re-examines the event loop when the set grows."""
+        joined = self.handler_value.join(value)
+        if joined != self.handler_value:
+            self.handler_value = joined
+            for node in self._eventloop_nodes:
+                self._enqueue(node)
+
+    # ------------------------------------------------------------------
+    # Fixpoint driver
+
+    def run(self) -> AnalysisResult:
+        initial = State()
+        builtins.install(initial)
+        self.environment.setup(initial, self)
+        entry = self.program.main.entry
+        self._propagate(entry.sid, EMPTY_CONTEXT, initial)
+
+        steps = 0
+        while self.worklist:
+            steps += 1
+            if steps > self.max_steps:
+                raise AnalysisBudgetExceeded(
+                    f"no fixpoint after {self.max_steps} steps"
+                )
+            # Process in statement order (sids are assigned in program
+            # order, so this approximates reverse postorder): upstream
+            # changes settle before downstream statements re-run, which
+            # substantially cuts fixpoint rounds on cyclic graphs.
+            node = heapq.heappop(self.worklist)
+            self.on_worklist.discard(node)
+            self._process(node)
+
+        return AnalysisResult(
+            program=self.program,
+            states=self.states,
+            call_edges=self.call_edges,
+            return_sites=self.return_sites,
+            throwing=frozenset(self.throwing),
+            unknown_callees=frozenset(self.unknown_callees),
+            handlers=self.handler_value,
+            multi_instance=frozenset(self._multi_instance),
+            diagnostics=frozenset(self.diagnostics),
+            sensitivity=self.sensitivity,
+        )
+
+    def _enqueue(self, node: Node) -> None:
+        if node not in self.on_worklist:
+            self.on_worklist.add(node)
+            heapq.heappush(self.worklist, node)
+
+    def _propagate(self, sid: int, context: Context, state: State) -> None:
+        node = (sid, context)
+        existing = self.states.get(node)
+        if existing is None:
+            self.states[node] = state
+            self._enqueue(node)
+            return
+        # State.join is identity-preserving: it returns the *same* object
+        # when nothing changed, which doubles as the fixpoint test.
+        merged = existing.join(state)
+        if merged is not existing:
+            self.states[node] = merged
+            self._enqueue(node)
+
+    # ------------------------------------------------------------------
+    # Statement dispatch
+
+    def _process(self, node: Node) -> None:
+        sid, context = node
+        stmt = self.program.stmts[sid]
+        state = self.states[node].copy()
+
+        if isinstance(stmt, AssignStmt):
+            self._do_assign(stmt, context, state)
+        elif isinstance(stmt, LoadPropStmt):
+            self._do_load(stmt, context, state)
+        elif isinstance(stmt, StorePropStmt):
+            self._do_store(stmt, context, state)
+        elif isinstance(stmt, DeletePropStmt):
+            self._do_delete(stmt, context, state)
+        elif isinstance(stmt, AllocStmt):
+            self._do_alloc(stmt, context, state)
+        elif isinstance(stmt, ClosureStmt):
+            self._do_closure(stmt, context, state)
+        elif isinstance(stmt, (CallStmt, ConstructStmt)):
+            self._do_call(stmt, context, state)
+        elif isinstance(stmt, BranchStmt):
+            self._do_branch(stmt, context, state)
+        elif isinstance(stmt, ReturnStmt):
+            self._do_return(stmt, context, state)
+        elif isinstance(stmt, ThrowStmt):
+            self._do_throw(stmt, context, state)
+        elif isinstance(stmt, CatchStmt):
+            self._do_catch(stmt, context, state)
+        elif isinstance(stmt, ForInNextStmt):
+            self._do_forin(stmt, context, state)
+        elif isinstance(stmt, EventLoopStmt):
+            self._do_event_loop(stmt, context, state)
+        elif isinstance(stmt, ExitStmt):
+            self._do_exit(stmt, context, state)
+        elif isinstance(stmt, (EntryStmt, NopStmt)):
+            # break/continue lower to NopStmts whose only real edge is a
+            # JUMP to the loop exit/header — follow those too.
+            targets = [
+                e.target
+                for e in stmt.edges
+                if e.kind in (EdgeKind.SEQ, EdgeKind.JUMP)
+            ]
+            self._flow_to(targets, context, state)
+        else:  # pragma: no cover - exhaustive over IR statement types
+            raise TypeError(f"unhandled statement {stmt!r}")
+
+    # ------------------------------------------------------------------
+    # Flow helpers
+
+    def _flow_seq(self, stmt: Stmt, context: Context, state: State) -> None:
+        targets = [e.target for e in stmt.edges if e.kind is EdgeKind.SEQ]
+        self._flow_to(targets, context, state)
+
+    def _flow_to(self, targets: list[int], context: Context, state: State) -> None:
+        for index, target in enumerate(targets):
+            out = state if index == len(targets) - 1 else state.copy()
+            self._propagate(target, context, out)
+
+    def _record_implicit_throw(self, stmt: Stmt, context: Context, state: State) -> None:
+        self.throwing.add(stmt.sid)
+        targets = [e.target for e in stmt.edges if e.kind is EdgeKind.IMPLICIT]
+        if not targets:
+            return  # uncaught: termination, out of scope
+        fid = self.program.owner[stmt.sid]
+        for target in targets:
+            exc_state = state.copy()
+            slot = Var(exception_slot(target), fid)
+            exc_state.write_var(
+                slot, builtins.ERROR_VALUE, strong=self._strong_var(slot, stmt.sid)
+            )
+            self._propagate(target, context, exc_state)
+
+    def _strong_var(self, var: Var, sid: int) -> bool:
+        """A variable write is strong (kills the old value) when the
+        variable's abstract location stands for one concrete location:
+        globals always; locals of the executing function unless that
+        function may have several live frames (recursion)."""
+        if var.scope == -1:  # GLOBAL_SCOPE
+            return True
+        return (
+            var.scope == self.program.owner[sid]
+            and var.scope not in self._multi_instance
+        )
+
+    def _note_call_edge(self, caller_fid: int, callee_fid: int) -> None:
+        """Track the call graph; mark functions on call-graph cycles as
+        multi-instance (their frames may coexist, so writes go weak)."""
+        edges = self._call_graph.setdefault(caller_fid, set())
+        if callee_fid in edges:
+            return
+        edges.add(callee_fid)
+        # Does callee reach caller? Then the new edge closes a cycle.
+        seen: set[int] = set()
+        stack = [callee_fid]
+        while stack:
+            fid = stack.pop()
+            if fid in seen:
+                continue
+            seen.add(fid)
+            if fid == caller_fid:
+                # Everything on a path callee ->* caller is in the cycle;
+                # conservatively mark the whole reachable set.
+                self._multi_instance.update(seen)
+                return
+            stack.extend(self._call_graph.get(fid, ()))
+
+    # ------------------------------------------------------------------
+    # Transfer functions
+
+    def _eval(self, atom: Atom, state: State) -> AbstractValue:
+        return _eval_atom(atom, state)
+
+    def _eval_rhs(self, rhs: Rhs, state: State) -> AbstractValue:
+        if isinstance(rhs, AtomRhs):
+            return self._eval(rhs.atom, state)
+        if isinstance(rhs, BinOpRhs):
+            return transfer.binary_op(
+                rhs.operator, self._eval(rhs.left, state), self._eval(rhs.right, state)
+            )
+        assert isinstance(rhs, UnOpRhs)
+        return transfer.unary_op(rhs.operator, self._eval(rhs.operand, state))
+
+    def _do_assign(self, stmt: AssignStmt, context: Context, state: State) -> None:
+        value = self._eval_rhs(stmt.rhs, state)
+        state.write_var(stmt.target, value, self._strong_var(stmt.target, stmt.sid))
+        self._flow_seq(stmt, context, state)
+
+    def _do_load(self, stmt: LoadPropStmt, context: Context, state: State) -> None:
+        obj = self._eval(stmt.obj, state)
+        if obj.may_throw_on_property_access():
+            self._record_implicit_throw(stmt, context, state)
+        name = self._eval(stmt.prop, state).to_property_name()
+        value = values_domain.BOTTOM
+        if obj.addresses:
+            value = value.join(state.heap.read(obj.addresses, name))
+            value = value.join(self._object_method_lookup(state, obj, name))
+        value = value.join(self._primitive_member(obj, name))
+        if not _has_normal_continuation(obj):
+            # Base can only be undefined/null. In real JS this throws; in
+            # practice it usually means an unmodeled host API, so we keep
+            # the analysis going with an unknown result (the implicit
+            # throw has already been recorded above).
+            value = value.join(builtins.unknown_value())
+        state.write_var(stmt.target, value, self._strong_var(stmt.target, stmt.sid))
+        self._flow_seq(stmt, context, state)
+
+    def _object_method_lookup(self, state, obj_value, name):
+        """Built-in methods on plain objects and arrays, looked up when an
+        exact property name misses the object's own properties."""
+        concrete = name.concrete()
+        if concrete is None:
+            return values_domain.BOTTOM
+        result = values_domain.BOTTOM
+        for address in obj_value.addresses:
+            if not state.heap.contains(address):
+                continue
+            heap_obj = state.heap.get(address)
+            if any(prop == concrete for prop, _ in heap_obj.properties):
+                continue
+            method_address = None
+            if heap_obj.kind == "array":
+                method_address = builtins.array_method_address(concrete)
+            if method_address is None:
+                method_address = builtins.object_method_address(concrete)
+            if method_address is not None:
+                result = result.join(values_domain.from_addresses(method_address))
+        return result
+
+    def _primitive_member(self, obj_value, name):
+        """Property reads on primitives: string methods and length;
+        number/boolean properties are (soundly) undefined."""
+        result = values_domain.BOTTOM
+        if not obj_value.number.is_bottom or not obj_value.boolean.is_bottom:
+            result = result.join(values_domain.UNDEF)
+        if obj_value.string.is_bottom:
+            return result
+        concrete = name.concrete()
+        if concrete is None:
+            return result.join(builtins.unknown_value())
+        if concrete == "length":
+            text = obj_value.string.concrete()
+            if text is not None:
+                return result.join(values_domain.from_constant(float(len(text))))
+            return result.join(values_domain.ANY_NUMBER)
+        address = builtins.string_method_address(concrete)
+        if address is not None:
+            return result.join(values_domain.from_addresses(address))
+        return result.join(values_domain.UNDEF)
+
+    def _do_store(self, stmt: StorePropStmt, context: Context, state: State) -> None:
+        obj = self._eval(stmt.obj, state)
+        if obj.may_throw_on_property_access():
+            self._record_implicit_throw(stmt, context, state)
+        name = self._eval(stmt.prop, state).to_property_name()
+        value = self._eval(stmt.value, state)
+        if obj.addresses:
+            state.heap.write(obj.addresses, name, value)
+        # Continue even when the base can only be undefined/null: that
+        # usually means an unmodeled host API (the throw is recorded).
+        self._flow_seq(stmt, context, state)
+
+    def _do_delete(self, stmt: DeletePropStmt, context: Context, state: State) -> None:
+        obj = self._eval(stmt.obj, state)
+        if obj.may_throw_on_property_access():
+            self._record_implicit_throw(stmt, context, state)
+        name = self._eval(stmt.prop, state).to_property_name()
+        if obj.addresses:
+            state.heap.delete(obj.addresses, name)
+        self._flow_seq(stmt, context, state)
+
+    def _do_alloc(self, stmt: AllocStmt, context: Context, state: State) -> None:
+        state.heap.allocate(stmt.sid, AbstractObject(kind=stmt.kind))
+        state.write_var(
+            stmt.target,
+            values_domain.from_addresses(stmt.sid),
+            self._strong_var(stmt.target, stmt.sid),
+        )
+        self._flow_seq(stmt, context, state)
+
+    def _do_closure(self, stmt: ClosureStmt, context: Context, state: State) -> None:
+        state.heap.allocate(stmt.sid, function_object(stmt.function_id))
+        state.write_var(
+            stmt.target,
+            values_domain.from_addresses(stmt.sid),
+            self._strong_var(stmt.target, stmt.sid),
+        )
+        self._flow_seq(stmt, context, state)
+
+    def _do_branch(self, stmt: BranchStmt, context: Context, state: State) -> None:
+        condition = self._eval(stmt.condition, state)
+        may_true, may_false = transfer.truthy_outcomes(condition)
+        targets = [e.target for e in stmt.edges if e.kind is EdgeKind.SEQ]
+        if len(targets) == 1:
+            if may_true or may_false:
+                self._flow_to(targets, context, state)
+            return
+        first_taken = may_true if stmt.truthy_first else may_false
+        second_taken = may_false if stmt.truthy_first else may_true
+        chosen = []
+        if first_taken:
+            chosen.append(targets[0])
+        if second_taken:
+            chosen.append(targets[1])
+        self._flow_to(chosen, context, state)
+
+    def _do_return(self, stmt: ReturnStmt, context: Context, state: State) -> None:
+        fid = self.program.owner[stmt.sid]
+        value = (
+            self._eval(stmt.value, state)
+            if stmt.value is not None
+            else values_domain.UNDEF
+        )
+        slot = Var(RETURN_SLOT, fid)
+        state.write_var(slot, value, self._strong_var(slot, stmt.sid))
+        targets = [e.target for e in stmt.edges if e.kind is EdgeKind.JUMP]
+        self._flow_to(targets, context, state)
+
+    def _do_throw(self, stmt: ThrowStmt, context: Context, state: State) -> None:
+        fid = self.program.owner[stmt.sid]
+        value = self._eval(stmt.value, state)
+        targets = [e.target for e in stmt.edges if e.kind is EdgeKind.JUMP]
+        for target in targets:  # empty => uncaught (termination)
+            out = state.copy()
+            slot = Var(exception_slot(target), fid)
+            out.write_var(slot, value, self._strong_var(slot, stmt.sid))
+            self._propagate(target, context, out)
+
+    def _do_catch(self, stmt: CatchStmt, context: Context, state: State) -> None:
+        fid = self.program.owner[stmt.sid]
+        value = state.read_var(Var(exception_slot(stmt.sid), fid))
+        if value.is_bottom or value.may_undef:
+            value = value.join(builtins.ERROR_VALUE)
+        state.write_var(stmt.target, value, self._strong_var(stmt.target, stmt.sid))
+        self._flow_seq(stmt, context, state)
+
+    def _do_forin(self, stmt: ForInNextStmt, context: Context, state: State) -> None:
+        # The loop variable is some enumerable property name.
+        state.write_var(
+            stmt.target,
+            values_domain.ANY_STRING,
+            self._strong_var(stmt.target, stmt.sid),
+        )
+        self._flow_seq(stmt, context, state)
+
+    # ------------------------------------------------------------------
+    # Calls
+
+    def _do_call(self, stmt: CallStmt | ConstructStmt, context: Context, state: State) -> None:
+        callee = self._eval(stmt.callee, state)
+        is_construct = isinstance(stmt, ConstructStmt)
+        this_value = (
+            self._eval(stmt.this, state)
+            if not is_construct and stmt.this is not None
+            else self.environment.global_this(state)
+        )
+        args = [self._eval(arg, state) for arg in stmt.args]
+
+        native_result = values_domain.BOTTOM
+        ran_native = False
+        # Any primitive component (incl. undefined/null) means the callee
+        # may not be callable: a potential implicit TypeError.
+        may_be_nonfunction = callee.may_be_non_object()
+        out_state = state.copy()
+
+        for address in sorted(callee.addresses):
+            if not state.heap.contains(address):
+                continue
+            heap_obj = state.heap.get(address)
+            if heap_obj.closures:
+                for fid in sorted(heap_obj.closures):
+                    self._enter_function(
+                        fid, stmt, context, state, this_value, args, is_construct
+                    )
+            elif heap_obj.native is not None and heap_obj.native in self.natives:
+                call = NativeCall(
+                    interpreter=self,
+                    state=out_state,
+                    stmt=stmt,
+                    context=context,
+                    this=this_value,
+                    args=args,
+                    is_construct=is_construct,
+                )
+                native_result = native_result.join(self.natives[heap_obj.native](call))
+                ran_native = True
+            else:
+                may_be_nonfunction = True  # plain object called
+
+        if not callee.addresses:
+            # Entirely unresolved callee (unmodeled global API): keep the
+            # analysis going with an unknown result, and report it.
+            self.unknown_callees.add(stmt.sid)
+            ran_native = True
+            if is_construct:
+                address = self.alloc_at(stmt.sid, salt=0, obj=AbstractObject(), state=out_state)
+                native_result = native_result.join(values_domain.from_addresses(address))
+            else:
+                native_result = native_result.join(builtins.unknown_value())
+
+        if may_be_nonfunction:
+            self._record_implicit_throw(stmt, context, state)
+
+        if ran_native:
+            if stmt.target is not None:
+                out_state.write_var(
+                    stmt.target,
+                    native_result,
+                    self._strong_var(stmt.target, stmt.sid),
+                )
+            self._flow_seq(stmt, context, out_state)
+
+    def _enter_function(
+        self,
+        fid: int,
+        call_stmt: Stmt,
+        caller_context: Context,
+        state: State,
+        this_value: AbstractValue,
+        args: list[AbstractValue],
+        is_construct: bool,
+    ) -> None:
+        callee_context = self.sensitivity.push(caller_context, call_stmt.sid)
+        self._note_call_edge(self.program.owner[call_stmt.sid], fid)
+        self.call_edges.setdefault((call_stmt.sid, caller_context), set()).add(
+            (fid, callee_context)
+        )
+        self._register_return_site(fid, callee_context, call_stmt.sid, caller_context)
+
+        function = self.program.functions[fid]
+        entry_state = state.copy()
+        if is_construct:
+            entry_state.heap.allocate(call_stmt.sid, AbstractObject())
+            this_value = values_domain.from_addresses(call_stmt.sid)
+        strong = fid not in self._multi_instance
+        for index, param in enumerate(function.params):
+            value = args[index] if index < len(args) else values_domain.UNDEF
+            entry_state.write_var(Var(param, fid), value, strong)
+        entry_state.write_var(Var("this", fid), this_value, strong)
+        entry_state.write_var(Var(RETURN_SLOT, fid), values_domain.UNDEF, strong)
+        self._propagate(function.entry.sid, callee_context, entry_state)
+
+    def _register_return_site(
+        self, fid: int, callee_context: Context, call_sid: int, caller_context: Context
+    ) -> None:
+        sites = self.return_sites.setdefault((fid, callee_context), set())
+        site = (call_sid, caller_context)
+        if site in sites:
+            return
+        sites.add(site)
+        # If the callee exit has already been analyzed, flow its current
+        # state back to the new site immediately.
+        exit_sid = self.program.functions[fid].exit.sid
+        exit_state = self.states.get((exit_sid, callee_context))
+        if exit_state is not None:
+            self._return_to(call_sid, caller_context, fid, exit_state.copy())
+
+    def _do_exit(self, stmt: ExitStmt, context: Context, state: State) -> None:
+        for call_sid, caller_context in self.return_sites.get(
+            (stmt.function_id, context), set()
+        ):
+            self._return_to(call_sid, caller_context, stmt.function_id, state.copy())
+
+    def _return_to(
+        self, call_sid: int, caller_context: Context, fid: int, state: State
+    ) -> None:
+        call_stmt = self.program.stmts[call_sid]
+        target = getattr(call_stmt, "target", None)
+        if target is not None:
+            result = state.read_var(Var(RETURN_SLOT, fid))
+            if isinstance(call_stmt, ConstructStmt):
+                # `new` evaluates to the fresh object unless the body
+                # returned an object.
+                result = values_domain.from_addresses(call_sid).join(
+                    AbstractValue(addresses=result.addresses)
+                )
+            state.write_var(target, result, self._strong_var(target, call_sid))
+        targets = [e.target for e in call_stmt.edges if e.kind is EdgeKind.SEQ]
+        self._flow_to(targets, caller_context, state)
+
+    # ------------------------------------------------------------------
+    # Event loop
+
+    def _do_event_loop(self, stmt: EventLoopStmt, context: Context, state: State) -> None:
+        self._eventloop_nodes.add((stmt.sid, context))
+        event = self.environment.event_value(state)
+        this_value = self.environment.global_this(state)
+        for address in sorted(self.handler_value.addresses):
+            if not state.heap.contains(address):
+                continue
+            heap_obj = state.heap.get(address)
+            for fid in sorted(heap_obj.closures):
+                self._enter_function(
+                    fid, stmt, context, state, this_value, [event],
+                    is_construct=False,
+                )
+        self._flow_seq(stmt, context, state)
+
+
+def analyze(
+    program: ProgramIR,
+    environment: Environment | None = None,
+    k: int = 1,
+    max_steps: int = 400_000,
+) -> AnalysisResult:
+    """Run the base analysis (phase P1 of the paper's pipeline)."""
+    return Interpreter(program, environment, k=k, max_steps=max_steps).run()

@@ -1,0 +1,227 @@
+"""Abstract evaluation of JavaScript operators.
+
+These are the value-level transfer functions used by the interpreter:
+binary and unary operators over :class:`AbstractValue`. They aim for the
+same precision profile as the paper's base analysis: string concatenation
+is precise through the prefix domain (Section 5 — this is what network
+domain inference rests on), arithmetic is constant-precise, comparisons
+are constant-precise and otherwise ⊤-boolean.
+"""
+
+from __future__ import annotations
+
+from repro.domains import bools, numbers
+from repro.domains import prefix as prefix_domain
+from repro.domains import values as values_domain
+from repro.domains.prefix import Prefix
+from repro.domains.values import AbstractValue
+
+_ARITHMETIC = frozenset({"-", "*", "/", "%", "&", "|", "^", "<<", ">>", ">>>"})
+_COMPARISON = frozenset({"==", "!=", "===", "!==", "<", ">", "<=", ">="})
+
+
+def binary_op(operator: str, left: AbstractValue, right: AbstractValue) -> AbstractValue:
+    """Abstract evaluation of a JS binary operator."""
+    if left.is_bottom or right.is_bottom:
+        return values_domain.BOTTOM
+    if operator == "+":
+        return _plus(left, right)
+    if operator in _ARITHMETIC:
+        return AbstractValue(
+            number=numbers.binary_op(
+                operator, _to_number(left), _to_number(right)
+            )
+        )
+    if operator in _COMPARISON:
+        return AbstractValue(boolean=_compare(operator, left, right))
+    if operator in ("in", "instanceof"):
+        return values_domain.ANY_BOOL
+    raise ValueError(f"unknown binary operator {operator!r}")
+
+
+def unary_op(operator: str, operand: AbstractValue) -> AbstractValue:
+    """Abstract evaluation of a JS unary operator."""
+    if operand.is_bottom:
+        return values_domain.BOTTOM
+    if operator == "!":
+        may_true = operand.may_be_falsy()
+        may_false = operand.may_be_truthy()
+        return AbstractValue(boolean=bools.AbstractBool(may_true, may_false))
+    if operator == "-":
+        number = _to_number(operand)
+        concrete = number.concrete()
+        if concrete is not None:
+            return AbstractValue(number=numbers.constant(-concrete))
+        return AbstractValue(number=number)
+    if operator == "+":
+        return AbstractValue(number=_to_number(operand))
+    if operator == "~":
+        result = numbers.binary_op("^", _to_number(operand), numbers.constant(-1.0))
+        return AbstractValue(number=result)
+    if operator == "typeof":
+        return AbstractValue(string=_typeof(operand))
+    if operator == "void":
+        return values_domain.UNDEF
+    if operator == "delete":
+        return values_domain.ANY_BOOL
+    raise ValueError(f"unknown unary operator {operator!r}")
+
+
+def truthy_outcomes(value: AbstractValue) -> tuple[bool, bool]:
+    """(may take the true branch, may take the false branch)."""
+    return value.may_be_truthy(), value.may_be_falsy()
+
+
+# ----------------------------------------------------------------------
+# Helpers
+
+
+def _plus(left: AbstractValue, right: AbstractValue) -> AbstractValue:
+    """JS ``+``: string concatenation if either side may be a string (or
+    an object coercing to one), numeric addition otherwise — abstractly,
+    both outcomes are joined when both are possible."""
+    result = values_domain.BOTTOM
+    left_stringy = _may_be_stringy(left)
+    right_stringy = _may_be_stringy(right)
+    if left_stringy or right_stringy:
+        concat = _to_string(left).concat(_to_string(right))
+        result = result.join(AbstractValue(string=concat))
+    if _may_be_numbery(left) and _may_be_numbery(right):
+        total = numbers.binary_op("+", _to_number(left), _to_number(right))
+        result = result.join(AbstractValue(number=total))
+    if result.is_bottom:
+        # Both sides defined but neither combination fired (e.g. two
+        # objects): the result is some string or number.
+        result = values_domain.ANY_STRING.join(values_domain.ANY_NUMBER)
+    return result
+
+
+def _may_be_stringy(value: AbstractValue) -> bool:
+    return not value.string.is_bottom or bool(value.addresses)
+
+
+def _may_be_numbery(value: AbstractValue) -> bool:
+    return (
+        value.may_undef
+        or value.may_null
+        or not value.boolean.is_bottom
+        or not value.number.is_bottom
+        or bool(value.addresses)
+    )
+
+
+def _to_string(value: AbstractValue) -> Prefix:
+    """JS ToString as an abstract string (same coercions as property
+    names)."""
+    return value.to_property_name()
+
+
+def _to_number(value: AbstractValue) -> numbers.AbstractNumber:
+    """JS ToNumber, constant-precise."""
+    result = numbers.BOTTOM
+    if value.may_undef:
+        result = result.join(numbers.constant(float("nan")))
+    if value.may_null:
+        result = result.join(numbers.constant(0.0))
+    concrete_bool = value.boolean.concrete()
+    if concrete_bool is not None:
+        result = result.join(numbers.constant(1.0 if concrete_bool else 0.0))
+    elif not value.boolean.is_bottom:
+        result = result.join(numbers.TOP)
+    result = result.join(value.number)
+    if not value.string.is_bottom:
+        text = value.string.concrete()
+        if text is None:
+            result = result.join(numbers.TOP)
+        else:
+            result = result.join(numbers.constant(_string_to_number(text)))
+    if value.addresses:
+        result = result.join(numbers.TOP)
+    return result
+
+
+def _string_to_number(text: str) -> float:
+    stripped = text.strip()
+    if stripped == "":
+        return 0.0
+    try:
+        if stripped.lower().startswith("0x"):
+            return float(int(stripped, 16))
+        return float(stripped)
+    except ValueError:
+        return float("nan")
+
+
+def _compare(operator: str, left: AbstractValue, right: AbstractValue) -> bools.AbstractBool:
+    """Comparisons: precise when both sides are single constants of the
+    same primitive type, ⊤ otherwise."""
+    left_const = _single_constant(left)
+    right_const = _single_constant(right)
+    if left_const is None or right_const is None:
+        return bools.TOP
+    lv, rv = left_const, right_const
+    try:
+        if operator in ("==", "==="):
+            outcome = lv == rv and type(lv) == type(rv)
+        elif operator in ("!=", "!=="):
+            outcome = not (lv == rv and type(lv) == type(rv))
+        elif operator == "<":
+            outcome = lv < rv
+        elif operator == ">":
+            outcome = lv > rv
+        elif operator == "<=":
+            outcome = lv <= rv
+        else:
+            outcome = lv >= rv
+    except TypeError:
+        return bools.TOP
+    return bools.from_bool(bool(outcome))
+
+
+def _single_constant(value: AbstractValue) -> object | None:
+    """The unique primitive constant a value denotes, or None."""
+    kinds_present = sum(
+        [
+            value.may_undef,
+            value.may_null,
+            not value.boolean.is_bottom,
+            not value.number.is_bottom,
+            not value.string.is_bottom,
+            bool(value.addresses),
+        ]
+    )
+    if kinds_present != 1:
+        return None
+    if not value.number.is_bottom:
+        return value.number.concrete()
+    if not value.string.is_bottom:
+        return value.string.concrete()
+    if not value.boolean.is_bottom:
+        return value.boolean.concrete()
+    if value.may_undef or value.may_null:
+        # undefined/null are unique values; model them as sentinels that
+        # only compare equal to themselves.
+        return ("undef",) if value.may_undef else ("null",)
+    return None
+
+
+def _typeof(value: AbstractValue) -> Prefix:
+    outcomes: set[str] = set()
+    if value.may_undef:
+        outcomes.add("undefined")
+    if value.may_null:
+        outcomes.add("object")  # the famous typeof null
+    if not value.boolean.is_bottom:
+        outcomes.add("boolean")
+    if not value.number.is_bottom:
+        outcomes.add("number")
+    if not value.string.is_bottom:
+        outcomes.add("string")
+    if value.addresses:
+        outcomes.update({"object", "function"})
+    if len(outcomes) == 1:
+        return prefix_domain.exact(outcomes.pop())
+    result = prefix_domain.BOTTOM
+    for outcome in outcomes:
+        result = result.join(prefix_domain.exact(outcome))
+    return result

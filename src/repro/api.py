@@ -1,0 +1,128 @@
+"""The public high-level API: the paper's three-phase pipeline.
+
+- **Phase 1** (:func:`analyze_addon`): parse, lower (with the synthetic
+  event loop), and run the base abstract interpretation under the
+  browser environment.
+- **Phase 2** (:func:`build_addon_pdg`): construct the annotated PDG.
+- **Phase 3** (:func:`infer_addon_signature`): infer the security
+  signature against a security spec (default: the Mozilla-flavored one).
+
+:func:`vet` runs all three and returns a :class:`VettingReport`, which is
+what the CLI and the evaluation harness consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import AnalysisResult, analyze
+from repro.browser import BrowserEnvironment, mozilla_spec
+from repro.ir import ProgramIR, lower
+from repro.js import node_count, parse
+from repro.pdg import PDG, build_pdg
+from repro.signatures import (
+    Comparison,
+    InferenceDetail,
+    SecuritySpec,
+    Signature,
+    compare,
+)
+
+
+def analyze_addon(
+    source: str,
+    k: int = 1,
+    event_loop: bool = True,
+    environment=None,
+) -> tuple[ProgramIR, AnalysisResult]:
+    """Phase 1: frontend + base analysis."""
+    program = lower(parse(source), event_loop=event_loop)
+    env = environment if environment is not None else BrowserEnvironment()
+    return program, analyze(program, env, k=k)
+
+
+def build_addon_pdg(result: AnalysisResult) -> PDG:
+    """Phase 2: the annotated PDG."""
+    return build_pdg(result)
+
+
+def infer_addon_signature(
+    result: AnalysisResult,
+    pdg: PDG,
+    spec: SecuritySpec | None = None,
+) -> InferenceDetail:
+    """Phase 3: signature inference."""
+    return infer_detail(result, pdg, spec)
+
+
+def infer_detail(result, pdg, spec=None) -> InferenceDetail:
+    from repro.signatures import infer_signature as run_inference
+
+    return run_inference(result, pdg, spec if spec is not None else mozilla_spec())
+
+
+@dataclass
+class VettingReport:
+    """Everything the vetter sees for one addon."""
+
+    program: ProgramIR
+    result: AnalysisResult
+    pdg: PDG
+    detail: InferenceDetail
+    ast_nodes: int
+    comparison: Comparison | None = None
+    #: Call statements whose callee the analysis could not resolve —
+    #: worth a manual look (unmodeled APIs or dead code).
+    unknown_calls: frozenset[int] = frozenset()
+
+    @property
+    def signature(self) -> Signature:
+        return self.detail.signature
+
+    def render(self) -> str:
+        lines = [f"AST nodes: {self.ast_nodes}", "signature:"]
+        rendered = self.signature.render()
+        lines.extend(
+            f"  {line}" for line in (rendered.splitlines() or ["  (empty)"])
+        )
+        if self.unknown_calls:
+            lines.append(f"unresolved callees at {len(self.unknown_calls)} call site(s)")
+        for tag, sid in sorted(self.result.diagnostics):
+            line = self.program.stmts[sid].line
+            lines.append(f"diagnostic: {tag} at line {line}")
+        if self.comparison is not None:
+            lines.append(self.comparison.render())
+        return "\n".join(lines)
+
+
+def infer_signature(source: str, spec: SecuritySpec | None = None, k: int = 1) -> Signature:
+    """One-call convenience: addon source -> inferred signature."""
+    return vet(source, spec=spec, k=k).signature
+
+
+def vet(
+    source: str,
+    manual: Signature | None = None,
+    real_extras: frozenset = frozenset(),
+    spec: SecuritySpec | None = None,
+    k: int = 1,
+) -> VettingReport:
+    """Run the full pipeline; optionally compare against a manual
+    signature (the Table 2 methodology)."""
+    syntax_tree = parse(source)
+    program = lower(syntax_tree, event_loop=True)
+    result = analyze(program, BrowserEnvironment(), k=k)
+    pdg = build_pdg(result)
+    detail = infer_detail(result, pdg, spec)
+    comparison = None
+    if manual is not None:
+        comparison = compare(detail.signature, manual, real_extras)
+    return VettingReport(
+        program=program,
+        result=result,
+        pdg=pdg,
+        detail=detail,
+        ast_nodes=node_count(syntax_tree),
+        comparison=comparison,
+        unknown_calls=result.unknown_callees,
+    )

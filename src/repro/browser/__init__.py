@@ -1,0 +1,7 @@
+"""The browser addon environment: native API stubs, the pre-allocated
+browser object graph, and the Mozilla-flavored security spec."""
+
+from repro.browser.env import BrowserEnvironment, mozilla_spec
+from repro.browser import stubs
+
+__all__ = ["BrowserEnvironment", "mozilla_spec", "stubs"]

@@ -1,0 +1,453 @@
+"""The browser addon environment and the Mozilla-flavored security spec.
+
+``BrowserEnvironment`` plays the role of the paper's JSAI extension: it
+pre-allocates the browser object graph (window, content window with its
+location — the current browsed URL —, documents, Services, the XHR
+constructor), exposes the native stubs of :mod:`repro.browser.stubs`,
+and supplies the abstract event object the synthetic event loop hands to
+registered handlers.
+
+``mozilla_spec()`` is the "sources, sinks, and APIs considered
+interesting by the Mozilla vetting team" configuration of Section 4.1:
+URL / key / geolocation / cookie / password / clipboard sources, the
+network ``send`` sink with prefix-domain inference, and the script
+injection + deprecated APIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import builtins as analysis_builtins
+from repro.analysis.environment import NativeImpl
+from repro.browser import stubs
+from repro.domains import values as values_domain
+from repro.domains.objects import AbstractObject, native_object
+from repro.domains.state import State
+from repro.domains.values import AbstractValue
+from repro.ir.nodes import GLOBAL_SCOPE, Var
+from repro.signatures.spec import (
+    ApiSink,
+    CallSource,
+    DomainRule,
+    NetworkSink,
+    PropertySource,
+    PropertyWriteSink,
+    SecuritySpec,
+)
+
+
+def _props(**values: AbstractValue) -> tuple[tuple[str, AbstractValue], ...]:
+    return tuple(sorted(values.items()))
+
+
+def _addr(address: int) -> AbstractValue:
+    return values_domain.from_addresses(address)
+
+
+@dataclass
+class BrowserEnvironment:
+    """The Firefox-addon hosting environment for the base analysis."""
+
+    natives: dict[str, NativeImpl] = field(
+        default_factory=lambda: dict(stubs.BROWSER_NATIVES)
+    )
+
+    def setup(self, state: State, interpreter) -> None:
+        heap = state.heap
+
+        def method(address: int, tag: str) -> AbstractValue:
+            heap.allocate(address, native_object(tag, kind="function"))
+            return _addr(address)
+
+        add_listener = method(stubs.ADD_EVENT_LISTENER, "window.addEventListener")
+        remove_listener = method(
+            stubs.REMOVE_EVENT_LISTENER, "window.removeEventListener"
+        )
+        set_timeout = method(stubs.SET_TIMEOUT, "window.setTimeout")
+        set_interval = method(stubs.SET_INTERVAL, "window.setInterval")
+        method(stubs.XHR_OPEN, "xhr.open")
+        method(stubs.XHR_SEND, "xhr.send")
+        method(stubs.XHR_SET_HEADER, "xhr.setRequestHeader")
+        method(stubs.XHR_WRAPPER_SEND, "xhrwrapper.send")
+        xhr_wrapper = method(stubs.XHR_WRAPPER, "XHRWrapper")
+        xhr_ctor = method(stubs.XHR_CONSTRUCTOR, "XMLHttpRequest")
+        get_by_id = method(stubs.GET_ELEMENT_BY_ID, "document.getElementById")
+        query_selector = method(stubs.QUERY_SELECTOR, "document.querySelector")
+        create_element = method(stubs.CREATE_ELEMENT, "document.createElement")
+        get_position = method(
+            stubs.GET_CURRENT_POSITION, "geolocation.getCurrentPosition"
+        )
+        load_subscript = method(stubs.LOAD_SUBSCRIPT, "scriptloader.loadSubScript")
+        get_all_logins = method(stubs.GET_ALL_LOGINS, "logins.getAllLogins")
+        clipboard_get = method(stubs.CLIPBOARD_GET, "clipboard.getData")
+        clipboard_set = method(stubs.CLIPBOARD_SET, "clipboard.setData")
+        eval_fn = method(stubs.EVAL_FN, "eval")
+        alert_fn = method(stubs.ALERT_FN, "alert")
+        console_log = method(stubs.CONSOLE_LOG, "console.log")
+        get_char_pref = method(stubs.GET_CHAR_PREF, "prefs.getCharPref")
+        set_char_pref = method(stubs.SET_CHAR_PREF, "prefs.setCharPref")
+        history_query = method(stubs.HISTORY_QUERY, "history.query")
+        get_selection = method(stubs.GET_SELECTION, "window.getSelection")
+        get_attribute = method(stubs.GET_ATTRIBUTE, "element.getAttribute")
+
+        # --- the browsed page: content window, location, document ---
+        heap.allocate(
+            stubs.CONTENT_LOCATION,
+            AbstractObject(
+                kind="object",
+                native="location",
+                properties=_props(
+                    href=values_domain.ANY_STRING,
+                    host=values_domain.ANY_STRING,
+                    hostname=values_domain.ANY_STRING,
+                    pathname=values_domain.ANY_STRING,
+                    protocol=values_domain.ANY_STRING,
+                    search=values_domain.ANY_STRING,
+                ),
+            ),
+        )
+        heap.allocate(
+            stubs.CONTENT_DOCUMENT,
+            AbstractObject(
+                kind="object",
+                native="content-document",
+                properties=_props(
+                    cookie=values_domain.ANY_STRING,
+                    title=values_domain.ANY_STRING,
+                    location=_addr(stubs.CONTENT_LOCATION),
+                    getElementById=get_by_id,
+                    querySelector=query_selector,
+                    addEventListener=add_listener,
+                ),
+            ),
+        )
+        heap.allocate(
+            stubs.CONTENT_WINDOW,
+            AbstractObject(
+                kind="object",
+                native="content-window",
+                properties=_props(
+                    location=_addr(stubs.CONTENT_LOCATION),
+                    document=_addr(stubs.CONTENT_DOCUMENT),
+                    addEventListener=add_listener,
+                    getSelection=get_selection,
+                ),
+            ),
+        )
+
+        # --- geolocation ---
+        heap.allocate(
+            stubs.GEO_COORDS,
+            AbstractObject(
+                kind="object",
+                native="geocoords",
+                properties=_props(
+                    latitude=values_domain.ANY_NUMBER,
+                    longitude=values_domain.ANY_NUMBER,
+                    accuracy=values_domain.ANY_NUMBER,
+                ),
+            ),
+        )
+        heap.allocate(
+            stubs.GEOPOSITION,
+            AbstractObject(
+                kind="object",
+                native="geoposition",
+                properties=_props(
+                    coords=_addr(stubs.GEO_COORDS),
+                    timestamp=values_domain.ANY_NUMBER,
+                ),
+            ),
+        )
+        heap.allocate(
+            stubs.GEOLOCATION,
+            AbstractObject(
+                kind="object",
+                native="geolocation",
+                properties=_props(getCurrentPosition=get_position,
+                                  watchPosition=get_position),
+            ),
+        )
+        heap.allocate(
+            stubs.NAVIGATOR,
+            AbstractObject(
+                kind="object",
+                native="navigator",
+                properties=_props(
+                    geolocation=_addr(stubs.GEOLOCATION),
+                    userAgent=values_domain.ANY_STRING,
+                ),
+            ),
+        )
+
+        # --- the event object handlers receive ---
+        heap.allocate(
+            stubs.EVENT_TARGET,
+            AbstractObject(
+                kind="object",
+                native="element",
+                properties=_props(
+                    value=values_domain.ANY_STRING,
+                    textContent=values_domain.ANY_STRING,
+                    addEventListener=add_listener,
+                    setAttribute=console_log,
+                    getAttribute=get_attribute,
+                ),
+            ),
+        )
+        heap.allocate(
+            stubs.EVENT,
+            AbstractObject(
+                kind="object",
+                native="event",
+                properties=_props(
+                    keyCode=values_domain.ANY_NUMBER,
+                    charCode=values_domain.ANY_NUMBER,
+                    which=values_domain.ANY_NUMBER,
+                    key=values_domain.ANY_STRING,
+                    ctrlKey=values_domain.ANY_BOOL,
+                    shiftKey=values_domain.ANY_BOOL,
+                    altKey=values_domain.ANY_BOOL,
+                    type=values_domain.ANY_STRING,
+                    target=_addr(stubs.EVENT_TARGET),
+                    coords=_addr(stubs.GEO_COORDS),
+                    preventDefault=console_log,
+                ),
+            ),
+        )
+
+        # --- generic DOM element ---
+        heap.allocate(
+            stubs.ELEMENT,
+            AbstractObject(
+                kind="object",
+                native="element",
+                properties=_props(
+                    value=values_domain.ANY_STRING,
+                    textContent=values_domain.ANY_STRING,
+                    innerHTML=values_domain.ANY_STRING,
+                    style=values_domain.UNDEF.join(values_domain.ANY_STRING),
+                    addEventListener=add_listener,
+                    appendChild=console_log,
+                    setAttribute=console_log,
+                    getAttribute=get_attribute,
+                ),
+            ),
+        )
+        # The element's own properties may be freely assigned by addons.
+        heap.singletons.discard(stubs.ELEMENT)
+
+        # --- XPCOM services ---
+        heap.allocate(
+            stubs.SCRIPTLOADER,
+            AbstractObject(
+                kind="object",
+                native="scriptloader",
+                properties=_props(loadSubScript=load_subscript),
+            ),
+        )
+        heap.allocate(
+            stubs.LOGIN_MANAGER,
+            AbstractObject(
+                kind="object",
+                native="logins",
+                properties=_props(getAllLogins=get_all_logins),
+            ),
+        )
+        heap.allocate(
+            stubs.CLIPBOARD,
+            AbstractObject(
+                kind="object",
+                native="clipboard",
+                properties=_props(getData=clipboard_get, setData=clipboard_set),
+            ),
+        )
+        heap.allocate(
+            stubs.PREFS,
+            AbstractObject(
+                kind="object",
+                native="prefs",
+                properties=_props(
+                    getCharPref=get_char_pref, setCharPref=set_char_pref
+                ),
+            ),
+        )
+        heap.allocate(
+            stubs.HISTORY,
+            AbstractObject(
+                kind="object",
+                native="history",
+                properties=_props(query=history_query),
+            ),
+        )
+        heap.allocate(
+            stubs.SERVICES,
+            AbstractObject(
+                kind="object",
+                native="services",
+                properties=_props(
+                    scriptloader=_addr(stubs.SCRIPTLOADER),
+                    logins=_addr(stubs.LOGIN_MANAGER),
+                    clipboard=_addr(stubs.CLIPBOARD),
+                    prefs=_addr(stubs.PREFS),
+                    history=_addr(stubs.HISTORY),
+                ),
+            ),
+        )
+        heap.allocate(
+            stubs.CONSOLE,
+            AbstractObject(
+                kind="object",
+                native="console",
+                properties=_props(log=console_log, error=console_log),
+            ),
+        )
+
+        # --- browser chrome ---
+        heap.allocate(
+            stubs.CURRENT_URI,
+            AbstractObject(
+                kind="object",
+                native="uri",
+                properties=_props(
+                    spec=values_domain.ANY_STRING,
+                    host=values_domain.ANY_STRING,
+                ),
+            ),
+        )
+        heap.allocate(
+            stubs.GBROWSER,
+            AbstractObject(
+                kind="object",
+                native="gbrowser",
+                properties=_props(
+                    currentURI=_addr(stubs.CURRENT_URI),
+                    addEventListener=add_listener,
+                    contentWindow=_addr(stubs.CONTENT_WINDOW),
+                    contentDocument=_addr(stubs.CONTENT_DOCUMENT),
+                ),
+            ),
+        )
+        heap.allocate(
+            stubs.CHROME_LOCATION,
+            AbstractObject(
+                kind="object",
+                native="chrome-location",
+                properties=_props(href=values_domain.ANY_STRING),
+            ),
+        )
+        heap.allocate(
+            stubs.CHROME_DOCUMENT,
+            AbstractObject(
+                kind="object",
+                native="document",
+                properties=_props(
+                    getElementById=get_by_id,
+                    querySelector=query_selector,
+                    createElement=create_element,
+                    addEventListener=add_listener,
+                    title=values_domain.ANY_STRING,
+                ),
+            ),
+        )
+        heap.allocate(
+            stubs.WINDOW,
+            AbstractObject(
+                kind="object",
+                native="window",
+                properties=_props(
+                    document=_addr(stubs.CHROME_DOCUMENT),
+                    content=_addr(stubs.CONTENT_WINDOW),
+                    gBrowser=_addr(stubs.GBROWSER),
+                    navigator=_addr(stubs.NAVIGATOR),
+                    location=_addr(stubs.CHROME_LOCATION),
+                    addEventListener=add_listener,
+                    removeEventListener=remove_listener,
+                    setTimeout=set_timeout,
+                    setInterval=set_interval,
+                    alert=alert_fn,
+                ),
+            ),
+        )
+
+        # --- global bindings ---
+        globals_map = {
+            "window": _addr(stubs.WINDOW),
+            "document": _addr(stubs.CHROME_DOCUMENT),
+            "content": _addr(stubs.CONTENT_WINDOW),
+            "gBrowser": _addr(stubs.GBROWSER),
+            "navigator": _addr(stubs.NAVIGATOR),
+            "Services": _addr(stubs.SERVICES),
+            "console": _addr(stubs.CONSOLE),
+            "XMLHttpRequest": xhr_ctor,
+            "XHRWrapper": xhr_wrapper,
+            "addEventListener": add_listener,
+            "removeEventListener": remove_listener,
+            "setTimeout": set_timeout,
+            "setInterval": set_interval,
+            "eval": eval_fn,
+            "alert": alert_fn,
+            "this": _addr(stubs.WINDOW),
+        }
+        for name, value in globals_map.items():
+            state.write_var(Var(name, GLOBAL_SCOPE), value)
+
+    def event_value(self, state: State) -> AbstractValue:
+        """Handlers receive the shared abstract event object (which also
+        carries geolocation fields, covering position callbacks)."""
+        return _addr(stubs.EVENT).join(_addr(stubs.GEOPOSITION))
+
+    def global_this(self, state: State) -> AbstractValue:
+        return _addr(stubs.WINDOW)
+
+
+def mozilla_spec() -> SecuritySpec:
+    """The default "interesting" sources/sinks/APIs (Section 4.1)."""
+    return SecuritySpec(
+        sources=[
+            PropertySource(
+                "url", "location",
+                frozenset({"href", "host", "hostname", "pathname", "search"}),
+            ),
+            PropertySource("url", "uri", frozenset({"spec", "host"})),
+            PropertySource(
+                "key", "event", frozenset({"keyCode", "charCode", "which", "key"})
+            ),
+            PropertySource(
+                "geoloc", "geocoords", frozenset({"latitude", "longitude"})
+            ),
+            PropertySource("cookie", "content-document", frozenset({"cookie"})),
+            CallSource("password", frozenset({"logins.getAllLogins"})),
+            CallSource("clipboard", frozenset({"clipboard.getData"})),
+            CallSource("history", frozenset({"history.query"})),
+        ],
+        sinks=[
+            NetworkSink(
+                "send",
+                rules=(
+                    ("xhr.open", DomainRule(kind="arg", arg_index=1)),
+                    ("xhr.send", DomainRule(kind="this_prop")),
+                    ("xhrwrapper.send", DomainRule(kind="this_prop")),
+                    ("XHRWrapper", DomainRule(kind="arg", arg_index=0)),
+                ),
+            ),
+            # Redirect exfiltration: assigning the content location sends
+            # whatever is in the URL to that host without any XHR.
+            PropertyWriteSink("redirect", "location", frozenset({"href"})),
+        ],
+        apis=[
+            ApiSink("scriptloader", frozenset({"scriptloader.loadSubScript"})),
+            ApiSink("eval", frozenset({"eval"})),
+            ApiSink("clipboard-write", frozenset({"clipboard.setData"})),
+        ],
+    )
+
+
+def install_effects() -> None:
+    """Merge the browser natives' heap effects into the shared table the
+    read/write-set computation consults."""
+    analysis_builtins.NATIVE_EFFECTS.update(stubs.BROWSER_EFFECTS)
+
+
+install_effects()

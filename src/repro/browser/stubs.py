@@ -1,0 +1,258 @@
+"""Native browser API stubs (the DOM/XPCOM models of Section 6.1).
+
+The paper: "we provide manually-written stubs for the native APIs (e.g.
+DOM and XPCOM APIs) used by our benchmarks". Each stub is a function
+from :class:`~repro.analysis.environment.NativeCall` to an abstract
+result; the fixed negative addresses below pre-allocate the browser
+object graph (window, content window, locations, document, Services,
+XMLHttpRequest, ...).
+
+Conventions:
+
+- network request objects stash their target URL in the analysis-private
+  property ``%url``; the ``send`` security spec reads it back
+  (:class:`repro.signatures.spec.DomainRule`);
+- listener-registering stubs (``addEventListener``, ``setTimeout``,
+  ``getCurrentPosition``) hand the callback to the interpreter's event
+  registry, which the synthetic event loop dispatches over.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.environment import NativeCall, NativeImpl
+from repro.domains import prefix as prefix_domain
+from repro.domains import values as values_domain
+from repro.domains.objects import AbstractObject
+from repro.domains.values import AbstractValue
+
+# ----------------------------------------------------------------------
+# Fixed addresses for the pre-allocated browser object graph.
+
+WINDOW = -2000
+CHROME_DOCUMENT = -2001
+CONTENT_WINDOW = -2002
+CONTENT_LOCATION = -2003
+CONTENT_DOCUMENT = -2004
+CHROME_LOCATION = -2005
+NAVIGATOR = -2006
+GEOLOCATION = -2007
+GEOPOSITION = -2008
+GEO_COORDS = -2009
+EVENT = -2010
+EVENT_TARGET = -2011
+SERVICES = -2012
+SCRIPTLOADER = -2013
+LOGIN_MANAGER = -2014
+CLIPBOARD = -2015
+GBROWSER = -2016
+CURRENT_URI = -2017
+XHR_CONSTRUCTOR = -2018
+ELEMENT = -2019
+CONSOLE = -2020
+PREFS = -2021
+HISTORY = -2022
+
+# Shared method objects (callable natives).
+ADD_EVENT_LISTENER = -2100
+REMOVE_EVENT_LISTENER = -2101
+SET_TIMEOUT = -2102
+SET_INTERVAL = -2103
+XHR_OPEN = -2104
+XHR_SEND = -2105
+XHR_SET_HEADER = -2106
+XHR_WRAPPER = -2107
+XHR_WRAPPER_SEND = -2108
+GET_ELEMENT_BY_ID = -2109
+GET_CURRENT_POSITION = -2110
+LOAD_SUBSCRIPT = -2111
+GET_ALL_LOGINS = -2112
+CLIPBOARD_GET = -2113
+CLIPBOARD_SET = -2114
+EVAL_FN = -2115
+ALERT_FN = -2116
+CONSOLE_LOG = -2117
+QUERY_SELECTOR = -2118
+CREATE_ELEMENT = -2119
+GET_CHAR_PREF = -2120
+SET_CHAR_PREF = -2121
+HISTORY_QUERY = -2122
+GET_SELECTION = -2123
+GET_ATTRIBUTE = -2124
+
+
+def _unknown(call: NativeCall) -> AbstractValue:
+    from repro.analysis.builtins import unknown_value
+
+    return unknown_value()
+
+
+def _undefined(call: NativeCall) -> AbstractValue:
+    return values_domain.UNDEF
+
+
+def _any_string(call: NativeCall) -> AbstractValue:
+    return values_domain.ANY_STRING
+
+
+# ----------------------------------------------------------------------
+# Event registration
+
+
+def _add_event_listener(call: NativeCall) -> AbstractValue:
+    call.interpreter.register_event_handler(call.arg(1))
+    return values_domain.UNDEF
+
+
+def _set_timer(call: NativeCall) -> AbstractValue:
+    callback = call.arg(0)
+    if not callback.string.is_bottom:
+        # setTimeout("code string", ms) is eval in disguise — exactly the
+        # dynamic-code pattern the vetting policy restricts.
+        call.interpreter.report_diagnostic("dynamic-code:string-timer", call.stmt.sid)
+    call.interpreter.register_event_handler(callback)
+    return values_domain.ANY_NUMBER
+
+
+def _get_current_position(call: NativeCall) -> AbstractValue:
+    # The success callback eventually runs with a position object; the
+    # event loop models "eventually" and the event value includes the
+    # position's fields via the shared event object.
+    call.interpreter.register_event_handler(call.arg(0))
+    return values_domain.UNDEF
+
+
+# ----------------------------------------------------------------------
+# Network requests
+
+
+def _xhr_methods() -> tuple[tuple[str, AbstractValue], ...]:
+    return (
+        ("open", values_domain.from_addresses(XHR_OPEN)),
+        ("send", values_domain.from_addresses(XHR_SEND)),
+        ("setRequestHeader", values_domain.from_addresses(XHR_SET_HEADER)),
+        ("responseText", values_domain.ANY_STRING),
+        ("responseXML", values_domain.UNDEF.join(values_domain.ANY_STRING)),
+        ("status", values_domain.ANY_NUMBER),
+        ("readyState", values_domain.ANY_NUMBER),
+    )
+
+
+def _xhr_constructor(call: NativeCall) -> AbstractValue:
+    address = call.interpreter.alloc_at(
+        call.stmt.sid, salt=10,
+        obj=AbstractObject(kind="object", native="xhr", properties=_xhr_methods()),
+        state=call.state,
+    )
+    return values_domain.from_addresses(address)
+
+
+def _xhr_open(call: NativeCall) -> AbstractValue:
+    """``xhr.open(method, url, async?)`` — record the URL on the request
+    object for later domain inference at ``send``."""
+    url = call.arg(1).to_property_name()
+    call.state.heap.write(
+        call.this.addresses,
+        prefix_domain.exact("%url"),
+        values_domain.from_string(url),
+    )
+    return values_domain.UNDEF
+
+
+def _xhr_send(call: NativeCall) -> AbstractValue:
+    # onreadystatechange-style completion handlers would fire after the
+    # response; model by registering any handler stored on the request.
+    handler = call.state.heap.read(
+        call.this.addresses, prefix_domain.exact("onreadystatechange")
+    )
+    if handler.addresses:
+        call.interpreter.register_event_handler(handler)
+    handler = call.state.heap.read(
+        call.this.addresses, prefix_domain.exact("onload")
+    )
+    if handler.addresses:
+        call.interpreter.register_event_handler(handler)
+    return values_domain.UNDEF
+
+
+def _xhr_wrapper(call: NativeCall) -> AbstractValue:
+    """The paper's ``XHRWrapper(server)`` helper: a request object bound
+    to the given server."""
+    url = call.arg(0).to_property_name()
+    address = call.interpreter.alloc_at(
+        call.stmt.sid, salt=11,
+        obj=AbstractObject(
+            kind="object",
+            native="xhr",
+            properties=(
+                ("send", values_domain.from_addresses(XHR_WRAPPER_SEND)),
+                ("%url", values_domain.from_string(url)),
+            ),
+        ),
+        state=call.state,
+    )
+    return values_domain.from_addresses(address)
+
+
+# ----------------------------------------------------------------------
+# DOM
+
+
+def _get_element_by_id(call: NativeCall) -> AbstractValue:
+    return values_domain.from_addresses(ELEMENT).join(values_domain.NULL)
+
+
+def _create_element(call: NativeCall) -> AbstractValue:
+    return values_domain.from_addresses(ELEMENT)
+
+
+# ----------------------------------------------------------------------
+# XPCOM services
+
+
+def _get_all_logins(call: NativeCall) -> AbstractValue:
+    address = call.interpreter.alloc_at(
+        call.stmt.sid, salt=12,
+        obj=AbstractObject(kind="array", unknown=values_domain.ANY_STRING),
+        state=call.state,
+    )
+    return values_domain.from_addresses(address)
+
+
+#: tag -> implementation for every browser native.
+BROWSER_NATIVES: dict[str, NativeImpl] = {
+    "window.addEventListener": _add_event_listener,
+    "window.removeEventListener": _undefined,
+    "window.setTimeout": _set_timer,
+    "window.setInterval": _set_timer,
+    "XMLHttpRequest": _xhr_constructor,
+    "xhr.open": _xhr_open,
+    "xhr.send": _xhr_send,
+    "xhr.setRequestHeader": _undefined,
+    "XHRWrapper": _xhr_wrapper,
+    "xhrwrapper.send": _xhr_send,
+    "document.getElementById": _get_element_by_id,
+    "document.querySelector": _get_element_by_id,
+    "document.createElement": _create_element,
+    "geolocation.getCurrentPosition": _get_current_position,
+    "scriptloader.loadSubScript": _unknown,
+    "logins.getAllLogins": _get_all_logins,
+    "clipboard.getData": _any_string,
+    "clipboard.setData": _undefined,
+    "eval": _unknown,
+    "alert": _undefined,
+    "console.log": _undefined,
+    "prefs.getCharPref": _any_string,
+    "prefs.setCharPref": _undefined,
+    "history.query": _get_all_logins,
+    "window.getSelection": _any_string,
+    "element.getAttribute": _any_string,
+}
+
+#: Heap effects of browser natives (see builtins.NATIVE_EFFECTS).
+BROWSER_EFFECTS: dict[str, frozenset[str]] = {
+    "xhr.open": frozenset({"write_this_props"}),
+    "xhr.send": frozenset({"read_this_props"}),
+    "xhrwrapper.send": frozenset({"read_this_props"}),
+    "XHRWrapper": frozenset(),
+    "scriptloader.loadSubScript": frozenset({"read_arg_props", "write_arg_props"}),
+}

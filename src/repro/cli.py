@@ -1,0 +1,134 @@
+"""Command-line interface: ``addon-sig``.
+
+Subcommands:
+
+- ``analyze FILE.js`` — infer and print the security signature of an
+  addon (optionally compare against a manual signature file and/or dump
+  the annotated PDG as Graphviz dot);
+- ``table1`` / ``table2`` / ``figures`` — regenerate the paper's tables
+  and figures on the benchmark corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_analyze(arguments: argparse.Namespace) -> int:
+    from repro.api import vet
+    from repro.signatures import parse_signature
+
+    with open(arguments.file, encoding="utf-8") as handle:
+        source = handle.read()
+
+    manual = None
+    if arguments.manual:
+        with open(arguments.manual, encoding="utf-8") as handle:
+            manual = parse_signature(handle.read())
+
+    report = vet(source, manual=manual, k=arguments.k)
+    print(report.render())
+
+    if arguments.explain:
+        from repro.signatures import explain_all
+
+        for witness in explain_all(report.pdg, report.detail):
+            print()
+            print(witness.render())
+
+    if arguments.slice is not None:
+        from repro.pdg.slicing import backward_slice_of_line
+
+        lines = backward_slice_of_line(report.pdg, arguments.slice)
+        print()
+        print(f"backward slice of line {arguments.slice}: lines {lines}")
+
+    if arguments.dot:
+        with open(arguments.dot, "w", encoding="utf-8") as handle:
+            handle.write(report.pdg.to_dot())
+        print(f"annotated PDG written to {arguments.dot}")
+    return 0
+
+
+def _cmd_table1(arguments: argparse.Namespace) -> int:
+    from repro.evaluation import compute_table1, render_table1
+
+    print(render_table1(compute_table1()))
+    return 0
+
+
+def _cmd_table2(arguments: argparse.Namespace) -> int:
+    from repro.evaluation import compute_table2, render_table2
+
+    print(render_table2(compute_table2(runs=arguments.runs, k=arguments.k)))
+    return 0
+
+
+def _cmd_figures(arguments: argparse.Namespace) -> int:
+    from repro.evaluation import render_figure2, render_figure4
+
+    print(render_figure2())
+    print()
+    print(render_figure4())
+    return 0
+
+
+def _cmd_report(arguments: argparse.Namespace) -> int:
+    from repro.evaluation import render_report
+
+    print(render_report(runs=arguments.runs))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="addon-sig",
+        description="Security signature inference for JavaScript browser addons",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="vet one addon source file")
+    analyze.add_argument("file", help="JavaScript addon source")
+    analyze.add_argument(
+        "--manual", help="manual signature file to compare against (pass/fail/leak)"
+    )
+    analyze.add_argument("--dot", help="write the annotated PDG as Graphviz dot")
+    analyze.add_argument("--k", type=int, default=1, help="context sensitivity")
+    analyze.add_argument(
+        "--explain", action="store_true",
+        help="print a witness path for every inferred flow",
+    )
+    analyze.add_argument(
+        "--slice", type=int, metavar="LINE",
+        help="print the backward slice of a source line",
+    )
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    table1 = subparsers.add_parser("table1", help="regenerate Table 1")
+    table1.set_defaults(handler=_cmd_table1)
+
+    table2 = subparsers.add_parser("table2", help="regenerate Table 2")
+    table2.add_argument("--runs", type=int, default=11)
+    table2.add_argument("--k", type=int, default=1)
+    table2.set_defaults(handler=_cmd_table2)
+
+    figures = subparsers.add_parser("figures", help="regenerate Figures 2 and 4")
+    figures.set_defaults(handler=_cmd_figures)
+
+    report = subparsers.add_parser(
+        "report", help="full markdown evaluation report (EXPERIMENTS.md data)"
+    )
+    report.add_argument("--runs", type=int, default=11)
+    report.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Abstract domains: the lattices the base analysis computes over.
+
+- :mod:`repro.domains.prefix` — the prefix string domain of Section 5
+  (the paper's third contribution), also used for object property names;
+- :mod:`repro.domains.bools`, :mod:`repro.domains.numbers` — small
+  constant lattices for the other primitives;
+- :mod:`repro.domains.values` — the per-value reduced product (pointer,
+  string, and control-flow analysis in one value);
+- :mod:`repro.domains.objects`, :mod:`repro.domains.heap`,
+  :mod:`repro.domains.state` — abstract objects, the allocation-site
+  heap with singleton tracking (strong updates), and the machine state.
+"""
+
+from repro.domains.heap import Heap
+from repro.domains.objects import AbstractObject, function_object, native_object
+from repro.domains.prefix import Prefix
+from repro.domains.state import State, VarKey, var_key
+from repro.domains.values import AbstractValue
+
+__all__ = [
+    "Prefix",
+    "AbstractValue",
+    "AbstractObject",
+    "function_object",
+    "native_object",
+    "Heap",
+    "State",
+    "VarKey",
+    "var_key",
+]

@@ -1,0 +1,70 @@
+"""Four-point boolean lattice: ⊥ ⊑ {true, false} ⊑ ⊤."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AbstractBool:
+    """Encodes which concrete booleans are possible."""
+
+    may_true: bool
+    may_false: bool
+
+    @property
+    def is_bottom(self) -> bool:
+        return not self.may_true and not self.may_false
+
+    @property
+    def is_top(self) -> bool:
+        return self.may_true and self.may_false
+
+    def concrete(self) -> bool | None:
+        """The single concrete boolean this represents, if constant."""
+        if self.may_true and not self.may_false:
+            return True
+        if self.may_false and not self.may_true:
+            return False
+        return None
+
+    def leq(self, other: "AbstractBool") -> bool:
+        return (not self.may_true or other.may_true) and (
+            not self.may_false or other.may_false
+        )
+
+    def join(self, other: "AbstractBool") -> "AbstractBool":
+        may_true = self.may_true or other.may_true
+        may_false = self.may_false or other.may_false
+        # Identity-preserving: return an existing object when possible so
+        # downstream `is` fast paths keep working across joins.
+        if may_true == self.may_true and may_false == self.may_false:
+            return self
+        if may_true == other.may_true and may_false == other.may_false:
+            return other
+        return AbstractBool(may_true, may_false)
+
+    def meet(self, other: "AbstractBool") -> "AbstractBool":
+        return AbstractBool(
+            self.may_true and other.may_true, self.may_false and other.may_false
+        )
+
+    def negate(self) -> "AbstractBool":
+        return AbstractBool(self.may_false, self.may_true)
+
+    def __str__(self) -> str:
+        if self.is_bottom:
+            return "⊥bool"
+        if self.is_top:
+            return "⊤bool"
+        return str(self.concrete()).lower()
+
+
+BOTTOM = AbstractBool(False, False)
+TRUE = AbstractBool(True, False)
+FALSE = AbstractBool(False, True)
+TOP = AbstractBool(True, True)
+
+
+def from_bool(value: bool) -> AbstractBool:
+    return TRUE if value else FALSE

@@ -1,0 +1,141 @@
+"""The abstract heap: allocation-site addresses to abstract objects.
+
+Addresses are IR statement ids of allocation statements (plus negative
+ids reserved for the browser environment's pre-allocated objects). Each
+address also carries a *singleton* flag: True while the address is known
+to stand for at most one concrete object, which is the condition for
+strong property updates (and hence for "definite writes" in the paper's
+read/write sets). An address loses singleton-ness when its allocation
+site re-executes (loop/second context) or when states disagree at a join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.domains import values as values_domain
+from repro.domains.objects import AbstractObject
+from repro.domains.prefix import Prefix
+from repro.domains.values import AbstractValue
+
+
+@dataclass
+class Heap:
+    """Mutable heap used with copy-on-write discipline: the interpreter
+    calls :meth:`copy` before flowing a state to two successors."""
+
+    objects: dict[int, AbstractObject] = field(default_factory=dict)
+    singletons: set[int] = field(default_factory=set)
+
+    def copy(self) -> "Heap":
+        return Heap(dict(self.objects), set(self.singletons))
+
+    # ------------------------------------------------------------------
+    # Lattice
+
+    def leq(self, other: "Heap") -> bool:
+        for address, obj in self.objects.items():
+            bound = other.objects.get(address)
+            if bound is None:
+                return False
+            if bound is not obj and not obj.leq(bound):
+                return False
+        # Singleton-ness is *more* precise, so self ⊑ other requires
+        # other's singleton set not to claim more than self's on shared
+        # addresses.
+        for address in self.objects:
+            if address in other.singletons and address not in self.singletons:
+                return False
+        return True
+
+    def join(self, other: "Heap") -> "Heap":
+        """Join; identity-preserving: returns ``self`` (the same object)
+        when the other heap adds nothing, so callers can detect "no
+        change" with an ``is`` check instead of a full ``leq`` pass."""
+        changed = False
+        merged: dict[int, AbstractObject] = dict(self.objects)
+        for address, obj in other.objects.items():
+            existing = merged.get(address)
+            if existing is None:
+                merged[address] = obj
+                changed = True
+            elif existing is not obj:
+                joined = existing.join(obj)
+                if joined is not existing:
+                    changed = True
+                merged[address] = joined
+        # An address stays singleton only if every side holding it agrees.
+        non_singleton_self = self.objects.keys() - self.singletons
+        non_singleton_other = other.objects.keys() - other.singletons
+        singletons = (
+            (self.singletons | other.singletons)
+            - non_singleton_self
+            - non_singleton_other
+        )
+        if not changed and singletons == self.singletons:
+            return self
+        return Heap(merged, singletons)
+
+    # ------------------------------------------------------------------
+    # Operations
+
+    def allocate(self, address: int, obj: AbstractObject) -> None:
+        """Allocate at a site. Re-allocation (same site executing again)
+        joins the objects and drops singleton-ness: the address now
+        summarizes several concrete objects."""
+        existing = self.objects.get(address)
+        if existing is None:
+            self.objects[address] = obj
+            self.singletons.add(address)
+        else:
+            self.objects[address] = existing.join(obj)
+            self.singletons.discard(address)
+
+    def contains(self, address: int) -> bool:
+        return address in self.objects
+
+    def get(self, address: int) -> AbstractObject:
+        return self.objects[address]
+
+    def is_singleton(self, address: int) -> bool:
+        return address in self.singletons
+
+    def read(self, addresses: frozenset[int], name: Prefix) -> AbstractValue:
+        """Read ``name`` from every object the address set may denote."""
+        result = values_domain.BOTTOM
+        for address in addresses:
+            obj = self.objects.get(address)
+            if obj is not None:
+                result = result.join(obj.read(name))
+        return result
+
+    def write(
+        self, addresses: frozenset[int], name: Prefix, value: AbstractValue
+    ) -> bool:
+        """Write ``name`` on every object the address set may denote.
+
+        Returns True when the write was strong (single singleton address,
+        exact name) — the caller records this in the write sets.
+        """
+        strong = (
+            len(addresses) == 1
+            and name.concrete() is not None
+            and next(iter(addresses)) in self.singletons
+        )
+        for address in addresses:
+            obj = self.objects.get(address)
+            if obj is not None:
+                self.objects[address] = obj.write(name, value, strong)
+        return strong
+
+    def delete(self, addresses: frozenset[int], name: Prefix) -> bool:
+        strong = (
+            len(addresses) == 1
+            and name.concrete() is not None
+            and next(iter(addresses)) in self.singletons
+        )
+        for address in addresses:
+            obj = self.objects.get(address)
+            if obj is not None:
+                self.objects[address] = obj.delete(name, strong)
+        return strong

@@ -1,0 +1,46 @@
+"""Common lattice vocabulary.
+
+Every abstract domain in :mod:`repro.domains` exposes the same small
+interface — ``join``, ``meet``, ``leq`` and the distinguished ``bottom``/
+``top`` elements — either as methods on immutable elements or as
+module-level functions. This module holds the shared helpers and the
+property-based laws the test suite checks against every domain:
+
+- ``leq`` is a partial order (reflexive, antisymmetric, transitive),
+- ``join`` is the least upper bound (commutative, associative,
+  idempotent, and an upper bound consistent with ``leq``),
+- ``meet`` (where defined) is the greatest lower bound,
+- ascending chains stabilize (all our domains are noetherian, which the
+  paper requires of the prefix domain for termination).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, TypeVar
+
+T = TypeVar("T", bound="LatticeElement")
+
+
+class LatticeElement(Protocol):
+    """Structural protocol for immutable lattice elements."""
+
+    def join(self: T, other: T) -> T: ...
+
+    def leq(self: T, other: T) -> bool: ...
+
+
+def join_all(elements: Iterable[T], bottom: T) -> T:
+    """Fold ``join`` over ``elements``, starting from ``bottom``."""
+    result = bottom
+    for element in elements:
+        result = result.join(element)
+    return result
+
+
+def greatest_common_prefix(left: str, right: str) -> str:
+    """The longest common prefix of two strings (the ``⊕`` of Section 5)."""
+    limit = min(len(left), len(right))
+    index = 0
+    while index < limit and left[index] == right[index]:
+        index += 1
+    return left[:index]

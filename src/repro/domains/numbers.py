@@ -1,0 +1,161 @@
+"""Constant-propagation lattice for JavaScript numbers: ⊥ ⊑ const ⊑ ⊤.
+
+The base analysis needs numbers mostly for truthiness and for array
+indices used as property names; constants plus ⊤ are sufficient for both
+(and mirror the "constant string analysis" precision level the paper's
+base analysis uses for non-string primitives).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_BOTTOM_TAG = "bottom"
+_TOP_TAG = "top"
+_CONST_TAG = "const"
+
+
+@dataclass(frozen=True)
+class AbstractNumber:
+    """⊥, ⊤, or a single numeric constant (NaN allowed)."""
+
+    tag: str
+    value: float = 0.0
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.tag == _BOTTOM_TAG
+
+    @property
+    def is_top(self) -> bool:
+        return self.tag == _TOP_TAG
+
+    def concrete(self) -> float | None:
+        return self.value if self.tag == _CONST_TAG else None
+
+    def leq(self, other: "AbstractNumber") -> bool:
+        if self.is_bottom or other.is_top:
+            return True
+        if other.is_bottom or self.is_top:
+            return False
+        return _same_constant(self.value, other.value)
+
+    def join(self, other: "AbstractNumber") -> "AbstractNumber":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        if self.is_top or other.is_top:
+            return TOP
+        if _same_constant(self.value, other.value):
+            return self
+        return TOP
+
+    def meet(self, other: "AbstractNumber") -> "AbstractNumber":
+        if self.is_top:
+            return other
+        if other.is_top:
+            return self
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        if _same_constant(self.value, other.value):
+            return self
+        return BOTTOM
+
+    def __str__(self) -> str:
+        if self.is_bottom:
+            return "⊥num"
+        if self.is_top:
+            return "⊤num"
+        return _render(self.value)
+
+
+def _same_constant(left: float, right: float) -> bool:
+    if math.isnan(left) and math.isnan(right):
+        return True
+    return left == right
+
+
+def _render(value: float) -> str:
+    """Render a float the way JavaScript coerces numbers to strings for
+    the common cases (integral values lose the trailing ``.0``)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    if value == int(value) and abs(value) < 1e21:
+        return str(int(value))
+    return repr(value)
+
+
+BOTTOM = AbstractNumber(_BOTTOM_TAG)
+TOP = AbstractNumber(_TOP_TAG)
+
+
+def constant(value: float) -> AbstractNumber:
+    return AbstractNumber(_CONST_TAG, float(value))
+
+
+def to_property_string(number: AbstractNumber) -> str | None:
+    """The exact property-name string of a constant number, or None."""
+    concrete = number.concrete()
+    if concrete is None:
+        return None
+    return _render(concrete)
+
+
+def binary_op(operator: str, left: AbstractNumber, right: AbstractNumber) -> AbstractNumber:
+    """Abstract arithmetic: precise on constants, ⊤ otherwise."""
+    if left.is_bottom or right.is_bottom:
+        return BOTTOM
+    lv, rv = left.concrete(), right.concrete()
+    if lv is None or rv is None:
+        return TOP
+    try:
+        result = _CONCRETE_OPS[operator](lv, rv)
+    except (KeyError, ZeroDivisionError, ValueError, OverflowError):
+        return TOP
+    return constant(result)
+
+
+def _js_div(left: float, right: float) -> float:
+    if right == 0:
+        if left == 0 or math.isnan(left):
+            return math.nan
+        return math.inf if (left > 0) == (right >= 0) else -math.inf
+    return left / right
+
+
+def _js_mod(left: float, right: float) -> float:
+    if right == 0 or math.isnan(left) or math.isnan(right):
+        return math.nan
+    return math.fmod(left, right)
+
+
+def _to_int32(value: float) -> int:
+    if math.isnan(value) or math.isinf(value):
+        return 0
+    result = int(value) & 0xFFFFFFFF
+    return result - 0x100000000 if result >= 0x80000000 else result
+
+
+def _to_uint32(value: float) -> int:
+    if math.isnan(value) or math.isinf(value):
+        return 0
+    return int(value) & 0xFFFFFFFF
+
+
+_CONCRETE_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _js_div,
+    "%": _js_mod,
+    "&": lambda a, b: float(_to_int32(a) & _to_int32(b)),
+    "|": lambda a, b: float(_to_int32(a) | _to_int32(b)),
+    "^": lambda a, b: float(_to_int32(a) ^ _to_int32(b)),
+    "<<": lambda a, b: float(_to_int32(_to_int32(a) << (_to_uint32(b) & 31))),
+    ">>": lambda a, b: float(_to_int32(a) >> (_to_uint32(b) & 31)),
+    ">>>": lambda a, b: float(_to_uint32(a) >> (_to_uint32(b) & 31)),
+}

@@ -1,0 +1,199 @@
+"""Abstract objects: property maps keyed by abstract strings.
+
+JavaScript property names are computed strings, so an abstract object
+stores
+
+- ``properties``: a map from *exact* property names to values, and
+- ``unknown``: a single summary value for everything ever written through
+  a non-exact (prefix/⊤) property name.
+
+Reads and writes take an abstract property name (:class:`Prefix`); the
+strong/weak distinction needed by the paper's read/write sets (a strong
+property write = singleton object + exact name) is decided by the caller,
+which knows whether the object address is a singleton.
+
+Function values are objects whose ``closures`` set carries the IR
+function ids they may call (this is how the control-flow analysis part of
+the reduced product is represented); native browser APIs carry a
+``native`` tag instead, interpreted by :mod:`repro.browser.stubs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.domains import values as values_domain
+from repro.domains.prefix import Prefix
+from repro.domains.values import AbstractValue
+
+
+@dataclass(frozen=True)
+class AbstractObject:
+    """One abstract heap object (immutable)."""
+
+    kind: str = "object"  # object | array | function | regex | native
+    closures: frozenset[int] = frozenset()
+    native: str | None = None
+    properties: tuple[tuple[str, AbstractValue], ...] = ()
+    unknown: AbstractValue = values_domain.BOTTOM
+
+    # The tuple encoding keeps the dataclass hashable/immutable; access
+    # goes through this cached view.
+    def _props(self) -> dict[str, AbstractValue]:
+        return dict(self.properties)
+
+    @staticmethod
+    def _pack(props: dict[str, AbstractValue]) -> tuple[tuple[str, AbstractValue], ...]:
+        return tuple(sorted(props.items()))
+
+    # ------------------------------------------------------------------
+    # Lattice
+
+    def leq(self, other: "AbstractObject") -> bool:
+        if self.kind != other.kind and other.kind != "object":
+            pass  # kinds joined to "object" when they disagree
+        mine = self._props()
+        theirs = other._props()
+        for name, value in mine.items():
+            bound = theirs.get(name)
+            if bound is None:
+                # A property missing on the right is summarized by its
+                # unknown value joined with undefined.
+                bound = other.unknown.join(values_domain.UNDEF)
+            if not value.leq(bound):
+                return False
+        return (
+            self.closures <= other.closures
+            and self.unknown.leq(other.unknown)
+        )
+
+    def join(self, other: "AbstractObject") -> "AbstractObject":
+        if self is other:
+            return self
+        mine = self._props()
+        theirs = other._props()
+        merged: dict[str, AbstractValue] = {}
+        for name in set(mine) | set(theirs):
+            left = mine.get(name)
+            right = theirs.get(name)
+            if left is None:
+                # Present on one side only: may be absent, so join with
+                # undefined to record the possible miss.
+                merged[name] = right.join(values_domain.UNDEF)  # type: ignore[union-attr]
+            elif right is None:
+                merged[name] = left.join(values_domain.UNDEF)
+            elif left is right:
+                merged[name] = left
+            else:
+                merged[name] = left.join(right)
+        kind = self.kind if self.kind == other.kind else "object"
+        closures = self.closures | other.closures
+        native = self.native if self.native == other.native else None
+        properties = self._pack(merged)
+        unknown = self.unknown.join(other.unknown)
+        # Identity-preserving: joins at state merges almost always leave
+        # one side unchanged; reuse it so heap-level `is` checks hold.
+        if (
+            kind == self.kind
+            and closures == self.closures
+            and native == self.native
+            and unknown is self.unknown
+            and properties == self.properties
+        ):
+            return self
+        if (
+            kind == other.kind
+            and closures == other.closures
+            and native == other.native
+            and unknown is other.unknown
+            and properties == other.properties
+        ):
+            return other
+        return AbstractObject(
+            kind=kind,
+            closures=closures,
+            native=native,
+            properties=properties,
+            unknown=unknown,
+        )
+
+    # ------------------------------------------------------------------
+    # Property access
+
+    def read(self, name: Prefix) -> AbstractValue:
+        """Abstract property read. Missing properties yield ``undefined``
+        (ES5 semantics), joined with the unknown summary."""
+        props = self._props()
+        concrete = name.concrete()
+        if concrete is not None:
+            value = props.get(concrete)
+            if value is None:
+                return self.unknown.join(values_domain.UNDEF)
+            return value.join(self.unknown)
+        # Non-exact name: every property it admits, plus the summary,
+        # plus undefined (it may name a property that does not exist).
+        result = self.unknown.join(values_domain.UNDEF)
+        for prop_name, value in props.items():
+            if name.admits(prop_name):
+                result = result.join(value)
+        return result
+
+    def write(self, name: Prefix, value: AbstractValue, strong: bool) -> "AbstractObject":
+        """Abstract property write. ``strong`` is only honored for exact
+        names (the caller has established the object is a singleton)."""
+        props = self._props()
+        concrete = name.concrete()
+        if concrete is not None:
+            if strong:
+                props[concrete] = value
+            else:
+                old = props.get(concrete, self.unknown.join(values_domain.UNDEF))
+                props[concrete] = old.join(value)
+            return replace(self, properties=self._pack(props))
+        # Non-exact name: the write may hit any admitted existing
+        # property (weakly) and anything else (the unknown summary).
+        for prop_name in list(props):
+            if name.admits(prop_name):
+                props[prop_name] = props[prop_name].join(value)
+        return replace(
+            self,
+            properties=self._pack(props),
+            unknown=self.unknown.join(value),
+        )
+
+    def delete(self, name: Prefix, strong: bool) -> "AbstractObject":
+        props = self._props()
+        concrete = name.concrete()
+        if concrete is not None and strong:
+            props.pop(concrete, None)
+            return replace(self, properties=self._pack(props))
+        # Weak delete: the property may or may not be removed.
+        for prop_name in list(props):
+            if name.admits(prop_name):
+                props[prop_name] = props[prop_name].join(values_domain.UNDEF)
+        return replace(self, properties=self._pack(props))
+
+    def property_names(self) -> list[str]:
+        return [name for name, _ in self.properties]
+
+    def __str__(self) -> str:
+        parts = [self.kind]
+        if self.closures:
+            parts.append(f"closures={sorted(self.closures)}")
+        if self.native:
+            parts.append(f"native={self.native}")
+        for name, value in self.properties:
+            parts.append(f"{name}: {value}")
+        if not self.unknown.is_bottom:
+            parts.append(f"*: {self.unknown}")
+        return "{" + ", ".join(parts) + "}"
+
+
+def function_object(*fids: int) -> AbstractObject:
+    """A function value that may call any of the given IR functions."""
+    return AbstractObject(kind="function", closures=frozenset(fids))
+
+
+def native_object(tag: str, kind: str = "native") -> AbstractObject:
+    """A native browser API object, interpreted by the stub registry."""
+    return AbstractObject(kind=kind, native=tag)

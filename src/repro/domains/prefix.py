@@ -1,0 +1,177 @@
+"""The prefix string abstract domain of Section 5.
+
+An element is either ⊥ (uninitialized / no string) or a pair
+``(str, exact)``:
+
+- ``exact=True`` — the value is *exactly* the string ``str`` (this is the
+  constant-string part the paper adds over Costantini et al.'s prefix
+  domain, important for precision of object property names);
+- ``exact=False`` — the value is some unknown string with prefix ``str``.
+
+⊤ is ``("", False)`` — any string at all.
+
+The lattice order, join, and meet follow the paper's definitions, with one
+repair: the paper's meet as printed sends two equal exact strings to ⊥;
+we return the element itself (the obviously intended greatest lower
+bound — without it meet would not be idempotent).
+
+The domain is noetherian: any ascending chain from a given element has
+length bounded by the element's string length + 2, so the analysis
+fixpoint terminates without widening.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+
+from repro.domains.lattice import greatest_common_prefix
+
+#: Ablation switch: when True, the domain degrades to a plain constant
+#: string analysis (the paper's baseline): joining two different strings
+#: yields ⊤ instead of their common prefix. Controlled via
+#: :func:`constant_string_mode`; used by the string-domain ablation
+#: benchmark to show what the prefix domain buys.
+_CONSTANT_ONLY = False
+
+
+@contextlib.contextmanager
+def constant_string_mode():
+    """Run the analysis with a constant-only string domain (ablation)."""
+    global _CONSTANT_ONLY
+    previous = _CONSTANT_ONLY
+    _CONSTANT_ONLY = True
+    try:
+        yield
+    finally:
+        _CONSTANT_ONLY = previous
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """An element of the prefix string domain.
+
+    Use the module constructors (:func:`exact`, :func:`prefix`,
+    :data:`BOTTOM`, :data:`TOP`) rather than the raw constructor.
+    ``text is None`` encodes ⊥.
+    """
+
+    text: str | None
+    is_exact: bool = False
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.text is None
+
+    @property
+    def is_top(self) -> bool:
+        return self.text == "" and not self.is_exact
+
+    def concrete(self) -> str | None:
+        """The single concrete string this represents, if exact."""
+        return self.text if (not self.is_bottom and self.is_exact) else None
+
+    def admits(self, concrete: str) -> bool:
+        """Could this abstract string denote the concrete string?"""
+        if self.is_bottom:
+            return False
+        if self.is_exact:
+            return concrete == self.text
+        assert self.text is not None
+        return concrete.startswith(self.text)
+
+    # ------------------------------------------------------------------
+    # Lattice operations
+
+    def leq(self, other: "Prefix") -> bool:
+        if self.is_bottom:
+            return True
+        if other.is_bottom:
+            return False
+        assert self.text is not None and other.text is not None
+        if not other.is_exact:
+            return self.text.startswith(other.text)
+        return self.is_exact and self.text == other.text
+
+    def join(self, other: "Prefix") -> "Prefix":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        assert self.text is not None and other.text is not None
+        if self.is_exact and other.is_exact and self.text == other.text:
+            return self
+        if _CONSTANT_ONLY:
+            return TOP
+        common = greatest_common_prefix(self.text, other.text)
+        # Identity-preserving: reuse an operand when it already denotes
+        # the join.
+        if not self.is_exact and common == self.text:
+            return self
+        if not other.is_exact and common == other.text:
+            return other
+        return Prefix(common, False)
+
+    def meet(self, other: "Prefix") -> "Prefix":
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        assert self.text is not None and other.text is not None
+        if self == other:
+            return self
+        if not other.is_exact and self.text.startswith(other.text):
+            return self
+        if not self.is_exact and other.text.startswith(self.text):
+            return other
+        return BOTTOM
+
+    # ------------------------------------------------------------------
+    # Abstract string operations
+
+    def concat(self, other: "Prefix") -> "Prefix":
+        """Abstract string concatenation ``+`` (Section 5)."""
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        assert self.text is not None and other.text is not None
+        if self.is_exact:
+            if other.is_exact:
+                return Prefix(self.text + other.text, True)
+            if _CONSTANT_ONLY:
+                return TOP
+            return Prefix(self.text + other.text, False)
+        if _CONSTANT_ONLY:
+            return TOP
+        return Prefix(self.text, False)
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """Do the two abstract strings share any concrete string?
+        Equivalent to ``meet != ⊥``; used by the ``⋒`` read/write-set
+        intersection operator of Section 3.2."""
+        return not self.meet(other).is_bottom
+
+    def __str__(self) -> str:
+        if self.is_bottom:
+            return "⊥str"
+        if self.is_top:
+            return "⊤str"
+        marker = "" if self.is_exact else "…"
+        return f'"{self.text}{marker}"'
+
+
+#: The bottom element: no string at all.
+BOTTOM = Prefix(None, False)
+
+#: The top element: any string.
+TOP = Prefix("", False)
+
+
+def exact(text: str) -> Prefix:
+    """The abstract string denoting exactly ``text``."""
+    return Prefix(text, True)
+
+
+def prefix(text: str) -> Prefix:
+    """The abstract string denoting any string starting with ``text``."""
+    return Prefix(text, False)

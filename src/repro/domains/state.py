@@ -1,0 +1,92 @@
+"""The abstract machine state threaded through the interpreter.
+
+A state is a variable environment plus a heap. Variables are identified
+by ``(scope_fid, name)`` — the lexical resolution done during lowering —
+so the environment is a single flat map. Scope instances are merged
+(standard for this style of analysis): a write to a local of the
+*currently analyzed* function is strong, a write to a captured outer
+local is weak, because other live instances of that frame may exist.
+
+An absent variable entry means "never assigned on this path": globals
+read before assignment are ``undefined`` (ES5), locals likewise after
+hoisting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.domains import values as values_domain
+from repro.domains.heap import Heap
+from repro.domains.values import AbstractValue
+from repro.ir.nodes import Var
+
+VarKey = tuple[int, str]
+
+
+def var_key(var: Var) -> VarKey:
+    return (var.scope, var.name)
+
+
+@dataclass
+class State:
+    """One abstract state (environment + heap). Mutable; the interpreter
+    copies before branching."""
+
+    vars: dict[VarKey, AbstractValue] = field(default_factory=dict)
+    heap: Heap = field(default_factory=Heap)
+
+    def copy(self) -> "State":
+        return State(dict(self.vars), self.heap.copy())
+
+    # ------------------------------------------------------------------
+    # Lattice
+
+    def leq(self, other: "State") -> bool:
+        for key, value in self.vars.items():
+            bound = other.vars.get(key)
+            if bound is None:
+                if not value.is_bottom:
+                    return False
+            elif not value.leq(bound):
+                return False
+        return self.heap.leq(other.heap)
+
+    def join(self, other: "State") -> "State":
+        """Join; identity-preserving: returns ``self`` (the same object)
+        when ``other`` adds nothing — the worklist uses an ``is`` check
+        as its "state changed?" test."""
+        changed = False
+        merged: dict[VarKey, AbstractValue] = dict(self.vars)
+        for key, value in other.vars.items():
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = value
+                changed = True
+            elif existing is not value:
+                joined = existing.join(value)
+                if joined is not existing:
+                    changed = True
+                merged[key] = joined
+        heap = self.heap.join(other.heap)
+        if not changed and heap is self.heap:
+            return self
+        return State(merged, heap)
+
+    # ------------------------------------------------------------------
+    # Variable access
+
+    def read_var(self, var: Var) -> AbstractValue:
+        value = self.vars.get(var_key(var))
+        if value is None:
+            # Never assigned: undefined (hoisted local or missing global).
+            return values_domain.UNDEF
+        return value
+
+    def write_var(self, var: Var, value: AbstractValue, strong: bool = True) -> None:
+        key = var_key(var)
+        if strong:
+            self.vars[key] = value
+        else:
+            existing = self.vars.get(key, values_domain.UNDEF)
+            self.vars[key] = existing.join(value)

@@ -1,0 +1,155 @@
+"""A k-bounded disjunctive string domain (extension).
+
+The paper's two ``fail`` rows (LessSpamPlease, VKVideoDownloader) share
+one cause: an addon talks to a small *set* of unrelated domains, and the
+prefix domain of Section 5 must join them into their common prefix —
+usually the empty string. The natural fix the paper leaves open is a
+bounded disjunctive completion: track up to ``k`` prefix-domain elements
+and only collapse to their join when the bound is exceeded.
+
+:class:`StringSet` implements that domain:
+
+- an element is a set of at most ``k`` :class:`Prefix` elements (its
+  concretization is the union of theirs);
+- join unions the sets, normalizes (drops elements subsumed by others),
+  and if still over budget collapses everything into the single joined
+  prefix — so the domain degrades *to exactly the paper's domain*, never
+  below it;
+- concat distributes pairwise (capped the same way);
+- the lattice is noetherian for the same reason the prefix domain is,
+  plus the fixed bound.
+
+``benchmarks/test_ablation_stringset.py`` demonstrates that with k >= 3
+the VKVideoDownloader URL-construction pattern keeps all three video
+domains exact, where the prefix domain degraded to the unknown string.
+Wiring the domain through the full pipeline (as the value domain's
+string component) is left as configuration future work, matching the
+paper's presentation of the prefix domain as the chosen sweet spot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.domains import prefix as prefix_domain
+from repro.domains.prefix import Prefix
+
+
+def _normalize(elements: frozenset[Prefix], bound: int) -> frozenset[Prefix]:
+    """Drop ⊥ and subsumed elements; collapse when over budget."""
+    kept = [e for e in elements if not e.is_bottom]
+    # Remove elements subsumed by another element.
+    minimal: list[Prefix] = []
+    for element in kept:
+        if any(
+            element is not other and element.leq(other) and not other.leq(element)
+            for other in kept
+        ):
+            continue
+        if element not in minimal:
+            minimal.append(element)
+    if len(minimal) > bound:
+        collapsed = prefix_domain.BOTTOM
+        for element in minimal:
+            collapsed = collapsed.join(element)
+        return frozenset({collapsed})
+    return frozenset(minimal)
+
+
+@dataclass(frozen=True)
+class StringSet:
+    """A set of at most ``bound`` prefix-domain elements."""
+
+    elements: frozenset[Prefix] = frozenset()
+    bound: int = 3
+
+    # ------------------------------------------------------------------
+    # Constructors
+
+    @staticmethod
+    def exact(text: str, bound: int = 3) -> "StringSet":
+        return StringSet(frozenset({prefix_domain.exact(text)}), bound)
+
+    @staticmethod
+    def prefix(text: str, bound: int = 3) -> "StringSet":
+        return StringSet(frozenset({prefix_domain.prefix(text)}), bound)
+
+    @staticmethod
+    def bottom(bound: int = 3) -> "StringSet":
+        return StringSet(frozenset(), bound)
+
+    @staticmethod
+    def top(bound: int = 3) -> "StringSet":
+        return StringSet(frozenset({prefix_domain.TOP}), bound)
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    @property
+    def is_bottom(self) -> bool:
+        return not self.elements
+
+    @property
+    def is_top(self) -> bool:
+        return any(e.is_top for e in self.elements)
+
+    def concretes(self) -> set[str] | None:
+        """The finite set of concrete strings, or None if any member is
+        a non-exact prefix."""
+        out: set[str] = set()
+        for element in self.elements:
+            concrete = element.concrete()
+            if concrete is None:
+                return None
+            out.add(concrete)
+        return out
+
+    def admits(self, concrete: str) -> bool:
+        return any(element.admits(concrete) for element in self.elements)
+
+    # ------------------------------------------------------------------
+    # Lattice
+
+    def leq(self, other: "StringSet") -> bool:
+        return all(
+            any(element.leq(bound_element) for bound_element in other.elements)
+            for element in self.elements
+        )
+
+    def join(self, other: "StringSet") -> "StringSet":
+        bound = min(self.bound, other.bound)
+        return StringSet(
+            _normalize(self.elements | other.elements, bound), bound
+        )
+
+    def meet(self, other: "StringSet") -> "StringSet":
+        bound = min(self.bound, other.bound)
+        met = frozenset(
+            a.meet(b) for a in self.elements for b in other.elements
+        )
+        return StringSet(_normalize(met, bound), bound)
+
+    # ------------------------------------------------------------------
+    # Abstract operations
+
+    def concat(self, other: "StringSet") -> "StringSet":
+        if self.is_bottom or other.is_bottom:
+            return StringSet.bottom(min(self.bound, other.bound))
+        bound = min(self.bound, other.bound)
+        combined = frozenset(
+            a.concat(b) for a in self.elements for b in other.elements
+        )
+        return StringSet(_normalize(combined, bound), bound)
+
+    def collapse(self) -> Prefix:
+        """The element of the paper's prefix domain this set abstracts to
+        (the join of all members)."""
+        result = prefix_domain.BOTTOM
+        for element in self.elements:
+            result = result.join(element)
+        return result
+
+    def __str__(self) -> str:
+        if self.is_bottom:
+            return "⊥strset"
+        return "{" + ", ".join(sorted(str(e) for e in self.elements)) + "}"

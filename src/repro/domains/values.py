@@ -1,0 +1,243 @@
+"""The abstract value domain: a reduced product over JavaScript's types.
+
+An :class:`AbstractValue` tracks, independently, whether the value may be
+``undefined`` or ``null``, which booleans it may be, which number
+(constant lattice), which string (prefix lattice, Section 5), and which
+heap objects it may reference (allocation-site pointer analysis). This is
+the "reduced product of pointer analysis, string analysis, and
+control-flow analysis" interface the paper assumes of its base analysis:
+control-flow analysis falls out of the address set (function values are
+heap objects carrying their closure ids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.domains import bools, numbers
+from repro.domains import prefix as prefix_domain
+from repro.domains.bools import AbstractBool
+from repro.domains.numbers import AbstractNumber
+from repro.domains.prefix import Prefix
+from repro.ir.nodes import UNDEFINED
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One abstract JavaScript value (immutable)."""
+
+    may_undef: bool = False
+    may_null: bool = False
+    boolean: AbstractBool = bools.BOTTOM
+    number: AbstractNumber = numbers.BOTTOM
+    string: Prefix = prefix_domain.BOTTOM
+    addresses: frozenset[int] = frozenset()
+
+    # ------------------------------------------------------------------
+    # Lattice
+
+    @property
+    def is_bottom(self) -> bool:
+        return (
+            not self.may_undef
+            and not self.may_null
+            and self.boolean.is_bottom
+            and self.number.is_bottom
+            and self.string.is_bottom
+            and not self.addresses
+        )
+
+    def leq(self, other: "AbstractValue") -> bool:
+        if self is other:
+            return True
+        return (
+            (not self.may_undef or other.may_undef)
+            and (not self.may_null or other.may_null)
+            and self.boolean.leq(other.boolean)
+            and self.number.leq(other.number)
+            and self.string.leq(other.string)
+            and self.addresses <= other.addresses
+        )
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        if self is other:
+            return self
+        may_undef = self.may_undef or other.may_undef
+        may_null = self.may_null or other.may_null
+        boolean = self.boolean.join(other.boolean)
+        number = self.number.join(other.number)
+        string = self.string.join(other.string)
+        addresses = self.addresses | other.addresses
+        # Identity-preserving: the abstract interpreter joins states at
+        # every CFG merge, and almost all entries are unchanged — keeping
+        # the same object alive lets every downstream `is` check skip.
+        if (
+            may_undef == self.may_undef
+            and may_null == self.may_null
+            and boolean is self.boolean
+            and number is self.number
+            and string is self.string
+            and addresses == self.addresses
+        ):
+            return self
+        if (
+            may_undef == other.may_undef
+            and may_null == other.may_null
+            and boolean is other.boolean
+            and number is other.number
+            and string is other.string
+            and addresses == other.addresses
+        ):
+            return other
+        return AbstractValue(
+            may_undef=may_undef,
+            may_null=may_null,
+            boolean=boolean,
+            number=number,
+            string=string,
+            addresses=addresses,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def may_be_truthy(self) -> bool:
+        if self.addresses:
+            return True
+        if self.boolean.may_true:
+            return True
+        number = self.number.concrete()
+        if not self.number.is_bottom and (number is None or (number != 0 and number == number)):
+            return True
+        # A string is truthy iff nonempty; the only abstract string that
+        # denotes no nonempty string is exactly "".
+        if not self.string.is_bottom and self.string.concrete() != "":
+            return True
+        return False
+
+    def may_be_falsy(self) -> bool:
+        if self.may_undef or self.may_null:
+            return True
+        if self.boolean.may_false:
+            return True
+        number = self.number.concrete()
+        if not self.number.is_bottom and (number is None or number == 0 or number != number):
+            return True
+        # A string may be falsy only if it may be "": the abstract string
+        # must admit the empty string.
+        if not self.string.is_bottom and self.string.admits(""):
+            return True
+        return False
+
+    def may_be_non_object(self) -> bool:
+        """Could this value be a primitive (so property access coerces or,
+        for undefined/null, throws)?"""
+        return (
+            self.may_undef
+            or self.may_null
+            or not self.boolean.is_bottom
+            or not self.number.is_bottom
+            or not self.string.is_bottom
+        )
+
+    def may_throw_on_property_access(self) -> bool:
+        """Property access throws a TypeError iff the base may be
+        undefined or null — the implicit-exception trigger of Section 3."""
+        return self.may_undef or self.may_null
+
+    def to_property_name(self) -> Prefix:
+        """Coerce to an abstract property-name string (JS ``ToString``)."""
+        result = self.string
+        if self.may_undef:
+            result = result.join(prefix_domain.exact("undefined"))
+        if self.may_null:
+            result = result.join(prefix_domain.exact("null"))
+        if not self.boolean.is_bottom:
+            concrete = self.boolean.concrete()
+            if concrete is None:
+                result = result.join(prefix_domain.TOP)
+            else:
+                result = result.join(prefix_domain.exact(str(concrete).lower()))
+        if not self.number.is_bottom:
+            rendered = numbers.to_property_string(self.number)
+            if rendered is None:
+                result = result.join(prefix_domain.TOP)
+            else:
+                result = result.join(prefix_domain.exact(rendered))
+        if self.addresses:
+            # Object-to-string coercion is not tracked precisely.
+            result = result.join(prefix_domain.TOP)
+        return result
+
+    def without_addresses(self) -> "AbstractValue":
+        return replace(self, addresses=frozenset())
+
+    def restricted_to_objects(self) -> "AbstractValue":
+        """Keep only the object part (used after a successful property
+        access proves the base was an object)."""
+        return AbstractValue(addresses=self.addresses)
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.may_undef:
+            parts.append("undefined")
+        if self.may_null:
+            parts.append("null")
+        if not self.boolean.is_bottom:
+            parts.append(str(self.boolean))
+        if not self.number.is_bottom:
+            parts.append(str(self.number))
+        if not self.string.is_bottom:
+            parts.append(str(self.string))
+        if self.addresses:
+            parts.append("objs{" + ",".join(map(str, sorted(self.addresses))) + "}")
+        return "|".join(parts) if parts else "⊥"
+
+
+#: The bottom value: no concrete value at all (unreachable / uninitialized).
+BOTTOM = AbstractValue()
+
+#: JavaScript ``undefined``.
+UNDEF = AbstractValue(may_undef=True)
+
+#: JavaScript ``null``.
+NULL = AbstractValue(may_null=True)
+
+#: An unknown string.
+ANY_STRING = AbstractValue(string=prefix_domain.TOP)
+
+#: An unknown number.
+ANY_NUMBER = AbstractValue(number=numbers.TOP)
+
+#: An unknown boolean.
+ANY_BOOL = AbstractValue(boolean=bools.TOP)
+
+
+def from_constant(value: object) -> AbstractValue:
+    """Abstract a JS constant as carried by :class:`repro.ir.nodes.Const`."""
+    if value is UNDEFINED:
+        return UNDEF
+    if value is None:
+        return NULL
+    if isinstance(value, bool):
+        return AbstractValue(boolean=bools.from_bool(value))
+    if isinstance(value, float):
+        return AbstractValue(number=numbers.constant(value))
+    if isinstance(value, str):
+        return AbstractValue(string=prefix_domain.exact(value))
+    raise TypeError(f"not a JS constant: {value!r}")
+
+
+def from_string(abstract: Prefix) -> AbstractValue:
+    return AbstractValue(string=abstract)
+
+
+def from_addresses(*addresses: int) -> AbstractValue:
+    return AbstractValue(addresses=frozenset(addresses))
+
+
+def join_all(values: list[AbstractValue]) -> AbstractValue:
+    result = BOTTOM
+    for value in values:
+        result = result.join(value)
+    return result

@@ -1,0 +1,24 @@
+"""The evaluation harness: Table 1, Table 2, and figure reproductions."""
+
+from repro.evaluation.table1 import Table1Row, compute_table1, render_table1
+from repro.evaluation.table2 import Table2Row, compute_table2, render_table2
+from repro.evaluation.timing import PhaseTimes, time_phases, time_phases_once
+from repro.evaluation.report import render_report
+from repro.evaluation.figures import (
+    FIGURE1_PROGRAM,
+    FIGURE2_EXPECTED,
+    check_figure2,
+    figure2_edges,
+    figure4_lattice,
+    render_figure2,
+    render_figure4,
+)
+
+__all__ = [
+    "compute_table1", "render_table1", "Table1Row",
+    "compute_table2", "render_table2", "Table2Row",
+    "time_phases", "time_phases_once", "PhaseTimes",
+    "FIGURE1_PROGRAM", "FIGURE2_EXPECTED", "check_figure2",
+    "figure2_edges", "figure4_lattice", "render_figure2", "render_figure4",
+    "render_report",
+]

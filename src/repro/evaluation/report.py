@@ -1,0 +1,140 @@
+"""Full evaluation report generator.
+
+Runs every experiment (Table 1, Table 2 with the paper's timing protocol,
+the Figure 2 edge checklist, the string-domain ablation) and renders a
+markdown report with paper-vs-measured values — the data backing
+EXPERIMENTS.md.
+
+Run: ``python -m repro.evaluation.report [--runs N]``
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.addons import CORPUS, vet_addon
+from repro.domains.prefix import constant_string_mode
+from repro.evaluation.figures import check_figure2
+from repro.evaluation.table1 import compute_table1
+from repro.evaluation.table2 import compute_table2
+
+#: The paper's Table 2 timing columns (seconds), for side-by-side display.
+PAPER_TIMES = {
+    "LivePagerank": (15.9, 30.3, 0.5),
+    "LessSpamPlease": (4.0, 24.0, 0.1),
+    "YoutubeDownloader": (13.2, 22.4, 0.2),
+    "VKVideoDownloader": (0.7, 8.7, 0.1),
+    "HyperTranslate": (9.6, 30.9, 0.3),
+    "Chess.comNotifier": (0.8, 2.1, 0.1),
+    "CoffeePodsDeals": (0.4, 2.7, 0.1),
+    "oDeskJobWatcher": (0.4, 0.9, 0.1),
+    "PinPoints": (3.6, 16.9, 0.1),
+    "GoogleTransliterate": (1.8, 10.87, 0.1),
+}
+
+
+def render_report(runs: int = 11) -> str:
+    lines: list[str] = []
+    emit = lines.append
+
+    emit("# Evaluation report (generated)")
+    emit("")
+    emit(f"Timing protocol: {runs} runs per addon, first discarded, median")
+    emit("of the rest per phase (the paper's Section 6.2 protocol).")
+    emit("")
+
+    # ------------------------------------------------------------- Table 1
+    emit("## Table 1 — benchmark suite")
+    emit("")
+    emit("| Addon | Purpose | Cat. | Size (ours) | Size (paper) | Downloads (paper) |")
+    emit("|---|---|---|---:|---:|---:|")
+    for row in compute_table1():
+        spec = row.spec
+        emit(
+            f"| {spec.name} | {spec.purpose} | {spec.category} "
+            f"| {row.measured_ast_nodes:,} | {spec.paper_ast_nodes:,} "
+            f"| {spec.paper_downloads:,} |"
+        )
+    emit("")
+
+    # ------------------------------------------------------------- Table 2
+    emit("## Table 2 — results and timings")
+    emit("")
+    emit(
+        "| Addon | Result (ours) | Result (paper) | P1 ours/paper (s) "
+        "| P2 ours/paper (s) | P3 ours/paper (s) |"
+    )
+    emit("|---|---|---|---|---|---|")
+    rows = compute_table2(runs=runs)
+    matches = 0
+    for row in rows:
+        paper_p1, paper_p2, paper_p3 = PAPER_TIMES[row.spec.name]
+        matches += row.matches_paper
+        emit(
+            f"| {row.spec.name} | {row.verdict} | {row.spec.expected_verdict} "
+            f"| {row.times.p1:.2f} / {paper_p1} "
+            f"| {row.times.p2:.2f} / {paper_p2} "
+            f"| {row.times.p3:.2f} / {paper_p3} |"
+        )
+    emit("")
+    emit(f"Verdicts matching the paper: **{matches}/{len(rows)}**.")
+    emit("")
+    emit("Per-addon deviations from the manual signature:")
+    emit("")
+    for row in rows:
+        if row.extra_entries or row.missing_entries:
+            emit(f"- **{row.spec.name}** ({row.verdict}):")
+            for entry in row.extra_entries:
+                emit(f"  - extra: `{entry}`")
+            for entry in row.missing_entries:
+                emit(f"  - missing: `{entry}`")
+    emit("")
+
+    # ------------------------------------------------------------ Figure 2
+    emit("## Figure 2 — annotated PDG of the worked example")
+    emit("")
+    emit("| Edge | Annotation | Present |")
+    emit("|---|---|---|")
+    for source, target, annotation, ok in check_figure2():
+        emit(f"| line {source} -> line {target} | `{annotation}` | {'yes' if ok else 'NO'} |")
+    emit("")
+
+    # ------------------------------------------------ String-domain ablation
+    emit("## Section 5 — prefix domain vs constant strings (ablation)")
+    emit("")
+    usable_prefix = _usable_domain_count()
+    with constant_string_mode():
+        usable_const = _usable_domain_count()
+    emit(f"- prefix domain: usable network domain for **{usable_prefix}/10** addons")
+    emit(f"  (paper: \"in the remaining eight out of the ten addons, our prefix")
+    emit(f"  string analysis can determine the exact domains\");")
+    emit(f"- constant strings only: **{usable_const}/10** — the prefix domain's")
+    emit(f"  advantage the paper motivates in Section 5.")
+    return "\n".join(lines)
+
+
+def _usable_domain_count(min_length: int = 12) -> int:
+    usable = 0
+    for spec in CORPUS:
+        report = vet_addon(spec)
+        domains = [
+            entry.domain
+            for entry in report.signature.entries
+            if getattr(entry, "domain", None) is not None
+        ]
+        if domains and all(
+            d.text is not None and len(d.text) >= min_length for d in domains
+        ):
+            usable += 1
+    return usable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=11)
+    arguments = parser.parse_args()
+    print(render_report(runs=arguments.runs))
+
+
+if __name__ == "__main__":
+    main()

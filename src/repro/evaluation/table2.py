@@ -1,0 +1,96 @@
+"""Table 2 reproduction: signature inference results and timings.
+
+For each benchmark addon: the pass/fail/leak classification against the
+manual signature (written from the developer summary; the fail/leak
+distinction uses the corpus ground truth — see
+:mod:`repro.signatures.compare`), and the P1/P2/P3 phase timings under
+the paper's 11-runs-drop-first-median protocol.
+
+Run: ``python -m repro.evaluation.table2 [--runs N]``
+(the paper uses 11 runs; smaller N is handy while iterating).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.addons import CORPUS, AddonSpec, vet_addon
+from repro.evaluation.tables import render_table
+from repro.evaluation.timing import PhaseTimes, time_phases
+
+
+@dataclass
+class Table2Row:
+    spec: AddonSpec
+    verdict: str
+    times: PhaseTimes
+    extra_entries: list[str]
+    missing_entries: list[str]
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.verdict == self.spec.expected_verdict
+
+
+def compute_row(spec: AddonSpec, runs: int = 11, k: int = 1) -> Table2Row:
+    report = vet_addon(spec, k=k)
+    comparison = report.comparison
+    assert comparison is not None
+    times = time_phases(spec.source(), runs=runs, k=k)
+    return Table2Row(
+        spec=spec,
+        verdict=comparison.verdict.value,
+        times=times,
+        extra_entries=sorted(e.render() for e in comparison.extra),
+        missing_entries=sorted(e.render() for e in comparison.missing),
+    )
+
+
+def compute_table2(runs: int = 11, k: int = 1) -> list[Table2Row]:
+    return [compute_row(spec, runs=runs, k=k) for spec in CORPUS]
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    body = render_table(
+        headers=[
+            "Addon Name", "Result", "Paper", "P1 (s)", "P2 (s)", "P3 (s)",
+        ],
+        rows=[
+            [
+                row.spec.name,
+                row.verdict,
+                row.spec.expected_verdict,
+                f"{row.times.p1:.2f}",
+                f"{row.times.p2:.2f}",
+                f"{row.times.p3:.2f}",
+            ]
+            for row in rows
+        ],
+        title="Table 2: addon signature inference result summary",
+    )
+    matched = sum(row.matches_paper for row in rows)
+    footer = [f"\n{matched}/{len(rows)} verdicts match the paper's Table 2."]
+    for row in rows:
+        if row.extra_entries or row.missing_entries:
+            footer.append(f"\n{row.spec.name} ({row.verdict}):")
+            for entry in row.extra_entries:
+                footer.append(f"  extra:   {entry}")
+            for entry in row.missing_entries:
+                footer.append(f"  missing: {entry}")
+    return body + "\n" + "\n".join(footer)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--runs", type=int, default=11,
+        help="timing runs per addon (first is discarded; paper: 11)",
+    )
+    parser.add_argument("--k", type=int, default=1, help="context sensitivity")
+    arguments = parser.parse_args()
+    print(render_table2(compute_table2(runs=arguments.runs, k=arguments.k)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Plain-text table rendering shared by the evaluation harness."""
+
+from __future__ import annotations
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Render a simple aligned text table."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(headers))
+    lines.append(render_row(["-" * w for w in widths]))
+    for row in rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def format_count(value: int) -> str:
+    """Render 7600428 as "7,600,428" (Table 1 style)."""
+    return f"{value:,}"

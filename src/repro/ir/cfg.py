@@ -1,0 +1,193 @@
+"""Control-flow graph views over the IR.
+
+The IR stores, on every statement, edges of four kinds (see
+:class:`repro.ir.nodes.EdgeKind`). The CDG construction of Section 3.3
+needs three progressively less pruned CFGs; this module provides them as
+*views* (:class:`Mode`) over the one set of stored edges:
+
+``STRUCTURED``
+    Only structured control flow. Explicit jumps are replaced by their
+    FALLTHROUGH successor ("as if the jump were not taken"), and implicit
+    exception edges are dropped. This is the stage-1 CFG, from which
+    ``local`` control dependencies are computed.
+``NO_IMPLICIT``
+    Structured flow plus explicit jumps (break/continue/return/throw);
+    implicit exception edges are still dropped. Stage-2 CFG
+    (``nonlocexp``).
+``FULL``
+    Everything, including implicit exception edges — but only those the
+    base analysis confirmed can actually throw (the ``throwing`` set).
+    Stage-3 CFG (``nonlocimp``), and the CFG used for DDG reachability.
+
+Uncaught exceptions have no edges at all (the paper omits them:
+termination leaks are out of scope), so a ``throw`` without an enclosing
+handler is a dead end in NO_IMPLICIT/FULL views.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ir.nodes import EdgeKind, FunctionIR, Stmt
+
+
+class Mode(enum.Enum):
+    """Which pruning of the CFG to view; see the module docstring."""
+
+    STRUCTURED = "structured"
+    NO_IMPLICIT = "no-implicit"
+    FULL = "full"
+
+
+def statement_successors(
+    stmt: Stmt, mode: Mode, throwing: frozenset[int] | None = None
+) -> list[int]:
+    """Successor statement ids of ``stmt`` under the given view.
+
+    ``throwing`` is the set of statement ids the base analysis determined
+    may raise an implicit exception; ``None`` means "assume all implicit
+    edges are possible" (the sound default before the analysis has run).
+    """
+    successors: list[int] = []
+    for edge in stmt.edges:
+        if edge.kind is EdgeKind.SEQ:
+            successors.append(edge.target)
+        elif edge.kind is EdgeKind.JUMP:
+            if mode is not Mode.STRUCTURED:
+                successors.append(edge.target)
+        elif edge.kind is EdgeKind.IMPLICIT:
+            if mode is Mode.FULL and (throwing is None or stmt.sid in throwing):
+                successors.append(edge.target)
+        elif edge.kind is EdgeKind.FALLTHROUGH:
+            # FALLTHROUGH edges exist only on jump statements (which never
+            # have SEQ edges); in the structured view the jump is ignored
+            # and control falls through.
+            if mode is Mode.STRUCTURED:
+                successors.append(edge.target)
+    return successors
+
+
+@dataclass
+class FunctionCFG:
+    """A materialized intraprocedural CFG for one function under one view."""
+
+    function: FunctionIR
+    mode: Mode
+    succs: dict[int, list[int]] = field(default_factory=dict)
+    preds: dict[int, list[int]] = field(default_factory=dict)
+
+    @property
+    def entry(self) -> int:
+        return self.function.entry.sid
+
+    @property
+    def exit(self) -> int:
+        return self.function.exit.sid
+
+    @property
+    def nodes(self) -> list[int]:
+        return [s.sid for s in self.function.statements]
+
+    def successors(self, sid: int) -> list[int]:
+        return self.succs.get(sid, [])
+
+    def predecessors(self, sid: int) -> list[int]:
+        return self.preds.get(sid, [])
+
+    def reachable_from_entry(self) -> set[int]:
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            sid = stack.pop()
+            if sid in seen:
+                continue
+            seen.add(sid)
+            stack.extend(self.succs.get(sid, []))
+        return seen
+
+
+def build_function_cfg(
+    function: FunctionIR, mode: Mode, throwing: frozenset[int] | None = None
+) -> FunctionCFG:
+    """Materialize the intraprocedural CFG of ``function`` under ``mode``."""
+    cfg = FunctionCFG(function=function, mode=mode)
+    for stmt in function.statements:
+        cfg.succs[stmt.sid] = statement_successors(stmt, mode, throwing)
+        cfg.preds.setdefault(stmt.sid, [])
+    for sid, targets in cfg.succs.items():
+        for target in targets:
+            cfg.preds.setdefault(target, []).append(sid)
+    return cfg
+
+
+def strongly_connected_components(
+    nodes: list[int], successors: dict[int, list[int]]
+) -> list[list[int]]:
+    """Tarjan's algorithm, iterative (IR graphs can be deep).
+
+    Returns SCCs in reverse topological order. Used to decide which
+    statements sit inside a CFG cycle (the ``amp`` annotation of
+    Section 3.1).
+    """
+    index_of: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    result: list[list[int]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index_of[node] = counter
+                lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = successors.get(node, [])
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in index_of:
+                    work.append((node, position + 1))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+def nodes_in_cycles(
+    nodes: list[int], successors: dict[int, list[int]]
+) -> set[int]:
+    """Nodes contained in some cycle: members of a non-trivial SCC, or
+    nodes with a self-loop."""
+    cyclic: set[int] = set()
+    for component in strongly_connected_components(nodes, successors):
+        if len(component) > 1:
+            cyclic.update(component)
+        else:
+            only = component[0]
+            if only in successors.get(only, []):
+                cyclic.add(only)
+    return cyclic

@@ -1,0 +1,36 @@
+"""JavaScript frontend: lexer, parser, and AST for the supported ES5 subset.
+
+This package plays the role Rhino plays for the paper: it turns addon
+source text into an AST, and its node count is the size metric reported in
+Table 1.
+"""
+
+from repro.js import ast
+from repro.js.ast import node_count
+from repro.js.errors import (
+    FrontendError,
+    LexError,
+    ParseError,
+    SourcePosition,
+    UnsupportedSyntaxError,
+)
+from repro.js.lexer import Lexer, tokenize
+from repro.js.parser import Parser, parse
+from repro.js.printer import print_expression, print_program, print_statement
+
+__all__ = [
+    "ast",
+    "node_count",
+    "parse",
+    "tokenize",
+    "print_program",
+    "print_statement",
+    "print_expression",
+    "Lexer",
+    "Parser",
+    "FrontendError",
+    "LexError",
+    "ParseError",
+    "UnsupportedSyntaxError",
+    "SourcePosition",
+]

@@ -1,0 +1,49 @@
+"""Error types for the JavaScript frontend.
+
+All frontend errors carry a source position so that tooling built on top of
+the analysis (the CLI, the vetting harness) can point the user at the exact
+location in the addon source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourcePosition:
+    """A position in a source file: 1-based line, 0-based column."""
+
+    line: int
+    column: int
+    offset: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+class FrontendError(Exception):
+    """Base class for all JavaScript frontend errors."""
+
+    def __init__(self, message: str, position: SourcePosition | None = None):
+        self.message = message
+        self.position = position
+        location = f" at {position}" if position is not None else ""
+        super().__init__(f"{message}{location}")
+
+
+class LexError(FrontendError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+
+class ParseError(FrontendError):
+    """Raised when the parser encounters a malformed program."""
+
+
+class UnsupportedSyntaxError(ParseError):
+    """Raised for JavaScript constructs outside the supported ES5 subset.
+
+    The analysis deliberately rejects constructs whose semantics it cannot
+    model soundly (``with``, getters/setters, generators, ...), mirroring
+    the paper's restriction of addons to a statically analyzable subset.
+    """

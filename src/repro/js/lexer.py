@@ -1,0 +1,287 @@
+"""A hand-written lexer for the ES5 subset used by browser addons.
+
+The lexer performs maximal-munch tokenization with:
+
+- full comment handling (line and block comments, with newline tracking
+  through block comments for automatic semicolon insertion),
+- string literals with the usual escape sequences,
+- decimal / hex / octal-free numeric literals,
+- regular-expression literals, disambiguated from division using the
+  standard previous-token heuristic (a ``/`` starts a regex unless the
+  previous significant token could end an expression),
+- newline tracking on every token (``preceded_by_newline``) so the parser
+  can implement automatic semicolon insertion and restricted productions.
+"""
+
+from __future__ import annotations
+
+from repro.js.errors import LexError, SourcePosition
+from repro.js.tokens import KEYWORDS, Token, TokenType, punctuators_of_length
+
+_LINE_TERMINATORS = "\n\r  "
+_WHITESPACE = " \t\v\f ﻿"
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$"
+)
+_IDENT_PART = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+
+#: Tokens after which a ``/`` must be a division operator rather than the
+#: start of a regular expression literal: identifiers, literals, and the
+#: closing brackets of expressions.
+_REGEX_FORBIDDEN_PUNCTUATORS = frozenset({")", "]", "}", "++", "--"})
+_REGEX_FORBIDDEN_KEYWORDS = frozenset({"this", "true", "false", "null", "undefined"})
+
+_STRING_ESCAPES = {
+    "b": "\b",
+    "f": "\f",
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+    "v": "\v",
+    "0": "\0",
+    "'": "'",
+    '"': '"',
+    "\\": "\\",
+    "/": "/",
+}
+
+
+class Lexer:
+    """Tokenizes JavaScript source text.
+
+    Use :func:`tokenize` for the common whole-program case; the class is
+    exposed for incremental consumers and for tests that exercise individual
+    scanning routines.
+    """
+
+    def __init__(self, source: str, filename: str = "<addon>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 0
+        self._previous_significant: Token | None = None
+
+    def tokenize(self) -> list[Token]:
+        """Produce the full token stream, ending with a single EOF token."""
+        tokens: list[Token] = []
+        while True:
+            token = self.next_token()
+            tokens.append(token)
+            if token.type is TokenType.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------
+    # Scanning machinery
+
+    def _position(self) -> SourcePosition:
+        return SourcePosition(self.line, self.column, self.pos)
+
+    def _peek(self, ahead: int = 0) -> str:
+        index = self.pos + ahead
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            ch = self.source[self.pos]
+            self.pos += 1
+            if ch in _LINE_TERMINATORS:
+                # Treat \r\n as a single terminator for line counting.
+                if not (ch == "\r" and self._peek() == "\n"):
+                    self.line += 1
+                    self.column = 0
+            else:
+                self.column += 1
+
+    def _skip_whitespace_and_comments(self) -> bool:
+        """Skip to the next token start; return True if a newline was seen."""
+        saw_newline = False
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in _WHITESPACE:
+                self._advance()
+            elif ch in _LINE_TERMINATORS:
+                saw_newline = True
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() not in _LINE_TERMINATORS:
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                saw_newline |= self._skip_block_comment()
+            else:
+                break
+        return saw_newline
+
+    def _skip_block_comment(self) -> bool:
+        start = self._position()
+        self._advance(2)
+        saw_newline = False
+        while self.pos < len(self.source):
+            if self._peek() in _LINE_TERMINATORS:
+                saw_newline = True
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return saw_newline
+            self._advance()
+        raise LexError("unterminated block comment", start)
+
+    # ------------------------------------------------------------------
+    # Token production
+
+    def next_token(self) -> Token:
+        saw_newline = self._skip_whitespace_and_comments()
+        position = self._position()
+        if self.pos >= len(self.source):
+            return Token(TokenType.EOF, "", position, saw_newline)
+
+        ch = self._peek()
+        if ch in _IDENT_START:
+            token = self._scan_identifier(position, saw_newline)
+        elif ch in _DIGITS or (ch == "." and self._peek(1) in _DIGITS):
+            token = self._scan_number(position, saw_newline)
+        elif ch in ("'", '"'):
+            token = self._scan_string(position, saw_newline)
+        elif ch == "/" and self._regex_allowed():
+            token = self._scan_regex(position, saw_newline)
+        else:
+            token = self._scan_punctuator(position, saw_newline)
+
+        self._previous_significant = token
+        return token
+
+    def _regex_allowed(self) -> bool:
+        prev = self._previous_significant
+        if prev is None:
+            return True
+        if prev.type in (TokenType.IDENTIFIER, TokenType.NUMBER, TokenType.STRING,
+                         TokenType.REGEX):
+            return False
+        if prev.type is TokenType.KEYWORD:
+            return prev.value not in _REGEX_FORBIDDEN_KEYWORDS
+        if prev.type is TokenType.PUNCTUATOR:
+            return prev.value not in _REGEX_FORBIDDEN_PUNCTUATORS
+        return True
+
+    def _scan_identifier(self, position: SourcePosition, saw_newline: bool) -> Token:
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() in _IDENT_PART:
+            self._advance()
+        text = self.source[start:self.pos]
+        token_type = TokenType.KEYWORD if text in KEYWORDS else TokenType.IDENTIFIER
+        return Token(token_type, text, position, saw_newline)
+
+    def _scan_number(self, position: SourcePosition, saw_newline: bool) -> Token:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            if self._peek() not in _HEX_DIGITS:
+                raise LexError("malformed hex literal", position)
+            while self._peek() in _HEX_DIGITS:
+                self._advance()
+        else:
+            while self._peek() in _DIGITS:
+                self._advance()
+            if self._peek() == ".":
+                self._advance()
+                while self._peek() in _DIGITS:
+                    self._advance()
+            if self._peek() in ("e", "E"):
+                self._advance()
+                if self._peek() in ("+", "-"):
+                    self._advance()
+                if self._peek() not in _DIGITS:
+                    raise LexError("malformed exponent", position)
+                while self._peek() in _DIGITS:
+                    self._advance()
+        if self._peek() in _IDENT_START:
+            raise LexError("identifier starts immediately after number", position)
+        return Token(TokenType.NUMBER, self.source[start:self.pos], position, saw_newline)
+
+    def _scan_string(self, position: SourcePosition, saw_newline: bool) -> Token:
+        quote = self._peek()
+        self._advance()
+        parts: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise LexError("unterminated string literal", position)
+            ch = self._peek()
+            if ch == quote:
+                self._advance()
+                break
+            if ch in _LINE_TERMINATORS:
+                raise LexError("newline in string literal", position)
+            if ch == "\\":
+                self._advance()
+                parts.append(self._scan_escape(position))
+            else:
+                parts.append(ch)
+                self._advance()
+        return Token(TokenType.STRING, "".join(parts), position, saw_newline)
+
+    def _scan_escape(self, position: SourcePosition) -> str:
+        if self.pos >= len(self.source):
+            raise LexError("unterminated escape sequence", position)
+        ch = self._peek()
+        if ch in _LINE_TERMINATORS:
+            # Line continuation: contributes nothing to the string value.
+            self._advance()
+            return ""
+        self._advance()
+        if ch in _STRING_ESCAPES:
+            return _STRING_ESCAPES[ch]
+        if ch == "x":
+            return self._scan_hex_escape(position, 2)
+        if ch == "u":
+            return self._scan_hex_escape(position, 4)
+        # Per ES5, unknown escapes denote the character itself.
+        return ch
+
+    def _scan_hex_escape(self, position: SourcePosition, length: int) -> str:
+        digits = self.source[self.pos:self.pos + length]
+        if len(digits) < length or any(d not in _HEX_DIGITS for d in digits):
+            raise LexError("malformed hex escape in string", position)
+        self._advance(length)
+        return chr(int(digits, 16))
+
+    def _scan_regex(self, position: SourcePosition, saw_newline: bool) -> Token:
+        start = self.pos
+        self._advance()  # leading '/'
+        in_class = False
+        while True:
+            if self.pos >= len(self.source) or self._peek() in _LINE_TERMINATORS:
+                raise LexError("unterminated regular expression", position)
+            ch = self._peek()
+            if ch == "\\":
+                self._advance(2)
+                continue
+            if ch == "[":
+                in_class = True
+            elif ch == "]":
+                in_class = False
+            elif ch == "/" and not in_class:
+                self._advance()
+                break
+            self._advance()
+        while self._peek() in _IDENT_PART:  # flags
+            self._advance()
+        return Token(TokenType.REGEX, self.source[start:self.pos], position, saw_newline)
+
+    def _scan_punctuator(self, position: SourcePosition, saw_newline: bool) -> Token:
+        for length in (4, 3, 2, 1):
+            candidate = self.source[self.pos:self.pos + length]
+            if candidate in punctuators_of_length(length):
+                self._advance(length)
+                return Token(TokenType.PUNCTUATOR, candidate, position, saw_newline)
+        raise LexError(f"unexpected character {self._peek()!r}", position)
+
+
+def tokenize(source: str, filename: str = "<addon>") -> list[Token]:
+    """Tokenize ``source`` into a list of tokens ending with EOF."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,249 @@
+"""AST pretty-printer: render a parsed program back to JavaScript.
+
+Produces canonical, parenthesized source (every expression that could
+possibly be ambiguous is wrapped), so the output is not pretty-pretty but
+is *round-trip stable*: ``parse(print(parse(src)))`` produces a
+structurally identical AST. The test suite uses this as a frontend
+consistency check; it is also handy when debugging lowering issues on a
+minimized program.
+"""
+
+from __future__ import annotations
+
+from repro.js import ast
+
+_INDENT = "  "
+
+
+def print_program(program: ast.Program) -> str:
+    """Render a whole program."""
+    return "\n".join(_statement(stmt, 0) for stmt in program.body)
+
+
+def print_statement(stmt: ast.Statement) -> str:
+    return _statement(stmt, 0)
+
+
+def print_expression(expr: ast.Expression) -> str:
+    return _expression(expr)
+
+
+# ----------------------------------------------------------------------
+# Statements
+
+
+def _statement(node: ast.Statement, depth: int) -> str:
+    pad = _INDENT * depth
+    if isinstance(node, ast.ExpressionStatement):
+        return f"{pad}{_expression(node.expression)};"
+    if isinstance(node, ast.VariableDeclaration):
+        decls = ", ".join(
+            d.name if d.init is None else f"{d.name} = {_expression(d.init)}"
+            for d in node.declarations
+        )
+        return f"{pad}var {decls};"
+    if isinstance(node, ast.FunctionDeclaration):
+        params = ", ".join(node.params)
+        body = _statement(node.body, depth)
+        return f"{pad}function {node.name}({params}) {body.lstrip()}"
+    if isinstance(node, ast.BlockStatement):
+        if not node.body:
+            return f"{pad}{{}}"
+        inner = "\n".join(_statement(s, depth + 1) for s in node.body)
+        return f"{pad}{{\n{inner}\n{pad}}}"
+    if isinstance(node, ast.EmptyStatement):
+        return f"{pad};"
+    if isinstance(node, ast.DebuggerStatement):
+        return f"{pad}debugger;"
+    if isinstance(node, ast.IfStatement):
+        consequent = node.consequent
+        if node.alternate is not None and _ends_with_danglable_if(consequent):
+            # Brace the consequent to avoid the dangling-else ambiguity:
+            # it ends with an else-less if that would capture our else.
+            consequent = ast.BlockStatement([consequent])
+        text = f"{pad}if ({_expression(node.test)}) {_statement(consequent, depth).lstrip()}"
+        if node.alternate is not None:
+            text += f" else {_statement(node.alternate, depth).lstrip()}"
+        return text
+    if isinstance(node, ast.WhileStatement):
+        return f"{pad}while ({_expression(node.test)}) {_statement(node.body, depth).lstrip()}"
+    if isinstance(node, ast.DoWhileStatement):
+        return f"{pad}do {_statement(node.body, depth).lstrip()} while ({_expression(node.test)});"
+    if isinstance(node, ast.ForStatement):
+        if isinstance(node.init, ast.VariableDeclaration):
+            init = _statement(node.init, 0)[:-1]  # drop the ';'
+        elif node.init is not None:
+            init = _expression(node.init)
+        else:
+            init = ""
+        test = _expression(node.test) if node.test is not None else ""
+        update = _expression(node.update) if node.update is not None else ""
+        return (
+            f"{pad}for ({init}; {test}; {update}) "
+            f"{_statement(node.body, depth).lstrip()}"
+        )
+    if isinstance(node, ast.ForInStatement):
+        keyword = "var " if node.declares else ""
+        return (
+            f"{pad}for ({keyword}{node.variable} in {_expression(node.object)}) "
+            f"{_statement(node.body, depth).lstrip()}"
+        )
+    if isinstance(node, ast.ReturnStatement):
+        if node.argument is None:
+            return f"{pad}return;"
+        return f"{pad}return {_expression(node.argument)};"
+    if isinstance(node, ast.BreakStatement):
+        suffix = f" {node.label}" if node.label else ""
+        return f"{pad}break{suffix};"
+    if isinstance(node, ast.ContinueStatement):
+        suffix = f" {node.label}" if node.label else ""
+        return f"{pad}continue{suffix};"
+    if isinstance(node, ast.ThrowStatement):
+        return f"{pad}throw {_expression(node.argument)};"
+    if isinstance(node, ast.TryStatement):
+        text = f"{pad}try {_statement(node.block, depth).lstrip()}"
+        if node.handler is not None:
+            text += (
+                f" catch ({node.handler.param}) "
+                f"{_statement(node.handler.body, depth).lstrip()}"
+            )
+        if node.finalizer is not None:
+            text += f" finally {_statement(node.finalizer, depth).lstrip()}"
+        return text
+    if isinstance(node, ast.SwitchStatement):
+        pad1 = _INDENT * (depth + 1)
+        chunks = [f"{pad}switch ({_expression(node.discriminant)}) {{"]
+        for case in node.cases:
+            if case.test is None:
+                chunks.append(f"{pad1}default:")
+            else:
+                chunks.append(f"{pad1}case {_expression(case.test)}:")
+            for stmt in case.body:
+                chunks.append(_statement(stmt, depth + 2))
+        chunks.append(f"{pad}}}")
+        return "\n".join(chunks)
+    if isinstance(node, ast.LabeledStatement):
+        return f"{pad}{node.label}: {_statement(node.body, depth).lstrip()}"
+    raise TypeError(f"cannot print {node.kind}")
+
+
+def _ends_with_danglable_if(stmt: ast.Statement) -> bool:
+    """Would this statement, printed unbraced before an ``else``, swallow
+    that else into a nested if?"""
+    if isinstance(stmt, ast.IfStatement):
+        if stmt.alternate is None:
+            return True
+        return _ends_with_danglable_if(stmt.alternate)
+    if isinstance(stmt, (ast.WhileStatement, ast.ForStatement, ast.ForInStatement)):
+        return _ends_with_danglable_if(stmt.body)
+    if isinstance(stmt, ast.LabeledStatement):
+        return _ends_with_danglable_if(stmt.body)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Expressions
+
+
+def _expression(node: ast.Expression) -> str:
+    if isinstance(node, ast.NumberLiteral):
+        value = node.value
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    if isinstance(node, ast.StringLiteral):
+        return _quote(node.value)
+    if isinstance(node, ast.BooleanLiteral):
+        return "true" if node.value else "false"
+    if isinstance(node, ast.NullLiteral):
+        return "null"
+    if isinstance(node, ast.UndefinedLiteral):
+        return "undefined"
+    if isinstance(node, ast.RegexLiteral):
+        return node.pattern
+    if isinstance(node, ast.Identifier):
+        return node.name
+    if isinstance(node, ast.ThisExpression):
+        return "this"
+    if isinstance(node, ast.ArrayLiteral):
+        return "[" + ", ".join(_expression(e) for e in node.elements) + "]"
+    if isinstance(node, ast.ObjectLiteral):
+        props = ", ".join(
+            f"{_property_key(p.key)}: {_expression(p.value)}"
+            for p in node.properties
+        )
+        return "({" + props + "})" if props else "({})"
+    if isinstance(node, ast.FunctionExpression):
+        params = ", ".join(node.params)
+        name = f" {node.name}" if node.name else ""
+        body = _statement(node.body, 0)
+        return f"(function{name}({params}) {body})"
+    if isinstance(node, ast.MemberExpression):
+        base = _expression(node.object)
+        if isinstance(node.object, (ast.NumberLiteral, ast.ObjectLiteral)):
+            base = f"({base})"
+        if node.computed:
+            return f"{base}[{_expression(node.property)}]"
+        assert isinstance(node.property, ast.StringLiteral)
+        return f"{base}.{node.property.value}"
+    if isinstance(node, ast.CallExpression):
+        callee = _expression(node.callee)
+        if isinstance(node.callee, ast.FunctionExpression):
+            pass  # already parenthesized
+        arguments = ", ".join(_expression(a) for a in node.arguments)
+        return f"{callee}({arguments})"
+    if isinstance(node, ast.NewExpression):
+        callee = _expression(node.callee)
+        arguments = ", ".join(_expression(a) for a in node.arguments)
+        return f"new {callee}({arguments})"
+    if isinstance(node, ast.UnaryExpression):
+        space = " " if node.operator.isalpha() else ""
+        return f"({node.operator}{space}{_expression(node.argument)})"
+    if isinstance(node, ast.UpdateExpression):
+        if node.prefix:
+            return f"({node.operator}{_expression(node.argument)})"
+        return f"({_expression(node.argument)}{node.operator})"
+    if isinstance(node, (ast.BinaryExpression, ast.LogicalExpression)):
+        return f"({_expression(node.left)} {node.operator} {_expression(node.right)})"
+    if isinstance(node, ast.ConditionalExpression):
+        return (
+            f"({_expression(node.test)} ? {_expression(node.consequent)}"
+            f" : {_expression(node.alternate)})"
+        )
+    if isinstance(node, ast.AssignmentExpression):
+        return f"({_expression(node.target)} {node.operator} {_expression(node.value)})"
+    if isinstance(node, ast.SequenceExpression):
+        return "(" + ", ".join(_expression(e) for e in node.expressions) + ")"
+    raise TypeError(f"cannot print {node.kind}")
+
+
+def _property_key(key: str) -> str:
+    if key.isidentifier():
+        return key
+    return _quote(key)
+
+
+_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+    "\b": "\\b",
+    "\f": "\\f",
+    "\v": "\\v",
+    "\0": "\\0",
+}
+
+
+def _quote(text: str) -> str:
+    out = ['"']
+    for ch in text:
+        if ch in _ESCAPES:
+            out.append(_ESCAPES[ch])
+        elif ord(ch) < 0x20:
+            out.append(f"\\u{ord(ch):04x}")
+        else:
+            out.append(ch)
+    out.append('"')
+    return "".join(out)

@@ -1,0 +1,40 @@
+"""The annotated Program Dependence Graph (Section 3 of the paper)."""
+
+from repro.pdg.annotations import Annotation
+from repro.pdg.cdg import CDGResult, build_cdg
+from repro.pdg.ddg import DDGResult, build_ddg
+from repro.pdg.graph import PDG, build_pdg
+from repro.pdg.icfg import ICFG, build_icfg, cyclic_statements
+from repro.pdg.postdom import (
+    Digraph,
+    control_dependence,
+    immediate_dominators,
+)
+from repro.pdg.slicing import (
+    DATA_ONLY,
+    backward_slice,
+    backward_slice_of_line,
+    forward_slice,
+    forward_slice_of_line,
+)
+
+__all__ = [
+    "Annotation",
+    "PDG",
+    "build_pdg",
+    "build_ddg",
+    "DDGResult",
+    "build_cdg",
+    "CDGResult",
+    "ICFG",
+    "build_icfg",
+    "cyclic_statements",
+    "Digraph",
+    "control_dependence",
+    "immediate_dominators",
+    "backward_slice",
+    "forward_slice",
+    "backward_slice_of_line",
+    "forward_slice_of_line",
+    "DATA_ONLY",
+]

@@ -1,0 +1,66 @@
+"""The PDG edge annotation grammar of Section 3.1.
+
+::
+
+    ann     ::= data | control
+    data    ::= datastrong | dataweak
+    control ::= ctrl | ctrl^amp
+    ctrl    ::= local | nonlocexp | nonlocimp
+
+Eight concrete annotations. The helpers classify and amplify them; the
+flow-type lattice of Section 4 (:mod:`repro.signatures.flowtypes`) is
+keyed by these values.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Annotation(enum.Enum):
+    """One PDG edge annotation."""
+
+    DATA_STRONG = "datastrong"
+    DATA_WEAK = "dataweak"
+    LOCAL = "local"
+    LOCAL_AMP = "local^amp"
+    NONLOC_EXP = "nonlocexp"
+    NONLOC_EXP_AMP = "nonlocexp^amp"
+    NONLOC_IMP = "nonlocimp"
+    NONLOC_IMP_AMP = "nonlocimp^amp"
+
+    @property
+    def is_data(self) -> bool:
+        return self in (Annotation.DATA_STRONG, Annotation.DATA_WEAK)
+
+    @property
+    def is_control(self) -> bool:
+        return not self.is_data
+
+    @property
+    def is_amplified(self) -> bool:
+        return self in _AMPLIFIED
+
+    def amplified(self) -> "Annotation":
+        """The ``ctrl^amp`` version of a control annotation (stage 4 of
+        the CDG construction). Data annotations are unaffected."""
+        return _AMPLIFY.get(self, self)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_AMPLIFY = {
+    Annotation.LOCAL: Annotation.LOCAL_AMP,
+    Annotation.NONLOC_EXP: Annotation.NONLOC_EXP_AMP,
+    Annotation.NONLOC_IMP: Annotation.NONLOC_IMP_AMP,
+}
+
+_AMPLIFIED = frozenset(_AMPLIFY.values())
+
+#: The control annotations of the three CDG stages, unamplified.
+STAGE_ANNOTATIONS = (
+    Annotation.LOCAL,
+    Annotation.NONLOC_EXP,
+    Annotation.NONLOC_IMP,
+)

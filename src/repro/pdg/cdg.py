@@ -1,0 +1,111 @@
+"""The annotated control dependence graph (Section 3.3).
+
+Constructed in the paper's four stages, per function:
+
+1. **local** — control dependence over the *structured* CFG (all
+   non-local edges removed; jumps fall through to their structured
+   successor);
+2. **nonlocexp** — control dependence over the CFG with explicit jumps
+   restored (implicit-exception edges still removed), minus stage 1;
+3. **nonlocimp** — control dependence over the full CFG (implicit edges
+   included only for statements the base analysis says may actually
+   throw), minus stages 1 and 2;
+4. **amplification** — any control edge whose source lies on an ICFG
+   cycle (loop, recursion, or the event loop) becomes ``ctrl^amp``.
+
+Edges due to *uncaught* exceptions are omitted throughout (an uncaught
+throw has no handler edge and falls back to its structured successor in
+every view), matching the paper: uncaught exceptions terminate the addon
+and termination leaks are out of scope.
+
+Interprocedural control dependence: a callee's entry statement is
+control-dependent on each call site that may invoke it (annotated
+``local`` — amplified like any other edge if the call site sits in a
+cycle, which is how code inside event handlers gets ``local^amp``).
+Within a function, statements executing unconditionally depend on the
+function entry (via the virtual entry->exit edge of the FOW
+construction), so paths source -> ... -> call -> entry -> statement exist
+in the PDG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.interpreter import AnalysisResult
+from repro.ir.cfg import Mode, statement_successors
+from repro.ir.nodes import EdgeKind, ExitStmt, FunctionIR
+from repro.pdg.annotations import Annotation
+from repro.pdg.postdom import Digraph, control_dependence
+
+
+@dataclass
+class CDGResult:
+    """Statement-level control dependence edges with annotations."""
+
+    edges: dict[tuple[int, int], Annotation]
+
+
+def _view_digraph(
+    function: FunctionIR, mode: Mode, throwing: frozenset[int]
+) -> Digraph:
+    """The pruned CFG of one function under ``mode``, with uncaught
+    throws falling back to their structured successor (so they induce no
+    control dependence — the paper's omission)."""
+    nodes = [stmt.sid for stmt in function.statements]
+    succs: dict[int, list[int]] = {}
+    for stmt in function.statements:
+        targets = statement_successors(stmt, mode, throwing)
+        if not targets and not isinstance(stmt, ExitStmt):
+            targets = [
+                e.target for e in stmt.edges if e.kind is EdgeKind.FALLTHROUGH
+            ]
+        succs[stmt.sid] = targets
+    return Digraph(nodes, succs)
+
+
+def build_cdg(
+    result: AnalysisResult, cyclic_sids: set[int] | None = None
+) -> CDGResult:
+    """Run the four-stage construction over every function."""
+    program = result.program
+    edges: dict[tuple[int, int], Annotation] = {}
+
+    for function in program.functions.values():
+        entry, exit_node = function.entry.sid, function.exit.sid
+
+        stage1 = control_dependence(
+            _view_digraph(function, Mode.STRUCTURED, result.throwing),
+            entry, exit_node,
+        )
+        stage2 = control_dependence(
+            _view_digraph(function, Mode.NO_IMPLICIT, result.throwing),
+            entry, exit_node,
+        )
+        stage3 = control_dependence(
+            _view_digraph(function, Mode.FULL, result.throwing),
+            entry, exit_node,
+        )
+
+        for pair in stage1:
+            edges[pair] = Annotation.LOCAL
+        for pair in stage2 - stage1:
+            edges[pair] = Annotation.NONLOC_EXP
+        for pair in stage3 - stage2 - stage1:
+            edges[pair] = Annotation.NONLOC_IMP
+
+    # Interprocedural: callee entries depend on their call sites.
+    for (call_sid, _ctx), targets in result.call_edges.items():
+        for fid, _callee_ctx in targets:
+            entry_sid = program.functions[fid].entry.sid
+            edges.setdefault((call_sid, entry_sid), Annotation.LOCAL)
+
+    # Stage 4: amplify edges whose source is on a cycle.
+    if cyclic_sids:
+        edges = {
+            (source, target): (
+                annotation.amplified() if source in cyclic_sids else annotation
+            )
+            for (source, target), annotation in edges.items()
+        }
+    return CDGResult(edges=edges)

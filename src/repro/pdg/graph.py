@@ -1,0 +1,131 @@
+"""The annotated Program Dependence Graph: DDG ∪ CDG.
+
+Nodes are IR statements; each edge carries one annotation from the
+grammar of Section 3.1. The PDG also keeps the statement -> source line
+mapping so results can be reported in terms of the addon's source (and so
+the Figure 1/2 reproduction can check edges by line number).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.interpreter import AnalysisResult
+from repro.analysis.readwrite import ReadWriteSets
+from repro.ir.nodes import ProgramIR
+from repro.pdg.annotations import Annotation
+from repro.pdg.cdg import build_cdg
+from repro.pdg.ddg import build_ddg
+from repro.pdg.icfg import build_icfg, cyclic_statements
+
+
+@dataclass
+class PDG:
+    """The annotated program dependence graph."""
+
+    program: ProgramIR
+    #: (source sid, target sid) -> annotations (an edge pair may carry
+    #: both a data and a control annotation).
+    edges: dict[tuple[int, int], set[Annotation]] = field(default_factory=dict)
+    #: Statement ids on an ICFG cycle (used by amplification; exposed for
+    #: diagnostics and tests).
+    cyclic: set[int] = field(default_factory=set)
+
+    def add_edge(self, source: int, target: int, annotation: Annotation) -> None:
+        self.edges.setdefault((source, target), set()).add(annotation)
+
+    def successors(self, sid: int) -> list[tuple[int, set[Annotation]]]:
+        return [
+            (target, annotations)
+            for (source, target), annotations in self.edges.items()
+            if source == sid
+        ]
+
+    def annotations(self, source: int, target: int) -> set[Annotation]:
+        return self.edges.get((source, target), set())
+
+    # ------------------------------------------------------------------
+    # Line-level views (for reproducing Figure 2 and for reporting)
+
+    def line_of(self, sid: int) -> int:
+        return self.program.stmts[sid].line
+
+    def line_edges(self) -> dict[tuple[int, int], set[Annotation]]:
+        """Edges projected onto source lines; self-loops and synthetic
+        statements (line 0: entry/exit markers) dropped."""
+        projected: dict[tuple[int, int], set[Annotation]] = {}
+        for (source, target), annotations in self.edges.items():
+            line_pair = (self.line_of(source), self.line_of(target))
+            if line_pair[0] == line_pair[1] or 0 in line_pair:
+                continue
+            projected.setdefault(line_pair, set()).update(annotations)
+        return projected
+
+    def line_annotations(self, source_line: int, target_line: int) -> set[Annotation]:
+        result: set[Annotation] = set()
+        for (source, target), annotations in self.edges.items():
+            if self.line_of(source) == source_line and self.line_of(target) == target_line:
+                result.update(annotations)
+        return result
+
+    def reachable_from(
+        self, sources: set[int], allowed: frozenset[Annotation]
+    ) -> set[int]:
+        """Statements reachable from ``sources`` using only edges whose
+        annotation set intersects ``allowed``."""
+        seen = set(sources)
+        stack = list(sources)
+        adjacency: dict[int, list[int]] = {}
+        for (source, target), annotations in self.edges.items():
+            if annotations & allowed:
+                adjacency.setdefault(source, []).append(target)
+        while stack:
+            node = stack.pop()
+            for successor in adjacency.get(node, ()):
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Export
+
+    def to_dot(self, include_isolated: bool = False) -> str:
+        """Graphviz rendering (data edges solid, control edges dashed,
+        amplified edges bold)."""
+        lines = ["digraph pdg {", "  node [shape=box, fontname=monospace];"]
+        used: set[int] = set()
+        for (source, target) in self.edges:
+            used.add(source)
+            used.add(target)
+        sids = self.program.stmts.keys() if include_isolated else sorted(used)
+        for sid in sids:
+            stmt = self.program.stmts[sid]
+            label = f"{sid}: line {stmt.line}\\n{type(stmt).__name__}"
+            lines.append(f'  n{sid} [label="{label}"];')
+        for (source, target), annotations in sorted(self.edges.items()):
+            for annotation in sorted(annotations, key=lambda a: a.value):
+                style = "solid" if annotation.is_data else "dashed"
+                weight = ", penwidth=2" if annotation.is_amplified else ""
+                lines.append(
+                    f'  n{source} -> n{target} '
+                    f'[label="{annotation}", style={style}{weight}];'
+                )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_pdg(result: AnalysisResult) -> PDG:
+    """Phase P2: construct the annotated PDG from the base analysis."""
+    icfg = build_icfg(result)
+    cyclic = cyclic_statements(icfg)
+    rw_sets = ReadWriteSets(result)
+
+    pdg = PDG(program=result.program, cyclic=cyclic)
+    ddg = build_ddg(result, icfg, rw_sets)
+    for (source, target), annotation in ddg.edges.items():
+        pdg.add_edge(source, target, annotation)
+    cdg = build_cdg(result, cyclic_sids=cyclic)
+    for (source, target), annotation in cdg.edges.items():
+        pdg.add_edge(source, target, annotation)
+    return pdg

@@ -1,0 +1,156 @@
+"""Postdominators and control dependence (Ferrante–Ottenstein–Warren).
+
+Control dependence is computed per function, per pruned-CFG view, using
+the classic recipe:
+
+1. augment the view so every node reaches the exit (dead ends fall back
+   to their structured successor, or get a virtual edge to the exit) and
+   every node is reachable from the entry (the paper: "we add a new edge
+   in the pruned CFG from the entry to any such node"),
+2. add the virtual ``entry -> exit`` edge, which makes statements that do
+   not postdominate the entry control-dependent *on the entry* — the hook
+   the interprocedural edges (call site -> callee entry) attach to,
+3. compute immediate postdominators with the iterative Cooper–Harvey–
+   Kennedy algorithm on the reverse graph,
+4. for each CFG edge ``a -> b`` where ``b`` does not postdominate ``a``,
+   mark every node on the postdominator-tree path from ``b`` up to (but
+   excluding) ``ipdom(a)`` as control-dependent on ``a``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Digraph:
+    """A small adjacency-list digraph over statement ids."""
+
+    nodes: list[int]
+    succs: dict[int, list[int]]
+
+    def add_edge(self, source: int, target: int) -> None:
+        targets = self.succs.setdefault(source, [])
+        if target not in targets:
+            targets.append(target)
+
+    def reachable_from(self, root: int) -> set[int]:
+        seen: set[int] = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.succs.get(node, ()))
+        return seen
+
+    def reversed(self) -> "Digraph":
+        preds: dict[int, list[int]] = {node: [] for node in self.nodes}
+        for source, targets in self.succs.items():
+            for target in targets:
+                preds.setdefault(target, []).append(source)
+        return Digraph(list(self.nodes), preds)
+
+
+def augment_for_control_dependence(
+    graph: Digraph, entry: int, exit_node: int
+) -> Digraph:
+    """Make every node reachable from entry and able to reach exit, and
+    add the virtual entry->exit edge (step 1 and 2 above)."""
+    augmented = Digraph(list(graph.nodes), {n: list(graph.succs.get(n, [])) for n in graph.nodes})
+    reachable = augmented.reachable_from(entry)
+    for node in augmented.nodes:
+        if node not in reachable:
+            augmented.add_edge(entry, node)
+    # Dead ends (other than exit) get a virtual edge to exit so the
+    # postdominator tree is total. Nodes that reach only cycles do too.
+    reaches_exit = _nodes_reaching(augmented, exit_node)
+    for node in augmented.nodes:
+        if node != exit_node and node not in reaches_exit:
+            augmented.add_edge(node, exit_node)
+            reaches_exit.add(node)
+    augmented.add_edge(entry, exit_node)
+    return augmented
+
+
+def _nodes_reaching(graph: Digraph, target: int) -> set[int]:
+    reverse = graph.reversed()
+    return reverse.reachable_from(target)
+
+
+def immediate_dominators(graph: Digraph, root: int) -> dict[int, int]:
+    """Cooper–Harvey–Kennedy iterative dominators of ``graph`` from
+    ``root``. Call with the reversed CFG to get postdominators."""
+    order: list[int] = []
+    visited: set[int] = set()
+    # Iterative DFS for reverse postorder.
+    stack: list[tuple[int, int]] = [(root, 0)]
+    visited.add(root)
+    while stack:
+        node, child_index = stack.pop()
+        children = graph.succs.get(node, [])
+        if child_index < len(children):
+            stack.append((node, child_index + 1))
+            child = children[child_index]
+            if child not in visited:
+                visited.add(child)
+                stack.append((child, 0))
+        else:
+            order.append(node)
+    order.reverse()  # reverse postorder
+    index_of = {node: position for position, node in enumerate(order)}
+
+    preds = graph.reversed().succs
+    idom: dict[int, int] = {root: root}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index_of[a] > index_of[b]:
+                a = idom[a]
+            while index_of[b] > index_of[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == root:
+                continue
+            candidates = [
+                pred for pred in preds.get(node, []) if pred in idom
+            ]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for pred in candidates[1:]:
+                new_idom = intersect(new_idom, pred)
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def control_dependence(
+    graph: Digraph, entry: int, exit_node: int
+) -> set[tuple[int, int]]:
+    """All control-dependence pairs ``(controller, dependent)`` of the
+    (already pruned) CFG ``graph``."""
+    augmented = augment_for_control_dependence(graph, entry, exit_node)
+    ipdom = immediate_dominators(augmented.reversed(), exit_node)
+
+    dependences: set[tuple[int, int]] = set()
+    for source, targets in augmented.succs.items():
+        if source not in ipdom:
+            continue
+        stop = ipdom[source]
+        for target in targets:
+            walker = target
+            while walker != stop and walker in ipdom:
+                if walker != source:
+                    dependences.add((source, walker))
+                if walker == ipdom.get(walker):
+                    break
+                walker = ipdom[walker]
+    return dependences

@@ -1,0 +1,67 @@
+"""Security signatures (Section 4): flow types, specs, inference,
+and comparison against manual signatures."""
+
+from repro.signatures.compare import Comparison, Verdict, compare
+from repro.signatures.explain import FlowWitness, explain_all, explain_flow
+from repro.signatures.taint import implicit_only_flows, infer_taint_signature
+from repro.signatures.flowtypes import (
+    DEFAULT_LATTICE,
+    FlowType,
+    FlowTypeLattice,
+)
+from repro.signatures.inference import (
+    InferenceDetail,
+    flow_types_from,
+    infer_signature,
+)
+from repro.signatures.signature import (
+    ApiEntry,
+    Entry,
+    FlowEntry,
+    Signature,
+    parse_entry,
+    parse_signature,
+)
+from repro.signatures.spec import (
+    ApiSink,
+    CallSource,
+    DomainRule,
+    NetworkSink,
+    PropertySource,
+    PropertyWriteSink,
+    SecuritySpec,
+    SinkSpec,
+    SourceSpec,
+)
+
+__all__ = [
+    "FlowType",
+    "FlowTypeLattice",
+    "DEFAULT_LATTICE",
+    "Signature",
+    "Entry",
+    "FlowEntry",
+    "ApiEntry",
+    "parse_entry",
+    "parse_signature",
+    "SecuritySpec",
+    "SourceSpec",
+    "PropertySource",
+    "PropertyWriteSink",
+    "CallSource",
+    "SinkSpec",
+    "NetworkSink",
+    "DomainRule",
+    "ApiSink",
+    "infer_signature",
+    "flow_types_from",
+    "InferenceDetail",
+    "compare",
+    "Comparison",
+    "Verdict",
+    "explain_flow",
+    "explain_all",
+    "FlowWitness",
+    "infer_taint_signature",
+    "implicit_only_flows",
+]

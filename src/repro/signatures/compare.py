@@ -1,0 +1,80 @@
+"""Comparing inferred signatures against manual signatures (Section 6.2).
+
+The paper's methodology: write a manual signature from the developer's
+addon summary *before* running the analysis, then classify each addon:
+
+- **pass** — the inferred signature matches the manual one;
+- **fail** — the inferred signature has more flows, and inspection shows
+  they are false positives (in the paper, both fails are the prefix
+  domain failing to keep several network domains apart);
+- **leak** — the inferred signature has more flows and they are real
+  (undocumented behavior the summary did not admit to).
+
+The fail/leak distinction required manual inspection in the paper; our
+benchmark corpus carries the ground truth (which extra entries are real)
+as construction-time metadata, so the harness can classify mechanically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.signatures.signature import Entry, Signature
+
+
+class Verdict(enum.Enum):
+    """The Table 2 result classes (plus a soundness diagnostic)."""
+
+    PASS = "pass"
+    FAIL = "fail"
+    LEAK = "leak"
+    #: The inferred signature *misses* manual entries — would indicate an
+    #: unsound analysis; never expected.
+    MISS = "miss"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing an inferred signature to the manual one."""
+
+    verdict: Verdict
+    #: Inferred entries with no matching manual entry.
+    extra: frozenset[Entry] = frozenset()
+    #: Manual entries the analysis failed to infer.
+    missing: frozenset[Entry] = frozenset()
+
+    def render(self) -> str:
+        lines = [f"verdict: {self.verdict}"]
+        for entry in sorted(self.extra, key=lambda e: e.render()):
+            lines.append(f"  extra:   {entry.render()}")
+        for entry in sorted(self.missing, key=lambda e: e.render()):
+            lines.append(f"  missing: {entry.render()}")
+        return "\n".join(lines)
+
+
+def compare(
+    inferred: Signature,
+    manual: Signature,
+    real_extras: frozenset[Entry] = frozenset(),
+) -> Comparison:
+    """Classify an inferred signature against the manual one.
+
+    ``real_extras`` is the ground truth: extra entries known (by
+    inspection, or in our corpus by construction) to be real flows.
+    """
+    extra = frozenset(inferred.entries - manual.entries)
+    missing = frozenset(manual.entries - inferred.entries)
+
+    if not extra and not missing:
+        verdict = Verdict.PASS
+    elif extra and extra <= real_extras:
+        verdict = Verdict.LEAK
+    elif extra:
+        verdict = Verdict.FAIL
+    else:
+        verdict = Verdict.MISS
+    return Comparison(verdict=verdict, extra=extra, missing=missing)

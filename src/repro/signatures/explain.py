@@ -1,0 +1,139 @@
+"""Flow witnesses: explain *how* an inferred flow happens.
+
+A signature entry tells the vetter that ``url`` reaches ``send`` with,
+say, type3 — but when triaging, the next question is always "through
+which statements?". :func:`explain_flow` produces a witness: one
+shortest PDG path from a source statement to a sink statement using only
+the edges the entry's flow type permits, rendered with source lines and
+edge annotations.
+
+This is the vetting aid the signature formalism makes cheap: the path is
+evidence the vetter can check directly against the addon source.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.pdg.annotations import Annotation
+from repro.pdg.graph import PDG
+from repro.signatures.flowtypes import DEFAULT_LATTICE, FlowTypeLattice
+from repro.signatures.inference import InferenceDetail
+from repro.signatures.signature import FlowEntry
+
+
+@dataclass(frozen=True)
+class WitnessStep:
+    """One PDG edge on a witness path."""
+
+    source_sid: int
+    source_line: int
+    annotation: Annotation
+    target_sid: int
+    target_line: int
+
+    def render(self) -> str:
+        return (
+            f"line {self.source_line:>3} --{self.annotation}--> "
+            f"line {self.target_line}"
+        )
+
+
+@dataclass
+class FlowWitness:
+    """A full source-to-sink path for one flow entry."""
+
+    entry: FlowEntry
+    steps: list[WitnessStep]
+
+    def render(self) -> str:
+        lines = [f"witness for: {self.entry.render()}"]
+        lines.extend(f"  {step.render()}" for step in self.steps)
+        return "\n".join(lines)
+
+    @property
+    def lines(self) -> list[int]:
+        if not self.steps:
+            return []
+        path = [self.steps[0].source_line]
+        path.extend(step.target_line for step in self.steps)
+        return path
+
+
+def explain_flow(
+    pdg: PDG,
+    detail: InferenceDetail,
+    entry: FlowEntry,
+    lattice: FlowTypeLattice = DEFAULT_LATTICE,
+) -> FlowWitness | None:
+    """Find a shortest witness path for ``entry``, or None if the entry
+    does not belong to ``detail`` (or no path survives the filter)."""
+    sink_sids = detail.provenance.get(entry)
+    source_sids = detail.source_statements.get(entry.source)
+    if not sink_sids or not source_sids:
+        return None
+    allowed = lattice.allowed_annotations(entry.flow_type)
+
+    # BFS over the allowed sub-PDG, remembering the annotation taken.
+    adjacency: dict[int, list[tuple[int, Annotation]]] = {}
+    for (source, target), annotations in pdg.edges.items():
+        permitted = annotations & allowed
+        if permitted:
+            # Prefer the strongest annotation for display.
+            best = min(permitted, key=lambda a: _display_rank(a, lattice))
+            adjacency.setdefault(source, []).append((target, best))
+
+    parents: dict[int, tuple[int, Annotation]] = {}
+    queue: deque[int] = deque(sorted(source_sids))
+    visited = set(source_sids)
+    found: int | None = None
+    while queue:
+        node = queue.popleft()
+        if node in sink_sids and node not in source_sids:
+            found = node
+            break
+        for target, annotation in adjacency.get(node, ()):  # noqa: B020
+            if target not in visited:
+                visited.add(target)
+                parents[target] = (node, annotation)
+                queue.append(target)
+    if found is None:
+        return None
+
+    steps: list[WitnessStep] = []
+    walker = found
+    while walker in parents:
+        parent, annotation = parents[walker]
+        steps.append(
+            WitnessStep(
+                source_sid=parent,
+                source_line=pdg.program.stmts[parent].line,
+                annotation=annotation,
+                target_sid=walker,
+                target_line=pdg.program.stmts[walker].line,
+            )
+        )
+        walker = parent
+    steps.reverse()
+    return FlowWitness(entry=entry, steps=steps)
+
+
+def _display_rank(annotation: Annotation, lattice: FlowTypeLattice) -> int:
+    for flow_type, (rank, keyed) in lattice.structure.items():
+        if keyed is annotation:
+            return rank
+    return 99
+
+
+def explain_all(
+    pdg: PDG, detail: InferenceDetail, lattice: FlowTypeLattice = DEFAULT_LATTICE
+) -> list[FlowWitness]:
+    """Witnesses for every flow entry of a signature (sorted for
+    deterministic output)."""
+    witnesses = []
+    for entry in sorted(detail.signature.flows, key=lambda e: e.render()):
+        witness = explain_flow(pdg, detail, entry, lattice)
+        if witness is not None:
+            witnesses.append(witness)
+    return witnesses

@@ -1,0 +1,159 @@
+"""Signature inference (Section 4.2) — phase P3 of the pipeline.
+
+For each interesting source, a fixpoint over the annotated PDG computes
+``FlowType(v)``: the strongest set of flow types with which information
+from the source can reach statement ``v``:
+
+    FlowType(v) = max( ⋃_{v' --ann--> v}  { extend(t, ann) | t ∈ FlowType(v') } )
+
+seeded with ``{type1}`` at the source. The signature collects, at every
+interesting sink, one entry per member of the sink's flow-type set, plus
+
+- a bare ``send(Pre)`` entry for each network sink used *without* any
+  interesting inbound flow (the category-C pattern: the addon talks to a
+  domain but reveals nothing interesting — e.g. Chess.comNotifier), and
+- one API-usage entry per interesting API that some reachable call may
+  invoke (script loaders, deprecated APIs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.analysis.interpreter import AnalysisResult
+from repro.pdg.annotations import Annotation
+from repro.pdg.graph import PDG
+from repro.signatures.flowtypes import DEFAULT_LATTICE, FlowType, FlowTypeLattice
+from repro.signatures.signature import ApiEntry, Entry, FlowEntry, Signature
+from repro.signatures.spec import SecuritySpec
+
+
+def flow_types_from(
+    pdg: PDG,
+    sources: set[int],
+    lattice: FlowTypeLattice = DEFAULT_LATTICE,
+) -> dict[int, set[FlowType]]:
+    """The FlowType fixpoint for one source (set of source statements).
+
+    Returns the flow-type antichain for every PDG statement reachable
+    from the sources; unreachable statements are absent.
+    """
+    adjacency: dict[int, list[tuple[int, set[Annotation]]]] = {}
+    for (source, target), annotations in pdg.edges.items():
+        adjacency.setdefault(source, []).append((target, annotations))
+
+    best: dict[int, set[FlowType]] = {
+        source: {lattice.strongest()} for source in sources
+    }
+    worklist: deque[int] = deque(sources)
+    queued = set(sources)
+    while worklist:
+        node = worklist.popleft()
+        queued.discard(node)
+        current = best[node]
+        for target, annotations in adjacency.get(node, ()):  # noqa: B020
+            contribution: set[FlowType] = set()
+            for flow_type in current:
+                for annotation in annotations:
+                    contribution.add(lattice.extend(flow_type, annotation))
+            merged = lattice.max(best.get(target, set()) | contribution)
+            if merged != best.get(target):
+                best[target] = merged
+                if target not in queued:
+                    queued.add(target)
+                    worklist.append(target)
+    return best
+
+
+@dataclass
+class InferenceDetail:
+    """The signature plus per-entry provenance for reporting/debugging."""
+
+    signature: Signature
+    #: entry -> sink statement ids that produced it.
+    provenance: dict[Entry, set[int]]
+    #: source name -> source statement ids.
+    source_statements: dict[str, set[int]]
+
+
+def infer_signature(
+    result: AnalysisResult,
+    pdg: PDG,
+    spec: SecuritySpec,
+    lattice: FlowTypeLattice = DEFAULT_LATTICE,
+) -> InferenceDetail:
+    """Infer the security signature of an analyzed addon."""
+    entries: dict[Entry, set[int]] = {}
+    source_statements: dict[str, set[int]] = {}
+
+    def record(entry: Entry, sid: int) -> None:
+        entries.setdefault(entry, set()).add(sid)
+
+    # Pre-match every sink once.
+    network_sinks = [
+        (sink, sink.matching_statements(result)) for sink in spec.sinks
+    ]
+
+    # Information-flow entries, one fixpoint per source. A sink in the
+    # signature grammar is ``send(Pre)`` — identified by name and domain,
+    # not by statement — so flow types are aggregated per (source, sink,
+    # domain) and reduced with ``max`` before becoming entries.
+    sinks_with_flows: set[int] = set()
+    grouped: dict[tuple[str, str, object], tuple[set[FlowType], set[int]]] = {}
+    for source in spec.sources:
+        sids = source.matching_statements(result)
+        # Several matchers may share a source name (e.g. "url" covers
+        # both location and nsIURI reads): accumulate, don't overwrite.
+        source_statements.setdefault(source.name, set()).update(sids)
+        if not sids:
+            continue
+        flow = flow_types_from(pdg, sids, lattice)
+        for sink, matches in network_sinks:
+            for sink_sid, domain in matches.items():
+                if sink_sid in sids:
+                    continue  # a statement is not its own sink
+                types = flow.get(sink_sid)
+                if not types:
+                    continue
+                sinks_with_flows.add(sink_sid)
+                key = (source.name, sink.name, domain)
+                bucket = grouped.setdefault(key, (set(), set()))
+                bucket[0].update(types)
+                bucket[1].add(sink_sid)
+    for (source_name, sink_name, domain), (types, sids_hit) in grouped.items():
+        for flow_type in lattice.max(types):
+            for sink_sid in sids_hit:
+                record(
+                    FlowEntry(source_name, flow_type, sink_name, domain),
+                    sink_sid,
+                )
+
+    # Bare sink entries: network communication with no interesting flow.
+    # A sink statement is covered when it carries a flow itself, or when
+    # a flow entry already reports the same sink with the same domain
+    # (e.g. the XHRWrapper(...) setup call next to the send that leaks).
+    flow_covered_domains = {
+        (entry.sink, entry.domain)
+        for entry in entries
+        if isinstance(entry, FlowEntry)
+    }
+    for sink, matches in network_sinks:
+        for sink_sid, domain in matches.items():
+            if sink_sid in sinks_with_flows:
+                continue
+            if (sink.name, domain) in flow_covered_domains:
+                continue
+            record(ApiEntry(sink.name, domain), sink_sid)
+
+    # Interesting-API usage.
+    for api in spec.apis:
+        for sid in api.matching_statements(result):
+            record(ApiEntry(api.name), sid)
+
+    signature = Signature(entries=frozenset(entries))
+    return InferenceDetail(
+        signature=signature,
+        provenance=entries,
+        source_statements=source_statements,
+    )

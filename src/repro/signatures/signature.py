@@ -1,0 +1,159 @@
+"""Security signatures (Figure 3): the analysis's output artifact.
+
+::
+
+    sign  ::= entry*
+    entry ::= src --type--> sink | sink
+    src   ::= url | key | geoloc | ...
+    sink  ::= send(Pre) | scriptloader | ...
+
+A :class:`FlowEntry` records one interesting information flow with its
+flow type and, for network sinks, the inferred domain as a prefix-domain
+element. An :class:`ApiEntry` records usage of an interesting API (the
+"special case of information flow" of Section 4.1).
+
+The textual format round-trips (``render`` / ``parse_entry``), which is
+how the benchmark corpus stores its manually-written signatures:
+
+- ``url -type1-> send(toolbarqueries.google.com)`` — exact domain;
+- ``url -type2-> send(www.example.com/req?...)`` — domain prefix;
+- ``key -type3-> send(*)`` — unknown domain;
+- ``use(scriptloader)`` — API usage.
+
+The textual forms ``...``/``…`` (trailing) and ``*``/``⊥`` are reserved
+markers: an *exact* domain ending in those cannot be distinguished from
+the prefix/top/bottom notation when re-parsed. No URL ends that way in
+practice; the round-trip property holds for all other domains.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.domains import prefix as prefix_domain
+from repro.domains.prefix import Prefix
+from repro.signatures.flowtypes import FlowType
+
+
+@dataclass(frozen=True)
+class FlowEntry:
+    """One ``src --type--> sink`` entry."""
+
+    source: str
+    flow_type: FlowType
+    sink: str
+    domain: Prefix | None = None
+
+    def render(self) -> str:
+        return f"{self.source} -{self.flow_type}-> {_render_sink(self.sink, self.domain)}"
+
+
+@dataclass(frozen=True)
+class ApiEntry:
+    """One interesting-API usage entry. ``domain`` carries the inferred
+    network domain when the API is a network sink used without any
+    interesting source flowing into it (e.g. Chess.comNotifier's
+    ``send(chess.com)``)."""
+
+    api: str
+    domain: Prefix | None = None
+
+    def render(self) -> str:
+        return _render_sink(self.api, self.domain)
+
+
+Entry = FlowEntry | ApiEntry
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A set of entries."""
+
+    entries: frozenset[Entry] = frozenset()
+
+    def render(self) -> str:
+        return "\n".join(sorted(entry.render() for entry in self.entries))
+
+    @property
+    def flows(self) -> frozenset[FlowEntry]:
+        return frozenset(e for e in self.entries if isinstance(e, FlowEntry))
+
+    @property
+    def apis(self) -> frozenset[ApiEntry]:
+        return frozenset(e for e in self.entries if isinstance(e, ApiEntry))
+
+    def __iter__(self):
+        return iter(sorted(self.entries, key=lambda e: e.render()))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _render_sink(sink: str, domain: Prefix | None) -> str:
+    if domain is None:
+        return sink
+    return f"{sink}({_render_domain(domain)})"
+
+
+def _render_domain(domain: Prefix) -> str:
+    if domain.is_bottom:
+        return "⊥"
+    if domain.is_top:
+        return "*"
+    assert domain.text is not None
+    return domain.text if domain.is_exact else domain.text + "..."
+
+
+def _parse_domain(text: str) -> Prefix:
+    text = text.strip()
+    if text == "*":
+        return prefix_domain.TOP
+    if text == "⊥":
+        return prefix_domain.BOTTOM
+    if text.endswith("..."):
+        return prefix_domain.prefix(text[:-3])
+    if text.endswith("…"):
+        return prefix_domain.prefix(text[:-1])
+    return prefix_domain.exact(text)
+
+
+_FLOW_RE = re.compile(
+    r"^(?P<source>[\w.$-]+)\s*-\s*(?P<type>type[1-8])\s*->\s*"
+    r"(?P<sink>[\w.$-]+)(?:\((?P<domain>[^)]*)\))?$"
+)
+_API_RE = re.compile(r"^(?P<api>[\w.$-]+)(?:\((?P<domain>[^)]*)\))?$")
+
+
+def parse_entry(text: str) -> Entry:
+    """Parse one entry in the textual format (inverse of ``render``)."""
+    text = text.strip()
+    match = _FLOW_RE.match(text)
+    if match is not None:
+        domain = match.group("domain")
+        return FlowEntry(
+            source=match.group("source"),
+            flow_type=FlowType(match.group("type")),
+            sink=match.group("sink"),
+            domain=_parse_domain(domain) if domain is not None else None,
+        )
+    match = _API_RE.match(text)
+    if match is not None:
+        domain = match.group("domain")
+        return ApiEntry(
+            api=match.group("api"),
+            domain=_parse_domain(domain) if domain is not None else None,
+        )
+    raise ValueError(f"unparseable signature entry: {text!r}")
+
+
+def parse_signature(text: str) -> Signature:
+    """Parse a multi-line signature (blank lines and ``#`` comments
+    ignored)."""
+    entries: set[Entry] = set()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        entries.add(parse_entry(line))
+    return Signature(entries=frozenset(entries))

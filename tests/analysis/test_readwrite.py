@@ -1,0 +1,181 @@
+"""Tests for read/write set extraction (strong/weak qualification)."""
+
+from repro.analysis import EMPTY_CONTEXT, RETURN_SLOT, ReadWriteSets, analyze
+from repro.ir import lower
+from repro.ir.nodes import (
+    GLOBAL_SCOPE,
+    AssignStmt,
+    CallStmt,
+    LoadPropStmt,
+    ReturnStmt,
+    StorePropStmt,
+    Var,
+)
+from repro.js import parse
+
+
+def setup(source, k=1, event_loop=False):
+    program = lower(parse(source), event_loop=event_loop)
+    result = analyze(program, k=k)
+    return program, result, ReadWriteSets(result)
+
+
+def find(program, stmt_type, predicate=lambda s: True):
+    for sid in sorted(program.stmts):
+        stmt = program.stmts[sid]
+        if isinstance(stmt, stmt_type) and predicate(stmt):
+            return stmt
+    raise AssertionError(f"no {stmt_type.__name__}")
+
+
+class TestVariableSets:
+    def test_assign_writes_target_strong(self):
+        program, result, rw = setup("var x = 1;")
+        stmt = find(program, AssignStmt)
+        sets = rw.of(stmt.sid, EMPTY_CONTEXT)
+        assert sets.write_vars[(GLOBAL_SCOPE, "x")] is True
+
+    def test_assign_reads_operands(self):
+        program, result, rw = setup("var a = 1; var b = 2; var c = a + b;")
+        # `a + b` is flattened into a temp-assigning binop statement.
+        stmt = find(
+            program, AssignStmt,
+            lambda s: hasattr(s.rhs, "operator") and s.rhs.operator == "+",
+        )
+        sets = rw.of(stmt.sid, EMPTY_CONTEXT)
+        assert (GLOBAL_SCOPE, "a") in sets.read_vars
+        assert (GLOBAL_SCOPE, "b") in sets.read_vars
+
+    def test_local_write_strong_in_nonrecursive_function(self):
+        program, result, rw = setup("function f() { var x = 1; return x; } f();")
+        stmt = find(
+            program, AssignStmt,
+            lambda s: isinstance(s.target, Var) and s.target.name == "x",
+        )
+        contexts = result.contexts(stmt.sid)
+        sets = rw.of(stmt.sid, contexts[0])
+        assert sets.write_vars[(1, "x")] is True
+
+    def test_recursive_function_locals_weak(self):
+        program, result, rw = setup(
+            "function f(n) { var x = n; if (n > 0) f(n - 1); return x; } f(2);"
+        )
+        stmt = find(
+            program, AssignStmt,
+            lambda s: isinstance(s.target, Var) and s.target.name == "x",
+        )
+        contexts = result.contexts(stmt.sid)
+        sets = rw.of(stmt.sid, contexts[0])
+        assert sets.write_vars[(1, "x")] is False
+
+    def test_captured_variable_write_weak(self):
+        program, result, rw = setup(
+            """
+            function outer() {
+                var captured = 0;
+                function inner() { captured = 1; }
+                inner();
+            }
+            outer();
+            """
+        )
+        stmt = find(
+            program, AssignStmt,
+            lambda s: isinstance(s.target, Var) and s.target.name == "captured"
+            and program.owner[s.sid] != 1,
+        )
+        contexts = result.contexts(stmt.sid)
+        sets = rw.of(stmt.sid, contexts[0])
+        assert sets.write_vars[(1, "captured")] is False
+
+
+class TestPropertySets:
+    def test_store_exact_singleton_is_strong(self):
+        program, result, rw = setup("var o = {}; o.p = 1;")
+        stmt = find(program, StorePropStmt, lambda s: s.prop.value == "p")
+        sets = rw.of(stmt.sid, EMPTY_CONTEXT)
+        assert len(sets.write_props) == 1
+        assert sets.write_props[0].strong is True
+        assert sets.write_props[0].name.concrete() == "p"
+
+    def test_store_computed_unknown_key_is_weak(self):
+        program, result, rw = setup("var o = {}; o[unknownKey()] = 1;")
+        stmt = find(program, StorePropStmt)
+        sets = rw.of(stmt.sid, EMPTY_CONTEXT)
+        assert sets.write_props[0].strong is False
+
+    def test_store_on_looped_allocation_is_weak(self):
+        program, result, rw = setup(
+            "var o; while (Math.random()) { o = {}; o.p = 1; }"
+        )
+        stmt = find(program, StorePropStmt, lambda s: s.prop.value == "p")
+        sets = rw.of(stmt.sid, EMPTY_CONTEXT)
+        # The allocation site re-executes: no longer a singleton.
+        assert all(not access.strong for access in sets.write_props)
+
+    def test_load_reads_prop_pair(self):
+        program, result, rw = setup("var o = {p: 1}; var x = o.p;")
+        stmt = find(program, LoadPropStmt, lambda s: s.prop.value == "p")
+        sets = rw.of(stmt.sid, EMPTY_CONTEXT)
+        assert len(sets.read_props) == 1
+        assert sets.read_props[0].strong is True
+
+    def test_load_from_two_possible_objects_is_weak(self):
+        program, result, rw = setup(
+            """
+            var o;
+            if (Math.random()) o = {p: 1}; else o = {p: 2};
+            var x = o.p;
+            """
+        )
+        stmt = find(program, LoadPropStmt, lambda s: s.prop.value == "p")
+        sets = rw.of(stmt.sid, EMPTY_CONTEXT)
+        assert len(sets.read_props) == 2
+        assert all(not access.strong for access in sets.read_props)
+
+
+class TestInterproceduralSets:
+    def test_call_writes_params_and_reads_return(self):
+        program, result, rw = setup("function f(a) { return a; } var x = f(1);")
+        stmt = find(program, CallStmt)
+        sets = rw.of(stmt.sid, EMPTY_CONTEXT)
+        assert sets.write_vars[(1, "a")] is True
+        assert sets.read_vars[(1, RETURN_SLOT)] is True
+
+    def test_return_writes_slot(self):
+        program, result, rw = setup("function f() { return 1; } f();")
+        stmt = find(program, ReturnStmt)
+        contexts = result.contexts(stmt.sid)
+        sets = rw.of(stmt.sid, contexts[0])
+        assert (1, RETURN_SLOT) in sets.write_vars
+
+    def test_multiple_callees_params_weak(self):
+        program, result, rw = setup(
+            """
+            function f(a) { return a; }
+            function g(a) { return a; }
+            var h;
+            if (Math.random()) h = f; else h = g;
+            h(1);
+            """
+        )
+        stmt = find(
+            program, CallStmt,
+            lambda s: isinstance(s.callee, Var) and s.callee.name == "h",
+        )
+        sets = rw.of(stmt.sid, EMPTY_CONTEXT)
+        assert sets.write_vars[(1, "a")] is False
+        assert sets.write_vars[(2, "a")] is False
+
+    def test_array_push_effect_writes_this_props(self):
+        program, result, rw = setup("var a = []; a.push('v');")
+        stmt = find(program, CallStmt)
+        sets = rw.of(stmt.sid, EMPTY_CONTEXT)
+        assert sets.write_props, "push should write the array's properties"
+        assert not sets.write_props[0].strong
+
+    def test_unknown_call_conservative_effects(self):
+        program, result, rw = setup("var o = {p: 1}; mystery(o);")
+        stmt = find(program, CallStmt)
+        sets = rw.of(stmt.sid, EMPTY_CONTEXT)
+        assert sets.read_props and sets.write_props

@@ -1,0 +1,162 @@
+"""Unit tests for the abstract JS operators (transfer functions)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.transfer import binary_op, truthy_outcomes, unary_op
+from repro.domains import bools
+from repro.domains import prefix as p
+from repro.domains import values as v
+
+
+class TestPlus:
+    def test_number_addition(self):
+        result = binary_op("+", v.from_constant(2.0), v.from_constant(3.0))
+        assert result.number.concrete() == 5.0
+        assert result.string.is_bottom
+
+    def test_string_concatenation(self):
+        result = binary_op("+", v.from_constant("a"), v.from_constant("b"))
+        assert result.string == p.exact("ab")
+        assert result.number.is_bottom
+
+    def test_string_number_coerces(self):
+        result = binary_op("+", v.from_constant("n="), v.from_constant(4.0))
+        assert result.string == p.exact("n=4")
+
+    def test_undefined_plus_number_is_nan(self):
+        result = binary_op("+", v.UNDEF, v.from_constant(1.0))
+        assert math.isnan(result.number.concrete())
+
+    def test_ambiguous_operand_joins_outcomes(self):
+        stringy_or_numbery = v.from_constant("s").join(v.from_constant(1.0))
+        result = binary_op("+", stringy_or_numbery, v.from_constant(2.0))
+        assert not result.string.is_bottom
+        assert not result.number.is_bottom
+
+    def test_prefix_propagates(self):
+        base = v.from_string(p.exact("http://x/"))
+        result = binary_op("+", base, v.ANY_STRING)
+        assert result.string == p.prefix("http://x/")
+
+
+class TestArithmeticAndComparison:
+    def test_subtraction_constant(self):
+        assert binary_op("-", v.from_constant(9.0), v.from_constant(4.0)).number.concrete() == 5.0
+
+    def test_string_coerced_to_number_for_minus(self):
+        result = binary_op("-", v.from_constant("10"), v.from_constant(4.0))
+        assert result.number.concrete() == 6.0
+
+    def test_less_than_constants(self):
+        assert binary_op("<", v.from_constant(1.0), v.from_constant(2.0)).boolean is bools.TRUE
+
+    def test_equality_same_constant_strings(self):
+        assert binary_op("==", v.from_constant("x"), v.from_constant("x")).boolean is bools.TRUE
+
+    def test_equality_distinct_constants(self):
+        assert binary_op("===", v.from_constant("x"), v.from_constant("y")).boolean is bools.FALSE
+
+    def test_comparison_with_unknown_is_top(self):
+        assert binary_op("<", v.ANY_NUMBER, v.from_constant(2.0)).boolean is bools.TOP
+
+    def test_undefined_equals_undefined(self):
+        assert binary_op("==", v.UNDEF, v.UNDEF).boolean is bools.TRUE
+
+    def test_undefined_not_equal_null_kept_imprecise(self):
+        # We model undefined/null as distinct sentinels; == on them is
+        # (soundly) imprecise only when values mix kinds.
+        result = binary_op("==", v.UNDEF, v.NULL)
+        assert result.boolean in (bools.FALSE, bools.TOP)
+
+    def test_in_operator_unknown(self):
+        assert binary_op("in", v.from_constant("k"), v.from_addresses(1)).boolean is bools.TOP
+
+    def test_bottom_absorbs(self):
+        assert binary_op("+", v.BOTTOM, v.from_constant(1.0)).is_bottom
+
+
+class TestUnary:
+    def test_not_definite(self):
+        assert unary_op("!", v.from_constant(0.0)).boolean == bools.TRUE
+        assert unary_op("!", v.from_constant(1.0)).boolean == bools.FALSE
+
+    def test_not_unknown(self):
+        assert unary_op("!", v.ANY_STRING).boolean == bools.TOP
+
+    def test_negate_constant(self):
+        assert unary_op("-", v.from_constant(3.0)).number.concrete() == -3.0
+
+    def test_plus_coerces_string(self):
+        assert unary_op("+", v.from_constant("12")).number.concrete() == 12.0
+
+    def test_bitwise_not(self):
+        assert unary_op("~", v.from_constant(0.0)).number.concrete() == -1.0
+
+    def test_void_is_undefined(self):
+        assert unary_op("void", v.from_constant(1.0)) == v.UNDEF
+
+    def test_typeof_string(self):
+        assert unary_op("typeof", v.from_constant("s")).string == p.exact("string")
+
+    def test_typeof_number(self):
+        assert unary_op("typeof", v.from_constant(1.0)).string == p.exact("number")
+
+    def test_typeof_undefined(self):
+        assert unary_op("typeof", v.UNDEF).string == p.exact("undefined")
+
+    def test_typeof_null_is_object(self):
+        assert unary_op("typeof", v.NULL).string == p.exact("object")
+
+    def test_typeof_mixed_joins(self):
+        mixed = v.from_constant("s").join(v.from_constant(1.0))
+        result = unary_op("typeof", mixed)
+        assert result.string.concrete() is None
+
+
+class TestTruthyOutcomes:
+    def test_definite_true(self):
+        assert truthy_outcomes(v.from_constant(5.0)) == (True, False)
+
+    def test_definite_false(self):
+        assert truthy_outcomes(v.from_constant("")) == (False, True)
+
+    def test_unknown(self):
+        assert truthy_outcomes(v.ANY_BOOL) == (True, True)
+
+
+_values = st.one_of(
+    st.just(v.UNDEF),
+    st.just(v.NULL),
+    st.builds(v.from_constant, st.floats(allow_nan=False, width=16)),
+    st.builds(v.from_constant, st.text(alphabet="ab1", max_size=4)),
+    st.builds(v.from_constant, st.booleans()),
+)
+
+
+class TestSoundnessProperties:
+    @given(_values, _values)
+    def test_plus_monotone_under_join(self, a, b):
+        # Abstracting more inputs never loses results: op(a,b) ⊑ op(a⊔b, b).
+        precise = binary_op("+", a, b)
+        blurred = binary_op("+", a.join(b), b)
+        assert precise.number.leq(blurred.number) or blurred.number.is_top
+        assert precise.string.leq(blurred.string) or blurred.string.is_top
+
+    @given(_values)
+    def test_not_not_preserves_truthiness(self, a):
+        once = unary_op("!", a)
+        twice = unary_op("!", once)
+        may_true, may_false = truthy_outcomes(a)
+        assert twice.boolean.may_true == may_true
+        assert twice.boolean.may_false == may_false
+
+    @given(_values, _values)
+    def test_comparison_yields_boolean(self, a, b):
+        for operator in ("<", ">", "==", "!=", "===", "<=", ">="):
+            result = binary_op(operator, a, b)
+            assert result.string.is_bottom and result.number.is_bottom
+            assert not result.addresses

@@ -1,0 +1,185 @@
+"""Tests for the browser environment model."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.browser import BrowserEnvironment, mozilla_spec, stubs
+from repro.domains import prefix as p
+from repro.ir import lower
+from repro.ir.nodes import GLOBAL_SCOPE, Var
+from repro.js import parse
+
+
+def run(source, event_loop=True):
+    program = lower(parse(source), event_loop=event_loop)
+    return program, analyze(program, BrowserEnvironment())
+
+
+def global_value(program, result, name):
+    return result.atom_value_joined(program.main.exit.sid, Var(name, GLOBAL_SCOPE))
+
+
+class TestObjectGraph:
+    def test_window_bound_globally(self):
+        program, result = run("var w = window;")
+        assert stubs.WINDOW in global_value(program, result, "w").addresses
+
+    def test_content_location_href_is_string(self):
+        program, result = run("var u = content.location.href;")
+        value = global_value(program, result, "u")
+        assert value.string.is_top
+
+    def test_window_content_is_content_window(self):
+        program, result = run("var c = window.content;")
+        assert stubs.CONTENT_WINDOW in global_value(program, result, "c").addresses
+
+    def test_gbrowser_current_uri_spec(self):
+        program, result = run("var s = gBrowser.currentURI.spec;")
+        assert global_value(program, result, "s").string.is_top
+
+    def test_document_get_element_by_id_may_be_null(self):
+        program, result = run("var el = document.getElementById('x');")
+        value = global_value(program, result, "el")
+        assert value.may_null and stubs.ELEMENT in value.addresses
+
+    def test_services_scriptloader_reachable(self):
+        program, result = run("var sl = Services.scriptloader;")
+        assert stubs.SCRIPTLOADER in global_value(program, result, "sl").addresses
+
+    def test_global_this_is_window(self):
+        program, result = run("var t = this;")
+        assert stubs.WINDOW in global_value(program, result, "t").addresses
+
+
+class TestXHRModel:
+    def test_constructor_returns_request_object(self):
+        program, result = run("var r = new XMLHttpRequest();")
+        value = global_value(program, result, "r")
+        assert value.addresses
+
+    def test_open_records_url(self):
+        program, result = run(
+            """
+            var r = new XMLHttpRequest();
+            r.open("GET", "https://host.example/x", true);
+            var snapshot = r;
+            """
+        )
+        value = global_value(program, result, "snapshot")
+        state = result.in_state(program.main.exit.sid, ())
+        url = state.heap.read(value.addresses, p.exact("%url"))
+        assert url.string.concrete() == "https://host.example/x"
+
+    def test_response_text_is_unknown_string(self):
+        program, result = run(
+            "var r = new XMLHttpRequest(); var t = r.responseText;"
+        )
+        assert global_value(program, result, "t").string.is_top
+
+    def test_onreadystatechange_handler_runs(self):
+        # The completion handler registered on the request must be
+        # analyzed (it runs from the event loop).
+        program, result = run(
+            """
+            var witness = "no";
+            var r = new XMLHttpRequest();
+            r.open("GET", "https://host.example/x", true);
+            r.onreadystatechange = function () { witness = "ran"; };
+            r.send(null);
+            """
+        )
+        value = global_value(program, result, "witness")
+        assert value.string.admits("ran")
+
+
+class TestEventLoop:
+    def test_registered_handler_executes(self):
+        program, result = run(
+            """
+            var witness = "no";
+            window.addEventListener("load", function (e) { witness = "ran"; }, false);
+            """
+        )
+        assert global_value(program, result, "witness").string.admits("ran")
+
+    def test_unregistered_function_does_not_execute(self):
+        program, result = run(
+            """
+            var witness = "no";
+            function never(e) { witness = "ran"; }
+            """
+        )
+        assert global_value(program, result, "witness").string.concrete() == "no"
+
+    def test_settimeout_callback_executes(self):
+        program, result = run(
+            """
+            var witness = "no";
+            setTimeout(function () { witness = "ran"; }, 1000);
+            """
+        )
+        assert global_value(program, result, "witness").string.admits("ran")
+
+    def test_handler_event_object_has_key_fields(self):
+        program, result = run(
+            """
+            var code;
+            window.addEventListener("keypress", function (e) { code = e.keyCode; }, false);
+            """
+        )
+        value = global_value(program, result, "code")
+        assert value.number.is_top
+
+    def test_handler_registered_inside_handler(self):
+        program, result = run(
+            """
+            var witness = "no";
+            window.addEventListener("load", function (e) {
+                window.addEventListener("unload", function (e2) { witness = "ran"; }, false);
+            }, false);
+            """
+        )
+        assert global_value(program, result, "witness").string.admits("ran")
+
+    def test_no_event_loop_no_handler_execution(self):
+        program, result = run(
+            """
+            var witness = "no";
+            window.addEventListener("load", function (e) { witness = "ran"; }, false);
+            """,
+            event_loop=False,
+        )
+        assert global_value(program, result, "witness").string.concrete() == "no"
+
+
+class TestMozillaSpec:
+    def test_spec_has_expected_sources(self):
+        spec = mozilla_spec()
+        assert set(spec.source_names()) >= {
+            "url", "key", "geoloc", "cookie", "password", "clipboard"
+        }
+
+    def test_spec_has_send_and_redirect_sinks(self):
+        spec = mozilla_spec()
+        assert [sink.name for sink in spec.sinks] == ["send", "redirect"]
+
+    def test_spec_api_sinks(self):
+        spec = mozilla_spec()
+        names = {api.name for api in spec.apis}
+        assert "scriptloader" in names and "eval" in names
+
+
+class TestDiagnostics:
+    def test_string_timer_flagged_as_dynamic_code(self):
+        program, result = run('setTimeout("evilCode()", 100);')
+        assert any(tag == "dynamic-code:string-timer" for tag, _ in result.diagnostics)
+
+    def test_function_timer_not_flagged(self):
+        program, result = run("setTimeout(function () {}, 100);")
+        assert not result.diagnostics
+
+    def test_diagnostic_rendered_in_report(self):
+        from repro.api import vet
+
+        report = vet('setTimeout("evilCode()", 100);')
+        assert "dynamic-code:string-timer" in report.render()

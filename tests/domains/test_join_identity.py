@@ -1,0 +1,123 @@
+"""The identity-preserving join contract.
+
+The worklist fixpoint uses ``join(a, b) is a`` as its "nothing changed"
+test, so every domain's join MUST return the left operand *object* when
+the right adds nothing. These tests pin that contract (a regression
+here would silently turn the analysis into an infinite loop or a
+never-converging slowdown, not a wrong answer)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domains import bools
+from repro.domains import prefix as p
+from repro.domains import values as v
+from repro.domains.heap import Heap
+from repro.domains.objects import AbstractObject
+from repro.domains.state import State
+from repro.ir.nodes import GLOBAL_SCOPE, Var
+
+_values = st.one_of(
+    st.just(v.BOTTOM),
+    st.just(v.UNDEF),
+    st.builds(v.from_constant, st.text(alphabet="ab", max_size=3)),
+    st.builds(v.from_constant, st.floats(allow_nan=False, width=16)),
+    st.builds(v.from_addresses, st.integers(0, 3)),
+)
+
+
+class TestValueJoinIdentity:
+    @given(_values)
+    def test_self_join_is_self(self, a):
+        assert a.join(a) is a
+
+    @given(_values, _values)
+    def test_join_returns_left_when_right_below(self, a, b):
+        if b.leq(a):
+            assert a.join(b) is a
+
+    @given(_values, _values)
+    def test_join_returns_operand_when_possible(self, a, b):
+        joined = a.join(b)
+        if joined == a:
+            assert joined is a
+        elif joined == b:
+            assert joined is b
+
+    @given(_values, _values)
+    def test_identity_result_still_correct(self, a, b):
+        joined = a.join(b)
+        assert a.leq(joined) and b.leq(joined)
+
+
+class TestPrimitiveJoinIdentity:
+    def test_bool_join_identity(self):
+        top = bools.AbstractBool(True, True)
+        assert top.join(bools.TRUE) is top
+        assert bools.TRUE.join(bools.TRUE) is bools.TRUE
+
+    def test_prefix_join_identity(self):
+        wide = p.prefix("ab")
+        narrow = p.exact("abc")
+        assert wide.join(narrow) is wide
+        assert narrow.join(narrow) is narrow
+
+    def test_prefix_join_gcp_reuses_operand(self):
+        shorter = p.prefix("http://")
+        longer = p.prefix("http://host.example/")
+        assert longer.join(shorter) is shorter
+
+
+class TestObjectJoinIdentity:
+    def test_join_with_subsumed_returns_self(self):
+        big = AbstractObject(
+            properties=(("a", v.from_constant(1.0).join(v.UNDEF)),),
+        )
+        small = AbstractObject(
+            properties=(("a", v.from_constant(1.0).join(v.UNDEF)),),
+        )
+        assert big.join(small) is big
+
+    def test_self_join_is_self(self):
+        obj = AbstractObject(properties=(("a", v.UNDEF),))
+        assert obj.join(obj) is obj
+
+
+class TestStateHeapJoinIdentity:
+    def test_state_join_unchanged_returns_self(self):
+        x = Var("x", GLOBAL_SCOPE)
+        left = State()
+        left.write_var(x, v.from_constant(1.0))
+        right = left.copy()
+        assert left.join(right) is left
+
+    def test_state_join_changed_returns_new(self):
+        x = Var("x", GLOBAL_SCOPE)
+        left, right = State(), State()
+        left.write_var(x, v.from_constant(1.0))
+        right.write_var(x, v.from_constant(2.0))
+        joined = left.join(right)
+        assert joined is not left
+        assert joined.read_var(x).number.is_top
+
+    def test_heap_join_unchanged_returns_self(self):
+        left = Heap()
+        left.allocate(5, AbstractObject())
+        right = left.copy()
+        assert left.join(right) is left
+
+    def test_heap_join_singleton_loss_returns_new(self):
+        left = Heap()
+        left.allocate(5, AbstractObject())
+        right = left.copy()
+        right.allocate(5, AbstractObject())  # right loses singleton-ness
+        joined = left.join(right)
+        assert joined is not left
+        assert not joined.is_singleton(5)
+
+    def test_heap_join_respects_semantics(self):
+        left, right = Heap(), Heap()
+        left.allocate(1, AbstractObject(properties=(("p", v.UNDEF),)))
+        right.allocate(2, AbstractObject())
+        joined = left.join(right)
+        assert joined.contains(1) and joined.contains(2)

@@ -1,0 +1,103 @@
+"""Property-based lattice laws for abstract objects and heaps."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domains import objects as o
+from repro.domains import prefix as p
+from repro.domains import values as v
+from repro.domains.heap import Heap
+
+_values = st.one_of(
+    st.just(v.UNDEF),
+    st.builds(v.from_constant, st.text(alphabet="xy", max_size=3)),
+    st.builds(v.from_constant, st.floats(allow_nan=False, width=16)),
+    st.builds(v.from_addresses, st.integers(0, 3)),
+)
+
+_objects = st.builds(
+    lambda props, unknown, kind: o.AbstractObject(
+        kind=kind,
+        properties=tuple(sorted(props.items())),
+        unknown=unknown,
+    ),
+    st.dictionaries(st.sampled_from(["a", "b", "c"]), _values, max_size=3),
+    st.one_of(st.just(v.BOTTOM), _values),
+    st.sampled_from(["object", "array"]),
+)
+
+
+class TestObjectLatticeLaws:
+    @settings(max_examples=80, deadline=None)
+    @given(_objects, _objects)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @settings(max_examples=80, deadline=None)
+    @given(_objects)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @settings(max_examples=80, deadline=None)
+    @given(_objects, _objects, _objects)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @settings(max_examples=80, deadline=None)
+    @given(_objects, _objects)
+    def test_join_is_upper_bound(self, a, b):
+        joined = a.join(b)
+        assert a.leq(joined) and b.leq(joined)
+
+    @settings(max_examples=80, deadline=None)
+    @given(_objects, _objects, st.sampled_from(["a", "b", "z"]))
+    def test_read_monotone_under_join(self, a, b, name):
+        # Reading from the join sees at least what reading from each sees.
+        joined = a.join(b)
+        for source in (a, b):
+            value = source.read(p.exact(name))
+            assert value.leq(joined.read(p.exact(name)))
+
+    @settings(max_examples=80, deadline=None)
+    @given(_objects, st.sampled_from(["a", "z"]), _values)
+    def test_weak_write_preserves_old_value(self, obj, name, value):
+        written = obj.write(p.exact(name), value, strong=False)
+        old = obj.read(p.exact(name))
+        new = written.read(p.exact(name))
+        assert old.leq(new)
+        assert value.leq(new)
+
+    @settings(max_examples=80, deadline=None)
+    @given(_objects, st.sampled_from(["a", "z"]), _values)
+    def test_strong_write_then_read_is_exact(self, obj, name, value):
+        written = obj.write(p.exact(name), value, strong=True)
+        result = written.read(p.exact(name))
+        # Exact up to the unknown summary (which a strong write to one
+        # name cannot clear).
+        assert value.leq(result)
+        assert result.leq(value.join(obj.unknown))
+
+
+class TestHeapLaws:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 3), _objects), max_size=4),
+        st.lists(st.tuples(st.integers(0, 3), _objects), max_size=4),
+    )
+    def test_heap_join_upper_bound(self, left_allocs, right_allocs):
+        left, right = Heap(), Heap()
+        for address, obj in left_allocs:
+            left.allocate(address, obj)
+        for address, obj in right_allocs:
+            right.allocate(address, obj)
+        joined = left.join(right)
+        assert left.leq(joined) and right.leq(joined)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3), _objects), max_size=4))
+    def test_heap_join_idempotent(self, allocs):
+        heap = Heap()
+        for address, obj in allocs:
+            heap.allocate(address, obj)
+        joined = heap.join(heap)
+        assert heap.leq(joined) and joined.leq(heap)

@@ -1,0 +1,207 @@
+"""Tests for abstract objects, the heap, and state."""
+
+from repro.domains import objects as o
+from repro.domains import prefix as p
+from repro.domains import values as v
+from repro.domains.heap import Heap
+from repro.domains.state import State
+from repro.ir.nodes import GLOBAL_SCOPE, Var
+
+
+def obj_with(**props):
+    result = o.AbstractObject()
+    for name, value in props.items():
+        result = result.write(p.exact(name), value, strong=True)
+    return result
+
+
+class TestObjectReadWrite:
+    def test_strong_write_then_read(self):
+        obj = obj_with(a=v.from_constant(1.0))
+        assert obj.read(p.exact("a")) == v.from_constant(1.0)
+
+    def test_missing_property_is_undefined(self):
+        obj = o.AbstractObject()
+        assert obj.read(p.exact("nope")) == v.UNDEF
+
+    def test_weak_write_joins(self):
+        obj = obj_with(a=v.from_constant(1.0))
+        obj = obj.write(p.exact("a"), v.from_constant(2.0), strong=False)
+        value = obj.read(p.exact("a"))
+        assert value.number.is_top
+
+    def test_strong_write_replaces(self):
+        obj = obj_with(a=v.from_constant(1.0))
+        obj = obj.write(p.exact("a"), v.from_constant(2.0), strong=True)
+        assert obj.read(p.exact("a")) == v.from_constant(2.0)
+
+    def test_weak_write_to_absent_key_includes_undefined(self):
+        obj = o.AbstractObject()
+        obj = obj.write(p.exact("a"), v.from_constant(1.0), strong=False)
+        value = obj.read(p.exact("a"))
+        assert value.may_undef  # may not have been written
+
+    def test_unknown_name_write_pollutes_all_admitted(self):
+        obj = obj_with(url=v.from_constant("x"), other=v.from_constant("y"))
+        obj = obj.write(p.TOP, v.from_constant(9.0), strong=False)
+        assert not obj.read(p.exact("url")).number.is_bottom
+        assert not obj.read(p.exact("other")).number.is_bottom
+
+    def test_prefix_name_write_hits_only_admitted(self):
+        obj = obj_with(url=v.from_constant("x"), id=v.from_constant("y"))
+        obj = obj.write(p.prefix("ur"), v.from_constant(9.0), strong=False)
+        assert not obj.read(p.exact("url")).number.is_bottom
+        # "id" does not start with "ur" — but the unknown summary now
+        # holds the written value, so reads of "id" see it joined in.
+        # (Conservative; documents the behavior.)
+
+    def test_unknown_name_read_joins_admitted_properties(self):
+        obj = obj_with(a=v.from_constant("x"), b=v.from_constant("y"))
+        value = obj.read(p.TOP)
+        assert value.string.concrete() is None  # join of "x" and "y"
+        assert value.may_undef  # might be any other (absent) property
+
+    def test_delete_strong_removes(self):
+        obj = obj_with(a=v.from_constant(1.0))
+        obj = obj.delete(p.exact("a"), strong=True)
+        assert obj.read(p.exact("a")) == v.UNDEF
+
+    def test_delete_weak_adds_undefined(self):
+        obj = obj_with(a=v.from_constant(1.0))
+        obj = obj.delete(p.exact("a"), strong=False)
+        value = obj.read(p.exact("a"))
+        assert value.may_undef and not value.number.is_bottom
+
+
+class TestObjectJoin:
+    def test_join_property_present_both_sides(self):
+        left = obj_with(a=v.from_constant(1.0))
+        right = obj_with(a=v.from_constant(2.0))
+        joined = left.join(right)
+        assert joined.read(p.exact("a")).number.is_top
+
+    def test_join_property_one_side_adds_undefined(self):
+        left = obj_with(a=v.from_constant(1.0))
+        right = o.AbstractObject()
+        joined = left.join(right)
+        value = joined.read(p.exact("a"))
+        assert value.may_undef and value.number.concrete() == 1.0
+
+    def test_join_preserves_kind_when_equal(self):
+        left = o.AbstractObject(kind="array")
+        right = o.AbstractObject(kind="array")
+        assert left.join(right).kind == "array"
+
+    def test_join_closures_union(self):
+        joined = o.function_object(1).join(o.function_object(2))
+        assert joined.closures == frozenset({1, 2})
+
+    def test_leq_after_join(self):
+        left = obj_with(a=v.from_constant(1.0))
+        right = obj_with(b=v.from_constant(2.0))
+        joined = left.join(right)
+        assert left.leq(joined) and right.leq(joined)
+
+
+class TestHeap:
+    def test_first_allocation_is_singleton(self):
+        heap = Heap()
+        heap.allocate(10, o.AbstractObject())
+        assert heap.is_singleton(10)
+
+    def test_reallocation_loses_singleton(self):
+        heap = Heap()
+        heap.allocate(10, obj_with(a=v.from_constant(1.0)))
+        heap.allocate(10, obj_with(a=v.from_constant(2.0)))
+        assert not heap.is_singleton(10)
+        assert heap.get(10).read(p.exact("a")).number.is_top
+
+    def test_strong_write_on_singleton(self):
+        heap = Heap()
+        heap.allocate(10, obj_with(a=v.from_constant(1.0)))
+        strong = heap.write(frozenset({10}), p.exact("a"), v.from_constant(2.0))
+        assert strong
+        assert heap.get(10).read(p.exact("a")) == v.from_constant(2.0)
+
+    def test_weak_write_on_multiple_addresses(self):
+        heap = Heap()
+        heap.allocate(10, obj_with(a=v.from_constant(1.0)))
+        heap.allocate(11, obj_with(a=v.from_constant(1.0)))
+        strong = heap.write(
+            frozenset({10, 11}), p.exact("a"), v.from_constant(2.0)
+        )
+        assert not strong
+        assert heap.get(10).read(p.exact("a")).number.is_top
+
+    def test_weak_write_on_inexact_name(self):
+        heap = Heap()
+        heap.allocate(10, obj_with(a=v.from_constant(1.0)))
+        strong = heap.write(frozenset({10}), p.TOP, v.from_constant(2.0))
+        assert not strong
+
+    def test_read_joins_across_addresses(self):
+        heap = Heap()
+        heap.allocate(10, obj_with(a=v.from_constant("x")))
+        heap.allocate(11, obj_with(a=v.from_constant("y")))
+        value = heap.read(frozenset({10, 11}), p.exact("a"))
+        assert value.string.concrete() is None
+
+    def test_join_keeps_singleton_only_if_both_agree(self):
+        left = Heap()
+        left.allocate(10, o.AbstractObject())
+        right = left.copy()
+        right.allocate(10, o.AbstractObject())  # loses singleton on right
+        joined = left.join(right)
+        assert not joined.is_singleton(10)
+
+    def test_join_singleton_on_one_side_only(self):
+        left = Heap()
+        left.allocate(10, o.AbstractObject())
+        right = Heap()  # 10 not allocated here
+        joined = left.join(right)
+        assert joined.is_singleton(10)
+
+
+class TestState:
+    def test_unassigned_var_is_undefined(self):
+        state = State()
+        assert state.read_var(Var("x", GLOBAL_SCOPE)) == v.UNDEF
+
+    def test_strong_write_replaces(self):
+        state = State()
+        x = Var("x", GLOBAL_SCOPE)
+        state.write_var(x, v.from_constant(1.0))
+        state.write_var(x, v.from_constant(2.0))
+        assert state.read_var(x) == v.from_constant(2.0)
+
+    def test_weak_write_joins_with_undefined_when_absent(self):
+        state = State()
+        x = Var("x", 3)
+        state.write_var(x, v.from_constant(1.0), strong=False)
+        value = state.read_var(x)
+        assert value.may_undef and value.number.concrete() == 1.0
+
+    def test_join_disagreeing_vars(self):
+        x = Var("x", GLOBAL_SCOPE)
+        left, right = State(), State()
+        left.write_var(x, v.from_constant(1.0))
+        right.write_var(x, v.from_constant("s"))
+        joined = left.join(right)
+        value = joined.read_var(x)
+        assert not value.number.is_bottom and not value.string.is_bottom
+
+    def test_leq_of_join(self):
+        x = Var("x", GLOBAL_SCOPE)
+        left, right = State(), State()
+        left.write_var(x, v.from_constant(1.0))
+        right.write_var(x, v.from_constant(2.0))
+        joined = left.join(right)
+        assert left.leq(joined) and right.leq(joined)
+
+    def test_copy_isolates(self):
+        x = Var("x", GLOBAL_SCOPE)
+        state = State()
+        state.write_var(x, v.from_constant(1.0))
+        other = state.copy()
+        other.write_var(x, v.from_constant(2.0))
+        assert state.read_var(x) == v.from_constant(1.0)

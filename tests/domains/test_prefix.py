@@ -1,0 +1,213 @@
+"""Tests for the prefix string domain (Section 5), including the paper's
+worked example and hypothesis property tests of the lattice laws."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.domains import prefix as p
+
+_texts = st.text(alphabet="abc./?", max_size=6)
+_elements = st.one_of(
+    st.just(p.BOTTOM),
+    st.builds(p.exact, _texts),
+    st.builds(p.prefix, _texts),
+)
+
+
+class TestBasics:
+    def test_bottom_and_top(self):
+        assert p.BOTTOM.is_bottom
+        assert p.TOP.is_top
+        assert not p.exact("a").is_bottom
+
+    def test_exact_concrete(self):
+        assert p.exact("www.example.com").concrete() == "www.example.com"
+        assert p.prefix("www").concrete() is None
+        assert p.BOTTOM.concrete() is None
+
+    def test_admits(self):
+        assert p.exact("ab").admits("ab")
+        assert not p.exact("ab").admits("abc")
+        assert p.prefix("ab").admits("abc")
+        assert not p.prefix("ab").admits("a")
+        assert p.TOP.admits("anything")
+        assert not p.BOTTOM.admits("x")
+
+
+class TestOrder:
+    def test_bottom_below_everything(self):
+        assert p.BOTTOM.leq(p.exact("x"))
+        assert p.BOTTOM.leq(p.TOP)
+
+    def test_everything_below_top(self):
+        assert p.exact("x").leq(p.TOP)
+        assert p.prefix("abc").leq(p.TOP)
+
+    def test_exact_below_its_prefixes(self):
+        assert p.exact("abc").leq(p.prefix("ab"))
+        assert not p.exact("ab").leq(p.prefix("abc"))
+
+    def test_longer_prefix_below_shorter(self):
+        assert p.prefix("abc").leq(p.prefix("ab"))
+        assert not p.prefix("ab").leq(p.prefix("abc"))
+
+    def test_distinct_exacts_incomparable(self):
+        assert not p.exact("a").leq(p.exact("b"))
+        assert not p.exact("b").leq(p.exact("a"))
+
+    def test_prefix_not_below_exact(self):
+        # (str, false) includes infinitely many strings; never ⊑ an exact.
+        assert not p.prefix("ab").leq(p.exact("ab"))
+
+
+class TestJoin:
+    def test_join_equal_exacts(self):
+        assert p.exact("x").join(p.exact("x")) == p.exact("x")
+
+    def test_join_different_exacts_is_common_prefix(self):
+        joined = p.exact("www.example.com/a").join(p.exact("www.example.com/b"))
+        assert joined == p.prefix("www.example.com/")
+
+    def test_join_disjoint_strings_is_top(self):
+        assert p.exact("abc").join(p.exact("xyz")) == p.TOP
+
+    def test_paper_section5_example(self):
+        # var baseURL = "www.example.com/req?";
+        # if (...) baseURL += "name"; else baseURL += "age";
+        base = p.exact("www.example.com/req?")
+        then_branch = base.concat(p.exact("name"))
+        else_branch = base.concat(p.exact("age"))
+        joined = then_branch.join(else_branch)
+        assert joined == p.prefix("www.example.com/req?")
+        assert joined.admits("www.example.com/req?name")
+        assert joined.admits("www.example.com/req?age")
+
+    def test_vkvideodownloader_failure_mode(self):
+        # Three distinct video-player domains: the prefix domain cannot
+        # keep them apart, which is exactly the paper's two `fail` rows.
+        domains = [
+            p.exact("vkontakte.ru/video"),
+            p.exact("youtube.com/watch"),
+            p.exact("vimeo.com/v"),
+        ]
+        joined = domains[0].join(domains[1]).join(domains[2])
+        assert joined.concrete() is None
+        assert joined == p.TOP  # no common prefix at all
+
+
+class TestMeet:
+    def test_meet_with_top_is_identity(self):
+        assert p.exact("ab").meet(p.TOP) == p.exact("ab")
+        assert p.TOP.meet(p.prefix("ab")) == p.prefix("ab")
+
+    def test_meet_exact_with_admitting_prefix(self):
+        assert p.exact("abc").meet(p.prefix("ab")) == p.exact("abc")
+
+    def test_meet_exact_with_non_admitting_prefix(self):
+        assert p.exact("a").meet(p.prefix("ab")) == p.BOTTOM
+
+    def test_meet_equal_exacts_is_itself(self):
+        # The paper's printed meet sends equal exacts to ⊥; the repaired
+        # version (documented in the module) returns the element.
+        assert p.exact("x").meet(p.exact("x")) == p.exact("x")
+
+    def test_meet_distinct_exacts_is_bottom(self):
+        assert p.exact("x").meet(p.exact("y")) == p.BOTTOM
+
+    def test_meet_overlapping_prefixes(self):
+        assert p.prefix("ab").meet(p.prefix("abc")) == p.prefix("abc")
+
+    def test_overlaps(self):
+        assert p.prefix("ab").overlaps(p.exact("abc"))
+        assert not p.exact("x").overlaps(p.exact("y"))
+
+
+class TestConcat:
+    def test_bottom_absorbs(self):
+        assert p.BOTTOM.concat(p.exact("x")) == p.BOTTOM
+        assert p.exact("x").concat(p.BOTTOM) == p.BOTTOM
+
+    def test_exact_exact(self):
+        assert p.exact("ab").concat(p.exact("cd")) == p.exact("abcd")
+
+    def test_exact_prefix(self):
+        assert p.exact("ab").concat(p.prefix("cd")) == p.prefix("abcd")
+
+    def test_prefix_swallows_right(self):
+        assert p.prefix("ab").concat(p.exact("cd")) == p.prefix("ab")
+
+    def test_url_building_pattern(self):
+        # request.open("GET", base + "?video_id=" + id) with unknown id:
+        # the domain survives as a prefix.
+        base = p.exact("http://youtube.com/get_video_info")
+        url = base.concat(p.exact("?video_id=")).concat(p.TOP)
+        assert url == p.prefix("http://youtube.com/get_video_info?video_id=")
+
+
+class TestLatticeLaws:
+    @given(_elements, _elements)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(_elements, _elements, _elements)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(_elements)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(_elements)
+    def test_leq_reflexive(self, a):
+        assert a.leq(a)
+
+    @given(_elements, _elements)
+    def test_leq_antisymmetric(self, a, b):
+        if a.leq(b) and b.leq(a):
+            assert a == b
+
+    @given(_elements, _elements, _elements)
+    def test_leq_transitive(self, a, b, c):
+        if a.leq(b) and b.leq(c):
+            assert a.leq(c)
+
+    @given(_elements, _elements)
+    def test_join_is_upper_bound(self, a, b):
+        joined = a.join(b)
+        assert a.leq(joined) and b.leq(joined)
+
+    @given(_elements, _elements)
+    def test_meet_is_lower_bound(self, a, b):
+        met = a.meet(b)
+        assert met.leq(a) and met.leq(b)
+
+    @given(_elements, _elements)
+    def test_meet_below_join(self, a, b):
+        assert a.meet(b).leq(a.join(b))
+
+    @given(_elements, _elements, _elements)
+    def test_concat_monotone_left(self, a, b, c):
+        if a.leq(b):
+            assert a.concat(c).leq(b.concat(c))
+
+    @given(_elements, _elements, _elements)
+    def test_concat_monotone_right(self, a, b, c):
+        if a.leq(b):
+            assert c.concat(a).leq(c.concat(b))
+
+    @given(_elements, _texts)
+    def test_admits_consistent_with_leq(self, a, concrete):
+        # If a admits s, anything above a also admits s.
+        if a.admits(concrete):
+            assert a.join(p.exact(concrete)).admits(concrete)
+
+    @given(st.lists(_elements, min_size=1, max_size=8))
+    def test_ascending_chains_stabilize(self, elements):
+        # Noetherian: folding joins reaches a fixpoint no longer than the
+        # first element's text (+2 for exactness loss and ⊤).
+        current = elements[0]
+        for element in elements[1:]:
+            nxt = current.join(element)
+            assert current.leq(nxt)
+            current = nxt
+        assert current.join(current) == current

@@ -1,0 +1,127 @@
+"""Tests for the boolean and number constant lattices."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.domains import bools, numbers
+
+_bools = st.builds(bools.AbstractBool, st.booleans(), st.booleans())
+_numbers = st.one_of(
+    st.just(numbers.BOTTOM),
+    st.just(numbers.TOP),
+    st.builds(numbers.constant, st.floats(allow_nan=False, width=32)),
+    st.just(numbers.constant(float("nan"))),
+)
+
+
+class TestBools:
+    def test_constants(self):
+        assert bools.TRUE.concrete() is True
+        assert bools.FALSE.concrete() is False
+        assert bools.TOP.concrete() is None
+        assert bools.BOTTOM.is_bottom
+
+    def test_join(self):
+        assert bools.TRUE.join(bools.FALSE) == bools.TOP
+        assert bools.TRUE.join(bools.BOTTOM) == bools.TRUE
+
+    def test_negate(self):
+        assert bools.TRUE.negate() == bools.FALSE
+        assert bools.TOP.negate() == bools.TOP
+        assert bools.BOTTOM.negate() == bools.BOTTOM
+
+    def test_from_bool(self):
+        assert bools.from_bool(True) == bools.TRUE
+        assert bools.from_bool(False) == bools.FALSE
+
+    @given(_bools, _bools)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(_bools, _bools)
+    def test_join_upper_bound(self, a, b):
+        assert a.leq(a.join(b)) and b.leq(a.join(b))
+
+    @given(_bools, _bools)
+    def test_meet_lower_bound(self, a, b):
+        assert a.meet(b).leq(a) and a.meet(b).leq(b)
+
+    @given(_bools)
+    def test_double_negation(self, a):
+        assert a.negate().negate() == a
+
+
+class TestNumbers:
+    def test_constant_roundtrip(self):
+        assert numbers.constant(3.5).concrete() == 3.5
+
+    def test_join_same_constant(self):
+        assert numbers.constant(1).join(numbers.constant(1)) == numbers.constant(1)
+
+    def test_join_distinct_constants_is_top(self):
+        assert numbers.constant(1).join(numbers.constant(2)) == numbers.TOP
+
+    def test_nan_equals_nan_in_lattice(self):
+        nan = numbers.constant(float("nan"))
+        assert nan.join(nan) == nan
+        assert nan.leq(nan)
+
+    def test_property_string_rendering(self):
+        assert numbers.to_property_string(numbers.constant(0.0)) == "0"
+        assert numbers.to_property_string(numbers.constant(1.5)) == "1.5"
+        assert numbers.to_property_string(numbers.TOP) is None
+
+    def test_arithmetic_on_constants(self):
+        result = numbers.binary_op("+", numbers.constant(2), numbers.constant(3))
+        assert result.concrete() == 5.0
+
+    def test_arithmetic_with_top(self):
+        result = numbers.binary_op("+", numbers.TOP, numbers.constant(3))
+        assert result == numbers.TOP
+
+    def test_arithmetic_with_bottom(self):
+        result = numbers.binary_op("+", numbers.BOTTOM, numbers.constant(3))
+        assert result == numbers.BOTTOM
+
+    def test_js_division_by_zero(self):
+        result = numbers.binary_op("/", numbers.constant(1), numbers.constant(0))
+        assert result.concrete() == math.inf
+        result = numbers.binary_op("/", numbers.constant(0), numbers.constant(0))
+        assert math.isnan(result.concrete())
+
+    def test_js_modulo(self):
+        result = numbers.binary_op("%", numbers.constant(7), numbers.constant(3))
+        assert result.concrete() == 1.0
+
+    def test_bitwise_ops(self):
+        assert numbers.binary_op(
+            "&", numbers.constant(6), numbers.constant(3)
+        ).concrete() == 2.0
+        assert numbers.binary_op(
+            "<<", numbers.constant(1), numbers.constant(4)
+        ).concrete() == 16.0
+        assert numbers.binary_op(
+            ">>>", numbers.constant(-1), numbers.constant(28)
+        ).concrete() == 15.0
+
+    @given(_numbers, _numbers)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(_numbers, _numbers, _numbers)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(_numbers, _numbers)
+    def test_join_upper_bound(self, a, b):
+        assert a.leq(a.join(b)) and b.leq(a.join(b))
+
+    @given(_numbers, _numbers)
+    def test_meet_lower_bound(self, a, b):
+        assert a.meet(b).leq(a) and a.meet(b).leq(b)
+
+    @given(_numbers)
+    def test_bounds(self, a):
+        assert numbers.BOTTOM.leq(a) and a.leq(numbers.TOP)

@@ -1,0 +1,141 @@
+"""Tests for the k-bounded disjunctive string domain (extension)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.domains import prefix as p
+from repro.domains.stringset import StringSet
+
+_texts = st.text(alphabet="abc/.", max_size=5)
+_sets = st.one_of(
+    st.just(StringSet.bottom()),
+    st.just(StringSet.top()),
+    st.builds(StringSet.exact, _texts),
+    st.builds(StringSet.prefix, _texts),
+    st.builds(
+        lambda a, b: StringSet.exact(a).join(StringSet.exact(b)), _texts, _texts
+    ),
+)
+
+
+class TestBasics:
+    def test_bottom_and_top(self):
+        assert StringSet.bottom().is_bottom
+        assert StringSet.top().is_top
+        assert not StringSet.exact("a").is_bottom
+
+    def test_concretes_of_exact_set(self):
+        value = StringSet.exact("a").join(StringSet.exact("b"))
+        assert value.concretes() == {"a", "b"}
+
+    def test_concretes_none_with_prefix_member(self):
+        value = StringSet.exact("a").join(StringSet.prefix("b"))
+        assert value.concretes() is None
+
+    def test_admits(self):
+        value = StringSet.exact("a").join(StringSet.prefix("b"))
+        assert value.admits("a")
+        assert value.admits("bcd")
+        assert not value.admits("c")
+
+
+class TestJoinBounding:
+    def test_join_keeps_distinct_domains_within_bound(self):
+        domains = ["vk.example/video", "sibnet.example/get", "rutube.example/api"]
+        value = StringSet.bottom()
+        for domain in domains:
+            value = value.join(StringSet.exact(domain))
+        assert value.concretes() == set(domains)
+
+    def test_join_collapses_beyond_bound(self):
+        value = StringSet.bottom(bound=2)
+        for text in ("aa", "ab", "ac"):
+            value = value.join(StringSet.exact(text, bound=2))
+        # Over budget: degrades to the prefix-domain join (gcp = "a").
+        assert value.collapse() == p.prefix("a")
+        assert len(value.elements) == 1
+
+    def test_subsumed_elements_dropped(self):
+        value = StringSet.exact("abc").join(StringSet.prefix("ab"))
+        # exact "abc" ⊑ prefix "ab": only the prefix survives.
+        assert value.elements == frozenset({p.prefix("ab")})
+
+    def test_vk_failure_mode_fixed(self):
+        # The paper's VKVideoDownloader pattern: three unrelated domains.
+        # The prefix domain loses everything; the set domain keeps all 3.
+        hosts = [
+            "vk.example/video_ext.php?oid=",
+            "video.sibnet.example/shell.php?videoid=",
+            "rutube.example/api/video/",
+        ]
+        prefix_result = p.BOTTOM
+        set_result = StringSet.bottom()
+        for host in hosts:
+            prefix_result = prefix_result.join(p.exact(host))
+            set_result = set_result.join(StringSet.exact(host))
+        assert prefix_result == p.TOP  # the paper's fail
+        assert set_result.concretes() == set(hosts)  # the fix
+
+
+class TestConcat:
+    def test_concat_distributes(self):
+        left = StringSet.exact("http://").join(StringSet.exact("https://"))
+        right = StringSet.exact("host.example")
+        value = left.concat(right)
+        assert value.concretes() == {
+            "http://host.example", "https://host.example"
+        }
+
+    def test_concat_with_bottom(self):
+        assert StringSet.exact("a").concat(StringSet.bottom()).is_bottom
+
+    def test_concat_caps_blowup(self):
+        left = StringSet.exact("aa").join(StringSet.exact("ab"))
+        right = StringSet.exact("xa").join(StringSet.exact("xb"))
+        value = left.concat(right)  # 4 combinations, bound 3
+        assert len(value.elements) <= 3
+
+
+class TestLatticeLaws:
+    @given(_sets, _sets)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(_sets)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(_sets, _sets)
+    def test_join_upper_bound(self, a, b):
+        joined = a.join(b)
+        assert a.leq(joined) and b.leq(joined)
+
+    @given(_sets)
+    def test_leq_reflexive(self, a):
+        assert a.leq(a)
+
+    @given(_sets, _sets, _sets)
+    def test_leq_transitive(self, a, b, c):
+        if a.leq(b) and b.leq(c):
+            assert a.leq(c)
+
+    @given(_sets, _sets)
+    def test_meet_lower_bound(self, a, b):
+        met = a.meet(b)
+        assert met.leq(a) and met.leq(b)
+
+    @given(_sets)
+    def test_collapse_is_sound(self, a):
+        # The prefix-domain collapse over-approximates the set.
+        collapsed = a.collapse()
+        for element in a.elements:
+            assert element.leq(collapsed)
+
+    @given(_sets, _sets)
+    def test_set_domain_refines_prefix_domain(self, a, b):
+        # Joining then collapsing is never more precise than collapsing
+        # then joining — the set domain sits between concrete sets and
+        # the prefix domain.
+        joined_then = a.join(b).collapse()
+        then_joined = a.collapse().join(b.collapse())
+        assert joined_then.leq(then_joined) or joined_then == then_joined

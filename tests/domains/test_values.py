@@ -1,0 +1,145 @@
+"""Tests for the abstract value product domain."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.domains import bools, numbers
+from repro.domains import prefix as p
+from repro.domains import values as v
+from repro.ir.nodes import UNDEFINED
+
+_values = st.builds(
+    v.AbstractValue,
+    may_undef=st.booleans(),
+    may_null=st.booleans(),
+    boolean=st.builds(bools.AbstractBool, st.booleans(), st.booleans()),
+    number=st.one_of(
+        st.just(numbers.BOTTOM),
+        st.just(numbers.TOP),
+        st.builds(numbers.constant, st.floats(allow_nan=False, width=16)),
+    ),
+    string=st.one_of(
+        st.just(p.BOTTOM),
+        st.builds(p.exact, st.text(alphabet="ab", max_size=3)),
+        st.builds(p.prefix, st.text(alphabet="ab", max_size=3)),
+    ),
+    addresses=st.frozensets(st.integers(0, 5), max_size=3),
+)
+
+
+class TestConstruction:
+    def test_from_constant_undefined(self):
+        value = v.from_constant(UNDEFINED)
+        assert value.may_undef and not value.may_null
+
+    def test_from_constant_null(self):
+        value = v.from_constant(None)
+        assert value.may_null and not value.may_undef
+
+    def test_from_constant_bool(self):
+        assert v.from_constant(True).boolean == bools.TRUE
+
+    def test_from_constant_number(self):
+        assert v.from_constant(4.0).number.concrete() == 4.0
+
+    def test_from_constant_string(self):
+        assert v.from_constant("hi").string == p.exact("hi")
+
+    def test_from_addresses(self):
+        assert v.from_addresses(1, 2).addresses == frozenset({1, 2})
+
+
+class TestTruthiness:
+    def test_undefined_is_falsy_only(self):
+        assert v.UNDEF.may_be_falsy() and not v.UNDEF.may_be_truthy()
+
+    def test_object_is_truthy_only(self):
+        value = v.from_addresses(1)
+        assert value.may_be_truthy() and not value.may_be_falsy()
+
+    def test_zero_is_falsy_only(self):
+        value = v.from_constant(0.0)
+        assert value.may_be_falsy() and not value.may_be_truthy()
+
+    def test_nonzero_is_truthy_only(self):
+        value = v.from_constant(7.0)
+        assert value.may_be_truthy() and not value.may_be_falsy()
+
+    def test_empty_string_falsy(self):
+        value = v.from_constant("")
+        assert value.may_be_falsy() and not value.may_be_truthy()
+
+    def test_unknown_string_both(self):
+        value = v.ANY_STRING
+        assert value.may_be_truthy() and value.may_be_falsy()
+
+    def test_nonempty_prefix_is_truthy_only(self):
+        # Any string starting with "ab" is nonempty.
+        value = v.from_string(p.prefix("ab"))
+        assert value.may_be_truthy()
+        # NOTE: a prefix admits only extensions of itself; "ab…" can never
+        # be "".
+        assert not value.may_be_falsy()
+
+    def test_join_of_number_and_undefined_both(self):
+        value = v.from_constant(1.0).join(v.UNDEF)
+        assert value.may_be_truthy() and value.may_be_falsy()
+
+
+class TestPropertyAccess:
+    def test_undefined_base_throws(self):
+        assert v.UNDEF.may_throw_on_property_access()
+        assert v.NULL.may_throw_on_property_access()
+
+    def test_object_base_does_not_throw(self):
+        assert not v.from_addresses(3).may_throw_on_property_access()
+
+    def test_to_property_name_string(self):
+        assert v.from_constant("url").to_property_name() == p.exact("url")
+
+    def test_to_property_name_number(self):
+        assert v.from_constant(0.0).to_property_name() == p.exact("0")
+
+    def test_to_property_name_undefined(self):
+        assert v.UNDEF.to_property_name() == p.exact("undefined")
+
+    def test_to_property_name_mixed_is_joined(self):
+        value = v.from_constant("a").join(v.from_constant("b"))
+        assert value.to_property_name() == p.TOP
+
+    def test_to_property_name_unknown_number(self):
+        assert v.ANY_NUMBER.to_property_name() == p.TOP
+
+
+class TestLattice:
+    def test_bottom(self):
+        assert v.BOTTOM.is_bottom
+        assert not v.UNDEF.is_bottom
+
+    @given(_values, _values)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(_values, _values, _values)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(_values)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(_values, _values)
+    def test_join_upper_bound(self, a, b):
+        assert a.leq(a.join(b)) and b.leq(a.join(b))
+
+    @given(_values)
+    def test_bottom_least(self, a):
+        assert v.BOTTOM.leq(a)
+
+    @given(_values, _values)
+    def test_truthiness_monotone(self, a, b):
+        joined = a.join(b)
+        if a.may_be_truthy():
+            assert joined.may_be_truthy()
+        if a.may_be_falsy():
+            assert joined.may_be_falsy()

@@ -1,0 +1,56 @@
+"""The Section 4.1 manual-signature examples, one per category.
+
+The paper gives one example manual signature per category:
+
+- LivePageRank (A): ``url --type1--> send(toolbarqueries.google.com)``
+- HyperTranslate (B): ``key --type3--> send(translate.google.com)``
+- Chess.comNotifier (C): ``send(chess.com)``
+
+Our corpus carries the same structure (with ``.example`` domains); these
+tests pin the published shapes.
+"""
+
+from repro.addons import BY_NAME
+from repro.signatures import ApiEntry, FlowEntry, FlowType
+
+
+class TestCategoryExamples:
+    def test_livepagerank_manual_shape(self):
+        signature = BY_NAME["LivePagerank"].manual_signature
+        entries = list(signature.flows)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.source == "url"
+        assert entry.flow_type is FlowType.TYPE1
+        assert entry.sink == "send"
+        assert "toolbarqueries.google" in entry.domain.text
+
+    def test_hypertranslate_manual_shape(self):
+        signature = BY_NAME["HyperTranslate"].manual_signature
+        entries = list(signature.flows)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.source == "key"
+        assert entry.flow_type is FlowType.TYPE3
+        assert "translate.google" in entry.domain.text
+
+    def test_chessnotifier_manual_shape(self):
+        signature = BY_NAME["Chess.comNotifier"].manual_signature
+        assert not signature.flows
+        entries = list(signature.apis)
+        assert len(entries) == 1
+        assert isinstance(entries[0], ApiEntry)
+        assert "chess" in entries[0].domain.text
+
+    def test_category_a_manuals_have_url_flows(self):
+        for name in ("LivePagerank", "LessSpamPlease"):
+            signature = BY_NAME[name].manual_signature
+            assert all(e.source == "url" for e in signature.flows), name
+
+    def test_category_c_manuals_are_bare_sends(self):
+        for name in (
+            "Chess.comNotifier", "CoffeePodsDeals", "oDeskJobWatcher",
+            "PinPoints", "GoogleTransliterate",
+        ):
+            signature = BY_NAME[name].manual_signature
+            assert not signature.flows, name

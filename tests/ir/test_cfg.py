@@ -1,0 +1,121 @@
+"""Unit tests for CFG views and graph utilities."""
+
+from repro.ir import (
+    BranchStmt,
+    CatchStmt,
+    Mode,
+    StorePropStmt,
+    ThrowStmt,
+    build_function_cfg,
+    lower,
+    nodes_in_cycles,
+    strongly_connected_components,
+)
+from repro.js import parse
+
+
+def main_cfg(source, mode, throwing=None):
+    program = lower(parse(source), event_loop=False)
+    return program, build_function_cfg(program.main, mode, throwing)
+
+
+def find(program, stmt_type):
+    for sid in sorted(program.stmts):
+        if isinstance(program.stmts[sid], stmt_type):
+            return program.stmts[sid]
+    raise AssertionError(f"no {stmt_type.__name__}")
+
+
+class TestModes:
+    SOURCE = "try { if (c) throw 'x'; f(); } catch (e) { g(e); }"
+
+    def test_structured_view_throw_falls_through(self):
+        program, cfg = main_cfg(self.SOURCE, Mode.STRUCTURED)
+        throw = find(program, ThrowStmt)
+        catch = find(program, CatchStmt)
+        assert catch.sid not in cfg.successors(throw.sid)
+        assert cfg.successors(throw.sid)  # falls through to f()
+
+    def test_no_implicit_view_throw_jumps_to_catch(self):
+        program, cfg = main_cfg(self.SOURCE, Mode.NO_IMPLICIT)
+        throw = find(program, ThrowStmt)
+        catch = find(program, CatchStmt)
+        assert cfg.successors(throw.sid) == [catch.sid]
+
+    def test_full_view_includes_implicit_edges(self):
+        source = "try { obj.p = 1; } catch (e) {}"
+        program, cfg = main_cfg(source, Mode.FULL)
+        store = find(program, StorePropStmt)
+        catch = find(program, CatchStmt)
+        assert catch.sid in cfg.successors(store.sid)
+
+    def test_no_implicit_view_excludes_implicit_edges(self):
+        source = "try { obj.p = 1; } catch (e) {}"
+        program, cfg = main_cfg(source, Mode.NO_IMPLICIT)
+        store = find(program, StorePropStmt)
+        catch = find(program, CatchStmt)
+        assert catch.sid not in cfg.successors(store.sid)
+
+    def test_full_view_filters_by_throwing_set(self):
+        source = "try { obj.p = 1; } catch (e) {}"
+        program, cfg = main_cfg(source, Mode.FULL, throwing=frozenset())
+        store = find(program, StorePropStmt)
+        catch = find(program, CatchStmt)
+        assert catch.sid not in cfg.successors(store.sid)
+
+    def test_predecessors_are_inverse_of_successors(self):
+        program, cfg = main_cfg("if (a) f(); else g();", Mode.FULL)
+        for sid in cfg.nodes:
+            for succ in cfg.successors(sid):
+                assert sid in cfg.predecessors(succ)
+
+    def test_reachability(self):
+        program, cfg = main_cfg("f(); g();", Mode.FULL)
+        reachable = cfg.reachable_from_entry()
+        assert cfg.exit in reachable
+
+
+class TestGraphUtilities:
+    def test_scc_of_a_dag_is_singletons(self):
+        nodes = [1, 2, 3]
+        successors = {1: [2], 2: [3], 3: []}
+        components = strongly_connected_components(nodes, successors)
+        assert sorted(len(c) for c in components) == [1, 1, 1]
+
+    def test_scc_finds_cycle(self):
+        nodes = [1, 2, 3, 4]
+        successors = {1: [2], 2: [3], 3: [1], 4: []}
+        components = strongly_connected_components(nodes, successors)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 3]
+
+    def test_nodes_in_cycles_includes_self_loop(self):
+        nodes = [1, 2]
+        successors = {1: [1, 2], 2: []}
+        assert nodes_in_cycles(nodes, successors) == {1}
+
+    def test_loop_statements_are_cyclic(self):
+        program, cfg = main_cfg("while (c) { f(); }", Mode.FULL)
+        cyclic = nodes_in_cycles(cfg.nodes, cfg.succs)
+        branch = find(program, BranchStmt)
+        assert branch.sid in cyclic
+
+    def test_straight_line_has_no_cycles(self):
+        program, cfg = main_cfg("f(); g();", Mode.FULL)
+        assert nodes_in_cycles(cfg.nodes, cfg.succs) == set()
+
+    def test_scc_reverse_topological_order(self):
+        nodes = [1, 2, 3]
+        successors = {1: [2], 2: [3], 3: []}
+        components = strongly_connected_components(nodes, successors)
+        # 3 has no successors, so its SCC comes first.
+        assert components[0] == [3]
+
+    def test_deep_graph_does_not_recurse(self):
+        # Tarjan must be iterative: a 10000-node chain would blow the
+        # Python recursion limit otherwise.
+        nodes = list(range(10_000))
+        successors = {i: [i + 1] for i in range(9_999)}
+        successors[9_999] = []
+        components = strongly_connected_components(nodes, successors)
+        assert len(components) == 10_000

@@ -1,0 +1,302 @@
+"""Unit tests for AST -> IR lowering."""
+
+from repro.ir import (
+    GLOBAL_SCOPE,
+    AllocStmt,
+    AssignStmt,
+    BranchStmt,
+    CallStmt,
+    CatchStmt,
+    ClosureStmt,
+    Const,
+    ConstructStmt,
+    DeletePropStmt,
+    EdgeKind,
+    EventLoopStmt,
+    ForInNextStmt,
+    LoadPropStmt,
+    ReturnStmt,
+    StorePropStmt,
+    ThrowStmt,
+    Var,
+    lower,
+)
+from repro.js import parse
+
+
+def lower_src(source, event_loop=False):
+    return lower(parse(source), event_loop=event_loop)
+
+
+def stmts_of_type(program, stmt_type, fid=None):
+    out = []
+    for sid in sorted(program.stmts):
+        if fid is not None and program.owner[sid] != fid:
+            continue
+        if isinstance(program.stmts[sid], stmt_type):
+            out.append(program.stmts[sid])
+    return out
+
+
+class TestScoping:
+    def test_top_level_var_is_global(self):
+        program = lower_src("var x = 1;")
+        assign = stmts_of_type(program, AssignStmt)[0]
+        assert assign.target == Var("x", GLOBAL_SCOPE)
+
+    def test_function_local_var(self):
+        program = lower_src("function f() { var x = 1; }")
+        assigns = [
+            s for s in stmts_of_type(program, AssignStmt)
+            if isinstance(s.target, Var) and s.target.name == "x"
+        ]
+        assert assigns[0].target.scope == 1  # function f has fid 1
+
+    def test_closure_captures_outer_local(self):
+        program = lower_src(
+            "function outer() { var x = 1; function inner() { return x; } }"
+        )
+        returns = stmts_of_type(program, ReturnStmt)
+        captured = [
+            r.value for r in returns
+            if isinstance(r.value, Var) and r.value.name == "x"
+        ]
+        assert captured and captured[0].scope == 1  # declared in outer
+
+    def test_undeclared_name_is_global(self):
+        program = lower_src("f(y);")
+        call = stmts_of_type(program, CallStmt)[0]
+        assert call.args[0] == Var("y", GLOBAL_SCOPE)
+
+    def test_parameter_resolves_to_function_scope(self):
+        program = lower_src("function f(a) { return a; }")
+        ret = stmts_of_type(program, ReturnStmt)[0]
+        assert ret.value == Var("a", 1)
+
+    def test_catch_parameter_renamed(self):
+        program = lower_src("var e = 1; try { f(); } catch (e) { g(e); }")
+        catch = stmts_of_type(program, CatchStmt)[0]
+        assert catch.target.name.startswith("e#catch")
+        calls = stmts_of_type(program, CallStmt)
+        g_call = [c for c in calls if getattr(c.callee, "name", "") == "g"][0]
+        assert g_call.args[0] == catch.target
+
+    def test_hoisted_function_usable_before_definition(self):
+        program = lower_src("f(); function f() {}")
+        main = program.main
+        closure_index = next(
+            i for i, s in enumerate(main.statements) if isinstance(s, ClosureStmt)
+        )
+        call_index = next(
+            i for i, s in enumerate(main.statements) if isinstance(s, CallStmt)
+        )
+        assert closure_index < call_index
+
+    def test_named_function_expression_binds_own_name(self):
+        program = lower_src("var f = function fact(n) { return fact; };")
+        inner = program.functions[1]
+        assert "fact" in inner.locals
+        ret = stmts_of_type(program, ReturnStmt, fid=1)[0]
+        assert ret.value == Var("fact", 1)
+
+
+class TestExpressions:
+    def test_member_read_becomes_loadprop(self):
+        program = lower_src("var x = a.b;")
+        load = stmts_of_type(program, LoadPropStmt)[0]
+        assert load.prop == Const("b")
+
+    def test_member_write_becomes_storeprop(self):
+        program = lower_src("a.b = 1;")
+        store = stmts_of_type(program, StorePropStmt)[0]
+        assert store.prop == Const("b")
+        assert store.value == Const(1.0)
+
+    def test_computed_access_keeps_expression_prop(self):
+        program = lower_src("var x = a[k];")
+        load = stmts_of_type(program, LoadPropStmt)[0]
+        assert load.prop == Var("k", GLOBAL_SCOPE)
+
+    def test_object_literal_allocates_and_stores(self):
+        program = lower_src("var o = { url: u };")
+        allocs = stmts_of_type(program, AllocStmt)
+        stores = stmts_of_type(program, StorePropStmt)
+        assert allocs[0].kind == "object"
+        assert stores[0].prop == Const("url")
+
+    def test_array_literal_stores_indices_and_length(self):
+        program = lower_src("var a = ['x', 'y'];")
+        stores = stmts_of_type(program, StorePropStmt)
+        props = [s.prop for s in stores]
+        assert Const("0") in props and Const("1") in props and Const("length") in props
+
+    def test_method_call_lowered_with_this(self):
+        program = lower_src("obj.send(x);")
+        call = stmts_of_type(program, CallStmt)[0]
+        assert call.this == Var("obj", GLOBAL_SCOPE)
+
+    def test_plain_call_has_no_this(self):
+        program = lower_src("send(x);")
+        call = stmts_of_type(program, CallStmt)[0]
+        assert call.this is None
+
+    def test_new_expression(self):
+        program = lower_src("var r = new XMLHttpRequest();")
+        construct = stmts_of_type(program, ConstructStmt)[0]
+        assert construct.callee == Var("XMLHttpRequest", GLOBAL_SCOPE)
+
+    def test_compound_assignment_reads_then_writes(self):
+        program = lower_src("x += 'suffix';")
+        assigns = stmts_of_type(program, AssignStmt)
+        # read copy, binop, write back
+        assert len(assigns) == 3
+
+    def test_delete_member(self):
+        program = lower_src("delete a.b;")
+        assert stmts_of_type(program, DeletePropStmt)
+
+    def test_logical_and_introduces_branch(self):
+        program = lower_src("var x = a && b;")
+        assert stmts_of_type(program, BranchStmt)
+
+    def test_ternary_introduces_branch(self):
+        program = lower_src("var x = c ? a : b;")
+        assert stmts_of_type(program, BranchStmt)
+
+    def test_update_expression_postfix_value(self):
+        program = lower_src("var x = i++;")
+        # old value copied, incremented, written back, old assigned to x
+        assigns = stmts_of_type(program, AssignStmt)
+        x_assign = [
+            a for a in assigns
+            if isinstance(a.target, Var) and a.target.name == "x"
+        ]
+        assert x_assign
+
+
+class TestControlFlowEdges:
+    def test_if_branch_has_two_seq_successors(self):
+        program = lower_src("if (c) f(); else g();")
+        branch = stmts_of_type(program, BranchStmt)[0]
+        seq = [e for e in branch.edges if e.kind is EdgeKind.SEQ]
+        assert len(seq) == 2
+
+    def test_while_has_back_edge(self):
+        program = lower_src("while (c) { f(); }")
+        branch = stmts_of_type(program, BranchStmt)[0]
+        call = stmts_of_type(program, CallStmt)[0]
+        header_sid = branch.sid - 2  # nop, cond-temp is inline: find nop
+        # The call's SEQ successor chain must eventually return to a
+        # statement before the branch (the loop header).
+        assert any(e.target < branch.sid for e in call.edges)
+
+    def test_break_has_jump_and_fallthrough(self):
+        program = lower_src("while (c) { break; }")
+        breaks = [
+            s for s in program.main.statements
+            if getattr(s, "label", "") == "break"
+        ]
+        kinds = {e.kind for e in breaks[0].edges}
+        assert EdgeKind.JUMP in kinds and EdgeKind.FALLTHROUGH in kinds
+
+    def test_return_jump_edge_to_exit(self):
+        program = lower_src("function f() { return 1; }")
+        ret = stmts_of_type(program, ReturnStmt)[0]
+        exit_sid = program.functions[1].exit.sid
+        assert any(
+            e.kind is EdgeKind.JUMP and e.target == exit_sid for e in ret.edges
+        )
+
+    def test_throw_with_handler_jumps_to_catch(self):
+        program = lower_src("try { throw 'x'; } catch (e) {}")
+        throw = stmts_of_type(program, ThrowStmt)[0]
+        catch = stmts_of_type(program, CatchStmt)[0]
+        assert any(
+            e.kind is EdgeKind.JUMP and e.target == catch.sid for e in throw.edges
+        )
+
+    def test_uncaught_throw_has_no_jump_edge(self):
+        program = lower_src("throw 'x';")
+        throw = stmts_of_type(program, ThrowStmt)[0]
+        assert not any(e.kind is EdgeKind.JUMP for e in throw.edges)
+
+    def test_implicit_exception_edge_inside_try(self):
+        program = lower_src("try { obj.prop = 1; } catch (e) {}")
+        store = stmts_of_type(program, StorePropStmt)[0]
+        assert any(e.kind is EdgeKind.IMPLICIT for e in store.edges)
+
+    def test_no_implicit_edge_outside_try(self):
+        program = lower_src("obj.prop = 1;")
+        store = stmts_of_type(program, StorePropStmt)[0]
+        assert not any(e.kind is EdgeKind.IMPLICIT for e in store.edges)
+
+    def test_nested_try_targets_innermost_handler(self):
+        program = lower_src(
+            "try { try { f(); } catch (a) {} } catch (b) {}"
+        )
+        call = stmts_of_type(program, CallStmt)[0]
+        catches = stmts_of_type(program, CatchStmt)
+        inner = [c for c in catches if c.target.name.startswith("a#")][0]
+        implicit = [e for e in call.edges if e.kind is EdgeKind.IMPLICIT]
+        assert implicit[0].target == inner.sid
+
+    def test_for_in_driver_has_body_and_exit_successors(self):
+        program = lower_src("for (var k in o) { f(k); }")
+        driver = stmts_of_type(program, ForInNextStmt)[0]
+        seq = [e for e in driver.edges if e.kind is EdgeKind.SEQ]
+        assert len(seq) == 2
+
+    def test_switch_cases_chain(self):
+        program = lower_src(
+            "switch (x) { case 1: a(); break; case 2: b(); default: c(); }"
+        )
+        calls = stmts_of_type(program, CallStmt)
+        assert len(calls) == 3
+
+    def test_event_loop_appended_with_self_edge(self):
+        program = lower_src("var x = 1;", event_loop=True)
+        loop = stmts_of_type(program, EventLoopStmt)[0]
+        assert any(e.target == loop.sid for e in loop.edges)
+
+    def test_no_event_loop_by_default_in_tests(self):
+        program = lower_src("var x = 1;")
+        assert not stmts_of_type(program, EventLoopStmt)
+
+    def test_labeled_break_exits_outer_loop(self):
+        program = lower_src(
+            "outer: while (a) { while (b) { break outer; } }"
+        )
+        breaks = [
+            s for s in program.main.statements
+            if getattr(s, "label", "") == "break"
+        ]
+        jump = [e for e in breaks[0].edges if e.kind is EdgeKind.JUMP][0]
+        # The jump target must be after both loop exits (the outer exit nop
+        # is emitted last).
+        exit_nops = [
+            s.sid for s in program.main.statements
+            if getattr(s, "label", "") == "loop-exit"
+        ]
+        assert jump.target == max(exit_nops)
+
+
+class TestStatementMetadata:
+    def test_positions_preserved(self):
+        program = lower_src("var x = 1;\nvar y = 2;")
+        lines = {
+            s.line
+            for s in stmts_of_type(program, AssignStmt)
+        }
+        assert lines == {1, 2}
+
+    def test_every_statement_registered(self):
+        program = lower_src("function f() { return 1; } f();")
+        for function in program.functions.values():
+            for stmt in function.statements:
+                assert program.stmts[stmt.sid] is stmt
+                assert program.owner[stmt.sid] == function.fid
+
+    def test_pretty_dump_runs(self):
+        program = lower_src("if (a) { f(); } else { g(); }")
+        text = program.pretty()
+        assert "branch" in text and "entry" in text

@@ -1,0 +1,206 @@
+"""Semantic end-to-end tests of trickier lowering shapes: each runs the
+abstract interpreter over the lowered IR and checks the *meaning* is
+preserved (not just the CFG shape)."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.domains import prefix as p
+from repro.ir import lower
+from repro.ir.nodes import GLOBAL_SCOPE, Var
+from repro.js import parse
+
+
+def value_of(source, name="witness"):
+    program = lower(parse(source), event_loop=False)
+    result = analyze(program)
+    return result.atom_value_joined(
+        program.main.exit.sid, Var(name, GLOBAL_SCOPE)
+    )
+
+
+class TestSwitchSemantics:
+    def test_matching_case_executes(self):
+        value = value_of(
+            """
+            var witness = "none";
+            switch (1) {
+                case 1: witness = "one"; break;
+                case 2: witness = "two"; break;
+            }
+            """
+        )
+        assert value.string.admits("one")
+
+    def test_fallthrough_between_cases(self):
+        value = value_of(
+            """
+            var witness = "";
+            switch (unknownValue()) {
+                case 1: witness = witness + "a";
+                case 2: witness = witness + "b"; break;
+                case 3: witness = witness + "c";
+            }
+            """
+        )
+        # Case 1 falls through to case 2: "ab" must be admitted.
+        assert value.string.admits("ab")
+
+    def test_default_clause_executes(self):
+        value = value_of(
+            """
+            var witness = "none";
+            switch (unknownValue()) {
+                case 1: break;
+                default: witness = "default";
+            }
+            """
+        )
+        assert value.string.admits("default")
+
+    def test_break_leaves_switch(self):
+        value = value_of(
+            """
+            var witness = "start";
+            switch (unknownValue()) {
+                case 1: witness = "one"; break;
+                case 2: witness = "two"; break;
+            }
+            witness = witness + "!";
+            """
+        )
+        assert value.string.admits("one!")
+        assert value.string.admits("two!")
+
+
+class TestLoopSemantics:
+    def test_do_while_body_runs_at_least_once(self):
+        value = value_of(
+            """
+            var witness = "no";
+            do { witness = "ran"; } while (false);
+            """
+        )
+        assert value.string.concrete() == "ran"
+
+    def test_do_while_continue_reaches_condition(self):
+        value = value_of(
+            """
+            var witness = "a";
+            do {
+                if (Math.random()) { witness = "b"; continue; }
+                witness = "c";
+            } while (Math.random());
+            """
+        )
+        assert value.string.admits("b") and value.string.admits("c")
+
+    def test_labeled_continue_targets_outer_loop(self):
+        value = value_of(
+            """
+            var witness = "none";
+            outer: while (Math.random()) {
+                while (Math.random()) {
+                    if (Math.random()) { continue outer; }
+                    witness = "inner-tail";
+                }
+                witness = "outer-tail";
+            }
+            """
+        )
+        assert value.string.admits("outer-tail")
+        assert value.string.admits("inner-tail")
+
+    def test_for_in_body_may_not_run(self):
+        value = value_of(
+            """
+            var witness = "before";
+            for (var k in {}) { witness = "looped"; }
+            """
+        )
+        assert value.string.admits("before")
+
+
+class TestExpressionSemantics:
+    def test_sequence_expression_value_is_last(self):
+        value = value_of("var witness = (1, 'two', 3);")
+        assert value.number.concrete() == 3.0
+
+    def test_ternary_joins_both_arms(self):
+        value = value_of("var witness = Math.random() ? 'yes' : 'no';")
+        assert value.string.admits("yes") and value.string.admits("no")
+
+    def test_ternary_definite_condition_picks_arm(self):
+        value = value_of("var witness = true ? 'yes' : 'no';")
+        assert value.string.concrete() == "yes"
+
+    def test_logical_and_returns_left_when_falsy(self):
+        value = value_of("var witness = 0 && 'right';")
+        assert value.number.concrete() == 0.0
+
+    def test_logical_or_returns_left_when_truthy(self):
+        value = value_of("var witness = 'left' || 'right';")
+        assert value.string.concrete() == "left"
+
+    def test_compound_member_assignment(self):
+        value = value_of(
+            "var o = { n: 'base' }; o.n += '+more'; var witness = o.n;"
+        )
+        assert value.string.concrete() == "base+more"
+
+    def test_chained_assignment_value(self):
+        value = value_of("var a; var b; var witness = (a = (b = 'v'));")
+        assert value.string.concrete() == "v"
+
+    def test_delete_removes_property(self):
+        value = value_of(
+            "var o = { p: 'v' }; delete o.p; var witness = o.p;"
+        )
+        assert value.may_undef
+
+    def test_update_in_expression_position(self):
+        value = value_of("var i = 5; var witness = i++ + 10;")
+        assert value.number.concrete() == 15.0
+
+    def test_prefix_update_in_expression_position(self):
+        value = value_of("var i = 5; var witness = ++i + 10;")
+        assert value.number.concrete() == 16.0
+
+
+class TestScopingSemantics:
+    def test_hoisted_var_is_undefined_before_assignment(self):
+        value = value_of(
+            "var witness = later; var later = 'assigned';"
+        )
+        assert value.may_undef
+
+    def test_catch_param_shadows_outer(self):
+        value = value_of(
+            """
+            var e = "outer";
+            var witness;
+            try { throw "thrown"; } catch (e) { witness = e; }
+            """
+        )
+        assert value.string.concrete() == "thrown"
+
+    def test_outer_variable_intact_after_catch(self):
+        value = value_of(
+            """
+            var e = "outer";
+            try { throw "thrown"; } catch (e) {}
+            var witness = e;
+            """
+        )
+        assert value.string.concrete() == "outer"
+
+    def test_named_function_expression_self_reference(self):
+        value = value_of(
+            """
+            var witness = (function fact(n) {
+                if (n < 2) { return 1; }
+                return n * fact(n - 1);
+            })(3);
+            """
+        )
+        assert not value.is_bottom

@@ -1,0 +1,146 @@
+"""Hypothesis strategies generating random (valid) JavaScript ASTs.
+
+Used by the fuzz tests: random programs must round-trip through the
+printer, and the whole pipeline (parse -> lower -> analyze -> PDG ->
+signature) must run without crashing on anything the grammar can
+produce.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.js import ast
+
+_names = st.sampled_from(["a", "b", "cee", "dee", "x1", "y2", "obj", "fn"])
+_prop_names = st.sampled_from(["p", "q", "url", "data", "k2"])
+
+
+def _literals():
+    return st.one_of(
+        st.builds(ast.NumberLiteral, st.integers(0, 999).map(float)),
+        st.builds(ast.StringLiteral, st.text(alphabet="ab c/:.\n\"'\\", max_size=6)),
+        st.builds(ast.BooleanLiteral, st.booleans()),
+        st.builds(ast.NullLiteral),
+        st.builds(ast.UndefinedLiteral),
+        st.builds(ast.Identifier, _names),
+        st.builds(ast.ThisExpression),
+    )
+
+
+def expressions(depth: int = 3):
+    """Random expression trees up to the given depth."""
+    if depth <= 0:
+        return _literals()
+    sub = expressions(depth - 1)
+    return st.one_of(
+        _literals(),
+        st.builds(
+            ast.BinaryExpression,
+            st.sampled_from(["+", "-", "*", "/", "%", "==", "<", ">=", "&", "<<"]),
+            sub,
+            sub,
+        ),
+        st.builds(
+            ast.LogicalExpression, st.sampled_from(["&&", "||"]), sub, sub
+        ),
+        st.builds(
+            ast.UnaryExpression,
+            st.sampled_from(["-", "!", "~", "typeof", "void"]),
+            sub,
+        ),
+        st.builds(ast.ConditionalExpression, sub, sub, sub),
+        st.builds(
+            ast.MemberExpression,
+            st.builds(ast.Identifier, _names),
+            st.builds(ast.StringLiteral, _prop_names),
+            st.just(False),
+        ),
+        st.builds(
+            ast.MemberExpression,
+            st.builds(ast.Identifier, _names),
+            sub,
+            st.just(True),
+        ),
+        st.builds(
+            ast.CallExpression,
+            st.builds(ast.Identifier, _names),
+            st.lists(sub, max_size=2),
+        ),
+        st.builds(
+            ast.AssignmentExpression,
+            st.sampled_from(["=", "+=", "-="]),
+            st.builds(ast.Identifier, _names),
+            sub,
+        ),
+        st.builds(ast.ArrayLiteral, st.lists(sub, max_size=3)),
+        st.builds(
+            ast.ObjectLiteral,
+            st.lists(st.builds(ast.Property, _prop_names, sub), max_size=2),
+        ),
+    )
+
+
+def statements(depth: int = 2):
+    """Random statement trees up to the given depth."""
+    expr = expressions(2)
+    simple = st.one_of(
+        st.builds(ast.ExpressionStatement, expr),
+        st.builds(
+            ast.VariableDeclaration,
+            st.lists(
+                st.builds(ast.VariableDeclarator, _names, st.one_of(st.none(), expr)),
+                min_size=1,
+                max_size=2,
+            ),
+        ),
+        st.builds(ast.EmptyStatement),
+    )
+    if depth <= 0:
+        return simple
+    sub = statements(depth - 1)
+    block = st.builds(ast.BlockStatement, st.lists(sub, max_size=3))
+    return st.one_of(
+        simple,
+        block,
+        st.builds(ast.IfStatement, expr, sub, st.one_of(st.none(), sub)),
+        st.builds(ast.WhileStatement, expr, block),
+        st.builds(
+            ast.ForStatement,
+            st.one_of(st.none(), expr),
+            st.one_of(st.none(), expr),
+            st.one_of(st.none(), expr),
+            block,
+        ),
+        st.builds(ast.ForInStatement, _names, st.booleans(),
+                  st.builds(ast.Identifier, _names), block),
+        st.builds(
+            ast.TryStatement,
+            block,
+            st.builds(ast.CatchClause, _names, block),
+            st.none(),
+        ),
+        st.builds(ast.ThrowStatement, expr),
+        st.builds(
+            ast.FunctionDeclaration,
+            st.sampled_from(["f", "g", "helper"]),
+            st.lists(_names, max_size=2, unique=True),
+            st.builds(
+                ast.BlockStatement,
+                st.lists(
+                    st.one_of(
+                        st.builds(ast.ExpressionStatement, expr),
+                        st.builds(ast.ReturnStatement, st.one_of(st.none(), expr)),
+                    ),
+                    max_size=3,
+                ),
+            ),
+        ),
+    )
+
+
+def programs(max_statements: int = 6):
+    """Random whole programs."""
+    return st.builds(
+        ast.Program, st.lists(statements(2), min_size=1, max_size=max_statements)
+    )

@@ -1,0 +1,466 @@
+"""Unit tests for the JavaScript parser."""
+
+import pytest
+
+from repro.js import ast, parse
+from repro.js.errors import ParseError, UnsupportedSyntaxError
+
+
+def parse_expr(source):
+    """Parse a single expression statement and return its expression."""
+    program = parse(source)
+    assert len(program.body) == 1
+    stmt = program.body[0]
+    assert isinstance(stmt, ast.ExpressionStatement)
+    return stmt.expression
+
+
+def parse_stmt(source):
+    program = parse(source)
+    assert len(program.body) == 1
+    return program.body[0]
+
+
+class TestLiterals:
+    def test_number(self):
+        expr = parse_expr("42;")
+        assert isinstance(expr, ast.NumberLiteral)
+        assert expr.value == 42.0
+
+    def test_hex_number(self):
+        assert parse_expr("0xFF;").value == 255.0
+
+    def test_string(self):
+        expr = parse_expr("'hello';")
+        assert isinstance(expr, ast.StringLiteral)
+        assert expr.value == "hello"
+
+    def test_booleans_null_undefined(self):
+        assert isinstance(parse_expr("true;"), ast.BooleanLiteral)
+        assert isinstance(parse_expr("false;"), ast.BooleanLiteral)
+        assert isinstance(parse_expr("null;"), ast.NullLiteral)
+        assert isinstance(parse_expr("undefined;"), ast.UndefinedLiteral)
+
+    def test_regex(self):
+        expr = parse_expr("/ab+c/i;")
+        assert isinstance(expr, ast.RegexLiteral)
+
+    def test_this(self):
+        assert isinstance(parse_expr("this;"), ast.ThisExpression)
+
+    def test_array_literal(self):
+        expr = parse_expr("[1, 'two', x];")
+        assert isinstance(expr, ast.ArrayLiteral)
+        assert len(expr.elements) == 3
+
+    def test_array_elision_becomes_undefined(self):
+        expr = parse_expr("[, 1];")
+        assert isinstance(expr.elements[0], ast.UndefinedLiteral)
+
+    def test_object_literal_identifier_and_string_keys(self):
+        expr = parse_expr("({a: 1, 'b c': 2, 3: x});")
+        assert isinstance(expr, ast.ObjectLiteral)
+        assert [p.key for p in expr.properties] == ["a", "b c", "3"]
+
+    def test_object_literal_keyword_key(self):
+        expr = parse_expr("({new: 1, in: 2});")
+        assert [p.key for p in expr.properties] == ["new", "in"]
+
+
+class TestOperators:
+    def test_precedence_multiplication_over_addition(self):
+        expr = parse_expr("1 + 2 * 3;")
+        assert isinstance(expr, ast.BinaryExpression)
+        assert expr.operator == "+"
+        assert isinstance(expr.right, ast.BinaryExpression)
+        assert expr.right.operator == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expr("1 - 2 - 3;")
+        assert expr.operator == "-"
+        assert isinstance(expr.left, ast.BinaryExpression)
+
+    def test_parenthesization_overrides(self):
+        expr = parse_expr("(1 + 2) * 3;")
+        assert expr.operator == "*"
+        assert isinstance(expr.left, ast.BinaryExpression)
+
+    def test_logical_operators_distinct_node(self):
+        expr = parse_expr("a && b || c;")
+        assert isinstance(expr, ast.LogicalExpression)
+        assert expr.operator == "||"
+        assert isinstance(expr.left, ast.LogicalExpression)
+
+    def test_comparison_chain(self):
+        expr = parse_expr("a < b == c;")
+        assert expr.operator == "=="
+
+    def test_in_and_instanceof(self):
+        assert parse_expr("'x' in obj;").operator == "in"
+        assert parse_expr("a instanceof B;").operator == "instanceof"
+
+    def test_unary_operators(self):
+        for op in ["-", "+", "!", "~"]:
+            expr = parse_expr(f"{op}x;")
+            assert isinstance(expr, ast.UnaryExpression)
+            assert expr.operator == op
+
+    def test_typeof_void_delete(self):
+        for op in ["typeof", "void", "delete"]:
+            expr = parse_expr(f"{op} x;")
+            assert isinstance(expr, ast.UnaryExpression)
+            assert expr.operator == op
+
+    def test_prefix_and_postfix_update(self):
+        pre = parse_expr("++i;")
+        post = parse_expr("i++;")
+        assert pre.prefix and not post.prefix
+
+    def test_update_requires_reference(self):
+        with pytest.raises(ParseError):
+            parse("5++;")
+
+    def test_conditional_expression(self):
+        expr = parse_expr("a ? b : c;")
+        assert isinstance(expr, ast.ConditionalExpression)
+
+    def test_nested_conditional_right_associative(self):
+        expr = parse_expr("a ? b : c ? d : e;")
+        assert isinstance(expr.alternate, ast.ConditionalExpression)
+
+    def test_sequence_expression(self):
+        expr = parse_expr("a, b, c;")
+        assert isinstance(expr, ast.SequenceExpression)
+        assert len(expr.expressions) == 3
+
+    def test_shift_operators(self):
+        for op in ["<<", ">>", ">>>"]:
+            assert parse_expr(f"a {op} b;").operator == op
+
+
+class TestAssignment:
+    def test_simple_assignment(self):
+        expr = parse_expr("x = 1;")
+        assert isinstance(expr, ast.AssignmentExpression)
+        assert expr.operator == "="
+
+    def test_compound_assignments(self):
+        for op in ["+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="]:
+            assert parse_expr(f"x {op} 2;").operator == op
+
+    def test_assignment_right_associative(self):
+        expr = parse_expr("a = b = c;")
+        assert isinstance(expr.value, ast.AssignmentExpression)
+
+    def test_member_assignment(self):
+        expr = parse_expr("obj.prop = 1;")
+        assert isinstance(expr.target, ast.MemberExpression)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse("1 = 2;")
+
+
+class TestMemberAndCall:
+    def test_dot_access_normalizes_to_string_property(self):
+        expr = parse_expr("a.b;")
+        assert isinstance(expr, ast.MemberExpression)
+        assert not expr.computed
+        assert isinstance(expr.property, ast.StringLiteral)
+        assert expr.property.value == "b"
+
+    def test_keyword_property_name(self):
+        expr = parse_expr("a.delete;")
+        assert expr.property.value == "delete"
+
+    def test_computed_access(self):
+        expr = parse_expr("a[b + 1];")
+        assert expr.computed
+        assert isinstance(expr.property, ast.BinaryExpression)
+
+    def test_chained_member_call(self):
+        expr = parse_expr("a.b.c(1)(2);")
+        assert isinstance(expr, ast.CallExpression)
+        assert isinstance(expr.callee, ast.CallExpression)
+
+    def test_call_arguments(self):
+        expr = parse_expr("f(a, b + 1, 'x');")
+        assert len(expr.arguments) == 3
+
+    def test_new_with_arguments(self):
+        expr = parse_expr("new XMLHttpRequest();")
+        assert isinstance(expr, ast.NewExpression)
+        assert isinstance(expr.callee, ast.Identifier)
+
+    def test_new_without_arguments(self):
+        expr = parse_expr("new Foo;")
+        assert isinstance(expr, ast.NewExpression)
+        assert expr.arguments == []
+
+    def test_new_member_callee(self):
+        expr = parse_expr("new a.b.C(1);")
+        assert isinstance(expr, ast.NewExpression)
+        assert isinstance(expr.callee, ast.MemberExpression)
+
+    def test_new_result_immediately_called(self):
+        expr = parse_expr("new Foo().bar();")
+        assert isinstance(expr, ast.CallExpression)
+        assert isinstance(expr.callee.object, ast.NewExpression)
+
+
+class TestFunctions:
+    def test_function_declaration(self):
+        stmt = parse_stmt("function f(a, b) { return a; }")
+        assert isinstance(stmt, ast.FunctionDeclaration)
+        assert stmt.name == "f"
+        assert stmt.params == ["a", "b"]
+
+    def test_anonymous_function_expression(self):
+        expr = parse_expr("(function(x) { return x; });")
+        assert isinstance(expr, ast.FunctionExpression)
+        assert expr.name is None
+
+    def test_named_function_expression(self):
+        expr = parse_expr("(function fact(n) { return n; });")
+        assert expr.name == "fact"
+
+    def test_function_expression_as_argument(self):
+        expr = parse_expr("addEventListener('load', function(e) {}, false);")
+        assert isinstance(expr.arguments[1], ast.FunctionExpression)
+
+    def test_nested_functions(self):
+        stmt = parse_stmt("function outer() { function inner() {} }")
+        assert isinstance(stmt.body.body[0], ast.FunctionDeclaration)
+
+
+class TestStatements:
+    def test_var_with_multiple_declarators(self):
+        stmt = parse_stmt("var i = 0, count = 0, x;")
+        assert isinstance(stmt, ast.VariableDeclaration)
+        assert [d.name for d in stmt.declarations] == ["i", "count", "x"]
+        assert stmt.declarations[2].init is None
+
+    def test_if_else(self):
+        stmt = parse_stmt("if (a) b(); else c();")
+        assert isinstance(stmt, ast.IfStatement)
+        assert stmt.alternate is not None
+
+    def test_dangling_else_binds_to_nearest_if(self):
+        stmt = parse_stmt("if (a) if (b) c(); else d();")
+        assert stmt.alternate is None
+        assert stmt.consequent.alternate is not None
+
+    def test_while(self):
+        stmt = parse_stmt("while (x) { x--; }")
+        assert isinstance(stmt, ast.WhileStatement)
+
+    def test_do_while(self):
+        stmt = parse_stmt("do { x--; } while (x);")
+        assert isinstance(stmt, ast.DoWhileStatement)
+
+    def test_for_classic(self):
+        stmt = parse_stmt("for (var i = 0; i < 10; i++) f(i);")
+        assert isinstance(stmt, ast.ForStatement)
+        assert isinstance(stmt.init, ast.VariableDeclaration)
+
+    def test_for_with_empty_clauses(self):
+        stmt = parse_stmt("for (;;) break;")
+        assert stmt.init is None and stmt.test is None and stmt.update is None
+
+    def test_for_in_with_var(self):
+        stmt = parse_stmt("for (var k in obj) f(k);")
+        assert isinstance(stmt, ast.ForInStatement)
+        assert stmt.variable == "k"
+        assert stmt.declares
+
+    def test_for_in_without_var(self):
+        stmt = parse_stmt("for (k in obj) f(k);")
+        assert not stmt.declares
+
+    def test_in_operator_allowed_inside_parens_in_for(self):
+        stmt = parse_stmt("for (var i = ('a' in o); i; ) break;")
+        assert isinstance(stmt, ast.ForStatement)
+
+    def test_switch(self):
+        stmt = parse_stmt(
+            "switch (x) { case 1: a(); break; default: b(); }"
+        )
+        assert isinstance(stmt, ast.SwitchStatement)
+        assert len(stmt.cases) == 2
+        assert stmt.cases[1].test is None
+
+    def test_switch_duplicate_default_rejected(self):
+        with pytest.raises(ParseError):
+            parse("switch (x) { default: a(); default: b(); }")
+
+    def test_try_catch_finally(self):
+        stmt = parse_stmt("try { f(); } catch (e) { g(e); } finally { h(); }")
+        assert isinstance(stmt, ast.TryStatement)
+        assert stmt.handler.param == "e"
+        assert stmt.finalizer is not None
+
+    def test_try_requires_catch_or_finally(self):
+        with pytest.raises(ParseError):
+            parse("try { f(); }")
+
+    def test_throw(self):
+        stmt = parse_stmt("throw new Error('x');")
+        assert isinstance(stmt, ast.ThrowStatement)
+
+    def test_labeled_statement_with_break(self):
+        stmt = parse_stmt("outer: while (a) { break outer; }")
+        assert isinstance(stmt, ast.LabeledStatement)
+        assert stmt.label == "outer"
+
+    def test_continue_with_label(self):
+        stmt = parse_stmt("loop: while (a) { continue loop; }")
+        inner = stmt.body.body.body[0]
+        assert isinstance(inner, ast.ContinueStatement)
+        assert inner.label == "loop"
+
+    def test_empty_statement(self):
+        assert isinstance(parse_stmt(";"), ast.EmptyStatement)
+
+    def test_debugger_statement(self):
+        assert isinstance(parse_stmt("debugger;"), ast.DebuggerStatement)
+
+
+class TestAutomaticSemicolonInsertion:
+    def test_asi_at_newline(self):
+        program = parse("a = 1\nb = 2")
+        assert len(program.body) == 2
+
+    def test_asi_at_eof(self):
+        program = parse("a = 1")
+        assert len(program.body) == 1
+
+    def test_asi_before_close_brace(self):
+        program = parse("function f() { return 1 }")
+        assert isinstance(program.body[0].body.body[0], ast.ReturnStatement)
+
+    def test_no_asi_mid_line(self):
+        with pytest.raises(ParseError):
+            parse("a = 1 b = 2")
+
+    def test_restricted_return(self):
+        program = parse("function f() { return\n1; }")
+        body = program.body[0].body.body
+        assert body[0].argument is None  # ASI after bare return
+        assert isinstance(body[1], ast.ExpressionStatement)
+
+    def test_restricted_throw_rejected(self):
+        with pytest.raises(ParseError):
+            parse("throw\n'x';")
+
+    def test_restricted_postfix_update(self):
+        # `a\n++b` must parse as `a; ++b` per the restricted production.
+        program = parse("a\n++b")
+        assert len(program.body) == 2
+
+
+class TestUnsupportedSyntax:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "with (obj) { f(); }",
+            "class A {}",
+            "let x = 1;",
+            "const y = 2;",
+            "import x;",
+        ],
+    )
+    def test_unsupported_constructs_rejected(self, source):
+        with pytest.raises(UnsupportedSyntaxError):
+            parse(source)
+
+    def test_getter_rejected(self):
+        with pytest.raises(UnsupportedSyntaxError):
+            parse("({get x() { return 1; }});")
+
+    def test_get_as_plain_key_is_fine(self):
+        expr = parse_expr("({get: 1});")
+        assert expr.properties[0].key == "get"
+
+
+class TestNodeCount:
+    def test_count_is_monotone_in_program_size(self):
+        from repro.js import node_count
+
+        small = node_count(parse("a = 1;"))
+        large = node_count(parse("a = 1; b = a + 2; f(b);"))
+        assert small < large
+
+    def test_single_literal_count(self):
+        from repro.js import node_count
+
+        # Program + ExpressionStatement + NumberLiteral
+        assert node_count(parse("1;")) == 3
+
+
+class TestRealisticAddonCode:
+    """End-to-end parses of idiomatic addon code from the paper."""
+
+    def test_paper_section2_explicit_flow_example(self):
+        source = """
+        function ajax(params) {
+            var data = params["data"];
+            request = XHRWrapper(publicServer);
+            request.send("url is: " + data);
+        }
+        ajax({ data: content.location.href });
+        """
+        program = parse(source)
+        assert len(program.body) == 2
+
+    def test_paper_section2_implicit_flow_example(self):
+        source = """
+        window.addEventListener("load", check, false);
+        function check(e) {
+            var seen = false;
+            if (content.location.href == "sensitive.com")
+                seen = true;
+            var request = XHRWrapper(publicServer);
+            request.send(seen);
+        }
+        """
+        program = parse(source)
+        assert len(program.body) == 2
+
+    def test_paper_section5_prefix_example(self):
+        source = """
+        var baseURL = "www.example.com/req?";
+        if (cond) baseURL += "name";
+        else baseURL += "age";
+        """
+        program = parse(source)
+        assert len(program.body) == 2
+
+    def test_figure1_program(self):
+        source = """
+        var data = { url: doc.loc };
+        send(data.url);
+        send(data[getString()]);
+        func();
+        if (doc.loc == "secret.com")
+          send(null);
+        var arr = ["covert.com", "priv.com"];
+        var i = 0, count = 0;
+        while(arr[i] && doc.loc != arr[i]) {
+          i++;
+          count++; }
+        send(count);
+        try {
+          if (doc.loc != "hush-hush.com")
+            throw "irrelevant";
+          send(null);
+        } catch(x) {};
+        try {
+          if (doc.loc != "mystic.com")
+            obj.prop = 1;
+          send(null);
+        } catch(x) {}
+        """
+        program = parse(source)
+        kinds = [s.kind for s in program.body]
+        assert kinds.count("TryStatement") == 2
+        assert "WhileStatement" in kinds

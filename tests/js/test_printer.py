@@ -1,0 +1,123 @@
+"""Tests for the AST printer, including parse/print round-trip stability
+over the whole benchmark corpus."""
+
+import pytest
+
+from repro.js import ast, parse
+from repro.js.printer import print_expression, print_program, print_statement
+
+
+def strip_positions(node):
+    """Structural fingerprint of an AST, ignoring positions."""
+    parts = [node.kind]
+    for field_name in vars(node):
+        if field_name == "position":
+            continue
+        value = getattr(node, field_name)
+        if isinstance(value, ast.Node):
+            parts.append(strip_positions(value))
+        elif isinstance(value, list):
+            parts.append(
+                tuple(
+                    strip_positions(item) if isinstance(item, ast.Node) else item
+                    for item in value
+                )
+            )
+        else:
+            parts.append(value)
+    return tuple(parts)
+
+
+def roundtrip(source):
+    first = parse(source)
+    printed = print_program(first)
+    second = parse(printed)
+    assert strip_positions(first) == strip_positions(second), printed
+    return printed
+
+
+class TestExpressions:
+    def test_literals(self):
+        for source in ["42;", "'str';", "true;", "null;", "undefined;", "this;"]:
+            roundtrip(source)
+
+    def test_string_escapes(self):
+        roundtrip('var s = "line\\nbreak\\t\\"quoted\\"";')
+
+    def test_operators(self):
+        roundtrip("var x = 1 + 2 * 3 - 4 / 5 % 6;")
+        roundtrip("var b = a < b && c >= d || !e;")
+        roundtrip("var s = a << 2 >>> 1 & 3 | 4 ^ 5;")
+
+    def test_assignment_forms(self):
+        roundtrip("x = 1; x += 2; x -= 3; x *= 4; o.p |= 5;")
+
+    def test_member_and_calls(self):
+        roundtrip("a.b.c(1)(2)[k].d;")
+        roundtrip("new Foo(1, 2).bar();")
+
+    def test_object_and_array_literals(self):
+        roundtrip("var o = {a: 1, 'b c': 2};")
+        roundtrip("var a = [1, [2, 3], {x: 4}];")
+
+    def test_conditional_and_sequence(self):
+        roundtrip("var x = a ? b : c;")
+        roundtrip("x = (a, b, c);")
+
+    def test_updates(self):
+        roundtrip("i++; --j; a[k]++;")
+
+    def test_unary_keywords(self):
+        roundtrip("var t = typeof x; void 0; delete o.p;")
+
+
+class TestStatements:
+    def test_control_flow(self):
+        roundtrip("if (a) f(); else { g(); }")
+        roundtrip("while (x) { x--; }")
+        roundtrip("do f(); while (c);")
+        roundtrip("for (var i = 0; i < 9; i++) f(i);")
+        roundtrip("for (k in o) use(k);")
+        roundtrip("for (;;) break;")
+
+    def test_functions(self):
+        roundtrip("function f(a, b) { return a + b; }")
+        roundtrip("var f = function inner(n) { return n; };")
+
+    def test_try_catch_finally(self):
+        roundtrip("try { f(); } catch (e) { g(e); } finally { h(); }")
+        roundtrip("try { throw 'x'; } catch (e) {}")
+
+    def test_switch(self):
+        roundtrip(
+            "switch (x) { case 1: a(); break; case 'two': b(); default: c(); }"
+        )
+
+    def test_labels(self):
+        roundtrip("outer: while (a) { break outer; }")
+
+    def test_nested_blocks(self):
+        roundtrip("{ { var x = 1; } }")
+
+
+class TestCorpusRoundTrip:
+    def test_every_benchmark_addon_roundtrips(self):
+        from repro.addons import CORPUS
+
+        for spec in CORPUS:
+            roundtrip(spec.source())
+
+    def test_figure1_roundtrips(self):
+        from repro.evaluation import FIGURE1_PROGRAM
+
+        roundtrip(FIGURE1_PROGRAM)
+
+
+class TestHelpers:
+    def test_print_expression(self):
+        expr = parse("1 + 2;").body[0].expression
+        assert print_expression(expr) == "(1 + 2)"
+
+    def test_print_statement(self):
+        stmt = parse("var x = 1;").body[0]
+        assert print_statement(stmt) == "var x = 1;"

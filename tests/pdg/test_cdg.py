@@ -1,0 +1,152 @@
+"""Unit tests for the staged CDG construction."""
+
+from repro.analysis import analyze
+from repro.ir import lower
+from repro.js import parse
+from repro.pdg import Annotation, build_pdg
+from repro.pdg.annotations import STAGE_ANNOTATIONS
+
+
+def pdg_of(source, event_loop=False):
+    program = lower(parse(source), event_loop=event_loop)
+    result = analyze(program)
+    return program, build_pdg(result)
+
+
+def line_controls(program, pdg, source_line, target_line):
+    found = set()
+    for (source, target), annotations in pdg.edges.items():
+        if (
+            program.stmts[source].line == source_line
+            and program.stmts[target].line == target_line
+        ):
+            found.update(a for a in annotations if a.is_control)
+    return found
+
+
+class TestAnnotationGrammar:
+    def test_eight_annotations(self):
+        assert len(Annotation) == 8
+
+    def test_amplify_mapping(self):
+        assert Annotation.LOCAL.amplified() is Annotation.LOCAL_AMP
+        assert Annotation.NONLOC_EXP.amplified() is Annotation.NONLOC_EXP_AMP
+        assert Annotation.NONLOC_IMP.amplified() is Annotation.NONLOC_IMP_AMP
+
+    def test_amplify_data_is_identity(self):
+        assert Annotation.DATA_STRONG.amplified() is Annotation.DATA_STRONG
+
+    def test_classification(self):
+        assert Annotation.DATA_WEAK.is_data
+        assert Annotation.LOCAL_AMP.is_control
+        assert Annotation.LOCAL_AMP.is_amplified
+        assert not Annotation.LOCAL.is_amplified
+        assert len(STAGE_ANNOTATIONS) == 3
+
+
+class TestLocalStage:
+    def test_if_consequent_local(self):
+        program, pdg = pdg_of("if (Math.random())\nf();")
+        assert Annotation.LOCAL in line_controls(program, pdg, 1, 2)
+
+    def test_else_branch_local(self):
+        program, pdg = pdg_of("if (Math.random())\nf();\nelse g();")
+        assert Annotation.LOCAL in line_controls(program, pdg, 1, 3)
+
+    def test_statement_after_if_not_dependent(self):
+        program, pdg = pdg_of("if (Math.random())\nf();\ng();")
+        assert not line_controls(program, pdg, 1, 3)
+
+
+class TestNonLocalExplicitStage:
+    def test_conditional_throw_shields_successor(self):
+        program, pdg = pdg_of(
+            "try {\nif (Math.random())\nthrow 'x';\nf();\n} catch (e) {}"
+        )
+        annotations = line_controls(program, pdg, 2, 4)
+        assert Annotation.NONLOC_EXP in annotations
+        assert Annotation.LOCAL not in annotations
+
+    def test_break_makes_rest_of_loop_nonlocexp(self):
+        program, pdg = pdg_of(
+            "while (Math.random()) {\nif (Math.random())\nbreak;\nf();\n}"
+        )
+        annotations = line_controls(program, pdg, 2, 4)
+        # Amplified because the source is inside the loop.
+        assert Annotation.NONLOC_EXP_AMP in annotations
+
+    def test_conditional_return_shields_successor(self):
+        program, pdg = pdg_of(
+            "function f() {\nif (Math.random())\nreturn 1;\ng();\n}\nf();"
+        )
+        annotations = line_controls(program, pdg, 2, 4)
+        assert Annotation.NONLOC_EXP in annotations
+
+
+class TestNonLocalImplicitStage:
+    def test_possibly_undefined_base_gives_nonlocimp(self):
+        program, pdg = pdg_of(
+            "try {\nif (Math.random())\nmaybeUndefined.prop = 1;\nf();\n} catch (e) {}"
+        )
+        annotations = line_controls(program, pdg, 3, 4)
+        assert Annotation.NONLOC_IMP in annotations
+
+    def test_known_object_base_no_implicit_edges(self):
+        program, pdg = pdg_of(
+            "var o = {};\ntry {\no.prop = 1;\nf();\n} catch (e) {}"
+        )
+        annotations = line_controls(program, pdg, 3, 4)
+        assert Annotation.NONLOC_IMP not in annotations
+
+
+class TestAmplification:
+    def test_loop_condition_amplified(self):
+        program, pdg = pdg_of(
+            "while (Math.random()) {\nf();\n}"
+        )
+        assert Annotation.LOCAL_AMP in line_controls(program, pdg, 1, 2)
+
+    def test_plain_if_not_amplified(self):
+        program, pdg = pdg_of("if (Math.random())\nf();")
+        annotations = line_controls(program, pdg, 1, 2)
+        assert Annotation.LOCAL in annotations
+        assert Annotation.LOCAL_AMP not in annotations
+
+    def test_recursion_amplifies(self):
+        program, pdg = pdg_of(
+            "function loop(n) {\nif (n > 0)\nloop(n - 1);\n}\nloop(9);"
+        )
+        annotations = line_controls(program, pdg, 2, 3)
+        assert Annotation.LOCAL_AMP in annotations
+
+
+class TestInterproceduralControl:
+    def test_callee_entry_depends_on_call_site(self):
+        program, pdg = pdg_of("function f() { g(); }\nf();")
+        entry_sid = program.functions[1].entry.sid
+        call_edges = [
+            (source, target)
+            for (source, target), annotations in pdg.edges.items()
+            if target == entry_sid and any(a.is_control for a in annotations)
+        ]
+        assert call_edges
+
+    def test_conditional_call_guards_callee(self):
+        # Statements in the callee are transitively control dependent on
+        # the branch via branch -> call -> entry -> body.
+        program, pdg = pdg_of(
+            "function f() {\nsend(1);\n}\nif (Math.random())\nf();"
+        )
+        frontier = pdg.reachable_from(
+            {
+                sid
+                for sid, stmt in program.stmts.items()
+                if stmt.line == 4 and type(stmt).__name__ == "BranchStmt"
+            },
+            allowed=frozenset(Annotation),
+        )
+        send_sids = {
+            sid for sid, stmt in program.stmts.items()
+            if stmt.line == 2 and type(stmt).__name__ == "CallStmt"
+        }
+        assert send_sids & frontier

@@ -1,0 +1,147 @@
+"""Reproduction of the paper's Figure 1 program and Figure 2 annotated
+PDG — the worked example of Section 3.
+
+The assertions check exactly the edges the paper's text calls out:
+
+- ``1 --datastrong--> 2``: the send argument definitely reads the
+  (object, "url") pair created at line 1;
+- ``1 --dataweak--> 3``: the property name is unknown (getString());
+- ``5 --local--> 6``: plain conditional, no loop;
+- ``9 --local^amp--> 11``: loop body, amplified;
+- ``14 --nonlocexp--> 16``: the explicit throw at 15 can prevent 16;
+- ``20 --nonlocimp--> 21``: obj may be undefined, so line 20 may throw
+  implicitly;
+- uncaught-exception edges (e.g. from the call at line 4) are omitted.
+"""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.ir import lower
+from repro.ir.nodes import EntryStmt, ExitStmt
+from repro.js import parse
+from repro.pdg import Annotation, build_pdg
+
+FIGURE1 = """var data = { url: doc.loc };
+send(data.url);
+send(data[getString()]);
+func();
+if (doc.loc == "secret.com")
+  send(null);
+var arr = ["covert.com", "priv.com"];
+var i = 0, count = 0;
+while(arr[i] && doc.loc != arr[i]) {
+  i++;
+  count++; }
+send(count);
+try {
+  if (doc.loc != "hush-hush.com")
+    throw "irrelevant";
+  send(null);
+} catch(x) {};
+try {
+  if (doc.loc != "mystic.com")
+    obj.prop = 1;
+  send(null);
+} catch(x) {}"""
+
+
+@pytest.fixture(scope="module")
+def figure1_pdg():
+    program = lower(parse(FIGURE1), event_loop=False)
+    result = analyze(program)
+    return program, build_pdg(result)
+
+
+def line_annotations(program, pdg, source_line, target_line):
+    skip = (EntryStmt, ExitStmt)
+    found = set()
+    for (source, target), annotations in pdg.edges.items():
+        if isinstance(program.stmts[source], skip):
+            continue
+        if isinstance(program.stmts[target], skip):
+            continue
+        if (
+            program.stmts[source].line == source_line
+            and program.stmts[target].line == target_line
+        ):
+            found.update(annotations)
+    return found
+
+
+class TestFigure2Edges:
+    def test_line1_to_2_datastrong(self, figure1_pdg):
+        program, pdg = figure1_pdg
+        assert Annotation.DATA_STRONG in line_annotations(program, pdg, 1, 2)
+
+    def test_line1_to_3_dataweak(self, figure1_pdg):
+        program, pdg = figure1_pdg
+        assert Annotation.DATA_WEAK in line_annotations(program, pdg, 1, 3)
+
+    def test_line5_to_6_local_unamplified(self, figure1_pdg):
+        program, pdg = figure1_pdg
+        annotations = line_annotations(program, pdg, 5, 6)
+        assert Annotation.LOCAL in annotations
+        assert Annotation.LOCAL_AMP not in annotations
+
+    def test_line9_to_11_local_amplified(self, figure1_pdg):
+        program, pdg = figure1_pdg
+        annotations = line_annotations(program, pdg, 9, 11)
+        assert Annotation.LOCAL_AMP in annotations
+
+    def test_line9_to_10_local_amplified(self, figure1_pdg):
+        program, pdg = figure1_pdg
+        assert Annotation.LOCAL_AMP in line_annotations(program, pdg, 9, 10)
+
+    def test_line14_to_16_nonlocexp(self, figure1_pdg):
+        program, pdg = figure1_pdg
+        annotations = line_annotations(program, pdg, 14, 16)
+        assert Annotation.NONLOC_EXP in annotations
+        assert Annotation.LOCAL not in annotations
+
+    def test_line20_to_21_nonlocimp(self, figure1_pdg):
+        program, pdg = figure1_pdg
+        annotations = line_annotations(program, pdg, 20, 21)
+        assert Annotation.NONLOC_IMP in annotations
+
+    def test_line19_to_20_local(self, figure1_pdg):
+        program, pdg = figure1_pdg
+        assert Annotation.LOCAL in line_annotations(program, pdg, 19, 20)
+
+    def test_loop_counter_flow_datastrong(self, figure1_pdg):
+        # count++ (line 11) flows to send(count) (line 12).
+        program, pdg = figure1_pdg
+        assert Annotation.DATA_STRONG in line_annotations(program, pdg, 11, 12)
+
+    def test_initialization_flow_demoted_to_weak_by_loop(self, figure1_pdg):
+        # var count = 0 (line 8) also reaches send(count) (line 12), but a
+        # path through count++ exists, so the edge must be weak.
+        program, pdg = figure1_pdg
+        annotations = line_annotations(program, pdg, 8, 12)
+        assert Annotation.DATA_WEAK in annotations
+        assert Annotation.DATA_STRONG not in annotations
+
+    def test_uncaught_exception_edges_omitted(self, figure1_pdg):
+        # func() at line 4 may throw (it is undefined), but with no
+        # handler the paper omits all resulting control edges: nothing
+        # after line 4 is control-dependent on it.
+        program, pdg = figure1_pdg
+        for line in (5, 6, 7, 8, 9, 12):
+            annotations = line_annotations(program, pdg, 4, line)
+            assert not any(a.is_control for a in annotations), (line, annotations)
+
+    def test_throw_to_catch_data_flow(self, figure1_pdg):
+        # The thrown string at line 15 is bound by catch(x) at line 17.
+        program, pdg = figure1_pdg
+        assert Annotation.DATA_STRONG in line_annotations(program, pdg, 15, 17)
+
+    def test_no_cross_try_exception_edges(self, figure1_pdg):
+        # The first try's throw must not leak into the second try's catch.
+        program, pdg = figure1_pdg
+        assert not line_annotations(program, pdg, 15, 23)
+
+    def test_dot_export_mentions_annotations(self, figure1_pdg):
+        program, pdg = figure1_pdg
+        dot = pdg.to_dot()
+        assert "datastrong" in dot and "local^amp" in dot
+        assert dot.startswith("digraph")

@@ -1,0 +1,68 @@
+"""Tests for the PDG container type itself."""
+
+import pytest
+
+from repro.ir.nodes import ProgramIR
+from repro.pdg import Annotation, PDG
+
+
+def tiny_pdg():
+    from repro.analysis import analyze
+    from repro.ir import lower
+    from repro.js import parse
+    from repro.pdg import build_pdg
+
+    program = lower(
+        parse("var a = 1;\nvar b = a;\nif (mystery())\nsend(b);"),
+        event_loop=False,
+    )
+    return program, build_pdg(analyze(program))
+
+
+class TestContainer:
+    def test_add_edge_accumulates_annotations(self):
+        pdg = PDG(program=ProgramIR({}, {}, {}, set()))
+        pdg.add_edge(1, 2, Annotation.DATA_WEAK)
+        pdg.add_edge(1, 2, Annotation.LOCAL)
+        assert pdg.annotations(1, 2) == {Annotation.DATA_WEAK, Annotation.LOCAL}
+
+    def test_annotations_missing_edge_empty(self):
+        pdg = PDG(program=ProgramIR({}, {}, {}, set()))
+        assert pdg.annotations(9, 10) == set()
+
+    def test_successors(self):
+        pdg = PDG(program=ProgramIR({}, {}, {}, set()))
+        pdg.add_edge(1, 2, Annotation.LOCAL)
+        pdg.add_edge(1, 3, Annotation.DATA_STRONG)
+        targets = {target for target, _ in pdg.successors(1)}
+        assert targets == {2, 3}
+
+    def test_reachable_from_respects_filter(self):
+        pdg = PDG(program=ProgramIR({}, {}, {}, set()))
+        pdg.add_edge(1, 2, Annotation.DATA_STRONG)
+        pdg.add_edge(2, 3, Annotation.NONLOC_IMP)
+        data_only = frozenset({Annotation.DATA_STRONG})
+        assert pdg.reachable_from({1}, data_only) == {1, 2}
+        assert pdg.reachable_from({1}, frozenset(Annotation)) == {1, 2, 3}
+
+    def test_line_edges_drops_synthetics_and_self_loops(self):
+        program, pdg = tiny_pdg()
+        edges = pdg.line_edges()
+        assert all(0 not in pair for pair in edges)
+        assert all(a != b for (a, b) in edges)
+
+    def test_line_annotations_lookup(self):
+        program, pdg = tiny_pdg()
+        assert Annotation.DATA_STRONG in pdg.line_annotations(1, 2)
+
+    def test_dot_contains_nodes_and_edges(self):
+        program, pdg = tiny_pdg()
+        dot = pdg.to_dot()
+        assert dot.startswith("digraph pdg {")
+        assert "->" in dot and dot.rstrip().endswith("}")
+
+    def test_dot_include_isolated_lists_all_statements(self):
+        program, pdg = tiny_pdg()
+        full = pdg.to_dot(include_isolated=True)
+        trimmed = pdg.to_dot(include_isolated=False)
+        assert full.count("[label=") >= trimmed.count("[label=")

@@ -1,0 +1,80 @@
+"""Unit tests for postdominators and control dependence."""
+
+from repro.pdg.postdom import (
+    Digraph,
+    augment_for_control_dependence,
+    control_dependence,
+    immediate_dominators,
+)
+
+
+def diamond():
+    #    1
+    #   / \
+    #  2   3
+    #   \ /
+    #    4
+    return Digraph([1, 2, 3, 4], {1: [2, 3], 2: [4], 3: [4], 4: []})
+
+
+class TestDominators:
+    def test_chain(self):
+        graph = Digraph([1, 2, 3], {1: [2], 2: [3], 3: []})
+        idom = immediate_dominators(graph, 1)
+        assert idom == {1: 1, 2: 1, 3: 2}
+
+    def test_diamond_join_dominated_by_branch(self):
+        idom = immediate_dominators(diamond(), 1)
+        assert idom[4] == 1
+        assert idom[2] == 1 and idom[3] == 1
+
+    def test_postdominators_via_reversal(self):
+        ipdom = immediate_dominators(diamond().reversed(), 4)
+        assert ipdom[1] == 4  # the join postdominates the branch
+
+    def test_loop(self):
+        graph = Digraph([1, 2, 3], {1: [2], 2: [1, 3], 3: []})
+        idom = immediate_dominators(graph, 1)
+        assert idom[2] == 1 and idom[3] == 2
+
+
+class TestControlDependence:
+    def test_diamond_arms_depend_on_branch(self):
+        deps = control_dependence(diamond(), entry=1, exit_node=4)
+        assert (1, 2) in deps and (1, 3) in deps
+        assert (1, 4) not in deps  # the join always executes
+
+    def test_straight_line_no_dependence_besides_entry(self):
+        graph = Digraph([1, 2, 3], {1: [2], 2: [3], 3: []})
+        deps = control_dependence(graph, entry=1, exit_node=3)
+        # With the virtual entry->exit edge, interior nodes depend on the
+        # entry (they execute iff the function is entered).
+        assert all(source == 1 for source, _ in deps)
+
+    def test_loop_body_depends_on_loop_branch(self):
+        # 1 -> 2(branch) -> 3(body) -> 2;  2 -> 4(exit)
+        graph = Digraph([1, 2, 3, 4], {1: [2], 2: [3, 4], 3: [2], 4: []})
+        deps = control_dependence(graph, entry=1, exit_node=4)
+        assert (2, 3) in deps
+
+    def test_unreachable_node_gets_entry_edge(self):
+        # Node 3 unreachable: the paper adds an entry edge before CDG.
+        graph = Digraph([1, 2, 3], {1: [2], 2: [], 3: [2]})
+        augmented = augment_for_control_dependence(graph, entry=1, exit_node=2)
+        assert 3 in augmented.succs[1]
+
+    def test_dead_end_gets_exit_edge(self):
+        graph = Digraph([1, 2, 3], {1: [2, 3], 2: [], 3: []})
+        augmented = augment_for_control_dependence(graph, entry=1, exit_node=3)
+        assert 3 in augmented.succs[2]
+
+    def test_nested_branches(self):
+        # if (a) { if (b) c; }
+        graph = Digraph(
+            [1, 2, 3, 4, 5],
+            {1: [2, 5], 2: [3, 5], 3: [5], 4: [], 5: [4]},
+        )
+        deps = control_dependence(graph, entry=1, exit_node=4)
+        assert (1, 2) in deps
+        assert (2, 3) in deps
+        assert (1, 3) not in deps  # only transitively dependent

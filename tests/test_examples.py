@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example runs and says what it promises."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / name)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        output = run_example("quickstart.py", capsys)
+        assert "url -type1-> send(https://rank.example/api?u=...)" in output
+        assert "telemetry.shady.example" in output
+
+    def test_vetting_workflow(self, capsys):
+        output = run_example("vetting_workflow.py", capsys)
+        assert "Verdict: leak" in output
+        assert "keys.collector.example" in output
+
+    def test_custom_policy(self, capsys):
+        output = run_example("custom_policy.py", capsys)
+        assert "prefs -type1->" in output
+        assert "url -type3->" in output
+
+    def test_malware_gallery(self, capsys):
+        output = run_example("malware_gallery.py", capsys)
+        assert "password -type2->" in output
+        assert "scriptloader" in output
+        assert "url -type3-> send(https://ping.attacker.example/tick)" in output
+
+    def test_malware_gallery_redirect_channel(self, capsys):
+        output = run_example("malware_gallery.py", capsys)
+        assert "cookie -type1-> redirect(https://jar.attacker.example/c?d=...)" in output
