@@ -27,15 +27,16 @@ treatment of the addon event-driven execution model.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.analysis import builtins, transfer
 from repro.analysis.contexts import EMPTY_CONTEXT, CallSiteSensitivity, Context
 from repro.analysis.environment import DefaultEnvironment, Environment, NativeCall
 from repro.domains import values as values_domain
 from repro.domains.objects import AbstractObject, function_object
-from repro.domains.state import State
+from repro.domains.state import COPIES, State
 from repro.domains.values import AbstractValue
+from repro.perf import Counters
 from repro.ir.nodes import (
     AllocStmt,
     AssignStmt,
@@ -109,12 +110,50 @@ class AnalysisResult:
     #: (restricted by the vetting policy, Section 2).
     diagnostics: frozenset[tuple[str, int]]
     sensitivity: CallSiteSensitivity
+    #: Hot-path observability: fixpoint steps, states created, joins, ...
+    #: Pure reporting — never consulted by the analysis itself.
+    counters: Counters = field(default_factory=Counters)
+
+    # The spec matchers interrogate the result once per source/sink/API
+    # matcher; these lazily built indexes replace their repeated scans of
+    # the full ``states`` map. ``states`` is never mutated after
+    # construction, so the memoization is safe.
+    _contexts_index: dict[int, list[Context]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _type_index: dict[type, list[Node]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _sid_contexts(self) -> dict[int, list[Context]]:
+        if self._contexts_index is None:
+            index: dict[int, list[Context]] = {}
+            for (sid, ctx) in self.states:
+                index.setdefault(sid, []).append(ctx)
+            self._contexts_index = index
+        return self._contexts_index
 
     def contexts(self, sid: int) -> list[Context]:
-        return [ctx for (node_sid, ctx) in self.states if node_sid == sid]
+        return self._sid_contexts().get(sid, [])
 
     def reachable(self, sid: int) -> bool:
-        return any(True for _ in self.contexts(sid))
+        return sid in self._sid_contexts()
+
+    def nodes_of_type(self, *stmt_types: type) -> list[Node]:
+        """All ``(sid, context)`` nodes whose statement is exactly one of
+        the given IR classes (IR statements do not subclass each other),
+        in deterministic statement order."""
+        if self._type_index is None:
+            index: dict[type, list[Node]] = {}
+            for node in sorted(self.states):
+                index.setdefault(type(self.program.stmts[node[0]]), []).append(node)
+            self._type_index = index
+        if len(stmt_types) == 1:
+            return self._type_index.get(stmt_types[0], [])
+        nodes: list[Node] = []
+        for stmt_type in stmt_types:
+            nodes.extend(self._type_index.get(stmt_type, []))
+        return nodes
 
     def in_state(self, sid: int, context: Context) -> State:
         return self.states[(sid, context)]
@@ -206,6 +245,7 @@ class Interpreter:
         self._next_stub_address = -1_000_000
         self._call_graph: dict[int, set[int]] = {}
         self._multi_instance: set[int] = set()
+        self.counters = Counters()
 
     # ------------------------------------------------------------------
     # Services used by native stubs
@@ -239,6 +279,7 @@ class Interpreter:
     # Fixpoint driver
 
     def run(self) -> AnalysisResult:
+        copies_before = COPIES.value
         initial = State()
         builtins.install(initial)
         self.environment.setup(initial, self)
@@ -260,6 +301,9 @@ class Interpreter:
             self.on_worklist.discard(node)
             self._process(node)
 
+        self.counters["fixpoint_steps"] = steps
+        self.counters["analysis_nodes"] = len(self.states)
+        self.counters["states_created"] = COPIES.value - copies_before
         return AnalysisResult(
             program=self.program,
             states=self.states,
@@ -271,6 +315,7 @@ class Interpreter:
             multi_instance=frozenset(self._multi_instance),
             diagnostics=frozenset(self.diagnostics),
             sensitivity=self.sensitivity,
+            counters=self.counters,
         )
 
     def _enqueue(self, node: Node) -> None:
@@ -279,6 +324,7 @@ class Interpreter:
             heapq.heappush(self.worklist, node)
 
     def _propagate(self, sid: int, context: Context, state: State) -> None:
+        self.counters.bump("propagations")
         node = (sid, context)
         existing = self.states.get(node)
         if existing is None:
@@ -289,16 +335,35 @@ class Interpreter:
         # when nothing changed, which doubles as the fixpoint test.
         merged = existing.join(state)
         if merged is not existing:
+            self.counters.bump("state_joins")
             self.states[node] = merged
             self._enqueue(node)
 
     # ------------------------------------------------------------------
     # Statement dispatch
 
+    #: Statements whose transfer functions never mutate the incoming
+    #: state in place (they only read it, or copy internally before
+    #: writing). Processing these works directly on the stored input
+    #: state — no defensive copy. Everything else gets a private copy
+    #: because the stored input must survive as the join target.
+    _READ_ONLY_STMTS = frozenset({
+        BranchStmt,
+        CallStmt,
+        ConstructStmt,
+        EntryStmt,
+        EventLoopStmt,
+        ExitStmt,
+        NopStmt,
+        ThrowStmt,
+    })
+
     def _process(self, node: Node) -> None:
         sid, context = node
         stmt = self.program.stmts[sid]
-        state = self.states[node].copy()
+        state = self.states[node]
+        if type(stmt) not in self._READ_ONLY_STMTS:
+            state = state.copy()
 
         if isinstance(stmt, AssignStmt):
             self._do_assign(stmt, context, state)
@@ -348,9 +413,13 @@ class Interpreter:
         self._flow_to(targets, context, state)
 
     def _flow_to(self, targets: list[int], context: Context, state: State) -> None:
-        for index, target in enumerate(targets):
-            out = state if index == len(targets) - 1 else state.copy()
-            self._propagate(target, context, out)
+        # One state object may flow to several targets unchanged: once a
+        # state is propagated it is never mutated in place (every
+        # mutating transfer works on a private copy), so sharing it
+        # across successor nodes is safe and saves a copy per extra
+        # target.
+        for target in targets:
+            self._propagate(target, context, state)
 
     def _record_implicit_throw(self, stmt: Stmt, context: Context, state: State) -> None:
         self.throwing.add(stmt.sid)
@@ -596,7 +665,10 @@ class Interpreter:
         # Any primitive component (incl. undefined/null) means the callee
         # may not be callable: a potential implicit TypeError.
         may_be_nonfunction = callee.may_be_non_object()
-        out_state = state.copy()
+        # The post-call state is only materialized when something (a
+        # native stub, an unresolved callee) actually writes into it:
+        # calls that resolve purely to closures skip the copy entirely.
+        out_state: State | None = None
 
         for address in sorted(callee.addresses):
             if not state.heap.contains(address):
@@ -608,6 +680,8 @@ class Interpreter:
                         fid, stmt, context, state, this_value, args, is_construct
                     )
             elif heap_obj.native is not None and heap_obj.native in self.natives:
+                if out_state is None:
+                    out_state = state.copy()
                 call = NativeCall(
                     interpreter=self,
                     state=out_state,
@@ -627,6 +701,8 @@ class Interpreter:
             # analysis going with an unknown result, and report it.
             self.unknown_callees.add(stmt.sid)
             ran_native = True
+            if out_state is None:
+                out_state = state.copy()
             if is_construct:
                 address = self.alloc_at(stmt.sid, salt=0, obj=AbstractObject(), state=out_state)
                 native_result = native_result.join(values_domain.from_addresses(address))

@@ -13,13 +13,15 @@ what the CLI and the evaluation harness consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from repro.analysis import AnalysisResult, analyze
 from repro.browser import BrowserEnvironment, mozilla_spec
 from repro.ir import ProgramIR, lower
 from repro.js import node_count, parse
 from repro.pdg import PDG, build_pdg
+from repro.perf import Counters, PhaseTimes
 from repro.signatures import (
     Comparison,
     InferenceDetail,
@@ -74,6 +76,12 @@ class VettingReport:
     #: Call statements whose callee the analysis could not resolve —
     #: worth a manual look (unmodeled APIs or dead code).
     unknown_calls: frozenset[int] = frozenset()
+    #: Per-phase wall time of this run (P1 analysis / P2 PDG / P3
+    #: inference), measured by :func:`vet`.
+    phase_times: PhaseTimes | None = None
+    #: Hot-path statistics: the interpreter's fixpoint counters plus
+    #: PDG/signature sizes. Pure observability (never affects results).
+    counters: Counters = field(default_factory=Counters)
 
     @property
     def signature(self) -> Signature:
@@ -85,6 +93,8 @@ class VettingReport:
         lines.extend(
             f"  {line}" for line in (rendered.splitlines() or ["  (empty)"])
         )
+        if self.phase_times is not None:
+            lines.append(f"timing: {self.phase_times.render()}")
         if self.unknown_calls:
             lines.append(f"unresolved callees at {len(self.unknown_calls)} call site(s)")
         for tag, sid in sorted(self.result.diagnostics):
@@ -108,15 +118,24 @@ def vet(
     k: int = 1,
 ) -> VettingReport:
     """Run the full pipeline; optionally compare against a manual
-    signature (the Table 2 methodology)."""
+    signature (the Table 2 methodology). The report carries per-phase
+    wall times and the hot-path counters of this run."""
+    start = time.perf_counter()
     syntax_tree = parse(source)
     program = lower(syntax_tree, event_loop=True)
     result = analyze(program, BrowserEnvironment(), k=k)
+    after_p1 = time.perf_counter()
     pdg = build_pdg(result)
+    after_p2 = time.perf_counter()
     detail = infer_detail(result, pdg, spec)
+    after_p3 = time.perf_counter()
     comparison = None
     if manual is not None:
         comparison = compare(detail.signature, manual, real_extras)
+    counters = Counters(result.counters)
+    counters["pdg_edges"] = len(pdg.edges)
+    counters["pdg_cyclic_statements"] = len(pdg.cyclic)
+    counters["signature_entries"] = len(detail.signature.entries)
     return VettingReport(
         program=program,
         result=result,
@@ -125,4 +144,10 @@ def vet(
         ast_nodes=node_count(syntax_tree),
         comparison=comparison,
         unknown_calls=result.unknown_callees,
+        phase_times=PhaseTimes(
+            p1=after_p1 - start,
+            p2=after_p2 - after_p1,
+            p3=after_p3 - after_p2,
+        ),
+        counters=counters,
     )

@@ -1,0 +1,413 @@
+"""The parallel corpus vetting engine.
+
+Batch-mode static vetting makes the corpus dimension embarrassingly
+parallel: every addon's pipeline (P1 base analysis, P2 annotated PDG, P3
+signature inference) is independent of every other addon's, so
+:func:`vet_many` fans the corpus out over a ``ProcessPoolExecutor`` with
+
+- **per-addon isolation** — a parse error, an
+  :class:`~repro.analysis.interpreter.AnalysisBudgetExceeded`, or a
+  wall-clock timeout in one addon degrades to a reported error outcome;
+  it never kills the batch;
+- **an on-disk result cache** keyed by ``(sha256(source), k, spec
+  fingerprint, engine/repro version)`` — re-vetting an unchanged addon
+  under an unchanged policy is a cache hit, which is what makes a
+  vetting *service* cheap under heavy re-submission traffic;
+- **deterministic outcomes** — a :class:`VetOutcome` is a compact,
+  JSON-serializable summary (canonical signature text, verdict, phase
+  times, hot-path counters), so parallel, sequential, and cached runs
+  are directly comparable (and tested to be identical).
+
+The evaluation harness (Table 1/2, the timing protocol, ``addon-sig
+bench``) is built on this engine; :func:`vet_corpus` is the
+corpus-shaped convenience entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro
+from repro.perf import median_times
+from repro.signatures.spec import SecuritySpec
+
+#: Bump when the pipeline's observable output changes (invalidates every
+#: cached outcome, together with ``repro.__version__``).
+ENGINE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Tasks and outcomes
+
+
+@dataclass(frozen=True)
+class VetTask:
+    """One unit of batch vetting work (picklable, immutable)."""
+
+    name: str
+    source: str
+    k: int = 1
+    #: Timing runs; with ``runs > 1`` the first run is discarded and the
+    #: per-phase median of the rest is reported (the paper's protocol).
+    runs: int = 1
+    #: Manual signature text to compare against (Table 2 methodology).
+    manual_text: str | None = None
+    real_extras_text: str = ""
+
+
+@dataclass
+class VetOutcome:
+    """The compact, serializable result of vetting one addon."""
+
+    name: str
+    ok: bool
+    error: str | None = None
+    #: Canonical (sorted) rendering of the inferred signature.
+    signature_text: str = ""
+    verdict: str | None = None
+    extra_entries: list[str] = field(default_factory=list)
+    missing_entries: list[str] = field(default_factory=list)
+    ast_nodes: int = 0
+    #: Median phase times in seconds: {"p1": ..., "p2": ..., "p3": ...}.
+    times: dict[str, float] | None = None
+    #: Hot-path counters of the (last) run.
+    counters: dict[str, int] = field(default_factory=dict)
+    #: True when this outcome was served from the on-disk cache.
+    cached: bool = False
+
+    @property
+    def total_time(self) -> float:
+        return sum((self.times or {}).values())
+
+    def to_json(self) -> dict:
+        data = dataclasses.asdict(self)
+        data.pop("cached")  # a property of the lookup, not the result
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict, cached: bool = False) -> "VetOutcome":
+        known = {f.name for f in dataclasses.fields(cls)}
+        outcome = cls(**{k: v for k, v in data.items() if k in known})
+        outcome.cached = cached
+        return outcome
+
+
+# ----------------------------------------------------------------------
+# Cache
+
+
+def default_cache_dir() -> Path:
+    """``$ADDON_SIG_CACHE`` > ``$XDG_CACHE_HOME/addon-sig`` >
+    ``~/.cache/addon-sig``."""
+    override = os.environ.get("ADDON_SIG_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "addon-sig"
+
+
+def _canonical(obj: object) -> object:
+    """A deterministic, JSON-able projection of a (frozen-dataclass)
+    security spec — frozensets sorted, dataclasses tagged by class."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            type(obj).__name__,
+            {
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        ]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(_canonical(item) for item in obj)  # type: ignore[type-var]
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    return obj
+
+
+def spec_fingerprint(spec: SecuritySpec | None) -> str:
+    """A stable hash of a security spec (``None`` = the default Mozilla
+    spec, fingerprinted by name so the default can evolve with the
+    version stamp rather than an import)."""
+    if spec is None:
+        return "mozilla-default"
+    payload = json.dumps(_canonical(spec), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cache_key(task: VetTask, spec: SecuritySpec | None) -> str:
+    """The on-disk cache key: source bytes, sensitivity, spec, manual
+    comparison inputs, timing protocol, and the code version."""
+    payload = json.dumps(
+        {
+            "engine": ENGINE_VERSION,
+            "repro": repro.__version__,
+            "source": hashlib.sha256(task.source.encode("utf-8")).hexdigest(),
+            "k": task.k,
+            "runs": task.runs,
+            "spec": spec_fingerprint(spec),
+            "manual": task.manual_text,
+            "extras": task.real_extras_text,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _cache_load(cache_dir: Path, key: str, name: str) -> VetOutcome | None:
+    path = cache_dir / f"{key}.json"
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None  # absent or corrupt: treat as a miss
+    outcome = VetOutcome.from_json(data, cached=True)
+    outcome.name = name  # the same source may be vetted under any name
+    return outcome
+
+
+def _cache_store(cache_dir: Path, key: str, outcome: VetOutcome) -> None:
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: never expose a half-written entry.
+        fd, tmp_path = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(outcome.to_json(), handle)
+        os.replace(tmp_path, cache_dir / f"{key}.json")
+    except OSError:
+        pass  # a read-only cache directory must not fail the batch
+
+
+# ----------------------------------------------------------------------
+# Workers (module-level: picklable for the process pool)
+
+
+def _execute_task(task: VetTask, spec: SecuritySpec | None) -> VetOutcome:
+    """Vet one addon, with the paper's timing protocol when ``runs > 1``.
+    Never raises: every failure becomes an error outcome."""
+    from repro.api import vet
+    from repro.signatures import parse_signature
+
+    try:
+        manual = (
+            parse_signature(task.manual_text)
+            if task.manual_text is not None
+            else None
+        )
+        extras = (
+            frozenset(parse_signature(task.real_extras_text).entries)
+            if task.real_extras_text
+            else frozenset()
+        )
+        samples = []
+        report = None
+        for _ in range(max(1, task.runs)):
+            report = vet(
+                task.source, manual=manual, real_extras=extras,
+                spec=spec, k=task.k,
+            )
+            samples.append(report.phase_times)
+        assert report is not None and report.phase_times is not None
+        times = median_times(samples)
+        comparison = report.comparison
+        return VetOutcome(
+            name=task.name,
+            ok=True,
+            signature_text=report.signature.render(),
+            verdict=comparison.verdict.value if comparison is not None else None,
+            extra_entries=(
+                sorted(entry.render() for entry in comparison.extra)
+                if comparison is not None else []
+            ),
+            missing_entries=(
+                sorted(entry.render() for entry in comparison.missing)
+                if comparison is not None else []
+            ),
+            ast_nodes=report.ast_nodes,
+            times={"p1": times.p1, "p2": times.p2, "p3": times.p3},
+            counters=dict(report.counters),
+        )
+    except Exception as exc:  # isolation: one bad addon never kills a batch
+        return VetOutcome(
+            name=task.name, ok=False, error=f"{type(exc).__name__}: {exc}"
+        )
+
+
+def _parallel_map_worker(payload: tuple) -> object:
+    fn, item = payload
+    return fn(item)
+
+
+# ----------------------------------------------------------------------
+# The engine
+
+
+def _normalize(items, k: int, runs: int) -> list[VetTask]:
+    tasks: list[VetTask] = []
+    for index, item in enumerate(items):
+        if isinstance(item, VetTask):
+            tasks.append(item)
+        else:
+            tasks.append(VetTask(name=f"addon-{index}", source=item, k=k, runs=runs))
+    return tasks
+
+
+def _resolve_workers(workers: int | None, pending: int) -> int:
+    if workers is not None:
+        return max(1, workers)
+    return max(1, min(pending, os.cpu_count() or 1))
+
+
+def vet_many(
+    items,
+    *,
+    spec: SecuritySpec | None = None,
+    k: int = 1,
+    runs: int = 1,
+    workers: int | None = None,
+    use_cache: bool = True,
+    cache_dir: str | os.PathLike | None = None,
+    timeout: float | None = None,
+) -> list[VetOutcome]:
+    """Vet many addons, in parallel, with caching and error isolation.
+
+    ``items`` — :class:`VetTask` objects, or plain source strings (named
+    ``addon-N``; ``k``/``runs`` apply to string items only).
+    ``workers`` — process count; ``None`` = one per CPU (capped at the
+    task count); ``1`` = run in-process (no pool).
+    ``timeout`` — per-addon wall-clock budget in seconds, enforced only
+    when a pool is used (in-process runs rely on the interpreter's step
+    budget); a timed-out addon yields an error outcome.
+
+    Returns one outcome per item, in input order.
+    """
+    tasks = _normalize(items, k=k, runs=runs)
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+
+    outcomes: dict[int, VetOutcome] = {}
+    pending: list[tuple[int, VetTask, str | None]] = []
+    for index, task in enumerate(tasks):
+        key = cache_key(task, spec) if use_cache else None
+        if key is not None:
+            hit = _cache_load(directory, key, task.name)
+            if hit is not None:
+                outcomes[index] = hit
+                continue
+        pending.append((index, task, key))
+
+    if pending:
+        worker_count = _resolve_workers(workers, len(pending))
+        # A single miss runs in-process — unless a wall-clock timeout is
+        # requested, which only a worker process can enforce.
+        if worker_count <= 1 or (len(pending) <= 1 and timeout is None):
+            fresh = [(index, key, _execute_task(task, spec))
+                     for index, task, key in pending]
+        else:
+            fresh = _run_pool(pending, spec, worker_count, timeout)
+        for index, key, outcome in fresh:
+            outcomes[index] = outcome
+            if key is not None and outcome.ok:
+                _cache_store(directory, key, outcome)
+
+    return [outcomes[index] for index in range(len(tasks))]
+
+
+def _run_pool(
+    pending: list[tuple[int, VetTask, str | None]],
+    spec: SecuritySpec | None,
+    worker_count: int,
+    timeout: float | None,
+) -> list[tuple[int, str | None, VetOutcome]]:
+    """Fan pending tasks over a process pool; degrade per-task failures
+    (timeout, broken pool) to error outcomes, and fall back to in-process
+    execution if the pool cannot be used at all."""
+    results: list[tuple[int, str | None, VetOutcome]] = []
+    try:
+        executor = ProcessPoolExecutor(max_workers=worker_count)
+    except (OSError, ValueError):  # no fork/semaphores available here
+        return [(index, key, _execute_task(task, spec))
+                for index, task, key in pending]
+    try:
+        futures = [
+            (index, task, key, executor.submit(_execute_task, task, spec))
+            for index, task, key in pending
+        ]
+        for index, task, key, future in futures:
+            try:
+                results.append((index, key, future.result(timeout=timeout)))
+            except FutureTimeoutError:
+                future.cancel()
+                results.append((
+                    index, key,
+                    VetOutcome(
+                        name=task.name, ok=False,
+                        error=f"timeout: exceeded {timeout}s wall-clock budget",
+                    ),
+                ))
+            except Exception as exc:  # e.g. BrokenProcessPool
+                results.append((
+                    index, key,
+                    VetOutcome(
+                        name=task.name, ok=False,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                ))
+    finally:
+        # Don't block on workers wedged past their timeout.
+        executor.shutdown(wait=timeout is None, cancel_futures=True)
+    return results
+
+
+def vet_corpus(
+    specs=None,
+    *,
+    k: int = 1,
+    runs: int = 1,
+    workers: int | None = None,
+    use_cache: bool = True,
+    cache_dir: str | os.PathLike | None = None,
+    timeout: float | None = None,
+) -> list[VetOutcome]:
+    """Vet the benchmark corpus (or a subset) through the batch engine,
+    carrying each addon's manual signature so outcomes include the
+    pass/fail/leak verdict."""
+    from repro.addons import CORPUS
+
+    chosen = list(specs) if specs is not None else list(CORPUS)
+    tasks = [
+        VetTask(
+            name=spec.name,
+            source=spec.source(),
+            k=k,
+            runs=runs,
+            manual_text=spec.manual_signature_text,
+            real_extras_text=spec.real_extras_text,
+        )
+        for spec in chosen
+    ]
+    return vet_many(
+        tasks, workers=workers, use_cache=use_cache,
+        cache_dir=cache_dir, timeout=timeout,
+    )
+
+
+def parallel_map(fn, items, *, workers: int | None = None) -> list:
+    """Order-preserving parallel map over a picklable, module-level
+    function (used by the cheap corpus sweeps, e.g. Table 1 sizing).
+    Falls back to a plain map when only one worker is available."""
+    items = list(items)
+    worker_count = _resolve_workers(workers, len(items))
+    if worker_count <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=worker_count) as executor:
+            return list(executor.map(_parallel_map_worker, [(fn, item) for item in items]))
+    except (OSError, ValueError):
+        return [fn(item) for item in items]

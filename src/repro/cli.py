@@ -6,7 +6,10 @@ Subcommands:
   addon (optionally compare against a manual signature file and/or dump
   the annotated PDG as Graphviz dot);
 - ``table1`` / ``table2`` / ``figures`` — regenerate the paper's tables
-  and figures on the benchmark corpus.
+  and figures on the benchmark corpus (``table2`` vets the corpus in
+  parallel through the batch engine; ``--workers``/``--cache`` tune it);
+- ``bench`` — benchmark the corpus and write ``BENCH_corpus.json``
+  (per-addon P1/P2/P3 medians plus hot-path counters).
 """
 
 from __future__ import annotations
@@ -61,7 +64,22 @@ def _cmd_table1(arguments: argparse.Namespace) -> int:
 def _cmd_table2(arguments: argparse.Namespace) -> int:
     from repro.evaluation import compute_table2, render_table2
 
-    print(render_table2(compute_table2(runs=arguments.runs, k=arguments.k)))
+    print(render_table2(compute_table2(
+        runs=arguments.runs, k=arguments.k,
+        workers=arguments.workers, use_cache=arguments.cache,
+    )))
+    return 0
+
+
+def _cmd_bench(arguments: argparse.Namespace) -> int:
+    from repro.evaluation import render_bench, run_bench
+
+    report = run_bench(
+        runs=arguments.runs, k=arguments.k, workers=arguments.workers,
+        output=arguments.output, use_cache=arguments.cache,
+    )
+    print(render_bench(report))
+    print(f"\nwritten to {arguments.output}")
     return 0
 
 
@@ -111,7 +129,31 @@ def build_parser() -> argparse.ArgumentParser:
     table2 = subparsers.add_parser("table2", help="regenerate Table 2")
     table2.add_argument("--runs", type=int, default=11)
     table2.add_argument("--k", type=int, default=1)
+    table2.add_argument(
+        "--workers", type=int, default=None,
+        help="vetting worker processes (default: one per CPU)",
+    )
+    table2.add_argument(
+        "--cache", action="store_true",
+        help="reuse the on-disk vetting result cache",
+    )
     table2.set_defaults(handler=_cmd_table2)
+
+    bench = subparsers.add_parser(
+        "bench", help="benchmark the corpus; write BENCH_corpus.json"
+    )
+    bench.add_argument(
+        "--runs", type=int, default=5,
+        help="pipeline runs per addon (first discarded; medians reported)",
+    )
+    bench.add_argument("--k", type=int, default=1)
+    bench.add_argument("--workers", type=int, default=None)
+    bench.add_argument("--output", default="BENCH_corpus.json")
+    bench.add_argument(
+        "--cache", action="store_true",
+        help="reuse the on-disk vetting result cache",
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     figures = subparsers.add_parser("figures", help="regenerate Figures 2 and 4")
     figures.set_defaults(handler=_cmd_figures)

@@ -28,6 +28,20 @@ def var_key(var: Var) -> VarKey:
     return (var.scope, var.name)
 
 
+class _CopyCounter:
+    """Process-global tally of :meth:`State.copy` calls, snapshotted by
+    the interpreter to report a ``states_created`` counter without
+    threading an observer through every copy site."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+COPIES = _CopyCounter()
+
+
 @dataclass
 class State:
     """One abstract state (environment + heap). Mutable; the interpreter
@@ -37,6 +51,7 @@ class State:
     heap: Heap = field(default_factory=Heap)
 
     def copy(self) -> "State":
+        COPIES.value += 1
         return State(dict(self.vars), self.heap.copy())
 
     # ------------------------------------------------------------------
@@ -56,6 +71,8 @@ class State:
         """Join; identity-preserving: returns ``self`` (the same object)
         when ``other`` adds nothing — the worklist uses an ``is`` check
         as its "state changed?" test."""
+        if other is self:
+            return self
         changed = False
         merged: dict[VarKey, AbstractValue] = dict(self.vars)
         for key, value in other.vars.items():

@@ -213,12 +213,17 @@ ANY_NUMBER = AbstractValue(number=numbers.TOP)
 ANY_BOOL = AbstractValue(boolean=bools.TOP)
 
 
-def from_constant(value: object) -> AbstractValue:
-    """Abstract a JS constant as carried by :class:`repro.ir.nodes.Const`."""
-    if value is UNDEFINED:
-        return UNDEF
-    if value is None:
-        return NULL
+#: Interned constant values. Literals are re-abstracted on every fixpoint
+#: re-execution of their statement; returning the same object each time
+#: lets the identity-preserving joins downstream take their ``is`` fast
+#: paths. Keyed by (type name, repr) so ``True``/``1.0`` and
+#: ``0.0``/``-0.0`` never collide. Bounded: pathological programs with
+#: unbounded distinct literals cannot grow it without limit.
+_CONSTANT_CACHE: dict[tuple[str, str], AbstractValue] = {}
+_CONSTANT_CACHE_LIMIT = 8192
+
+
+def _build_constant(value: object) -> AbstractValue:
     if isinstance(value, bool):
         return AbstractValue(boolean=bools.from_bool(value))
     if isinstance(value, float):
@@ -226,6 +231,26 @@ def from_constant(value: object) -> AbstractValue:
     if isinstance(value, str):
         return AbstractValue(string=prefix_domain.exact(value))
     raise TypeError(f"not a JS constant: {value!r}")
+
+
+def from_constant(value: object) -> AbstractValue:
+    """Abstract a JS constant as carried by :class:`repro.ir.nodes.Const`.
+
+    Common constants are interned (one :class:`AbstractValue` per
+    distinct literal) so repeated evaluation under the fixpoint reuses
+    the same immutable object.
+    """
+    if value is UNDEFINED:
+        return UNDEF
+    if value is None:
+        return NULL
+    key = (type(value).__name__, repr(value))
+    cached = _CONSTANT_CACHE.get(key)
+    if cached is None:
+        cached = _build_constant(value)
+        if len(_CONSTANT_CACHE) < _CONSTANT_CACHE_LIMIT:
+            _CONSTANT_CACHE[key] = cached
+    return cached
 
 
 def from_string(abstract: Prefix) -> AbstractValue:

@@ -1,5 +1,6 @@
 """The evaluation harness: Table 1, Table 2, and figure reproductions."""
 
+from repro.evaluation.bench import render_bench, run_bench
 from repro.evaluation.table1 import Table1Row, compute_table1, render_table1
 from repro.evaluation.table2 import Table2Row, compute_table2, render_table2
 from repro.evaluation.timing import PhaseTimes, time_phases, time_phases_once
@@ -21,4 +22,5 @@ __all__ = [
     "FIGURE1_PROGRAM", "FIGURE2_EXPECTED", "check_figure2",
     "figure2_edges", "figure4_lattice", "render_figure2", "render_figure4",
     "render_report",
+    "run_bench", "render_bench",
 ]

@@ -1,0 +1,139 @@
+"""``addon-sig bench``: the corpus benchmark harness.
+
+Runs the full benchmark corpus through the batch vetting engine under
+the paper's timing protocol (``runs`` pipeline executions per addon,
+first discarded, per-phase medians of the rest — Section 6.2) and writes
+a machine-readable ``BENCH_corpus.json``:
+
+- per addon: P1/P2/P3 median times, hot-path counters (fixpoint steps,
+  states created, joins, PDG edges, ...), AST size, verdict;
+- corpus totals plus the end-to-end wall time of the sweep itself (which
+  is what the parallel engine improves — per-addon medians measure the
+  single-pipeline hot paths).
+
+Run: ``addon-sig bench [--runs N] [--workers N] [--output FILE]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.addons import CORPUS
+from repro.batch import vet_corpus
+
+SCHEMA = "addon-sig/bench-corpus/v1"
+
+
+def run_bench(
+    runs: int = 5,
+    k: int = 1,
+    workers: int | None = None,
+    output: str | Path | None = "BENCH_corpus.json",
+    use_cache: bool = False,
+) -> dict:
+    """Benchmark the corpus; returns (and optionally writes) the report."""
+    start = time.perf_counter()
+    outcomes = vet_corpus(CORPUS, runs=runs, k=k, workers=workers,
+                          use_cache=use_cache)
+    wall_s = time.perf_counter() - start
+
+    addons = []
+    totals = {"p1_s": 0.0, "p2_s": 0.0, "p3_s": 0.0, "total_s": 0.0}
+    ok_count = 0
+    for outcome in outcomes:
+        entry: dict = {
+            "name": outcome.name,
+            "ok": outcome.ok,
+            "cached": outcome.cached,
+        }
+        if outcome.ok and outcome.times is not None:
+            ok_count += 1
+            entry.update(
+                verdict=outcome.verdict,
+                ast_nodes=outcome.ast_nodes,
+                p1_s=outcome.times["p1"],
+                p2_s=outcome.times["p2"],
+                p3_s=outcome.times["p3"],
+                total_s=outcome.total_time,
+                counters=dict(outcome.counters),
+            )
+            totals["p1_s"] += outcome.times["p1"]
+            totals["p2_s"] += outcome.times["p2"]
+            totals["p3_s"] += outcome.times["p3"]
+            totals["total_s"] += outcome.total_time
+        else:
+            entry["error"] = outcome.error
+        addons.append(entry)
+
+    report = {
+        "schema": SCHEMA,
+        "protocol": {
+            "runs": runs,
+            "discard_first": runs > 1,
+            "statistic": "median",
+            "k": k,
+            "workers": workers,
+        },
+        "addons": addons,
+        "corpus": {
+            "count": len(addons),
+            "ok": ok_count,
+            # Sum of per-addon median pipeline times (sequential cost)...
+            **{key: round(value, 6) for key, value in totals.items()},
+            # ...versus the batch engine's actual end-to-end wall clock.
+            "wall_s": round(wall_s, 6),
+        },
+    }
+    if output is not None:
+        Path(output).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+    return report
+
+
+def render_bench(report: dict) -> str:
+    lines = [
+        f"corpus bench ({report['protocol']['runs']} runs/addon, median after warm-up discard)",
+        "",
+    ]
+    for addon in report["addons"]:
+        if addon["ok"]:
+            cached = " [cached]" if addon["cached"] else ""
+            lines.append(
+                f"  {addon['name']:<22} {addon['verdict']:<5}"
+                f" P1 {addon['p1_s']:.3f}s  P2 {addon['p2_s']:.3f}s"
+                f"  P3 {addon['p3_s']:.3f}s  total {addon['total_s']:.3f}s{cached}"
+            )
+        else:
+            lines.append(f"  {addon['name']:<22} ERROR {addon['error']}")
+    corpus = report["corpus"]
+    lines.append("")
+    lines.append(
+        f"  corpus: {corpus['ok']}/{corpus['count']} ok,"
+        f" summed pipeline {corpus['total_s']:.3f}s,"
+        f" batch wall {corpus['wall_s']:.3f}s"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=5)
+    parser.add_argument("--k", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--output", default="BENCH_corpus.json")
+    parser.add_argument("--cache", action="store_true")
+    arguments = parser.parse_args()
+    report = run_bench(
+        runs=arguments.runs, k=arguments.k, workers=arguments.workers,
+        output=arguments.output, use_cache=arguments.cache,
+    )
+    print(render_bench(report))
+    print(f"\nwritten to {arguments.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,11 +11,10 @@ Run: ``python -m repro.evaluation.figures``
 
 from __future__ import annotations
 
-from repro.analysis import analyze
-from repro.ir import lower
+from repro.analysis.environment import DefaultEnvironment
+from repro.api import analyze_addon, build_addon_pdg
 from repro.ir.nodes import EntryStmt, ExitStmt
-from repro.js import parse
-from repro.pdg import Annotation, build_pdg
+from repro.pdg import Annotation
 from repro.signatures.flowtypes import DEFAULT_LATTICE, FlowType
 
 FIGURE1_PROGRAM = """var data = { url: doc.loc };
@@ -61,9 +60,10 @@ def figure1_program() -> str:
 def figure2_edges() -> dict[tuple[int, int], set[Annotation]]:
     """Build the annotated PDG for the Figure 1 program and project onto
     source lines (synthetic entry/exit statements excluded)."""
-    program = lower(parse(FIGURE1_PROGRAM), event_loop=False)
-    result = analyze(program)
-    pdg = build_pdg(result)
+    program, result = analyze_addon(
+        FIGURE1_PROGRAM, event_loop=False, environment=DefaultEnvironment()
+    )
+    pdg = build_addon_pdg(result)
     projected: dict[tuple[int, int], set[Annotation]] = {}
     skip = (EntryStmt, ExitStmt)
     for (source, target), annotations in pdg.edges.items():

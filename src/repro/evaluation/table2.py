@@ -6,18 +6,25 @@ distinction uses the corpus ground truth — see
 :mod:`repro.signatures.compare`), and the P1/P2/P3 phase timings under
 the paper's 11-runs-drop-first-median protocol.
 
-Run: ``python -m repro.evaluation.table2 [--runs N]``
+The corpus sweep goes through the batch engine
+(:func:`repro.batch.vet_corpus`): addons are vetted in parallel across
+worker processes, a broken addon degrades to an ``error`` row instead of
+aborting the table, and ``--cache`` reuses on-disk results keyed by
+(source, k, spec, version).
+
+Run: ``python -m repro.evaluation.table2 [--runs N] [--workers N]``
 (the paper uses 11 runs; smaller N is handy while iterating).
 """
 
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.addons import CORPUS, AddonSpec, vet_addon
+from repro.addons import CORPUS, AddonSpec
+from repro.batch import VetOutcome, vet_corpus
 from repro.evaluation.tables import render_table
-from repro.evaluation.timing import PhaseTimes, time_phases
+from repro.perf import PhaseTimes
 
 
 @dataclass
@@ -27,28 +34,53 @@ class Table2Row:
     times: PhaseTimes
     extra_entries: list[str]
     missing_entries: list[str]
+    error: str | None = None
+    counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def matches_paper(self) -> bool:
         return self.verdict == self.spec.expected_verdict
 
 
-def compute_row(spec: AddonSpec, runs: int = 11, k: int = 1) -> Table2Row:
-    report = vet_addon(spec, k=k)
-    comparison = report.comparison
-    assert comparison is not None
-    times = time_phases(spec.source(), runs=runs, k=k)
+def _row_from_outcome(spec: AddonSpec, outcome: VetOutcome) -> Table2Row:
+    if not outcome.ok:
+        return Table2Row(
+            spec=spec,
+            verdict="error",
+            times=PhaseTimes(p1=0.0, p2=0.0, p3=0.0),
+            extra_entries=[],
+            missing_entries=[],
+            error=outcome.error,
+        )
+    assert outcome.times is not None and outcome.verdict is not None
     return Table2Row(
         spec=spec,
-        verdict=comparison.verdict.value,
-        times=times,
-        extra_entries=sorted(e.render() for e in comparison.extra),
-        missing_entries=sorted(e.render() for e in comparison.missing),
+        verdict=outcome.verdict,
+        times=PhaseTimes(**outcome.times),
+        extra_entries=list(outcome.extra_entries),
+        missing_entries=list(outcome.missing_entries),
+        counters=dict(outcome.counters),
     )
 
 
-def compute_table2(runs: int = 11, k: int = 1) -> list[Table2Row]:
-    return [compute_row(spec, runs=runs, k=k) for spec in CORPUS]
+def compute_row(spec: AddonSpec, runs: int = 11, k: int = 1) -> Table2Row:
+    """One addon's row (kept for targeted/debug use; the full table goes
+    through :func:`compute_table2`'s batch path)."""
+    [outcome] = vet_corpus([spec], runs=runs, k=k, workers=1, use_cache=False)
+    return _row_from_outcome(spec, outcome)
+
+
+def compute_table2(
+    runs: int = 11,
+    k: int = 1,
+    workers: int | None = None,
+    use_cache: bool = False,
+) -> list[Table2Row]:
+    outcomes = vet_corpus(CORPUS, runs=runs, k=k, workers=workers, use_cache=use_cache)
+    return [
+        _row_from_outcome(spec, outcome)
+        for spec, outcome in zip(CORPUS, outcomes)
+    ]
 
 
 def render_table2(rows: list[Table2Row]) -> str:
@@ -72,6 +104,8 @@ def render_table2(rows: list[Table2Row]) -> str:
     matched = sum(row.matches_paper for row in rows)
     footer = [f"\n{matched}/{len(rows)} verdicts match the paper's Table 2."]
     for row in rows:
+        if row.error:
+            footer.append(f"\n{row.spec.name}: ERROR {row.error}")
         if row.extra_entries or row.missing_entries:
             footer.append(f"\n{row.spec.name} ({row.verdict}):")
             for entry in row.extra_entries:
@@ -88,8 +122,19 @@ def main() -> None:
         help="timing runs per addon (first is discarded; paper: 11)",
     )
     parser.add_argument("--k", type=int, default=1, help="context sensitivity")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="vetting worker processes (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="reuse the on-disk vetting result cache",
+    )
     arguments = parser.parse_args()
-    print(render_table2(compute_table2(runs=arguments.runs, k=arguments.k)))
+    print(render_table2(compute_table2(
+        runs=arguments.runs, k=arguments.k,
+        workers=arguments.workers, use_cache=arguments.cache,
+    )))
 
 
 if __name__ == "__main__":

@@ -7,60 +7,30 @@ remaining runs." Times are split into the three phases:
 - P1: base analysis (parse + lower + abstract interpretation),
 - P2: annotated PDG construction,
 - P3: signature inference.
+
+The per-phase timers live in :func:`repro.api.vet` (every vetting run is
+timed, not just evaluation runs); this module layers the
+runs/discard/median protocol on top. :class:`repro.perf.PhaseTimes` is
+re-exported for backward compatibility.
 """
 
 from __future__ import annotations
 
-import statistics
-import time
-from dataclasses import dataclass
+from repro.api import vet
+from repro.perf import PhaseTimes, median_times
 
-from repro.analysis import analyze
-from repro.browser import BrowserEnvironment, mozilla_spec
-from repro.ir import lower
-from repro.js import parse
-from repro.pdg import build_pdg
-from repro.signatures import infer_signature
-
-
-@dataclass
-class PhaseTimes:
-    """One addon's phase timings, in seconds."""
-
-    p1: float
-    p2: float
-    p3: float
-
-    @property
-    def total(self) -> float:
-        return self.p1 + self.p2 + self.p3
+__all__ = ["PhaseTimes", "time_phases", "time_phases_once"]
 
 
 def time_phases_once(source: str, k: int = 1) -> PhaseTimes:
     """Run the pipeline once, timing each phase."""
-    spec = mozilla_spec()
-    start = time.perf_counter()
-    program = lower(parse(source), event_loop=True)
-    result = analyze(program, BrowserEnvironment(), k=k)
-    after_p1 = time.perf_counter()
-    pdg = build_pdg(result)
-    after_p2 = time.perf_counter()
-    infer_signature(result, pdg, spec)
-    after_p3 = time.perf_counter()
-    return PhaseTimes(
-        p1=after_p1 - start,
-        p2=after_p2 - after_p1,
-        p3=after_p3 - after_p2,
-    )
+    report = vet(source, k=k)
+    assert report.phase_times is not None
+    return report.phase_times
 
 
 def time_phases(source: str, runs: int = 11, k: int = 1) -> PhaseTimes:
     """The paper's protocol: ``runs`` runs, discard the first, report the
     per-phase median of the rest."""
     samples = [time_phases_once(source, k=k) for _ in range(runs)]
-    kept = samples[1:] if len(samples) > 1 else samples
-    return PhaseTimes(
-        p1=statistics.median(sample.p1 for sample in kept),
-        p2=statistics.median(sample.p2 for sample in kept),
-        p3=statistics.median(sample.p3 for sample in kept),
-    )
+    return median_times(samples)

@@ -31,15 +31,47 @@ class PDG:
     #: diagnostics and tests).
     cyclic: set[int] = field(default_factory=set)
 
+    # Lazily built adjacency views, shared by ``successors``, the
+    # flow-type fixpoint (one build serves every source), reachability,
+    # and slicing. Pure memoization of ``edges``: ``add_edge``
+    # invalidates both, so the indexes can never go stale.
+    _successor_index: dict[int, list[tuple[int, set[Annotation]]]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _predecessor_index: dict[int, list[tuple[int, set[Annotation]]]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
     def add_edge(self, source: int, target: int, annotation: Annotation) -> None:
         self.edges.setdefault((source, target), set()).add(annotation)
+        self._successor_index = None
+        self._predecessor_index = None
+
+    def successor_index(self) -> dict[int, list[tuple[int, set[Annotation]]]]:
+        """source sid -> [(target sid, annotations)], built once and
+        cached until the edge set changes."""
+        if self._successor_index is None:
+            index: dict[int, list[tuple[int, set[Annotation]]]] = {}
+            for (source, target), annotations in self.edges.items():
+                index.setdefault(source, []).append((target, annotations))
+            self._successor_index = index
+        return self._successor_index
+
+    def predecessor_index(self) -> dict[int, list[tuple[int, set[Annotation]]]]:
+        """target sid -> [(source sid, annotations)]; the backward-slice
+        counterpart of :meth:`successor_index`."""
+        if self._predecessor_index is None:
+            index: dict[int, list[tuple[int, set[Annotation]]]] = {}
+            for (source, target), annotations in self.edges.items():
+                index.setdefault(target, []).append((source, annotations))
+            self._predecessor_index = index
+        return self._predecessor_index
 
     def successors(self, sid: int) -> list[tuple[int, set[Annotation]]]:
-        return [
-            (target, annotations)
-            for (source, target), annotations in self.edges.items()
-            if source == sid
-        ]
+        return self.successor_index().get(sid, [])
+
+    def predecessors(self, sid: int) -> list[tuple[int, set[Annotation]]]:
+        return self.predecessor_index().get(sid, [])
 
     def annotations(self, source: int, target: int) -> set[Annotation]:
         return self.edges.get((source, target), set())
@@ -75,14 +107,11 @@ class PDG:
         annotation set intersects ``allowed``."""
         seen = set(sources)
         stack = list(sources)
-        adjacency: dict[int, list[int]] = {}
-        for (source, target), annotations in self.edges.items():
-            if annotations & allowed:
-                adjacency.setdefault(source, []).append(target)
+        adjacency = self.successor_index()
         while stack:
             node = stack.pop()
-            for successor in adjacency.get(node, ()):
-                if successor not in seen:
+            for successor, annotations in adjacency.get(node, ()):
+                if successor not in seen and annotations & allowed:
                     seen.add(successor)
                     stack.append(successor)
         return seen

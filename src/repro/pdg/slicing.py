@@ -38,16 +38,13 @@ def backward_slice(
     The criteria statements are part of their own slice (the classic
     definition).
     """
-    predecessors: dict[int, list[int]] = {}
-    for (source, target), annotations in pdg.edges.items():
-        if annotations & allowed:
-            predecessors.setdefault(target, []).append(source)
+    predecessors = pdg.predecessor_index()
     seen = set(criteria)
     stack = list(criteria)
     while stack:
         node = stack.pop()
-        for predecessor in predecessors.get(node, ()):  # noqa: B020
-            if predecessor not in seen:
+        for predecessor, annotations in predecessors.get(node, ()):
+            if predecessor not in seen and annotations & allowed:
                 seen.add(predecessor)
                 stack.append(predecessor)
     return seen

@@ -1,0 +1,65 @@
+"""Lightweight performance observability shared across the pipeline.
+
+Two small pieces every layer can agree on without import cycles:
+
+- :class:`PhaseTimes` — the paper's P1/P2/P3 wall-time split (Section
+  6.2), used by ``api.vet``, the timing harness, the batch engine, and
+  the bench command;
+- :class:`Counters` — a plain named-integer bag for hot-path statistics
+  (fixpoint steps, states created, joins, PDG edges, ...). Counters are
+  pure observation: they never feed back into analysis decisions, so
+  enabling them cannot change any signature.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+
+@dataclass
+class PhaseTimes:
+    """One addon's phase timings, in seconds."""
+
+    p1: float
+    p2: float
+    p3: float
+
+    @property
+    def total(self) -> float:
+        return self.p1 + self.p2 + self.p3
+
+    def as_dict(self) -> dict[str, float]:
+        return {"p1": self.p1, "p2": self.p2, "p3": self.p3, "total": self.total}
+
+    def render(self) -> str:
+        return (
+            f"P1 {self.p1:.3f}s | P2 {self.p2:.3f}s | P3 {self.p3:.3f}s"
+            f" (total {self.total:.3f}s)"
+        )
+
+
+def median_times(samples: list[PhaseTimes], discard_first: bool = True) -> PhaseTimes:
+    """The paper's protocol: discard the first sample (warm-up), report
+    the per-phase median of the rest."""
+    kept = samples[1:] if discard_first and len(samples) > 1 else samples
+    return PhaseTimes(
+        p1=statistics.median(sample.p1 for sample in kept),
+        p2=statistics.median(sample.p2 for sample in kept),
+        p3=statistics.median(sample.p3 for sample in kept),
+    )
+
+
+class Counters(dict):
+    """A ``dict[str, int]`` with a convenient increment. Kept as a plain
+    dict subclass so it serializes as-is (JSON, pickle across the
+    process pool) and merges with ``update``."""
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self[name] = self.get(name, 0) + amount
+
+    def merged(self, other: dict[str, int]) -> "Counters":
+        merged = Counters(self)
+        for name, amount in other.items():
+            merged[name] = merged.get(name, 0) + amount
+        return merged

@@ -73,6 +73,13 @@ class FlowTypeLattice:
     structure: dict[FlowType, tuple[int, Annotation]] = field(
         default_factory=lambda: dict(DEFAULT_STRUCTURE)
     )
+    # ``extend`` runs in the flow-type fixpoint's inner loop (once per
+    # edge-annotation per flow type); its result depends only on the
+    # lattice structure, which is fixed after construction, so it is
+    # memoized per instance. At most |FlowType| x |Annotation| entries.
+    _extend_cache: dict[tuple[FlowType, Annotation], FlowType] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def rank(self, flow_type: FlowType) -> int:
         return self.structure[flow_type][0]
@@ -98,6 +105,9 @@ class FlowTypeLattice:
     def extend(self, flow_type: FlowType, annotation: Annotation) -> FlowType:
         """The strongest flow type whose allowed annotations include both
         the given type's annotations and ``annotation``."""
+        cached = self._extend_cache.get((flow_type, annotation))
+        if cached is not None:
+            return cached
         needed = self.allowed_annotations(flow_type) | {annotation}
         best: FlowType | None = None
         for candidate in sorted(self.structure, key=self.rank):
@@ -106,6 +116,7 @@ class FlowTypeLattice:
                 break
         if best is None:  # pragma: no cover - TYPE8 allows everything
             best = self.weakest()
+        self._extend_cache[(flow_type, annotation)] = best
         return best
 
     def max(self, flow_types: set[FlowType]) -> set[FlowType]:

@@ -22,7 +22,6 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.analysis.interpreter import AnalysisResult
-from repro.pdg.annotations import Annotation
 from repro.pdg.graph import PDG
 from repro.signatures.flowtypes import DEFAULT_LATTICE, FlowType, FlowTypeLattice
 from repro.signatures.signature import ApiEntry, Entry, FlowEntry, Signature
@@ -38,10 +37,11 @@ def flow_types_from(
 
     Returns the flow-type antichain for every PDG statement reachable
     from the sources; unreachable statements are absent.
+
+    Uses the PDG's cached successor index, so the (per-source) fixpoints
+    of one inference all share a single adjacency build.
     """
-    adjacency: dict[int, list[tuple[int, set[Annotation]]]] = {}
-    for (source, target), annotations in pdg.edges.items():
-        adjacency.setdefault(source, []).append((target, annotations))
+    adjacency = pdg.successor_index()
 
     best: dict[int, set[FlowType]] = {
         source: {lattice.strongest()} for source in sources
@@ -52,7 +52,7 @@ def flow_types_from(
         node = worklist.popleft()
         queued.discard(node)
         current = best[node]
-        for target, annotations in adjacency.get(node, ()):  # noqa: B020
+        for target, annotations in adjacency.get(node, ()):
             contribution: set[FlowType] = set()
             for flow_type in current:
                 for annotation in annotations:

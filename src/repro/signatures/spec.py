@@ -41,10 +41,9 @@ class PropertySource:
 
     def matching_statements(self, result: AnalysisResult) -> set[int]:
         matches: set[int] = set()
-        for (sid, context), state in result.states.items():
+        for (sid, context) in result.nodes_of_type(LoadPropStmt):
             stmt = result.program.stmts[sid]
-            if not isinstance(stmt, LoadPropStmt):
-                continue
+            state = result.states[(sid, context)]
             base = result.atom_value(sid, context, stmt.obj)
             name = result.atom_value(sid, context, stmt.prop).to_property_name()
             if not any(name.admits(prop) for prop in self.props):
@@ -68,13 +67,21 @@ class CallSource:
     tags: frozenset[str]
 
     def matching_statements(self, result: AnalysisResult) -> set[int]:
-        matches: set[int] = set()
-        for (sid, _context) in result.states:
-            stmt = result.program.stmts[sid]
-            if isinstance(stmt, (CallStmt, ConstructStmt)):
-                if result.callee_native_tags(sid) & self.tags:
-                    matches.add(sid)
-        return matches
+        return _call_sites_with_tags(result, self.tags)
+
+
+def _call_sites_with_tags(result: AnalysisResult, tags: frozenset[str]) -> set[int]:
+    """Call statements that may invoke a native carrying one of ``tags``
+    (shared by the call-source and interesting-API matchers)."""
+    matches: set[int] = set()
+    seen: set[int] = set()
+    for (sid, _context) in result.nodes_of_type(CallStmt, ConstructStmt):
+        if sid in seen:
+            continue
+        seen.add(sid)
+        if result.callee_native_tags(sid) & tags:
+            matches.add(sid)
+    return matches
 
 
 SourceSpec = PropertySource | CallSource
@@ -112,10 +119,9 @@ class NetworkSink:
         """sink statement id -> inferred network domain."""
         rules = self.tag_rules()
         matches: dict[int, Prefix] = {}
-        for (sid, context), state in result.states.items():
+        for (sid, context) in result.nodes_of_type(CallStmt, ConstructStmt):
             stmt = result.program.stmts[sid]
-            if not isinstance(stmt, (CallStmt, ConstructStmt)):
-                continue
+            state = result.states[(sid, context)]
             callee = result.atom_value(sid, context, stmt.callee)
             hit_rules = []
             for address in callee.addresses:
@@ -169,10 +175,9 @@ class PropertyWriteSink:
         from repro.ir.nodes import StorePropStmt
 
         matches: dict[int, Prefix] = {}
-        for (sid, context), state in result.states.items():
+        for (sid, context) in result.nodes_of_type(StorePropStmt):
             stmt = result.program.stmts[sid]
-            if not isinstance(stmt, StorePropStmt):
-                continue
+            state = result.states[(sid, context)]
             name = result.atom_value(sid, context, stmt.prop).to_property_name()
             if not any(name.admits(prop) for prop in self.props):
                 continue
@@ -199,13 +204,7 @@ class ApiSink:
     tags: frozenset[str]
 
     def matching_statements(self, result: AnalysisResult) -> set[int]:
-        matches: set[int] = set()
-        for (sid, _context) in result.states:
-            stmt = result.program.stmts[sid]
-            if isinstance(stmt, (CallStmt, ConstructStmt)):
-                if result.callee_native_tags(sid) & self.tags:
-                    matches.add(sid)
-        return matches
+        return _call_sites_with_tags(result, self.tags)
 
 
 #: Anything usable as a data-carrying sink: exposes

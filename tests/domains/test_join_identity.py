@@ -121,3 +121,36 @@ class TestStateHeapJoinIdentity:
         right.allocate(2, AbstractObject())
         joined = left.join(right)
         assert joined.contains(1) and joined.contains(2)
+
+
+def _build_state(bindings, heap_objects):
+    state = State()
+    for name, value in bindings.items():
+        state.write_var(Var(name, GLOBAL_SCOPE), value)
+    for address in heap_objects:
+        state.heap.allocate(address, AbstractObject(properties=(("p", v.UNDEF),)))
+    return state
+
+
+_states = st.builds(
+    _build_state,
+    st.dictionaries(st.text(alphabet="xyz", min_size=1, max_size=2), _values, max_size=4),
+    st.sets(st.integers(0, 5), max_size=3),
+)
+
+
+class TestStateBottomJoinProperty:
+    """Property: joining any state with bottom (the empty state) returns
+    the SAME object — the fixpoint's ``is``-based convergence test
+    depends on it."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(_states)
+    def test_join_with_bottom_is_identity(self, state):
+        assert state.join(State()) is state
+
+    @settings(max_examples=80, deadline=None)
+    @given(_states)
+    def test_self_join_is_identity(self, state):
+        assert state.join(state) is state
+        assert state.join(state.copy()) is state

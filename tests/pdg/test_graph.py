@@ -66,3 +66,51 @@ class TestContainer:
         full = pdg.to_dot(include_isolated=True)
         trimmed = pdg.to_dot(include_isolated=False)
         assert full.count("[label=") >= trimmed.count("[label=")
+
+
+class TestAdjacencyIndex:
+    """The lazily cached successor/predecessor indexes: one build is
+    shared by every consumer, and mutation invalidates them."""
+
+    def test_successor_index_is_cached(self):
+        pdg = PDG(program=ProgramIR({}, {}, {}, set()))
+        pdg.add_edge(1, 2, Annotation.LOCAL)
+        assert pdg.successor_index() is pdg.successor_index()
+        assert pdg.predecessor_index() is pdg.predecessor_index()
+
+    def test_add_edge_invalidates_index(self):
+        pdg = PDG(program=ProgramIR({}, {}, {}, set()))
+        pdg.add_edge(1, 2, Annotation.LOCAL)
+        first = pdg.successor_index()
+        pdg.add_edge(2, 3, Annotation.DATA_STRONG)
+        second = pdg.successor_index()
+        assert second is not first
+        assert {target for target, _ in pdg.successors(2)} == {3}
+
+    def test_index_matches_edges(self):
+        program, pdg = tiny_pdg()
+        index = pdg.successor_index()
+        flattened = {
+            (source, target)
+            for source, targets in index.items()
+            for target, _ in targets
+        }
+        assert flattened == set(pdg.edges)
+        backward = {
+            (source, target)
+            for target, sources in pdg.predecessor_index().items()
+            for source, _ in sources
+        }
+        assert backward == set(pdg.edges)
+
+    def test_flow_types_share_one_adjacency_build(self):
+        """``flow_types_from`` must reuse the PDG's cached index — per-
+        source fixpoints of one inference never rebuild adjacency."""
+        from repro.signatures.inference import flow_types_from
+
+        program, pdg = tiny_pdg()
+        before = pdg.successor_index()
+        sids = sorted(sid for (sid, _target) in pdg.edges)
+        flow_types_from(pdg, {sids[0]})
+        flow_types_from(pdg, {sids[-1]})
+        assert pdg.successor_index() is before

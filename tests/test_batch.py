@@ -1,0 +1,163 @@
+"""The batch vetting engine: parallelism, caching, and isolation.
+
+The load-bearing guarantee is *bit-identity*: a signature inferred by a
+pooled worker process, or replayed from the on-disk cache, must render
+exactly as the one from a plain sequential :func:`repro.api.vet` call.
+``Signature.render()`` is sorted, so string equality is a faithful
+cross-process comparison.
+"""
+
+import json
+
+import pytest
+
+from repro import batch
+from repro.addons import CORPUS
+from repro.api import vet
+from repro.batch import VetOutcome, VetTask, cache_key, vet_corpus, vet_many
+from repro.signatures import parse_signature
+
+
+def _sequential_renderings():
+    rendered = {}
+    for spec in CORPUS:
+        manual = parse_signature(spec.manual_signature_text)
+        extras = (
+            frozenset(parse_signature(spec.real_extras_text).entries)
+            if spec.real_extras_text
+            else frozenset()
+        )
+        report = vet(spec.source(), manual=manual, real_extras=extras)
+        assert report.comparison is not None
+        rendered[spec.name] = (
+            report.signature.render(),
+            report.comparison.verdict.value,
+        )
+    return rendered
+
+
+class TestCorpusIdentity:
+    """Acceptance: parallel and cached vetting are bit-identical to
+    sequential vetting on all ten corpus addons."""
+
+    @pytest.fixture(scope="class")
+    def sequential(self):
+        return _sequential_renderings()
+
+    def test_parallel_matches_sequential(self, sequential):
+        outcomes = vet_corpus(runs=1, workers=2, use_cache=False)
+        assert len(outcomes) == len(CORPUS)
+        for outcome in outcomes:
+            assert outcome.ok, outcome.error
+            signature, verdict = sequential[outcome.name]
+            assert outcome.signature_text == signature
+            assert outcome.verdict == verdict
+
+    def test_cache_replay_matches_sequential(self, sequential, tmp_path):
+        first = vet_corpus(runs=1, workers=1, cache_dir=tmp_path)
+        assert all(not outcome.cached for outcome in first)
+        replay = vet_corpus(runs=1, workers=1, cache_dir=tmp_path)
+        assert all(outcome.cached for outcome in replay)
+        for outcome in replay:
+            signature, verdict = sequential[outcome.name]
+            assert outcome.signature_text == signature
+            assert outcome.verdict == verdict
+
+
+class TestIsolation:
+    def test_broken_addon_does_not_kill_the_batch(self, tmp_path):
+        outcomes = vet_many(
+            ["var ok = 1;", "var broken = ;;;(", "send(2);"],
+            cache_dir=tmp_path,
+        )
+        assert [outcome.ok for outcome in outcomes] == [True, False, True]
+        assert "ParseError" in outcomes[1].error
+
+    def test_broken_addon_isolated_in_pool(self, tmp_path):
+        outcomes = vet_many(
+            ["var ok = 1;", "var broken = ;;;("],
+            workers=2, cache_dir=tmp_path,
+        )
+        assert [outcome.ok for outcome in outcomes] == [True, False]
+
+    def test_timeout_degrades_to_error_outcome(self, tmp_path):
+        source = CORPUS[0].source()
+        outcomes = vet_many(
+            [VetTask(name="slow", source=source, runs=5)],
+            workers=2, timeout=0.1, use_cache=False,
+        )
+        assert not outcomes[0].ok
+        assert "timeout" in outcomes[0].error
+
+    def test_errors_are_not_cached(self, tmp_path):
+        vet_many(["var broken = ;;;("], cache_dir=tmp_path)
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestCache:
+    def test_hit_skips_recompute(self, tmp_path, monkeypatch):
+        [first] = vet_many(["var x = 1;"], cache_dir=tmp_path)
+        assert first.ok and not first.cached
+
+        def explode(task, spec):
+            raise AssertionError("cache hit must not re-execute the pipeline")
+
+        monkeypatch.setattr(batch, "_execute_task", explode)
+        [second] = vet_many(["var x = 1;"], cache_dir=tmp_path)
+        assert second.cached
+        assert second.signature_text == first.signature_text
+
+    def test_key_covers_source_k_and_spec(self):
+        base = VetTask(name="a", source="var x = 1;")
+        assert cache_key(base, None) == cache_key(base, None)
+        other_source = VetTask(name="a", source="var x = 2;")
+        other_k = VetTask(name="a", source="var x = 1;", k=2)
+        from repro.browser import mozilla_spec
+
+        keys = {
+            cache_key(base, None),
+            cache_key(other_source, None),
+            cache_key(other_k, None),
+            cache_key(base, mozilla_spec()),
+        }
+        assert len(keys) == 4  # every dimension changes the key
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        [first] = vet_many(["var x = 1;"], cache_dir=tmp_path)
+        [entry] = tmp_path.glob("*.json")
+        entry.write_text("{not json", encoding="utf-8")
+        [second] = vet_many(["var x = 1;"], cache_dir=tmp_path)
+        assert not second.cached
+        assert second.signature_text == first.signature_text
+
+    def test_outcome_round_trips_through_json(self):
+        outcome = VetOutcome(
+            name="a", ok=True, signature_text="sig", verdict="pass",
+            times={"p1": 0.1, "p2": 0.2, "p3": 0.3},
+            counters={"fixpoint_steps": 7}, ast_nodes=42,
+        )
+        replayed = VetOutcome.from_json(
+            json.loads(json.dumps(outcome.to_json())), cached=True
+        )
+        assert replayed.cached
+        replayed.cached = False
+        assert replayed == outcome
+
+
+class TestEngineShape:
+    def test_string_items_get_default_names(self, tmp_path):
+        outcomes = vet_many(["var a = 1;", "var b = 2;"], cache_dir=tmp_path)
+        assert [outcome.name for outcome in outcomes] == ["addon-0", "addon-1"]
+
+    def test_results_preserve_input_order_with_mixed_hits(self, tmp_path):
+        vet_many(["var b = 2;"], cache_dir=tmp_path)  # warm one entry
+        outcomes = vet_many(
+            ["var a = 1;", "var b = 2;", "var c = 3;"], cache_dir=tmp_path
+        )
+        assert [outcome.name for outcome in outcomes] == [
+            "addon-0", "addon-1", "addon-2",
+        ]
+        assert [outcome.cached for outcome in outcomes] == [False, True, False]
+
+    def test_parallel_map_preserves_order(self):
+        assert batch.parallel_map(len, ["a", "bb", "ccc"], workers=2) == [1, 2, 3]
