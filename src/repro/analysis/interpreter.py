@@ -36,6 +36,7 @@ from repro.domains import values as values_domain
 from repro.domains.objects import AbstractObject, function_object
 from repro.domains.state import COPIES, State
 from repro.domains.values import AbstractValue
+from repro.faults import Budget, Degradation, FailureKind
 from repro.perf import Counters
 from repro.ir.nodes import (
     AllocStmt,
@@ -82,7 +83,13 @@ Node = tuple[int, Context]
 
 
 class AnalysisBudgetExceeded(RuntimeError):
-    """The fixpoint did not stabilize within the step budget."""
+    """A cooperative analysis budget (steps, wall clock, or abstract
+    states) tripped and salvage mode was not enabled. Carries the
+    taxonomy kind so callers can report it without string matching."""
+
+    def __init__(self, message: str, kind: FailureKind = FailureKind.BUDGET_STEPS):
+        super().__init__(message)
+        self.kind = kind
 
 
 @dataclass
@@ -113,6 +120,18 @@ class AnalysisResult:
     #: Hot-path observability: fixpoint steps, states created, joins, ...
     #: Pure reporting — never consulted by the analysis itself.
     counters: Counters = field(default_factory=Counters)
+    #: Budget trips recorded by salvage mode; empty for a clean run.
+    #: A degraded result is still usable, but downstream phases must
+    #: treat it conservatively (all-weak read/write sets, signature
+    #: widened to ⊤ over the spec) — see DESIGN.md.
+    degradations: tuple[Degradation, ...] = ()
+    #: Statements whose fixpoint work was abandoned when a budget
+    #: tripped (their input states may under-approximate).
+    unsettled: frozenset[int] = frozenset()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degradations)
 
     # The spec matchers interrogate the result once per source/sink/API
     # matcher; these lazily built indexes replace their repeated scans of
@@ -223,11 +242,21 @@ class Interpreter:
         environment: Environment | None = None,
         k: int = 1,
         max_steps: int = 400_000,
+        budget: Budget | None = None,
+        salvage: bool = False,
     ):
         self.program = program
         self.environment = environment or DefaultEnvironment()
         self.sensitivity = CallSiteSensitivity(k)
-        self.max_steps = max_steps
+        #: The cooperative budget; ``max_steps`` is the legacy spelling
+        #: of a steps-only budget and is ignored when ``budget`` is given.
+        self.budget = budget if budget is not None else Budget(max_steps=max_steps)
+        self.max_steps = self.budget.max_steps
+        #: With ``salvage`` on, a tripped budget degrades the run (see
+        #: :meth:`_salvage`) instead of raising AnalysisBudgetExceeded.
+        self.salvage = salvage
+        self.degradations: list[Degradation] = []
+        self.unsettled: set[int] = set()
         self.natives = dict(builtins.NATIVE_TABLE)
         self.natives.update(self.environment.natives)
 
@@ -286,13 +315,16 @@ class Interpreter:
         entry = self.program.main.entry
         self._propagate(entry.sid, EMPTY_CONTEXT, initial)
 
+        meter = self.budget.start()
         steps = 0
         while self.worklist:
             steps += 1
-            if steps > self.max_steps:
-                raise AnalysisBudgetExceeded(
-                    f"no fixpoint after {self.max_steps} steps"
-                )
+            tripped = meter.check(steps, len(self.states))
+            if tripped is not None:
+                if not self.salvage:
+                    raise AnalysisBudgetExceeded(meter.describe(tripped), kind=tripped)
+                self._salvage(tripped, meter.describe(tripped))
+                break
             # Process in statement order (sids are assigned in program
             # order, so this approximates reverse postorder): upstream
             # changes settle before downstream statements re-run, which
@@ -316,7 +348,29 @@ class Interpreter:
             diagnostics=frozenset(self.diagnostics),
             sensitivity=self.sensitivity,
             counters=self.counters,
+            degradations=tuple(self.degradations),
+            unsettled=frozenset(self.unsettled),
         )
+
+    def _salvage(self, kind: FailureKind, detail: str) -> None:
+        """Finish a budget-tripped run in a usable, flagged form.
+
+        The states computed so far are a *prefix* of the fixpoint (joins
+        are monotone, so every stored state under-approximates the true
+        fixpoint state). Salvage records which statements still had
+        pending work, marks every function multi-instance (so no local
+        write is ever treated as a strong kill downstream), and flags
+        the result degraded. Soundness is restored one level up: a
+        degraded result's read/write sets are all-weak and its signature
+        is widened to ⊤ over the security spec, which over-approximates
+        whatever the abandoned fixpoint work could have contributed (see
+        DESIGN.md, "Failure modes and degradation semantics")."""
+        self.degradations.append(Degradation(kind=kind, detail=detail))
+        self.unsettled.update(sid for sid, _ctx in self.on_worklist)
+        self._multi_instance.update(self.program.functions)
+        self.counters.bump("salvaged_worklist_nodes", len(self.on_worklist))
+        self.worklist.clear()
+        self.on_worklist.clear()
 
     def _enqueue(self, node: Node) -> None:
         if node not in self.on_worklist:
@@ -813,6 +867,17 @@ def analyze(
     environment: Environment | None = None,
     k: int = 1,
     max_steps: int = 400_000,
+    budget: Budget | None = None,
+    salvage: bool = False,
 ) -> AnalysisResult:
-    """Run the base analysis (phase P1 of the paper's pipeline)."""
-    return Interpreter(program, environment, k=k, max_steps=max_steps).run()
+    """Run the base analysis (phase P1 of the paper's pipeline).
+
+    ``budget`` bounds the fixpoint cooperatively (steps, wall clock,
+    abstract states); ``max_steps`` is the legacy steps-only spelling.
+    With ``salvage`` a tripped budget yields a degraded result instead
+    of raising :class:`AnalysisBudgetExceeded`.
+    """
+    return Interpreter(
+        program, environment, k=k, max_steps=max_steps,
+        budget=budget, salvage=salvage,
+    ).run()

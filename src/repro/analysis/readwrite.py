@@ -93,6 +93,13 @@ class ReadWriteSets:
         self.result = result
         self.program = result.program
         self.multi_instance = result.multi_instance
+        #: A salvaged (budget-tripped) analysis abandoned fixpoint work,
+        #: so its states may under-approximate: no access may claim a
+        #: strong (definite, killing) qualification. All-weak sets keep
+        #: every potential dependence edge alive — the over-approximate
+        #: direction (DESIGN.md, "Failure modes and degradation
+        #: semantics").
+        self.degraded = result.degraded
         self._cache: dict[tuple[int, Context], RWSet] = {}
 
     # ------------------------------------------------------------------
@@ -110,6 +117,8 @@ class ReadWriteSets:
     # Strength rules
 
     def _strong_var(self, var_scope: int, sid: int) -> bool:
+        if self.degraded:
+            return False
         if var_scope == -1:  # global
             return True
         return (
@@ -126,7 +135,8 @@ class ReadWriteSets:
         accesses = []
         for address in addresses:
             strong = (
-                single and exact and state.heap.is_singleton(address)
+                not self.degraded
+                and single and exact and state.heap.is_singleton(address)
             )
             accesses.append(PropAccess(address, name, strong))
         return accesses

@@ -18,8 +18,9 @@ from dataclasses import dataclass, field
 
 from repro.analysis import AnalysisResult, analyze
 from repro.browser import BrowserEnvironment, mozilla_spec
+from repro.faults import Budget, Degradation, FailureKind
 from repro.ir import ProgramIR, lower
-from repro.js import node_count, parse
+from repro.js import node_count, parse, parse_with_recovery
 from repro.pdg import PDG, build_pdg
 from repro.perf import Counters, PhaseTimes
 from repro.signatures import (
@@ -28,6 +29,7 @@ from repro.signatures import (
     SecuritySpec,
     Signature,
     compare,
+    widen_detail,
 )
 
 
@@ -36,11 +38,13 @@ def analyze_addon(
     k: int = 1,
     event_loop: bool = True,
     environment=None,
+    budget: Budget | None = None,
+    salvage: bool = False,
 ) -> tuple[ProgramIR, AnalysisResult]:
     """Phase 1: frontend + base analysis."""
     program = lower(parse(source), event_loop=event_loop)
     env = environment if environment is not None else BrowserEnvironment()
-    return program, analyze(program, env, k=k)
+    return program, analyze(program, env, k=k, budget=budget, salvage=salvage)
 
 
 def build_addon_pdg(result: AnalysisResult) -> PDG:
@@ -82,6 +86,15 @@ class VettingReport:
     #: Hot-path statistics: the interpreter's fixpoint counters plus
     #: PDG/signature sizes. Pure observability (never affects results).
     counters: Counters = field(default_factory=Counters)
+    #: Degradation events (budget trips, skipped statements). When
+    #: non-empty the signature has been widened to ⊤ over the spec: it
+    #: is sound but deliberately coarse, and must be surfaced as
+    #: "degraded" wherever the report is shown.
+    degradations: tuple[Degradation, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degradations)
 
     @property
     def signature(self) -> Signature:
@@ -89,6 +102,11 @@ class VettingReport:
 
     def render(self) -> str:
         lines = [f"AST nodes: {self.ast_nodes}", "signature:"]
+        if self.degraded:
+            lines.insert(0, "DEGRADED (signature widened to a sound ⊤):")
+            lines[1:1] = [
+                f"  {degradation.render()}" for degradation in self.degradations
+            ]
         rendered = self.signature.render()
         lines.extend(
             f"  {line}" for line in (rendered.splitlines() or ["  (empty)"])
@@ -116,18 +134,47 @@ def vet(
     real_extras: frozenset = frozenset(),
     spec: SecuritySpec | None = None,
     k: int = 1,
+    budget: Budget | None = None,
+    recover: bool = False,
 ) -> VettingReport:
     """Run the full pipeline; optionally compare against a manual
     signature (the Table 2 methodology). The report carries per-phase
-    wall times and the hot-path counters of this run."""
+    wall times and the hot-path counters of this run.
+
+    ``budget`` bounds the base analysis cooperatively (fixpoint steps,
+    wall clock, abstract states); a tripped budget *degrades* the run —
+    the report comes back ``degraded=True`` with its signature widened
+    to a sound ⊤ over the spec — instead of raising. ``recover`` does
+    the same for unparseable top-level statements: they are skipped, the
+    remainder analyzed, and the report flagged degraded.
+    """
+    resolved_spec = spec if spec is not None else mozilla_spec()
+    degradations: list[Degradation] = []
     start = time.perf_counter()
-    syntax_tree = parse(source)
+    if recover:
+        syntax_tree, skipped = parse_with_recovery(source)
+        degradations.extend(
+            Degradation(
+                kind=(
+                    FailureKind.UNSUPPORTED_SYNTAX
+                    if skip.unsupported
+                    else FailureKind.PARSE_ERROR
+                ),
+                detail=f"skipped top-level statement: {skip.render()}",
+            )
+            for skip in skipped
+        )
+    else:
+        syntax_tree = parse(source)
     program = lower(syntax_tree, event_loop=True)
-    result = analyze(program, BrowserEnvironment(), k=k)
+    result = analyze(program, BrowserEnvironment(), k=k, budget=budget, salvage=True)
+    degradations.extend(result.degradations)
     after_p1 = time.perf_counter()
     pdg = build_pdg(result)
     after_p2 = time.perf_counter()
-    detail = infer_detail(result, pdg, spec)
+    detail = infer_detail(result, pdg, resolved_spec)
+    if degradations:
+        detail = widen_detail(detail, resolved_spec)
     after_p3 = time.perf_counter()
     comparison = None
     if manual is not None:
@@ -136,6 +183,8 @@ def vet(
     counters["pdg_edges"] = len(pdg.edges)
     counters["pdg_cyclic_statements"] = len(pdg.cyclic)
     counters["signature_entries"] = len(detail.signature.entries)
+    if degradations:
+        counters["degradations"] = len(degradations)
     return VettingReport(
         program=program,
         result=result,
@@ -150,4 +199,5 @@ def vet(
             p3=after_p3 - after_p2,
         ),
         counters=counters,
+        degradations=tuple(degradations),
     )

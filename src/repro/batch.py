@@ -5,10 +5,14 @@ parallel: every addon's pipeline (P1 base analysis, P2 annotated PDG, P3
 signature inference) is independent of every other addon's, so
 :func:`vet_many` fans the corpus out over a ``ProcessPoolExecutor`` with
 
-- **per-addon isolation** — a parse error, an
-  :class:`~repro.analysis.interpreter.AnalysisBudgetExceeded`, or a
-  wall-clock timeout in one addon degrades to a reported error outcome;
-  it never kills the batch;
+- **per-addon isolation with typed outcomes** — a parse error becomes a
+  typed failure (:class:`repro.faults.FailureKind`), a blown analysis
+  budget (fixpoint steps, cooperative wall-clock deadline, abstract
+  states) *degrades* to a sound ⊤-widened signature flagged
+  ``degraded``, a broken pool re-runs its stranded tasks in-process,
+  and a corrupt cache entry is quarantined — nothing one addon does
+  kills the batch or goes unreported (:func:`summarize` gives the
+  per-kind breakdown);
 - **an on-disk result cache** keyed by ``(sha256(source), k, spec
   fingerprint, engine/repro version)`` — re-vetting an unchanged addon
   under an unchanged policy is a cache hit, which is what makes a
@@ -36,12 +40,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 import repro
+from repro.faults import Budget, FailureKind, classify_exception
 from repro.perf import median_times
 from repro.signatures.spec import SecuritySpec
 
 #: Bump when the pipeline's observable output changes (invalidates every
 #: cached outcome, together with ``repro.__version__``).
-ENGINE_VERSION = 1
+ENGINE_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -61,6 +66,13 @@ class VetTask:
     #: Manual signature text to compare against (Table 2 methodology).
     manual_text: str | None = None
     real_extras_text: str = ""
+    #: Fixpoint step budget; ``None`` = the interpreter default. A blown
+    #: budget degrades the outcome (sound ⊤-widened signature) rather
+    #: than failing it.
+    max_steps: int | None = None
+    #: Skip unparseable top-level statements and vet the remainder
+    #: (degraded outcome) instead of failing on the first parse error.
+    recover: bool = False
 
 
 @dataclass
@@ -70,6 +82,14 @@ class VetOutcome:
     name: str
     ok: bool
     error: str | None = None
+    #: Typed failure classification (a :class:`repro.faults.FailureKind`
+    #: value) when ``ok`` is false; ``error`` keeps the human detail.
+    failure: str | None = None
+    #: True when the run completed but had to degrade (budget trip,
+    #: skipped statements): the signature is sound but ⊤-widened.
+    degraded: bool = False
+    #: The degradation events, as ``{"kind": ..., "detail": ...}``.
+    degradations: list[dict] = field(default_factory=list)
     #: Canonical (sorted) rendering of the inferred signature.
     signature_text: str = ""
     verdict: str | None = None
@@ -86,6 +106,11 @@ class VetOutcome:
     @property
     def total_time(self) -> float:
         return sum((self.times or {}).values())
+
+    @property
+    def degradation_kinds(self) -> list[str]:
+        """The distinct degradation kinds of this outcome, sorted."""
+        return sorted({d["kind"] for d in self.degradations})
 
     def to_json(self) -> dict:
         data = dataclasses.asdict(self)
@@ -156,21 +181,41 @@ def cache_key(task: VetTask, spec: SecuritySpec | None) -> str:
             "spec": spec_fingerprint(spec),
             "manual": task.manual_text,
             "extras": task.real_extras_text,
+            "max_steps": task.max_steps,
+            "recover": task.recover,
         },
         sort_keys=True,
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def _cache_load(cache_dir: Path, key: str, name: str) -> VetOutcome | None:
+def _cache_load(
+    cache_dir: Path, key: str, name: str
+) -> tuple[VetOutcome | None, bool]:
+    """Load one cache entry. Returns ``(outcome, quarantined)``.
+
+    An unreadable *file* (absent, permission) is a plain miss. A file
+    that reads but does not decode into an outcome — truncated JSON,
+    garbage bytes, a foreign schema — is *corrupt*: it is renamed to
+    ``<key>.corrupt`` so it never masquerades as a miss again (and can
+    be inspected), and the quarantine is reported via the recomputed
+    outcome's counters."""
     path = cache_dir / f"{key}.json"
     try:
-        data = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, ValueError):
-        return None  # absent or corrupt: treat as a miss
-    outcome = VetOutcome.from_json(data, cached=True)
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return None, False  # absent: a plain miss
+    try:
+        data = json.loads(text)
+        outcome = VetOutcome.from_json(data, cached=True)
+    except Exception:  # corrupt on disk: quarantine, never re-trip
+        try:
+            path.rename(path.with_suffix(".corrupt"))
+        except OSError:
+            pass  # a read-only cache cannot quarantine; still a miss
+        return None, True
     outcome.name = name  # the same source may be vetted under any name
-    return outcome
+    return outcome, False
 
 
 def _cache_store(cache_dir: Path, key: str, outcome: VetOutcome) -> None:
@@ -189,9 +234,27 @@ def _cache_store(cache_dir: Path, key: str, outcome: VetOutcome) -> None:
 # Workers (module-level: picklable for the process pool)
 
 
-def _execute_task(task: VetTask, spec: SecuritySpec | None) -> VetOutcome:
+def _task_budget(task: VetTask, timeout: float | None) -> Budget | None:
+    """The per-run cooperative budget of a task; ``None`` means the
+    interpreter default (steps-only)."""
+    if timeout is None and task.max_steps is None:
+        return None
+    return Budget(
+        max_steps=task.max_steps if task.max_steps is not None else 400_000,
+        max_seconds=timeout,
+    )
+
+
+def _execute_task(
+    task: VetTask, spec: SecuritySpec | None, timeout: float | None = None
+) -> VetOutcome:
     """Vet one addon, with the paper's timing protocol when ``runs > 1``.
-    Never raises: every failure becomes an error outcome."""
+    Never raises: every failure becomes a *typed* failure outcome, every
+    budget trip a *degraded* outcome.
+
+    ``timeout`` is the per-run wall-clock budget, enforced cooperatively
+    inside the analysis fixpoint — so it is honored identically whether
+    this runs in a pool worker or in-process."""
     from repro.api import vet
     from repro.signatures import parse_signature
 
@@ -206,20 +269,27 @@ def _execute_task(task: VetTask, spec: SecuritySpec | None) -> VetOutcome:
             if task.real_extras_text
             else frozenset()
         )
+        budget = _task_budget(task, timeout)
         samples = []
         report = None
         for _ in range(max(1, task.runs)):
             report = vet(
                 task.source, manual=manual, real_extras=extras,
-                spec=spec, k=task.k,
+                spec=spec, k=task.k, budget=budget, recover=task.recover,
             )
             samples.append(report.phase_times)
+            if report.degraded:
+                # Extra timing runs of a degraded pipeline are wasted
+                # wall clock (and a time-tripped run would trip again).
+                break
         assert report is not None and report.phase_times is not None
         times = median_times(samples)
         comparison = report.comparison
         return VetOutcome(
             name=task.name,
             ok=True,
+            degraded=report.degraded,
+            degradations=[d.to_json() for d in report.degradations],
             signature_text=report.signature.render(),
             verdict=comparison.verdict.value if comparison is not None else None,
             extra_entries=(
@@ -236,7 +306,9 @@ def _execute_task(task: VetTask, spec: SecuritySpec | None) -> VetOutcome:
         )
     except Exception as exc:  # isolation: one bad addon never kills a batch
         return VetOutcome(
-            name=task.name, ok=False, error=f"{type(exc).__name__}: {exc}"
+            name=task.name, ok=False,
+            failure=classify_exception(exc).value,
+            error=f"{type(exc).__name__}: {exc}",
         )
 
 
@@ -282,21 +354,30 @@ def vet_many(
     ``addon-N``; ``k``/``runs`` apply to string items only).
     ``workers`` — process count; ``None`` = one per CPU (capped at the
     task count); ``1`` = run in-process (no pool).
-    ``timeout`` — per-addon wall-clock budget in seconds, enforced only
-    when a pool is used (in-process runs rely on the interpreter's step
-    budget); a timed-out addon yields an error outcome.
+    ``timeout`` — per-run wall-clock budget in seconds, enforced
+    *cooperatively* inside the analysis fixpoint, so it is honored by
+    in-process runs and pool workers alike. A timed-out run degrades to
+    a sound ⊤-widened signature; a hard pool-level backstop (for work
+    wedged outside the fixpoint) yields a ``budget-time`` failure.
 
-    Returns one outcome per item, in input order.
+    Returns one outcome per item, in input order. Failures are typed
+    (:class:`repro.faults.FailureKind` in ``outcome.failure``) and
+    degradations flagged (``outcome.degraded``) — nothing in here
+    raises for a bad addon. Use :func:`summarize` for the per-kind
+    breakdown of a batch.
     """
     tasks = _normalize(items, k=k, runs=runs)
     directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
 
     outcomes: dict[int, VetOutcome] = {}
+    quarantined: set[int] = set()
     pending: list[tuple[int, VetTask, str | None]] = []
     for index, task in enumerate(tasks):
         key = cache_key(task, spec) if use_cache else None
         if key is not None:
-            hit = _cache_load(directory, key, task.name)
+            hit, corrupt = _cache_load(directory, key, task.name)
+            if corrupt:
+                quarantined.add(index)
             if hit is not None:
                 outcomes[index] = hit
                 continue
@@ -304,19 +385,36 @@ def vet_many(
 
     if pending:
         worker_count = _resolve_workers(workers, len(pending))
-        # A single miss runs in-process — unless a wall-clock timeout is
-        # requested, which only a worker process can enforce.
-        if worker_count <= 1 or (len(pending) <= 1 and timeout is None):
-            fresh = [(index, key, _execute_task(task, spec))
+        # A single miss (or workers=1) runs in-process; the cooperative
+        # budget enforces ``timeout`` there just as in a pool worker.
+        if worker_count <= 1 or len(pending) <= 1:
+            fresh = [(index, key, _execute_task(task, spec, timeout))
                      for index, task, key in pending]
         else:
             fresh = _run_pool(pending, spec, worker_count, timeout)
         for index, key, outcome in fresh:
+            if index in quarantined:
+                # Surface the quarantine once, on the recomputed outcome.
+                outcome.counters["cache_quarantined"] = (
+                    outcome.counters.get("cache_quarantined", 0) + 1
+                )
             outcomes[index] = outcome
-            if key is not None and outcome.ok:
+            # Degraded outcomes are machine/load-dependent (a deadline
+            # that tripped here may not trip elsewhere): never cache.
+            if key is not None and outcome.ok and not outcome.degraded:
                 _cache_store(directory, key, outcome)
 
     return [outcomes[index] for index in range(len(tasks))]
+
+
+def _hard_timeout(task: VetTask, timeout: float | None) -> float | None:
+    """The pool-level backstop for one task: the cooperative per-run
+    deadline normally fires first, so this only catches work wedged
+    outside the fixpoint loop (parsing, PDG, inference, a stuck
+    worker). Generous by design: runs x timeout plus grace."""
+    if timeout is None:
+        return None
+    return timeout * max(1, task.runs) + 10.0
 
 
 def _run_pool(
@@ -325,43 +423,79 @@ def _run_pool(
     worker_count: int,
     timeout: float | None,
 ) -> list[tuple[int, str | None, VetOutcome]]:
-    """Fan pending tasks over a process pool; degrade per-task failures
-    (timeout, broken pool) to error outcomes, and fall back to in-process
-    execution if the pool cannot be used at all."""
+    """Fan pending tasks over a process pool.
+
+    Failure containment, in order of preference:
+
+    - a worker that *returns* never raises (:func:`_execute_task`), so
+      per-task faults arrive as typed failure / degraded outcomes;
+    - a task that outlives its hard backstop becomes a ``budget-time``
+      failure outcome;
+    - a broken pool (a worker process died) strands every task whose
+      future it poisoned — those are re-run sequentially in-process
+      rather than erroring the rest of the corpus;
+    - a pool that cannot be created at all (no fork/semaphores) falls
+      back to sequential in-process execution.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
     results: list[tuple[int, str | None, VetOutcome]] = []
+    stranded: list[tuple[int, VetTask, str | None]] = []
     try:
         executor = ProcessPoolExecutor(max_workers=worker_count)
     except (OSError, ValueError):  # no fork/semaphores available here
-        return [(index, key, _execute_task(task, spec))
+        return [(index, key, _execute_task(task, spec, timeout))
                 for index, task, key in pending]
+    pool_broke = False
     try:
         futures = [
-            (index, task, key, executor.submit(_execute_task, task, spec))
+            (index, task, key, executor.submit(_execute_task, task, spec, timeout))
             for index, task, key in pending
         ]
-        for index, task, key, future in futures:
+        for position, (index, task, key, future) in enumerate(futures):
             try:
-                results.append((index, key, future.result(timeout=timeout)))
+                results.append(
+                    (index, key, future.result(timeout=_hard_timeout(task, timeout)))
+                )
             except FutureTimeoutError:
                 future.cancel()
                 results.append((
                     index, key,
                     VetOutcome(
                         name=task.name, ok=False,
+                        failure=FailureKind.BUDGET_TIME.value,
                         error=f"timeout: exceeded {timeout}s wall-clock budget",
                     ),
                 ))
-            except Exception as exc:  # e.g. BrokenProcessPool
+            except BrokenProcessPool:
+                # The pool is dead: every remaining future is poisoned.
+                # Strand them all for a sequential in-process retry.
+                pool_broke = True
+                stranded.extend(
+                    (s_index, s_task, s_key)
+                    for s_index, s_task, s_key, _ in futures[position:]
+                )
+                break
+            except Exception as exc:  # e.g. an unpicklable result
                 results.append((
                     index, key,
                     VetOutcome(
                         name=task.name, ok=False,
+                        failure=classify_exception(exc).value,
                         error=f"{type(exc).__name__}: {exc}",
                     ),
                 ))
     finally:
         # Don't block on workers wedged past their timeout.
-        executor.shutdown(wait=timeout is None, cancel_futures=True)
+        executor.shutdown(
+            wait=timeout is None and not pool_broke, cancel_futures=True
+        )
+    for index, task, key in stranded:
+        outcome = _execute_task(task, spec, timeout)
+        outcome.counters["pool_retries"] = (
+            outcome.counters.get("pool_retries", 0) + 1
+        )
+        results.append((index, key, outcome))
     return results
 
 
@@ -374,10 +508,14 @@ def vet_corpus(
     use_cache: bool = True,
     cache_dir: str | os.PathLike | None = None,
     timeout: float | None = None,
+    max_steps: int | None = None,
+    recover: bool = False,
 ) -> list[VetOutcome]:
     """Vet the benchmark corpus (or a subset) through the batch engine,
     carrying each addon's manual signature so outcomes include the
-    pass/fail/leak verdict."""
+    pass/fail/leak verdict. ``timeout``/``max_steps``/``recover`` apply
+    the engine's fault-tolerance knobs to every addon; see
+    :func:`vet_many`."""
     from repro.addons import CORPUS
 
     chosen = list(specs) if specs is not None else list(CORPUS)
@@ -389,6 +527,8 @@ def vet_corpus(
             runs=runs,
             manual_text=spec.manual_signature_text,
             real_extras_text=spec.real_extras_text,
+            max_steps=max_steps,
+            recover=recover,
         )
         for spec in chosen
     ]
@@ -396,6 +536,38 @@ def vet_corpus(
         tasks, workers=workers, use_cache=use_cache,
         cache_dir=cache_dir, timeout=timeout,
     )
+
+
+def summarize(outcomes: list[VetOutcome]) -> dict:
+    """The robustness breakdown of a batch: per-kind failure and
+    degradation counts, plus the headline totals.
+
+    JSON-shaped; this is what ``table2`` footers, ``bench`` reports, and
+    the CI fault job surface, so a robustness regression (new failure
+    kind, growing degraded count) shows up in the numbers rather than in
+    scrollback."""
+    failures: dict[str, int] = {}
+    degradation_kinds: dict[str, int] = {}
+    cache_quarantined = 0
+    pool_retries = 0
+    for outcome in outcomes:
+        if not outcome.ok and outcome.failure is not None:
+            failures[outcome.failure] = failures.get(outcome.failure, 0) + 1
+        for kind in outcome.degradation_kinds:
+            degradation_kinds[kind] = degradation_kinds.get(kind, 0) + 1
+        cache_quarantined += outcome.counters.get("cache_quarantined", 0)
+        pool_retries += outcome.counters.get("pool_retries", 0)
+    return {
+        "total": len(outcomes),
+        "ok": sum(1 for o in outcomes if o.ok),
+        "failed": sum(1 for o in outcomes if not o.ok),
+        "degraded": sum(1 for o in outcomes if o.degraded),
+        "cached": sum(1 for o in outcomes if o.cached),
+        "failures": dict(sorted(failures.items())),
+        "degradation_kinds": dict(sorted(degradation_kinds.items())),
+        "cache_quarantined": cache_quarantined,
+        "pool_retries": pool_retries,
+    }
 
 
 def parallel_map(fn, items, *, workers: int | None = None) -> list:

@@ -20,6 +20,7 @@ import sys
 
 def _cmd_analyze(arguments: argparse.Namespace) -> int:
     from repro.api import vet
+    from repro.faults import Budget
     from repro.signatures import parse_signature
 
     with open(arguments.file, encoding="utf-8") as handle:
@@ -30,7 +31,19 @@ def _cmd_analyze(arguments: argparse.Namespace) -> int:
         with open(arguments.manual, encoding="utf-8") as handle:
             manual = parse_signature(handle.read())
 
-    report = vet(source, manual=manual, k=arguments.k)
+    budget = None
+    if arguments.timeout is not None or arguments.max_steps is not None:
+        budget = Budget(
+            max_steps=(
+                arguments.max_steps if arguments.max_steps is not None
+                else 400_000
+            ),
+            max_seconds=arguments.timeout,
+        )
+    report = vet(
+        source, manual=manual, k=arguments.k,
+        budget=budget, recover=arguments.recover,
+    )
     print(report.render())
 
     if arguments.explain:
@@ -67,6 +80,7 @@ def _cmd_table2(arguments: argparse.Namespace) -> int:
     print(render_table2(compute_table2(
         runs=arguments.runs, k=arguments.k,
         workers=arguments.workers, use_cache=arguments.cache,
+        timeout=arguments.timeout,
     )))
     return 0
 
@@ -77,6 +91,7 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
     report = run_bench(
         runs=arguments.runs, k=arguments.k, workers=arguments.workers,
         output=arguments.output, use_cache=arguments.cache,
+        timeout=arguments.timeout,
     )
     print(render_bench(report))
     print(f"\nwritten to {arguments.output}")
@@ -121,6 +136,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--slice", type=int, metavar="LINE",
         help="print the backward slice of a source line",
     )
+    analyze.add_argument(
+        "--recover", action="store_true",
+        help="skip unparseable top-level statements and vet the rest "
+             "(degraded, ⊤-widened signature)",
+    )
+    analyze.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="cooperative wall-clock budget; a blown budget degrades "
+             "to a sound signature instead of failing",
+    )
+    analyze.add_argument(
+        "--max-steps", type=int, default=None, metavar="N",
+        help="fixpoint step budget (default 400000); blown budgets degrade",
+    )
     analyze.set_defaults(handler=_cmd_analyze)
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1")
@@ -137,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", action="store_true",
         help="reuse the on-disk vetting result cache",
     )
+    table2.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget per addon (degrades, not fails)",
+    )
     table2.set_defaults(handler=_cmd_table2)
 
     bench = subparsers.add_parser(
@@ -152,6 +185,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--cache", action="store_true",
         help="reuse the on-disk vetting result cache",
+    )
+    bench.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget per addon (degrades, not fails)",
     )
     bench.set_defaults(handler=_cmd_bench)
 

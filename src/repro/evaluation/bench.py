@@ -22,9 +22,9 @@ import time
 from pathlib import Path
 
 from repro.addons import CORPUS
-from repro.batch import vet_corpus
+from repro.batch import summarize, vet_corpus
 
-SCHEMA = "addon-sig/bench-corpus/v1"
+SCHEMA = "addon-sig/bench-corpus/v2"
 
 
 def run_bench(
@@ -33,11 +33,17 @@ def run_bench(
     workers: int | None = None,
     output: str | Path | None = "BENCH_corpus.json",
     use_cache: bool = False,
+    timeout: float | None = None,
 ) -> dict:
-    """Benchmark the corpus; returns (and optionally writes) the report."""
+    """Benchmark the corpus; returns (and optionally writes) the report.
+
+    Beyond the timings, the report records each addon's robustness
+    outcome (typed failure kind, degraded flag and degradation kinds)
+    and a corpus-level per-kind breakdown, so the perf trajectory in
+    ``BENCH_corpus.json`` also tracks robustness regressions."""
     start = time.perf_counter()
     outcomes = vet_corpus(CORPUS, runs=runs, k=k, workers=workers,
-                          use_cache=use_cache)
+                          use_cache=use_cache, timeout=timeout)
     wall_s = time.perf_counter() - start
 
     addons = []
@@ -48,7 +54,10 @@ def run_bench(
             "name": outcome.name,
             "ok": outcome.ok,
             "cached": outcome.cached,
+            "degraded": outcome.degraded,
         }
+        if outcome.degradations:
+            entry["degradations"] = list(outcome.degradations)
         if outcome.ok and outcome.times is not None:
             ok_count += 1
             entry.update(
@@ -66,6 +75,7 @@ def run_bench(
             totals["total_s"] += outcome.total_time
         else:
             entry["error"] = outcome.error
+            entry["failure"] = outcome.failure
         addons.append(entry)
 
     report = {
@@ -76,6 +86,7 @@ def run_bench(
             "statistic": "median",
             "k": k,
             "workers": workers,
+            "timeout_s": timeout,
         },
         "addons": addons,
         "corpus": {
@@ -86,6 +97,9 @@ def run_bench(
             # ...versus the batch engine's actual end-to-end wall clock.
             "wall_s": round(wall_s, 6),
         },
+        # The per-kind failure/degradation breakdown: the robustness
+        # trajectory tracked alongside the perf trajectory.
+        "robustness": summarize(outcomes),
     }
     if output is not None:
         Path(output).write_text(
@@ -102,13 +116,21 @@ def render_bench(report: dict) -> str:
     for addon in report["addons"]:
         if addon["ok"]:
             cached = " [cached]" if addon["cached"] else ""
+            degraded = ""
+            if addon.get("degraded"):
+                kinds = sorted({d["kind"] for d in addon.get("degradations", [])})
+                degraded = f" [degraded: {','.join(kinds)}]"
             lines.append(
                 f"  {addon['name']:<22} {addon['verdict']:<5}"
                 f" P1 {addon['p1_s']:.3f}s  P2 {addon['p2_s']:.3f}s"
-                f"  P3 {addon['p3_s']:.3f}s  total {addon['total_s']:.3f}s{cached}"
+                f"  P3 {addon['p3_s']:.3f}s  total {addon['total_s']:.3f}s"
+                f"{cached}{degraded}"
             )
         else:
-            lines.append(f"  {addon['name']:<22} ERROR {addon['error']}")
+            kind = addon.get("failure") or "?"
+            lines.append(
+                f"  {addon['name']:<22} ERROR [{kind}] {addon['error']}"
+            )
     corpus = report["corpus"]
     lines.append("")
     lines.append(
@@ -116,6 +138,18 @@ def render_bench(report: dict) -> str:
         f" summed pipeline {corpus['total_s']:.3f}s,"
         f" batch wall {corpus['wall_s']:.3f}s"
     )
+    robustness = report.get("robustness", {})
+    if robustness.get("failed") or robustness.get("degraded"):
+        failures = ", ".join(
+            f"{kind}={count}" for kind, count in robustness["failures"].items()
+        ) or "none"
+        degraded = ", ".join(
+            f"{kind}={count}"
+            for kind, count in robustness["degradation_kinds"].items()
+        ) or "none"
+        lines.append(
+            f"  robustness: failures [{failures}], degraded [{degraded}]"
+        )
     return "\n".join(lines)
 
 
@@ -126,10 +160,12 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--output", default="BENCH_corpus.json")
     parser.add_argument("--cache", action="store_true")
+    parser.add_argument("--timeout", type=float, default=None)
     arguments = parser.parse_args()
     report = run_bench(
         runs=arguments.runs, k=arguments.k, workers=arguments.workers,
         output=arguments.output, use_cache=arguments.cache,
+        timeout=arguments.timeout,
     )
     print(render_bench(report))
     print(f"\nwritten to {arguments.output}")

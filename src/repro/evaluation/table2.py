@@ -35,11 +35,25 @@ class Table2Row:
     extra_entries: list[str]
     missing_entries: list[str]
     error: str | None = None
+    #: Typed failure kind (repro.faults.FailureKind value) on error rows.
+    failure: str | None = None
+    #: True when the signature was ⊤-widened by salvage mode.
+    degraded: bool = False
+    degradation_kinds: list[str] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def matches_paper(self) -> bool:
         return self.verdict == self.spec.expected_verdict
+
+    @property
+    def robustness(self) -> str:
+        """The breakdown-column cell: ok / degraded(kinds) / failure."""
+        if self.failure is not None:
+            return f"fail({self.failure})"
+        if self.degraded:
+            return f"degraded({','.join(self.degradation_kinds)})"
+        return "ok"
 
 
 def _row_from_outcome(spec: AddonSpec, outcome: VetOutcome) -> Table2Row:
@@ -51,6 +65,7 @@ def _row_from_outcome(spec: AddonSpec, outcome: VetOutcome) -> Table2Row:
             extra_entries=[],
             missing_entries=[],
             error=outcome.error,
+            failure=outcome.failure,
         )
     assert outcome.times is not None and outcome.verdict is not None
     return Table2Row(
@@ -59,6 +74,8 @@ def _row_from_outcome(spec: AddonSpec, outcome: VetOutcome) -> Table2Row:
         times=PhaseTimes(**outcome.times),
         extra_entries=list(outcome.extra_entries),
         missing_entries=list(outcome.missing_entries),
+        degraded=outcome.degraded,
+        degradation_kinds=outcome.degradation_kinds,
         counters=dict(outcome.counters),
     )
 
@@ -75,8 +92,13 @@ def compute_table2(
     k: int = 1,
     workers: int | None = None,
     use_cache: bool = False,
+    timeout: float | None = None,
+    recover: bool = False,
 ) -> list[Table2Row]:
-    outcomes = vet_corpus(CORPUS, runs=runs, k=k, workers=workers, use_cache=use_cache)
+    outcomes = vet_corpus(
+        CORPUS, runs=runs, k=k, workers=workers, use_cache=use_cache,
+        timeout=timeout, recover=recover,
+    )
     return [
         _row_from_outcome(spec, outcome)
         for spec, outcome in zip(CORPUS, outcomes)
@@ -87,6 +109,7 @@ def render_table2(rows: list[Table2Row]) -> str:
     body = render_table(
         headers=[
             "Addon Name", "Result", "Paper", "P1 (s)", "P2 (s)", "P3 (s)",
+            "Robustness",
         ],
         rows=[
             [
@@ -96,6 +119,7 @@ def render_table2(rows: list[Table2Row]) -> str:
                 f"{row.times.p1:.2f}",
                 f"{row.times.p2:.2f}",
                 f"{row.times.p3:.2f}",
+                row.robustness,
             ]
             for row in rows
         ],
@@ -103,6 +127,15 @@ def render_table2(rows: list[Table2Row]) -> str:
     )
     matched = sum(row.matches_paper for row in rows)
     footer = [f"\n{matched}/{len(rows)} verdicts match the paper's Table 2."]
+    breakdown: dict[str, int] = {}
+    for row in rows:
+        if row.failure is not None:
+            breakdown[f"fail:{row.failure}"] = breakdown.get(f"fail:{row.failure}", 0) + 1
+        for kind in row.degradation_kinds:
+            breakdown[f"degraded:{kind}"] = breakdown.get(f"degraded:{kind}", 0) + 1
+    if breakdown:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(breakdown.items()))
+        footer.append(f"\nrobustness breakdown: {rendered}")
     for row in rows:
         if row.error:
             footer.append(f"\n{row.spec.name}: ERROR {row.error}")
@@ -130,10 +163,15 @@ def main() -> None:
         "--cache", action="store_true",
         help="reuse the on-disk vetting result cache",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-run wall-clock budget in seconds (degrades, not fails)",
+    )
     arguments = parser.parse_args()
     print(render_table2(compute_table2(
         runs=arguments.runs, k=arguments.k,
         workers=arguments.workers, use_cache=arguments.cache,
+        timeout=arguments.timeout,
     )))
 
 

@@ -15,13 +15,15 @@ from repro.js.errors import (
     UnsupportedSyntaxError,
 )
 from repro.js.lexer import Lexer, tokenize
-from repro.js.parser import Parser, parse
+from repro.js.parser import Parser, SkippedStatement, parse, parse_with_recovery
 from repro.js.printer import print_expression, print_program, print_statement
 
 __all__ = [
     "ast",
     "node_count",
     "parse",
+    "parse_with_recovery",
+    "SkippedStatement",
     "tokenize",
     "print_program",
     "print_statement",

@@ -19,10 +19,27 @@ The parser implements:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.js import ast
 from repro.js.errors import ParseError, SourcePosition, UnsupportedSyntaxError
 from repro.js.lexer import tokenize
 from repro.js.tokens import Token, TokenType
+
+
+@dataclass(frozen=True)
+class SkippedStatement:
+    """One top-level statement dropped by recovery-mode parsing."""
+
+    position: SourcePosition | None
+    message: str
+    #: True when the statement used syntax outside the supported subset
+    #: (as opposed to being malformed).
+    unsupported: bool
+
+    def render(self) -> str:
+        location = f" at {self.position}" if self.position is not None else ""
+        return f"{self.message}{location}"
 
 #: Binary operator precedence, higher binds tighter. ``in`` participates
 #: only when the ``no_in`` restriction (for-statement headers) is off.
@@ -128,6 +145,62 @@ class Parser:
         while self.current.type is not TokenType.EOF:
             body.append(self.parse_statement())
         return ast.Program(body, position=position)
+
+    def parse_program_with_recovery(
+        self,
+    ) -> tuple[ast.Program, list[SkippedStatement]]:
+        """Parse, skipping top-level statements that fail to parse.
+
+        On a parse error the parser resynchronizes at the next plausible
+        top-level statement boundary (a ``;`` or closing ``}`` at
+        bracket depth zero) and keeps going, recording what was dropped.
+        The analyzed remainder under-approximates the addon, so callers
+        must flag the run degraded and widen its signature (DESIGN.md,
+        "Failure modes and degradation semantics").
+        """
+        position = self.current.position
+        body: list[ast.Statement] = []
+        skipped: list[SkippedStatement] = []
+        while self.current.type is not TokenType.EOF:
+            start = self.index
+            try:
+                body.append(self.parse_statement())
+            except ParseError as error:
+                skipped.append(
+                    SkippedStatement(
+                        position=error.position,
+                        message=error.message,
+                        unsupported=isinstance(error, UnsupportedSyntaxError),
+                    )
+                )
+                self._resynchronize(start)
+        return ast.Program(body, position=position), skipped
+
+    def _resynchronize(self, start: int) -> None:
+        """Skip past the statement that failed to parse.
+
+        Scans from the error point, tracking bracket depth, until just
+        past a ``;`` at depth zero, a ``}`` that closes to depth zero,
+        or EOF. Always consumes at least one token beyond ``start`` so
+        recovery makes progress.
+        """
+        if self.index == start:
+            self._advance()
+        depth = 0
+        while self.current.type is not TokenType.EOF:
+            token = self._advance()
+            if token.type is not TokenType.PUNCTUATOR:
+                continue
+            if token.value in "{[(":
+                depth += 1
+            elif token.value in ")]":
+                depth = max(0, depth - 1)
+            elif token.value == "}":
+                depth = max(0, depth - 1)
+                if depth == 0:
+                    return
+            elif token.value == ";" and depth == 0:
+                return
 
     def parse_statement(self) -> ast.Statement:
         token = self.current
@@ -728,8 +801,8 @@ def _number_to_property_key(value: float) -> str:
     return repr(value)
 
 
-def parse(source: str, filename: str = "<addon>") -> ast.Program:
-    """Parse JavaScript ``source`` into an AST.
+def _with_recursion_room(source: str, filename: str, run):
+    """Tokenize and run a parse under a raised (bounded) recursion limit.
 
     The parser is recursive-descent, so deeply nested expressions consume
     Python stack; the limit is raised (bounded) for the duration of the
@@ -742,6 +815,25 @@ def parse(source: str, filename: str = "<addon>") -> ast.Program:
     previous = sys.getrecursionlimit()
     sys.setrecursionlimit(max(previous, wanted))
     try:
-        return Parser(tokens, filename).parse_program()
+        return run(Parser(tokens, filename))
     finally:
         sys.setrecursionlimit(previous)
+
+
+def parse(source: str, filename: str = "<addon>") -> ast.Program:
+    """Parse JavaScript ``source`` into an AST."""
+    return _with_recursion_room(source, filename, Parser.parse_program)
+
+
+def parse_with_recovery(
+    source: str, filename: str = "<addon>"
+) -> tuple[ast.Program, list[SkippedStatement]]:
+    """Parse ``source``, skipping unparseable top-level statements.
+
+    Returns the program built from the statements that did parse plus
+    the list of skipped spans. A lexer error still raises (there is no
+    token stream to resynchronize on).
+    """
+    return _with_recursion_room(
+        source, filename, Parser.parse_program_with_recovery
+    )

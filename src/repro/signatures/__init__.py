@@ -1,7 +1,13 @@
 """Security signatures (Section 4): flow types, specs, inference,
 and comparison against manual signatures."""
 
-from repro.signatures.compare import Comparison, Verdict, compare
+from repro.signatures.compare import (
+    Comparison,
+    Verdict,
+    compare,
+    entry_covers,
+    subsumes,
+)
 from repro.signatures.explain import FlowWitness, explain_all, explain_flow
 from repro.signatures.taint import implicit_only_flows, infer_taint_signature
 from repro.signatures.flowtypes import (
@@ -13,6 +19,8 @@ from repro.signatures.inference import (
     InferenceDetail,
     flow_types_from,
     infer_signature,
+    top_entries,
+    widen_detail,
 )
 from repro.signatures.signature import (
     ApiEntry,
@@ -59,6 +67,10 @@ __all__ = [
     "compare",
     "Comparison",
     "Verdict",
+    "entry_covers",
+    "subsumes",
+    "top_entries",
+    "widen_detail",
     "explain_flow",
     "explain_all",
     "FlowWitness",

@@ -20,7 +20,9 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.signatures.signature import Entry, Signature
+from repro.domains.prefix import Prefix
+from repro.signatures.flowtypes import DEFAULT_LATTICE, FlowTypeLattice
+from repro.signatures.signature import ApiEntry, Entry, FlowEntry, Signature
 
 
 class Verdict(enum.Enum):
@@ -78,3 +80,55 @@ def compare(
     else:
         verdict = Verdict.MISS
     return Comparison(verdict=verdict, extra=extra, missing=missing)
+
+
+# ----------------------------------------------------------------------
+# Subsumption (the signature-lattice order used by salvage mode)
+
+
+def _domain_covers(general: Prefix | None, specific: Prefix | None) -> bool:
+    if general is None or specific is None:
+        return general is None and specific is None
+    return specific.leq(general)
+
+
+def entry_covers(
+    general: Entry,
+    specific: Entry,
+    lattice: FlowTypeLattice = DEFAULT_LATTICE,
+) -> bool:
+    """Does ``general`` claim at least as much as ``specific``?
+
+    A flow entry covers another when it names the same source and sink,
+    claims a flow type at least as strong (more alarming), and its
+    domain is at or above the other's in the prefix lattice. An API
+    entry covers another the same way, minus the flow type. This is the
+    per-entry order under which a degraded run's ⊤-widened signature
+    over-approximates any complete run's signature.
+    """
+    if isinstance(general, FlowEntry) and isinstance(specific, FlowEntry):
+        return (
+            general.source == specific.source
+            and general.sink == specific.sink
+            and lattice.stronger_or_equal(general.flow_type, specific.flow_type)
+            and _domain_covers(general.domain, specific.domain)
+        )
+    if isinstance(general, ApiEntry) and isinstance(specific, ApiEntry):
+        return general.api == specific.api and _domain_covers(
+            general.domain, specific.domain
+        )
+    return False
+
+
+def subsumes(
+    general: Signature,
+    specific: Signature,
+    lattice: FlowTypeLattice = DEFAULT_LATTICE,
+) -> bool:
+    """``general`` subsumes ``specific`` when every entry of ``specific``
+    is covered by some entry of ``general`` — i.e. ``general`` is a
+    sound over-approximation of ``specific``."""
+    return all(
+        any(entry_covers(g, s, lattice) for g in general.entries)
+        for s in specific.entries
+    )

@@ -22,6 +22,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.analysis.interpreter import AnalysisResult
+from repro.domains import prefix as prefix_domain
 from repro.pdg.graph import PDG
 from repro.signatures.flowtypes import DEFAULT_LATTICE, FlowType, FlowTypeLattice
 from repro.signatures.signature import ApiEntry, Entry, FlowEntry, Signature
@@ -156,4 +157,57 @@ def infer_signature(
         signature=signature,
         provenance=entries,
         source_statements=source_statements,
+    )
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation (salvage mode)
+
+
+def top_entries(
+    spec: SecuritySpec, lattice: FlowTypeLattice = DEFAULT_LATTICE
+) -> frozenset[Entry]:
+    """The ⊤ signature of a spec: the most alarming claim expressible.
+
+    One flow entry per (source, sink) pair at the strongest flow type
+    with the ⊤ domain, one bare-sink entry per sink with the ⊤ domain,
+    and one usage entry per interesting API. Under the signature
+    subsumption order (:func:`repro.signatures.compare.subsumes`) this
+    covers *every* entry any run could infer against the same spec,
+    which is what makes it the sound fallback for degraded runs.
+    """
+    entries: set[Entry] = set()
+    strongest = lattice.strongest()
+    for source in spec.sources:
+        for sink in spec.sinks:
+            entries.add(
+                FlowEntry(source.name, strongest, sink.name, prefix_domain.TOP)
+            )
+    for sink in spec.sinks:
+        entries.add(ApiEntry(sink.name, prefix_domain.TOP))
+    for api in spec.apis:
+        entries.add(ApiEntry(api.name))
+    return frozenset(entries)
+
+
+def widen_detail(
+    detail: InferenceDetail,
+    spec: SecuritySpec,
+    lattice: FlowTypeLattice = DEFAULT_LATTICE,
+) -> InferenceDetail:
+    """Widen an inference result to ⊤ over the spec (salvage mode).
+
+    A degraded analysis may have missed flows, so its inferred entries
+    alone would be unsound. The widened signature keeps what *was*
+    inferred (still useful for triage) and adds the spec's ⊤ entries,
+    making the total a sound over-approximation of any complete run.
+    """
+    extra = top_entries(spec, lattice) - set(detail.provenance)
+    provenance = dict(detail.provenance)
+    for entry in extra:
+        provenance[entry] = set()
+    return InferenceDetail(
+        signature=Signature(entries=detail.signature.entries | extra),
+        provenance=provenance,
+        source_statements=detail.source_statements,
     )

@@ -1,0 +1,351 @@
+"""Fault-injection suite for the fault-tolerant vetting pipeline.
+
+The invariant under test: *no* pathological input or injected
+infrastructure fault may surface as an exception from the batch engine.
+Every case must yield a reported outcome — a typed failure
+(:class:`repro.faults.FailureKind`) or a degraded-but-sound signature —
+and injected faults must not perturb the results of healthy addons
+(parallel/cached outcomes stay bit-identical to sequential ones).
+
+Soundness of salvage mode is checked via the signature subsumption
+order: a degraded run's ⊤-widened signature must subsume the signature
+of an unbudgeted run on the same addon.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+import pytest
+
+import repro.api
+from repro import batch
+from repro.addons import CORPUS
+from repro.analysis import AnalysisBudgetExceeded, analyze
+from repro.api import vet
+from repro.batch import VetTask, cache_key, summarize, vet_corpus, vet_many
+from repro.faults import Budget, Degradation, FailureKind, classify_exception
+from repro.ir import lower
+from repro.js import parse, parse_with_recovery
+from repro.js.errors import ParseError, UnsupportedSyntaxError
+from repro.signatures import subsumes
+
+pytestmark = pytest.mark.faults
+
+LEAKY = "var secret = document.cookie; send(secret);"
+
+
+# ----------------------------------------------------------------------
+# Cooperative budgets and salvage mode
+
+
+class TestBudgetSalvage:
+    def test_step_budget_degrades_not_raises(self):
+        report = vet(LEAKY, budget=Budget(max_steps=3))
+        assert report.degraded
+        assert FailureKind.BUDGET_STEPS in {d.kind for d in report.degradations}
+
+    def test_time_budget_degrades_not_raises(self):
+        report = vet(LEAKY, budget=Budget(max_seconds=0.0))
+        assert report.degraded
+        assert FailureKind.BUDGET_TIME in {d.kind for d in report.degradations}
+
+    def test_state_budget_degrades_not_raises(self):
+        report = vet(LEAKY, budget=Budget(max_states=1))
+        assert report.degraded
+        assert FailureKind.BUDGET_STATES in {d.kind for d in report.degradations}
+
+    @pytest.mark.parametrize("spec", CORPUS[:3], ids=lambda s: s.name)
+    def test_degraded_signature_subsumes_unbudgeted(self, spec):
+        full = vet(spec.source())
+        assert not full.degraded
+        degraded = vet(spec.source(), budget=Budget(max_steps=25))
+        assert degraded.degraded
+        assert subsumes(degraded.signature, full.signature)
+
+    def test_salvage_off_still_raises_with_kind(self):
+        program = lower(parse(LEAKY), event_loop=True)
+        with pytest.raises(AnalysisBudgetExceeded) as raised:
+            analyze(program, max_steps=2)
+        assert raised.value.kind is FailureKind.BUDGET_STEPS
+
+    def test_salvaged_result_is_all_weak_downstream(self):
+        from repro.analysis import ReadWriteSets
+        from repro.browser import BrowserEnvironment
+
+        program = lower(parse(LEAKY), event_loop=True)
+        result = analyze(
+            program, BrowserEnvironment(), budget=Budget(max_steps=2),
+            salvage=True,
+        )
+        assert result.degraded and result.unsettled
+        sets = ReadWriteSets(result)
+        for (sid, context) in list(result.states)[:20]:
+            rw = sets.of(sid, context)
+            assert all(not strong for strong in rw.write_vars.values())
+            assert all(not access.strong for access in rw.write_props)
+
+
+# ----------------------------------------------------------------------
+# Frontend recovery
+
+
+class TestFrontendRecovery:
+    def test_skips_bad_statement_keeps_rest(self):
+        source = "var a = 1;\nlet b = 2;\nvar c = 3;"
+        program, skipped = parse_with_recovery(source)
+        assert len(program.body) == 2
+        assert len(skipped) == 1 and skipped[0].unsupported
+
+    def test_skips_malformed_statement(self):
+        source = "var a = 1;\nvar broken = ;;;\nsend(a);"
+        program, skipped = parse_with_recovery(source)
+        # Resynchronisation stops past the first ';'; the stragglers
+        # parse as empty statements, which is fine — the two real
+        # statements survive.
+        real = [
+            statement for statement in program.body
+            if type(statement).__name__ != "EmptyStatement"
+        ]
+        assert len(real) == 2
+        assert len(skipped) == 1 and not skipped[0].unsupported
+
+    def test_resync_swallows_braced_garbage(self):
+        source = "with (x) { if (y) { z = 1; } }\nvar after = 1;"
+        program, skipped = parse_with_recovery(source)
+        assert len(program.body) == 1
+        assert len(skipped) == 1
+
+    def test_recovered_vet_is_degraded_and_sound(self):
+        broken = LEAKY + "\nclass Oops {}\n"
+        report = vet(broken, recover=True)
+        assert report.degraded
+        kinds = {d.kind for d in report.degradations}
+        assert kinds & {FailureKind.PARSE_ERROR, FailureKind.UNSUPPORTED_SYNTAX}
+        clean = vet(LEAKY)
+        assert subsumes(report.signature, clean.signature)
+
+    def test_without_recovery_still_raises(self):
+        with pytest.raises(ParseError):
+            vet("var broken = ;;;(")
+
+
+# ----------------------------------------------------------------------
+# Typed failure taxonomy
+
+
+class TestTypedFailures:
+    def test_parse_error_is_typed(self):
+        [outcome] = vet_many(["var broken = ;;;("], use_cache=False)
+        assert not outcome.ok
+        assert outcome.failure == "parse-error"
+        assert "ParseError" in outcome.error
+
+    def test_unsupported_syntax_is_typed(self):
+        [outcome] = vet_many(["with (x) { y = 1; }"], use_cache=False)
+        assert not outcome.ok
+        assert outcome.failure == "unsupported-syntax"
+
+    def test_internal_crash_is_typed(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise RuntimeError("injected pipeline crash")
+
+        monkeypatch.setattr(repro.api, "vet", explode)
+        [outcome] = vet_many([VetTask("crasher", LEAKY)], use_cache=False)
+        assert not outcome.ok
+        assert outcome.failure == "internal"
+        assert "injected pipeline crash" in outcome.error
+
+    def test_classifier_mapping(self):
+        assert classify_exception(ParseError("x")) is FailureKind.PARSE_ERROR
+        assert (
+            classify_exception(UnsupportedSyntaxError("x"))
+            is FailureKind.UNSUPPORTED_SYNTAX
+        )
+        assert (
+            classify_exception(BrokenProcessPool("x"))
+            is FailureKind.WORKER_CRASH
+        )
+        assert classify_exception(ValueError("x")) is FailureKind.INTERNAL
+        exc = AnalysisBudgetExceeded("x", kind=FailureKind.BUDGET_TIME)
+        assert classify_exception(exc) is FailureKind.BUDGET_TIME
+
+    def test_degradation_json_roundtrip(self):
+        degradation = Degradation(FailureKind.BUDGET_STEPS, "after 5 steps")
+        assert Degradation.from_json(degradation.to_json()) == degradation
+
+
+# ----------------------------------------------------------------------
+# Worker crashes and broken pools
+
+
+class _PoisonedFuture:
+    def result(self, timeout=None):
+        raise BrokenProcessPool("injected: a worker died abruptly")
+
+    def cancel(self):
+        return True
+
+
+class _BrokenPoolExecutor:
+    """A ProcessPoolExecutor double whose every future is poisoned."""
+
+    def __init__(self, max_workers=None):
+        pass
+
+    def submit(self, fn, *args, **kwargs):
+        return _PoisonedFuture()
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestWorkerCrash:
+    def test_broken_pool_retries_stranded_tasks_in_process(self, monkeypatch):
+        monkeypatch.setattr(batch, "ProcessPoolExecutor", _BrokenPoolExecutor)
+        baseline = vet_many([LEAKY, "var ok = 1;"], workers=1, use_cache=False)
+        outcomes = vet_many([LEAKY, "var ok = 1;"], workers=2, use_cache=False)
+        assert [o.ok for o in outcomes] == [True, True]
+        assert all(o.counters.get("pool_retries") == 1 for o in outcomes)
+        assert [o.signature_text for o in outcomes] == [
+            o.signature_text for o in baseline
+        ]
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="worker-kill injection relies on fork inheriting the patch",
+    )
+    def test_real_worker_death_is_contained(self, monkeypatch):
+        parent = os.getpid()
+        original = repro.api.vet
+
+        def lethal(source, *args, **kwargs):
+            if "KILLWORKER" in source and os.getpid() != parent:
+                os._exit(13)  # simulate an abrupt worker death
+            return original(source, *args, **kwargs)
+
+        monkeypatch.setattr(repro.api, "vet", lethal)
+        outcomes = vet_many(
+            ["var a = 1; // KILLWORKER", "var b = 2;"],
+            workers=2, use_cache=False,
+        )
+        # Zero uncaught exceptions; both stranded tasks were re-run
+        # in-process (where the kill switch does not fire).
+        assert [o.ok for o in outcomes] == [True, True]
+        assert any(o.counters.get("pool_retries") for o in outcomes)
+
+
+# ----------------------------------------------------------------------
+# Cache corruption
+
+
+class TestCacheCorruption:
+    def _entry_path(self, tmp_path, task):
+        return tmp_path / f"{cache_key(task, None)}.json"
+
+    @pytest.mark.parametrize(
+        "garbage",
+        ["{not json at all", '{"name": "x"', "\x00\x01\x02", '{"foo": 1}', "[]"],
+        ids=["garbage", "truncated", "binary", "foreign-schema", "non-object"],
+    )
+    def test_corrupt_entry_quarantined_and_recomputed(self, tmp_path, garbage):
+        task = VetTask("addon", LEAKY)
+        path = self._entry_path(tmp_path, task)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(garbage, encoding="utf-8")
+
+        [outcome] = vet_many([task], cache_dir=tmp_path)
+        assert outcome.ok and not outcome.cached
+        assert outcome.counters.get("cache_quarantined") == 1
+        assert path.with_suffix(".corrupt").exists()
+        assert summarize([outcome])["cache_quarantined"] == 1
+
+        # The recomputed outcome was re-cached; the quarantined file
+        # never masquerades as a hit or a miss again.
+        [replay] = vet_many([task], cache_dir=tmp_path)
+        assert replay.ok and replay.cached
+
+    def test_corrupt_entry_matches_sequential_result(self, tmp_path):
+        task = VetTask("addon", LEAKY)
+        [baseline] = vet_many([task], use_cache=False)
+        path = self._entry_path(tmp_path, task)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("][", encoding="utf-8")
+        [outcome] = vet_many([task], cache_dir=tmp_path)
+        assert outcome.signature_text == baseline.signature_text
+
+
+# ----------------------------------------------------------------------
+# The acceptance scenario: a hostile corpus end to end
+
+
+@dataclass(frozen=True)
+class _FakeSpec:
+    """The duck-typed corpus-spec shape ``vet_corpus`` consumes."""
+
+    name: str
+    text: str
+    manual_signature_text: str = ""
+    real_extras_text: str = ""
+
+    def source(self) -> str:
+        return self.text
+
+
+class TestHostileCorpus:
+    def test_hostile_corpus_completes_with_typed_breakdown(self, monkeypatch):
+        parent = os.getpid()
+        original = repro.api.vet
+
+        def unstable(source, *args, **kwargs):
+            if "INTERNALCRASH" in source:
+                raise RuntimeError("injected internal fault")
+            return original(source, *args, **kwargs)
+
+        monkeypatch.setattr(repro.api, "vet", unstable)
+        corpus = [
+            _FakeSpec("healthy", "var x = 1; send(x);"),
+            _FakeSpec("budget-buster", CORPUS[0].source()),
+            _FakeSpec("parse-failure", "var broken = ;;;("),
+            _FakeSpec("crasher", "var y = 2; // INTERNALCRASH"),
+        ]
+        outcomes = vet_corpus(
+            corpus, workers=1, use_cache=False, max_steps=40,
+        )
+        by_name = {outcome.name: outcome for outcome in outcomes}
+        assert by_name["healthy"].ok
+        assert by_name["budget-buster"].ok and by_name["budget-buster"].degraded
+        assert "budget-steps" in by_name["budget-buster"].degradation_kinds
+        assert by_name["parse-failure"].failure == "parse-error"
+        assert by_name["crasher"].failure == "internal"
+
+        breakdown = summarize(outcomes)
+        assert breakdown["total"] == 4 and breakdown["failed"] == 2
+        assert breakdown["failures"] == {"internal": 1, "parse-error": 1}
+        assert breakdown["degradation_kinds"] == {"budget-steps": 1}
+        json.dumps(breakdown)  # the breakdown is artifact-ready JSON
+
+    def test_parallel_results_identical_under_injected_faults(self, tmp_path):
+        tasks = [
+            VetTask("good-1", LEAKY),
+            VetTask("bad", "var broken = ;;;("),
+            VetTask("good-2", "var ok = 1; send(ok);"),
+            VetTask("buster", LEAKY, max_steps=3),
+        ]
+        sequential = vet_many(tasks, workers=1, use_cache=False)
+        parallel = vet_many(tasks, workers=2, use_cache=False)
+        primed = vet_many(tasks, workers=1, cache_dir=tmp_path)
+        replay = vet_many(tasks, workers=1, cache_dir=tmp_path)
+        for run in (parallel, primed, replay):
+            assert [o.signature_text for o in run] == [
+                o.signature_text for o in sequential
+            ]
+            assert [o.failure for o in run] == [o.failure for o in sequential]
+            assert [o.degraded for o in run] == [o.degraded for o in sequential]
+        # Failures and degraded outcomes are never served from cache;
+        # the clean ones are.
+        assert [o.cached for o in replay] == [True, False, True, False]
