@@ -1,0 +1,9 @@
+// Ancient code: with-scoping the analyzer rejects outright. Recovery
+// mode skips the statement (an R001 finding with the same span format
+// as the JS004 token-level hit) and vets the rest — degraded, so the
+// prefilter refuses the fast lane.
+var prefs = { sound: true, volume: 7 };
+with (prefs) {
+  volume = volume + 1;
+}
+var done = true;

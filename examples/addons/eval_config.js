@@ -1,0 +1,12 @@
+// Loads a user-supplied configuration snippet the old-school way:
+// string-to-code execution everywhere. Every dynamic-code lint rule
+// fires, and the prefilter must never skip an addon like this.
+var config = "({ refresh: 300 })";
+
+function loadConfig(snippet) {
+  return eval(snippet);
+}
+
+var makeGreeting = new Function("return 'hello';");
+var settings = loadConfig(config);
+setTimeout("refreshBadge()", 1000);

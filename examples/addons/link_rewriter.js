@@ -1,0 +1,15 @@
+// Rewrites sponsor links in the page to the partner portal: sensitive
+// property writes, dynamic property access on the document, and a
+// script element — the triage rules light up even though nothing here
+// is dynamic code.
+var portal = "http://partner.example.org/landing";
+
+function rewrite(slot) {
+  var link = document.getElementById("sponsor");
+  link.href = portal;
+  var section = document[slot];
+  section.innerHTML = "<b>sponsored</b>";
+  return section;
+}
+
+var widget = document.createElement("script");

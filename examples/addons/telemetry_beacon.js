@@ -1,0 +1,14 @@
+// Reports anonymous usage counters to the vendor endpoint. The
+// endpoint choice between two unrelated hosts is exactly the pattern
+// the prefix string domain cannot keep precise (JS007).
+var endpoint = window.debugMode
+  ? "http://stats-dev.example.net/v1"
+  : "http://stats.example.com/v1";
+
+function sendCounters(payload) {
+  var xhr = new XMLHttpRequest();
+  xhr.open("POST", endpoint + "/counters");
+  xhr.send(payload);
+}
+
+sendCounters("clicks=3");

@@ -69,11 +69,16 @@ def infer_detail(result, pdg, spec=None) -> InferenceDetail:
 
 @dataclass
 class VettingReport:
-    """Everything the vetter sees for one addon."""
+    """Everything the vetter sees for one addon.
+
+    When the relevance prefilter proved the addon trivially safe
+    (``prefiltered=True``), the heavyweight phases never ran:
+    ``result`` and ``pdg`` are ``None`` and the signature is empty.
+    """
 
     program: ProgramIR
-    result: AnalysisResult
-    pdg: PDG
+    result: AnalysisResult | None
+    pdg: PDG | None
     detail: InferenceDetail
     ast_nodes: int
     comparison: Comparison | None = None
@@ -91,6 +96,9 @@ class VettingReport:
     #: is sound but deliberately coarse, and must be surfaced as
     #: "degraded" wherever the report is shown.
     degradations: tuple[Degradation, ...] = ()
+    #: The sound relevance prefilter (``repro.lint.surface``) proved no
+    #: run of the full analysis could emit an entry, so none ran.
+    prefiltered: bool = False
 
     @property
     def degraded(self) -> bool:
@@ -102,6 +110,12 @@ class VettingReport:
 
     def render(self) -> str:
         lines = [f"AST nodes: {self.ast_nodes}", "signature:"]
+        if self.prefiltered:
+            lines.insert(
+                0,
+                "PREFILTERED (no overlap with the spec surface; "
+                "trivially-empty signature, interpreter skipped)",
+            )
         if self.degraded:
             lines.insert(0, "DEGRADED (signature widened to a sound ⊤):")
             lines[1:1] = [
@@ -115,9 +129,10 @@ class VettingReport:
             lines.append(f"timing: {self.phase_times.render()}")
         if self.unknown_calls:
             lines.append(f"unresolved callees at {len(self.unknown_calls)} call site(s)")
-        for tag, sid in sorted(self.result.diagnostics):
-            line = self.program.stmts[sid].line
-            lines.append(f"diagnostic: {tag} at line {line}")
+        if self.result is not None:
+            for tag, sid in sorted(self.result.diagnostics):
+                line = self.program.stmts[sid].line
+                lines.append(f"diagnostic: {tag} at line {line}")
         if self.comparison is not None:
             lines.append(self.comparison.render())
         return "\n".join(lines)
@@ -136,6 +151,7 @@ def vet(
     k: int = 1,
     budget: Budget | None = None,
     recover: bool = False,
+    prefilter: bool = False,
 ) -> VettingReport:
     """Run the full pipeline; optionally compare against a manual
     signature (the Table 2 methodology). The report carries per-phase
@@ -147,7 +163,18 @@ def vet(
     to a sound ⊤ over the spec — instead of raising. ``recover`` does
     the same for unparseable top-level statements: they are skipped, the
     remainder analyzed, and the report flagged degraded.
+
+    ``prefilter`` turns on the sound relevance prefilter
+    (:func:`repro.lint.surface.decide_relevance`): an addon whose
+    syntactic surface cannot reach the spec — no shared names, no
+    dynamic code, no dynamic property access, no recovery skips — gets
+    the trivially-empty signature without running the interpreter. Any
+    disqualifier falls back to the full pipeline, so the result is
+    bit-identical either way (proven addon-by-addon in
+    ``tests/lint/test_prefilter_soundness.py``).
     """
+    from repro.lint.surface import decide_relevance
+
     resolved_spec = spec if spec is not None else mozilla_spec()
     degradations: list[Degradation] = []
     start = time.perf_counter()
@@ -166,6 +193,34 @@ def vet(
         )
     else:
         syntax_tree = parse(source)
+    if prefilter:
+        decision = decide_relevance(
+            syntax_tree, resolved_spec, degraded=bool(degradations)
+        )
+        if not decision.relevant:
+            after_parse = time.perf_counter()
+            detail = InferenceDetail(
+                signature=Signature(), provenance={}, source_statements={}
+            )
+            comparison = None
+            if manual is not None:
+                comparison = compare(detail.signature, manual, real_extras)
+            counters = Counters()
+            counters["prefiltered"] = 1
+            return VettingReport(
+                program=lower(syntax_tree, event_loop=True),
+                result=None,
+                pdg=None,
+                detail=detail,
+                ast_nodes=node_count(syntax_tree),
+                comparison=comparison,
+                phase_times=PhaseTimes(
+                    p1=after_parse - start, p2=0.0, p3=0.0
+                ),
+                counters=counters,
+                degradations=(),
+                prefiltered=True,
+            )
     program = lower(syntax_tree, event_loop=True)
     result = analyze(program, BrowserEnvironment(), k=k, budget=budget, salvage=True)
     degradations.extend(result.degradations)

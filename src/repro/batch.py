@@ -46,7 +46,9 @@ from repro.signatures.spec import SecuritySpec
 
 #: Bump when the pipeline's observable output changes (invalidates every
 #: cached outcome, together with ``repro.__version__``).
-ENGINE_VERSION = 2
+#: v3: the relevance prefilter joined the pipeline (outcomes carry
+#: ``prefiltered`` and the cache key the prefilter switch).
+ENGINE_VERSION = 3
 
 
 # ----------------------------------------------------------------------
@@ -73,6 +75,11 @@ class VetTask:
     #: Skip unparseable top-level statements and vet the remainder
     #: (degraded outcome) instead of failing on the first parse error.
     recover: bool = False
+    #: Run the sound relevance prefilter first: an addon whose syntactic
+    #: surface cannot reach the spec gets the trivially-empty signature
+    #: without the interpreter (bit-identical results either way; see
+    #: ``repro.lint.surface``). On by default in batch vetting.
+    prefilter: bool = True
 
 
 @dataclass
@@ -100,6 +107,9 @@ class VetOutcome:
     times: dict[str, float] | None = None
     #: Hot-path counters of the (last) run.
     counters: dict[str, int] = field(default_factory=dict)
+    #: True when the relevance prefilter proved the addon trivially
+    #: safe and the interpreter never ran for it.
+    prefiltered: bool = False
     #: True when this outcome was served from the on-disk cache.
     cached: bool = False
 
@@ -183,6 +193,7 @@ def cache_key(task: VetTask, spec: SecuritySpec | None) -> str:
             "extras": task.real_extras_text,
             "max_steps": task.max_steps,
             "recover": task.recover,
+            "prefilter": task.prefilter,
         },
         sort_keys=True,
     )
@@ -276,6 +287,7 @@ def _execute_task(
             report = vet(
                 task.source, manual=manual, real_extras=extras,
                 spec=spec, k=task.k, budget=budget, recover=task.recover,
+                prefilter=task.prefilter,
             )
             samples.append(report.phase_times)
             if report.degraded:
@@ -303,6 +315,7 @@ def _execute_task(
             ast_nodes=report.ast_nodes,
             times={"p1": times.p1, "p2": times.p2, "p3": times.p3},
             counters=dict(report.counters),
+            prefiltered=report.prefiltered,
         )
     except Exception as exc:  # isolation: one bad addon never kills a batch
         return VetOutcome(
@@ -321,13 +334,16 @@ def _parallel_map_worker(payload: tuple) -> object:
 # The engine
 
 
-def _normalize(items, k: int, runs: int) -> list[VetTask]:
+def _normalize(items, k: int, runs: int, prefilter: bool) -> list[VetTask]:
     tasks: list[VetTask] = []
     for index, item in enumerate(items):
         if isinstance(item, VetTask):
             tasks.append(item)
         else:
-            tasks.append(VetTask(name=f"addon-{index}", source=item, k=k, runs=runs))
+            tasks.append(VetTask(
+                name=f"addon-{index}", source=item, k=k, runs=runs,
+                prefilter=prefilter,
+            ))
     return tasks
 
 
@@ -347,11 +363,18 @@ def vet_many(
     use_cache: bool = True,
     cache_dir: str | os.PathLike | None = None,
     timeout: float | None = None,
+    prefilter: bool = True,
 ) -> list[VetOutcome]:
     """Vet many addons, in parallel, with caching and error isolation.
 
     ``items`` — :class:`VetTask` objects, or plain source strings (named
-    ``addon-N``; ``k``/``runs`` apply to string items only).
+    ``addon-N``; ``k``/``runs``/``prefilter`` apply to string items
+    only).
+    ``prefilter`` — run the sound relevance prefilter before the full
+    pipeline (on by default): spec-irrelevant addons come back with the
+    trivially-empty signature and ``outcome.prefiltered`` set, without
+    the interpreter ever running. Results are bit-identical with the
+    prefilter off.
     ``workers`` — process count; ``None`` = one per CPU (capped at the
     task count); ``1`` = run in-process (no pool).
     ``timeout`` — per-run wall-clock budget in seconds, enforced
@@ -366,7 +389,7 @@ def vet_many(
     raises for a bad addon. Use :func:`summarize` for the per-kind
     breakdown of a batch.
     """
-    tasks = _normalize(items, k=k, runs=runs)
+    tasks = _normalize(items, k=k, runs=runs, prefilter=prefilter)
     directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
 
     outcomes: dict[int, VetOutcome] = {}
@@ -510,6 +533,7 @@ def vet_corpus(
     timeout: float | None = None,
     max_steps: int | None = None,
     recover: bool = False,
+    prefilter: bool = True,
 ) -> list[VetOutcome]:
     """Vet the benchmark corpus (or a subset) through the batch engine,
     carrying each addon's manual signature so outcomes include the
@@ -529,6 +553,7 @@ def vet_corpus(
             real_extras_text=spec.real_extras_text,
             max_steps=max_steps,
             recover=recover,
+            prefilter=prefilter,
         )
         for spec in chosen
     ]
@@ -562,6 +587,7 @@ def summarize(outcomes: list[VetOutcome]) -> dict:
         "ok": sum(1 for o in outcomes if o.ok),
         "failed": sum(1 for o in outcomes if not o.ok),
         "degraded": sum(1 for o in outcomes if o.degraded),
+        "prefiltered": sum(1 for o in outcomes if o.prefiltered),
         "cached": sum(1 for o in outcomes if o.cached),
         "failures": dict(sorted(failures.items())),
         "degradation_kinds": dict(sorted(degradation_kinds.items())),

@@ -9,7 +9,11 @@ Subcommands:
   and figures on the benchmark corpus (``table2`` vets the corpus in
   parallel through the batch engine; ``--workers``/``--cache`` tune it);
 - ``bench`` — benchmark the corpus and write ``BENCH_corpus.json``
-  (per-addon P1/P2/P3 medians plus hot-path counters).
+  (per-addon P1/P2/P3 medians plus hot-path counters, and the relevance
+  prefilter's hit rate on the examples corpus);
+- ``lint PATH...`` — the pre-analysis lint & triage pass: run the rule
+  engine over addon files/directories, as human text or stable JSON;
+- ``selfcheck`` — the lattice-law sanitizer over every abstract domain.
 """
 
 from __future__ import annotations
@@ -96,6 +100,35 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
     print(render_bench(report))
     print(f"\nwritten to {arguments.output}")
     return 0
+
+
+def _cmd_lint(arguments: argparse.Namespace) -> int:
+    from repro.lint import lint_paths, rule_table
+
+    if arguments.rules:
+        width = max(len(name) for _, name, _, _ in rule_table())
+        for rule_id, name, severity, description in rule_table():
+            print(f"{rule_id}  {name:<{width}}  {severity:<7}  {description}")
+        return 0
+    if not arguments.paths:
+        print("error: no paths given (or use --rules)", file=sys.stderr)
+        return 2
+    report = lint_paths(arguments.paths)
+    if arguments.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render())
+    if arguments.errors_fail and report.has_errors:
+        return 1
+    return 0
+
+
+def _cmd_selfcheck(arguments: argparse.Namespace) -> int:
+    from repro.lint import render_selfcheck, run_selfcheck
+
+    results = run_selfcheck()
+    print(render_selfcheck(results))
+    return 0 if all(result.ok for result in results) else 1
 
 
 def _cmd_figures(arguments: argparse.Namespace) -> int:
@@ -191,6 +224,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-run wall-clock budget per addon (degrades, not fails)",
     )
     bench.set_defaults(handler=_cmd_bench)
+
+    lint = subparsers.add_parser(
+        "lint", help="lint addon sources (pre-analysis triage rules)"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="addon files and/or directories (directories: every *.js)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is the stable LINT_findings schema)",
+    )
+    lint.add_argument(
+        "--rules", action="store_true",
+        help="list every rule (id, name, severity, description) and exit",
+    )
+    lint.add_argument(
+        "--errors-fail", action="store_true",
+        help="exit 1 when any error-severity finding is reported",
+    )
+    lint.set_defaults(handler=_cmd_lint)
+
+    selfcheck = subparsers.add_parser(
+        "selfcheck",
+        help="check every abstract domain's lattice laws "
+             "(exit 1 on any violation)",
+    )
+    selfcheck.set_defaults(handler=_cmd_selfcheck)
 
     figures = subparsers.add_parser("figures", help="regenerate Figures 2 and 4")
     figures.set_defaults(handler=_cmd_figures)

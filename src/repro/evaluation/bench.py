@@ -22,9 +22,62 @@ import time
 from pathlib import Path
 
 from repro.addons import CORPUS
-from repro.batch import summarize, vet_corpus
+from repro.batch import summarize, vet_corpus, vet_many
 
-SCHEMA = "addon-sig/bench-corpus/v2"
+SCHEMA = "addon-sig/bench-corpus/v3"
+
+#: Where the examples corpus (the prefilter's benchmark) lives.
+EXAMPLES_DIR = "examples/addons"
+
+
+def _bench_prefilter(examples_dir: str | Path | None) -> dict | None:
+    """Measure the relevance prefilter on the examples corpus.
+
+    Vets every ``*.js`` under ``examples_dir`` twice — prefilter on,
+    prefilter off — in-process, uncached, with ``recover=True`` (the
+    corpus deliberately contains an unparseable legacy addon). Returns
+    the hit rate, both wall clocks, and whether the two sweeps produced
+    bit-identical signatures (they must: the prefilter is sound)."""
+    from repro.batch import VetTask
+
+    if examples_dir is None:
+        return None
+    directory = Path(examples_dir)
+    files = sorted(directory.glob("*.js"))
+    if not files:
+        return None
+
+    def tasks(prefilter: bool) -> list[VetTask]:
+        return [
+            VetTask(
+                name=path.name,
+                source=path.read_text(encoding="utf-8"),
+                recover=True,
+                prefilter=prefilter,
+            )
+            for path in files
+        ]
+
+    start = time.perf_counter()
+    with_prefilter = vet_many(tasks(True), use_cache=False, workers=1)
+    wall_on = time.perf_counter() - start
+    start = time.perf_counter()
+    without_prefilter = vet_many(tasks(False), use_cache=False, workers=1)
+    wall_off = time.perf_counter() - start
+    hits = sum(1 for outcome in with_prefilter if outcome.prefiltered)
+    return {
+        "corpus": str(directory),
+        "addons": len(files),
+        "hits": hits,
+        "hit_rate": round(hits / len(files), 4),
+        "wall_on_s": round(wall_on, 6),
+        "wall_off_s": round(wall_off, 6),
+        "wall_delta_s": round(wall_off - wall_on, 6),
+        "identical_signatures": all(
+            on.signature_text == off.signature_text
+            for on, off in zip(with_prefilter, without_prefilter)
+        ),
+    }
 
 
 def run_bench(
@@ -34,13 +87,20 @@ def run_bench(
     output: str | Path | None = "BENCH_corpus.json",
     use_cache: bool = False,
     timeout: float | None = None,
+    examples_dir: str | Path | None = EXAMPLES_DIR,
 ) -> dict:
     """Benchmark the corpus; returns (and optionally writes) the report.
 
     Beyond the timings, the report records each addon's robustness
     outcome (typed failure kind, degraded flag and degradation kinds)
     and a corpus-level per-kind breakdown, so the perf trajectory in
-    ``BENCH_corpus.json`` also tracks robustness regressions."""
+    ``BENCH_corpus.json`` also tracks robustness regressions.
+
+    Since v3 the report also carries a ``prefilter`` section: the
+    examples corpus (``examples/addons``) vetted with the relevance
+    prefilter on and off — hit count/rate, both wall clocks, and a
+    bit-identical-signatures check. Skipped (``None``) when the
+    examples directory is absent or empty."""
     start = time.perf_counter()
     outcomes = vet_corpus(CORPUS, runs=runs, k=k, workers=workers,
                           use_cache=use_cache, timeout=timeout)
@@ -55,6 +115,7 @@ def run_bench(
             "ok": outcome.ok,
             "cached": outcome.cached,
             "degraded": outcome.degraded,
+            "prefiltered": outcome.prefiltered,
         }
         if outcome.degradations:
             entry["degradations"] = list(outcome.degradations)
@@ -100,6 +161,8 @@ def run_bench(
         # The per-kind failure/degradation breakdown: the robustness
         # trajectory tracked alongside the perf trajectory.
         "robustness": summarize(outcomes),
+        # The relevance prefilter measured on the examples corpus.
+        "prefilter": _bench_prefilter(examples_dir),
     }
     if output is not None:
         Path(output).write_text(
@@ -138,6 +201,15 @@ def render_bench(report: dict) -> str:
         f" summed pipeline {corpus['total_s']:.3f}s,"
         f" batch wall {corpus['wall_s']:.3f}s"
     )
+    prefilter = report.get("prefilter")
+    if prefilter:
+        lines.append(
+            f"  prefilter ({prefilter['corpus']}):"
+            f" {prefilter['hits']}/{prefilter['addons']} addons skipped"
+            f" (hit rate {prefilter['hit_rate']:.0%}),"
+            f" wall {prefilter['wall_on_s']:.3f}s on"
+            f" vs {prefilter['wall_off_s']:.3f}s off"
+        )
     robustness = report.get("robustness", {})
     if robustness.get("failed") or robustness.get("degraded"):
         failures = ", ".join(

@@ -40,6 +40,8 @@ class Table2Row:
     #: True when the signature was ⊤-widened by salvage mode.
     degraded: bool = False
     degradation_kinds: list[str] = field(default_factory=list)
+    #: True when the relevance prefilter skipped the interpreter.
+    prefiltered: bool = False
     counters: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -53,6 +55,8 @@ class Table2Row:
             return f"fail({self.failure})"
         if self.degraded:
             return f"degraded({','.join(self.degradation_kinds)})"
+        if self.prefiltered:
+            return "prefiltered"
         return "ok"
 
 
@@ -76,6 +80,7 @@ def _row_from_outcome(spec: AddonSpec, outcome: VetOutcome) -> Table2Row:
         missing_entries=list(outcome.missing_entries),
         degraded=outcome.degraded,
         degradation_kinds=outcome.degradation_kinds,
+        prefiltered=outcome.prefiltered,
         counters=dict(outcome.counters),
     )
 

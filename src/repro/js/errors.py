@@ -22,6 +22,36 @@ class SourcePosition:
         return f"{self.line}:{self.column}"
 
 
+@dataclass(frozen=True)
+class Span:
+    """A source span: from ``start`` up to and including ``end``.
+
+    The one span format shared by everything that points at addon
+    source: lint findings (:mod:`repro.lint`) and the degradation
+    records of recovery-mode parsing both render spans this way, so a
+    vetting report's skip notes and a lint report's findings line up.
+    """
+
+    start: SourcePosition
+    end: SourcePosition
+
+    @classmethod
+    def at(cls, position: SourcePosition) -> "Span":
+        """The single-point span at ``position``."""
+        return cls(start=position, end=position)
+
+    def __str__(self) -> str:
+        if self.start == self.end:
+            return str(self.start)
+        return f"{self.start}-{self.end}"
+
+    def to_json(self) -> dict:
+        return {
+            "start": {"line": self.start.line, "column": self.start.column},
+            "end": {"line": self.end.line, "column": self.end.column},
+        }
+
+
 class FrontendError(Exception):
     """Base class for all JavaScript frontend errors."""
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.js import ast
-from repro.js.errors import ParseError, SourcePosition, UnsupportedSyntaxError
+from repro.js.errors import ParseError, SourcePosition, Span, UnsupportedSyntaxError
 from repro.js.lexer import tokenize
 from repro.js.tokens import Token, TokenType
 
@@ -36,8 +36,15 @@ class SkippedStatement:
     #: True when the statement used syntax outside the supported subset
     #: (as opposed to being malformed).
     unsupported: bool
+    #: The full source span of the dropped statement — from its first
+    #: token through the resynchronization point. Rendered in the same
+    #: ``line:col-line:col`` format lint findings use, so recovery skips
+    #: and lint findings point at source identically.
+    span: Span | None = None
 
     def render(self) -> str:
+        if self.span is not None:
+            return f"{self.message} at {self.span}"
         location = f" at {self.position}" if self.position is not None else ""
         return f"{self.message}{location}"
 
@@ -163,17 +170,23 @@ class Parser:
         skipped: list[SkippedStatement] = []
         while self.current.type is not TokenType.EOF:
             start = self.index
+            start_position = self.current.position
             try:
                 body.append(self.parse_statement())
             except ParseError as error:
+                self._resynchronize(start)
+                # The last consumed token bounds the dropped span. At
+                # least one token past ``start`` was consumed, so the
+                # end never precedes the start.
+                end_position = self.tokens[max(start, self.index - 1)].position
                 skipped.append(
                     SkippedStatement(
                         position=error.position,
                         message=error.message,
                         unsupported=isinstance(error, UnsupportedSyntaxError),
+                        span=Span(start=start_position, end=end_position),
                     )
                 )
-                self._resynchronize(start)
         return ast.Program(body, position=position), skipped
 
     def _resynchronize(self, start: int) -> None:

@@ -1,0 +1,55 @@
+"""Pre-analysis lint & triage: rule engine, relevance prefilter, and
+the lattice-law sanitizer.
+
+Public surface:
+
+- :func:`lint_source` / :func:`lint_paths` / :func:`lint_corpus` — run
+  the rule engine; :class:`Finding` / :class:`LintReport` are the
+  results.
+- :func:`decide_relevance` — the sound prefilter the batch engine uses
+  to skip spec-irrelevant addons.
+- :func:`run_selfcheck` — the lattice-law sanitizer behind
+  ``addon-sig selfcheck``.
+"""
+
+from repro.lint.engine import (
+    LintContext,
+    Rule,
+    all_rules,
+    lint_corpus,
+    lint_paths,
+    lint_source,
+    register,
+    rule_table,
+)
+from repro.lint.findings import Finding, LintReport, Severity
+from repro.lint.selfcheck import DomainCheck, render_selfcheck, run_selfcheck
+from repro.lint.surface import (
+    PrefilterDecision,
+    Surface,
+    addon_surface,
+    decide_relevance,
+    spec_surface,
+)
+
+__all__ = [
+    "DomainCheck",
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "PrefilterDecision",
+    "Rule",
+    "Severity",
+    "Surface",
+    "addon_surface",
+    "all_rules",
+    "decide_relevance",
+    "lint_corpus",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_selfcheck",
+    "rule_table",
+    "run_selfcheck",
+    "spec_surface",
+]

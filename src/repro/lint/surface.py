@@ -1,0 +1,189 @@
+"""The sound relevance prefilter (static triage, flow-insensitive).
+
+The heavyweight pipeline — abstract interpretation, PDG construction,
+flow-type fixpoints — only ever produces signature entries for addons
+that *name* part of the security spec's surface: a source property
+(``href``, ``keyCode``, ...), a sink method (``open``, ``send``,
+``setData``, ...), or a spec-tagged global (``XHRWrapper``, ``eval``).
+That gives a cheap, sound triage test:
+
+1. Over-approximate the addon's *surface*: every identifier, every
+   statically known property name, every declared name (a
+   flow-insensitive walk of the AST — :func:`addon_surface`).
+2. Over-approximate the spec's surface: every property/method/global
+   name any of its matchers could possibly need (:func:`spec_surface`).
+3. If the two are disjoint **and** the addon has no dynamic code
+   (``eval``/``Function``/string timers) **and** no dynamic property
+   access (a computed key could name anything), then no run of the full
+   analysis can produce a non-empty signature — the addon gets the
+   trivially-empty signature without the interpreter ever starting.
+
+Soundness argument (see DESIGN.md "Prefilter soundness"): every
+source/sink/API matcher in :mod:`repro.signatures.spec` fires only on
+statements that reach a native through a *named* property read or a
+*named* global — both of which put the name into the addon surface. A
+computed access with a non-literal key could denote any name, so it
+forces ``dynamic_properties`` and disqualifies the fast lane; dynamic
+code and recovery-degraded parses disqualify it by fiat. The prefilter
+therefore never fires on an addon whose full analysis could emit an
+entry — tested addon-by-addon in
+``tests/lint/test_prefilter_soundness.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.js import ast as js_ast
+from repro.lint.rules import TIMER_NAMES, callee_name, static_property_name
+from repro.signatures.spec import (
+    CallSource,
+    NetworkSink,
+    PropertySource,
+    PropertyWriteSink,
+    SecuritySpec,
+)
+
+#: Names that mean string-to-code execution wherever they appear.
+_DYNAMIC_CODE_NAMES = frozenset({"eval", "Function"})
+
+
+@dataclass(frozen=True)
+class Surface:
+    """A flow-insensitive over-approximation of what an addon can touch."""
+
+    #: Every identifier, statically known property name, declared
+    #: variable/function/parameter name, and object-literal key.
+    names: frozenset[str]
+    #: The addon may build code from strings (eval / Function / string
+    #: timer handlers) — nothing syntactic bounds what it touches.
+    dynamic_code: bool
+    #: The addon uses a computed property key that is not a literal —
+    #: the property surface is unbounded.
+    dynamic_properties: bool
+
+
+def addon_surface(program: js_ast.Node) -> Surface:
+    """Collect the addon's syntactic surface in one AST walk."""
+    names: set[str] = set()
+    dynamic_code = False
+    dynamic_properties = False
+
+    for node in program.walk():
+        if isinstance(node, js_ast.Identifier):
+            names.add(node.name)
+            if node.name in _DYNAMIC_CODE_NAMES:
+                dynamic_code = True
+        elif isinstance(node, js_ast.MemberExpression):
+            prop = static_property_name(node)
+            if prop is not None:
+                names.add(prop)
+                if prop in _DYNAMIC_CODE_NAMES:
+                    dynamic_code = True
+            else:
+                dynamic_properties = True
+        elif isinstance(node, js_ast.Property):
+            names.add(node.key)
+        elif isinstance(node, js_ast.VariableDeclarator):
+            names.add(node.name)
+        elif isinstance(node, (js_ast.FunctionDeclaration, js_ast.FunctionExpression)):
+            if node.name:
+                names.add(node.name)
+            names.update(node.params)
+        elif isinstance(node, js_ast.ForInStatement):
+            names.add(node.variable)
+        elif isinstance(node, js_ast.CallExpression):
+            if callee_name(node.callee) in TIMER_NAMES and node.arguments:
+                handler = node.arguments[0]
+                if not isinstance(
+                    handler,
+                    (js_ast.FunctionExpression, js_ast.Identifier,
+                     js_ast.MemberExpression),
+                ):
+                    # A timer handler that is not (a reference to) a
+                    # function may be a string of code.
+                    dynamic_code = True
+    return Surface(
+        names=frozenset(names),
+        dynamic_code=dynamic_code,
+        dynamic_properties=dynamic_properties,
+    )
+
+
+def _tag_names(tag: str) -> set[str]:
+    """The names an addon must utter to reach a native with ``tag``.
+
+    Dotted tags (``xhr.send``) are reached through a property read of
+    the method name; bare tags (``XHRWrapper``, ``eval``) are global
+    bindings reached by identifier. All components go in — extra names
+    only cost precision (a skipped fast lane), never soundness.
+    """
+    return set(tag.split("."))
+
+
+def spec_surface(spec: SecuritySpec) -> frozenset[str]:
+    """Every name whose appearance in an addon could let some matcher
+    of ``spec`` fire."""
+    names: set[str] = set()
+    for source in spec.sources:
+        if isinstance(source, PropertySource):
+            names.update(source.props)
+        elif isinstance(source, CallSource):
+            for tag in source.tags:
+                names.update(_tag_names(tag))
+    for sink in spec.sinks:
+        if isinstance(sink, NetworkSink):
+            for tag, _rule in sink.rules:
+                names.update(_tag_names(tag))
+        elif isinstance(sink, PropertyWriteSink):
+            names.update(sink.props)
+    for api in spec.apis:
+        for tag in api.tags:
+            names.update(_tag_names(tag))
+    return frozenset(names)
+
+
+@dataclass(frozen=True)
+class PrefilterDecision:
+    """Whether the full analysis must run, and why."""
+
+    relevant: bool
+    #: ``"degraded-input"`` / ``"dynamic-code"`` / ``"dynamic-properties"``
+    #: / ``"surface-overlap"`` when relevant; ``"no-overlap"`` otherwise.
+    reason: str
+    #: The names shared by addon and spec (empty unless surface-overlap).
+    overlap: frozenset[str] = frozenset()
+
+    def render(self) -> str:
+        if not self.relevant:
+            return "prefiltered: addon surface shares nothing with the spec"
+        detail = f" ({', '.join(sorted(self.overlap))})" if self.overlap else ""
+        return f"relevant: {self.reason}{detail}"
+
+
+def decide_relevance(
+    program: js_ast.Node,
+    spec: SecuritySpec,
+    *,
+    degraded: bool = False,
+) -> PrefilterDecision:
+    """The prefilter decision for one parsed addon.
+
+    ``degraded`` must be True when recovery-mode parsing skipped any
+    statement: the AST under-approximates the addon, so no syntactic
+    argument about it is sound and the full (widening) pipeline must
+    run.
+    """
+    if degraded:
+        return PrefilterDecision(relevant=True, reason="degraded-input")
+    surface = addon_surface(program)
+    if surface.dynamic_code:
+        return PrefilterDecision(relevant=True, reason="dynamic-code")
+    if surface.dynamic_properties:
+        return PrefilterDecision(relevant=True, reason="dynamic-properties")
+    overlap = surface.names & spec_surface(spec)
+    if overlap:
+        return PrefilterDecision(
+            relevant=True, reason="surface-overlap", overlap=overlap
+        )
+    return PrefilterDecision(relevant=False, reason="no-overlap")

@@ -80,6 +80,9 @@ class FlowTypeLattice:
     _extend_cache: dict[tuple[FlowType, Annotation], FlowType] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
+    _covering_cache: dict[frozenset[Annotation], FlowType] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def rank(self, flow_type: FlowType) -> int:
         return self.structure[flow_type][0]
@@ -117,6 +120,25 @@ class FlowTypeLattice:
         if best is None:  # pragma: no cover - TYPE8 allows everything
             best = self.weakest()
         self._extend_cache[(flow_type, annotation)] = best
+        return best
+
+    def covering_type(self, annotations: frozenset[Annotation]) -> FlowType:
+        """The strongest flow type whose allowed annotations cover
+        ``annotations`` (ties at a rank go to the first in rank order,
+        exactly as ``extend`` breaks them). ``extend(t, a)`` is
+        ``covering_type(allowed(t) | {a})``; calling this on the *exact*
+        set of annotations a path uses avoids the over-approximation
+        chained ``extend`` calls build up (an edge a type merely
+        *allows* is not an edge the path *used*)."""
+        cached = self._covering_cache.get(annotations)
+        if cached is not None:
+            return cached
+        best = self.weakest()
+        for candidate in sorted(self.structure, key=self.rank):
+            if annotations <= self.allowed_annotations(candidate):
+                best = candidate
+                break
+        self._covering_cache[annotations] = best
         return best
 
     def max(self, flow_types: set[FlowType]) -> set[FlowType]:

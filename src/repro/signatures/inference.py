@@ -2,11 +2,14 @@
 
 For each interesting source, a fixpoint over the annotated PDG computes
 ``FlowType(v)``: the strongest set of flow types with which information
-from the source can reach statement ``v``:
+from the source can reach statement ``v`` — the types admitting some
+source-to-``v`` path whose edge annotations all lie in the type's
+allowed set (the path-based specification behind the paper's
 
     FlowType(v) = max( ⋃_{v' --ann--> v}  { extend(t, ann) | t ∈ FlowType(v') } )
 
-seeded with ``{type1}`` at the source. The signature collects, at every
+equation; see ``flow_types_from`` for why the fixpoint propagates
+annotation sets rather than chaining ``extend`` directly). The signature collects, at every
 interesting sink, one entry per member of the sink's flow-type set, plus
 
 - a bare ``send(Pre)`` entry for each network sink used *without* any
@@ -39,32 +42,59 @@ def flow_types_from(
     Returns the flow-type antichain for every PDG statement reachable
     from the sources; unreachable statements are absent.
 
+    The fixpoint propagates the ⊆-minimal *sets of annotations used*
+    along some source-to-``v`` path, and only converts them to flow
+    types at the end (``covering_type``). Propagating flow types
+    directly — ``extend`` chained edge by edge — is unsound against the
+    paper's path-based specification: a type's allowed-annotation set
+    over-approximates what its path actually used, so a later edge can
+    be forced past a type the real path satisfies (e.g. local ∘
+    nonlocexp^amp ∘ nonlocimp^amp would report type8 when a type7 path
+    exists, because ``extend`` had committed to type6's unused
+    nonlocexp allowance). Annotation sets carry exactly the path
+    history, so the final types are the strongest the spec admits.
+
     Uses the PDG's cached successor index, so the (per-source) fixpoints
     of one inference all share a single adjacency build.
     """
     adjacency = pdg.successor_index()
 
-    best: dict[int, set[FlowType]] = {
-        source: {lattice.strongest()} for source in sources
-    }
+    empty: frozenset = frozenset()
+    used: dict[int, set[frozenset]] = {source: {empty} for source in sources}
     worklist: deque[int] = deque(sources)
     queued = set(sources)
     while worklist:
         node = worklist.popleft()
         queued.discard(node)
-        current = best[node]
+        current = used[node]
         for target, annotations in adjacency.get(node, ()):
-            contribution: set[FlowType] = set()
-            for flow_type in current:
+            contribution: set[frozenset] = set()
+            for path_annotations in current:
                 for annotation in annotations:
-                    contribution.add(lattice.extend(flow_type, annotation))
-            merged = lattice.max(best.get(target, set()) | contribution)
-            if merged != best.get(target):
-                best[target] = merged
+                    contribution.add(path_annotations | {annotation})
+            merged = _minimal_sets(used.get(target, set()) | contribution)
+            if merged != used.get(target):
+                used[target] = merged
                 if target not in queued:
                     queued.add(target)
                     worklist.append(target)
-    return best
+    return {
+        node: lattice.max({
+            lattice.covering_type(path_annotations)
+            for path_annotations in annotation_sets
+        })
+        for node, annotation_sets in used.items()
+    }
+
+
+def _minimal_sets(sets: set[frozenset]) -> set[frozenset]:
+    """The ⊆-minimal elements: a superset admits every flow type its
+    subset admits, so only minimal annotation histories matter."""
+    return {
+        candidate
+        for candidate in sets
+        if not any(other < candidate for other in sets)
+    }
 
 
 @dataclass

@@ -1,0 +1,137 @@
+"""Prefix-domain edge cases the mainline tests skate past.
+
+The empty exact string ``exact("")`` is a real element distinct from ⊤
+(``prefix("")``): it denotes exactly the string ``""`` while ⊤ denotes
+every string. These tests pin its lattice behavior, the absorbing/
+identity behavior of ⊥ and ⊤ under concatenation, and how prefix-
+widened signature entries order under ``entry_covers``/``subsumes``.
+"""
+
+import pytest
+
+from repro.domains import prefix as p
+from repro.signatures import entry_covers, subsumes
+from repro.signatures.flowtypes import FlowType
+from repro.signatures.signature import ApiEntry, FlowEntry, Signature
+
+EMPTY = p.exact("")
+
+pytestmark = pytest.mark.lint
+
+
+class TestEmptyExactString:
+    def test_distinct_from_top(self):
+        assert EMPTY != p.TOP
+        assert EMPTY.is_exact and not p.TOP.is_exact
+        assert not EMPTY.is_top
+
+    def test_strictly_below_top(self):
+        assert EMPTY.leq(p.TOP)
+        assert not p.TOP.leq(EMPTY)
+
+    def test_admits_only_the_empty_string(self):
+        assert EMPTY.admits("")
+        assert not EMPTY.admits("a")
+        assert p.TOP.admits("") and p.TOP.admits("a")
+
+    def test_join_with_any_exact_is_top(self):
+        # "" shares no nonempty prefix with "a", so the join widens to
+        # the empty *prefix* — ⊤ — not the empty exact string.
+        assert EMPTY.join(p.exact("a")) == p.TOP
+        assert EMPTY.join(EMPTY) == EMPTY
+
+    def test_join_with_prefix_is_top(self):
+        assert EMPTY.join(p.prefix("http://")) == p.TOP
+
+    def test_meet_with_top_is_itself(self):
+        assert EMPTY.meet(p.TOP) == EMPTY
+        assert p.TOP.meet(EMPTY) == EMPTY
+
+    def test_meet_with_disjoint_exact_is_bottom(self):
+        assert EMPTY.meet(p.exact("a")) == p.BOTTOM
+
+    def test_concat_is_the_identity(self):
+        for other in (p.exact("x"), p.prefix("http://"), p.TOP, EMPTY):
+            assert EMPTY.concat(other) == other
+
+    def test_overlaps_only_via_the_empty_string(self):
+        assert EMPTY.overlaps(p.TOP)
+        assert EMPTY.overlaps(p.prefix(""))
+        assert not EMPTY.overlaps(p.exact("a"))
+        assert not EMPTY.overlaps(p.prefix("a"))
+
+
+class TestConcatWithExtremes:
+    def test_bottom_absorbs_left_and_right(self):
+        for other in (p.exact("a"), p.prefix("a"), p.TOP, p.BOTTOM, EMPTY):
+            assert p.BOTTOM.concat(other) == p.BOTTOM
+            assert other.concat(p.BOTTOM) == p.BOTTOM
+
+    def test_top_on_the_left_swallows_the_right(self):
+        # ⊤ is the empty prefix: appending anything is still "any string".
+        assert p.TOP.concat(p.exact("tail")) == p.TOP
+        assert p.TOP.concat(p.prefix("tail")) == p.TOP
+
+    def test_exact_head_with_top_tail_widens_to_prefix(self):
+        out = p.exact("http://a.example/").concat(p.TOP)
+        assert out == p.prefix("http://a.example/")
+
+    def test_prefix_head_discards_the_tail(self):
+        out = p.prefix("http://").concat(p.exact("ignored"))
+        assert out == p.prefix("http://")
+
+    def test_concat_monotone_at_the_extremes(self):
+        # ⊥ ⊑ exact("a") ⊑ prefix("a") ⊑ ⊤, mapped through concat.
+        chain = [p.BOTTOM, p.exact("a"), p.prefix("a"), p.TOP]
+        fixed = p.exact("h")
+        for lower, upper in zip(chain, chain[1:], strict=False):
+            assert fixed.concat(lower).leq(fixed.concat(upper))
+            assert lower.concat(fixed).leq(upper.concat(fixed))
+
+
+class TestPrefixWidenedEntries:
+    """entry_covers/subsumes over prefix-widened signature entries —
+    the order a degraded (⊤-widened) run's signature must win under."""
+
+    def _flow(self, domain):
+        return FlowEntry("url", FlowType.TYPE1, "send", domain)
+
+    def test_prefix_entry_covers_its_exact_refinement(self):
+        widened = self._flow(p.prefix("http://a.example/"))
+        precise = self._flow(p.exact("http://a.example/collect"))
+        assert entry_covers(widened, precise)
+        assert not entry_covers(precise, widened)
+
+    def test_top_entry_covers_everything_with_same_endpoints(self):
+        top = self._flow(p.TOP)
+        assert entry_covers(top, self._flow(p.exact("")))
+        assert entry_covers(top, self._flow(p.prefix("http://")))
+
+    def test_empty_exact_entry_covers_only_itself(self):
+        empty = self._flow(EMPTY)
+        assert entry_covers(empty, self._flow(EMPTY))
+        assert not entry_covers(empty, self._flow(p.exact("x")))
+
+    def test_api_entry_prefix_order(self):
+        widened = ApiEntry("open", p.prefix("chrome://"))
+        precise = ApiEntry("open", p.exact("chrome://browser/x.xul"))
+        assert entry_covers(widened, precise)
+        assert not entry_covers(precise, widened)
+
+    def test_subsumes_with_widened_signature(self):
+        widened = Signature(frozenset({
+            self._flow(p.prefix("http://")),
+            ApiEntry("open", p.TOP),
+        }))
+        precise = Signature(frozenset({
+            self._flow(p.exact("http://a.example/c")),
+            ApiEntry("open", p.exact("chrome://x")),
+        }))
+        assert subsumes(widened, precise)
+        assert not subsumes(precise, widened)
+
+    def test_empty_signature_subsumed_by_anything(self):
+        assert subsumes(Signature(), Signature())
+        assert subsumes(
+            Signature(frozenset({self._flow(p.TOP)})), Signature()
+        )

@@ -1,0 +1,75 @@
+"""One span grammar everywhere: lint findings and recovery skips.
+
+Recovery-mode parsing records a :class:`Span` for each statement it
+drops, rendered exactly like a lint finding's span, so the two kinds of
+triage output point at source identically. These tests pin that shared
+``line:col`` / ``line:col-line:col`` grammar and the JSON shape.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.js import parse_with_recovery
+from repro.js.errors import SourcePosition, Span
+from repro.lint import lint_source
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "addons"
+
+pytestmark = pytest.mark.lint
+
+
+class TestSpanRendering:
+    def test_point_span_renders_single_position(self):
+        span = Span.at(SourcePosition(3, 7))
+        assert str(span) == "3:7"
+
+    def test_range_span_renders_both_ends(self):
+        span = Span(SourcePosition(6, 0), SourcePosition(8, 0))
+        assert str(span) == "6:0-8:0"
+
+    def test_to_json_shape(self):
+        span = Span(SourcePosition(1, 2, 5), SourcePosition(3, 4, 9))
+        assert span.to_json() == {
+            "start": {"line": 1, "column": 2},
+            "end": {"line": 3, "column": 4},
+        }
+
+
+class TestRecoverySkipSpans:
+    SOURCE = "var a = 1;\nwith (a) {\n  b = 2;\n}\nvar c = 3;\n"
+
+    def test_skip_records_full_statement_span(self):
+        _, skipped = parse_with_recovery(self.SOURCE)
+        assert len(skipped) == 1
+        span = skipped[0].span
+        assert span is not None
+        assert (span.start.line, span.start.column) == (2, 0)
+        assert span.end.line >= 4  # through the resynchronization point
+
+    def test_skip_renders_in_lint_span_grammar(self):
+        _, skipped = parse_with_recovery(self.SOURCE)
+        rendered = skipped[0].render()
+        assert f"at {skipped[0].span}" in rendered
+
+    def test_r001_finding_carries_the_skip_span(self):
+        findings = [
+            finding for finding in lint_source(self.SOURCE)
+            if finding.rule == "R001"
+        ]
+        assert len(findings) == 1
+        _, skipped = parse_with_recovery(self.SOURCE)
+        assert findings[0].span == skipped[0].span
+
+
+class TestLintAndRecoveryAgree:
+    """broken_legacy.js: JS004 (token rule) and R001 (parser skip)
+    anchor to the same ``with`` statement."""
+
+    def test_same_start_position(self):
+        source = (EXAMPLES / "broken_legacy.js").read_text(encoding="utf-8")
+        by_rule = {
+            finding.rule: finding for finding in lint_source(source)
+        }
+        assert {"JS004", "R001"} <= set(by_rule)
+        assert by_rule["JS004"].span.start == by_rule["R001"].span.start
