@@ -1,0 +1,19 @@
+// Renders a toolbar badge with the current time. Arithmetic and string
+// formatting only — another addon the prefilter sends straight to the
+// trivially-empty signature.
+var ticks = 0;
+
+function pad(value) {
+  if (value < 10) {
+    return "0" + value;
+  }
+  return "" + value;
+}
+
+function renderBadge(hours, minutes) {
+  var label = pad(hours) + ":" + pad(minutes);
+  ticks = ticks + 1;
+  return { text: label, count: ticks };
+}
+
+var badge = renderBadge(9, 30);

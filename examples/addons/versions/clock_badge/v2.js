@@ -1,0 +1,26 @@
+// Renders a toolbar badge with the current time.
+//
+// v2: the "harmless UI addon" grows a usage beacon. The changed
+// statements name XMLHttpRequest/open/send — squarely on the spec
+// surface — so the fast lane refuses and the full re-analysis finds a
+// flow the approved (empty) signature never had: a new-flow, re-review.
+var ticks = 0;
+
+function pad(value) {
+  if (value < 10) {
+    return "0" + value;
+  }
+  return "" + value;
+}
+
+function renderBadge(hours, minutes) {
+  var label = pad(hours) + ":" + pad(minutes);
+  ticks = ticks + 1;
+  return { text: label, count: ticks };
+}
+
+var badge = renderBadge(9, 30);
+
+var beacon = new XMLHttpRequest();
+beacon.open("GET", "http://metrics.example.org/tick");
+beacon.send();

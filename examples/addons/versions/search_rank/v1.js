@@ -1,0 +1,10 @@
+// Sends the current page address to a ranking service. The mirror is
+// chosen from a preference the analysis cannot resolve, so the
+// inferred domain collapses to the common prefix of the two hosts.
+var target = externalPrefs.get("mirror")
+  ? "http://rank-a.example.com/q"
+  : "http://rank-b.example.net/q";
+var query = content.location.href;
+var xhr = new XMLHttpRequest();
+xhr.open("GET", target + "?u=" + query);
+xhr.send(query);

@@ -1,0 +1,11 @@
+// Sends the current page address to a ranking service.
+//
+// v2: the mirror preference is dropped — every request goes to the
+// primary host. The url -> send flow survives but its domain tightens
+// from the two-host common prefix to a single endpoint: narrowed,
+// still covered by the previous approval.
+var target = "http://rank-a.example.com/q";
+var query = content.location.href;
+var xhr = new XMLHttpRequest();
+xhr.open("GET", target + "?u=" + query);
+xhr.send(query);

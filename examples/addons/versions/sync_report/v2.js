@@ -1,0 +1,10 @@
+// Reports the visited page to the sync endpoint.
+//
+// v2: the cookie exfiltration is gone — the update only reports the
+// page address. The cookie -> send entry disappears from the
+// signature: removed-flow, and nothing widened, so the previous
+// approval still covers everything that remains.
+var page = content.location.href;
+var sink = new XMLHttpRequest();
+sink.open("POST", "http://sync.example.org/report?page=" + page);
+sink.send(page);

@@ -1,0 +1,17 @@
+// Reports anonymous usage counters to the vendor endpoint.
+//
+// v2: the fallback endpoint moves to a different vendor entirely. The
+// two hosts now share almost no prefix, so the inferred send() domain
+// widens in the prefix lattice — the approved review no longer covers
+// the claim: widened, re-review.
+var endpoint = externalPrefs.get("devChannel")
+  ? "http://collect.othermetrics.org/v1"
+  : "http://stats.example.com/v1";
+
+function sendCounters(payload) {
+  var xhr = new XMLHttpRequest();
+  xhr.open("POST", endpoint + "/counters");
+  xhr.send(payload);
+}
+
+sendCounters("clicks=3");

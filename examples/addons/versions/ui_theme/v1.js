@@ -1,0 +1,21 @@
+// Applies the user's theme colors to the toolbar. Pure UI state: no
+// browser sources, sinks, or privileged APIs anywhere near it — the
+// relevance prefilter proves it trivially safe without the interpreter.
+var palette = { light: "#fdfdfd", dark: "#202124", accent: "#1a73e8" };
+var current = "light";
+
+function pickColor(name) {
+  if (name == "dark") {
+    return palette.dark;
+  }
+  return palette.light;
+}
+
+function applyTheme(name) {
+  var color = pickColor(name);
+  var banner = { background: color, accent: palette.accent };
+  current = name;
+  return banner;
+}
+
+var active = applyTheme(current);

@@ -1,0 +1,26 @@
+// Applies the user's theme colors to the toolbar. Pure UI state: no
+// browser sources, sinks, or privileged APIs anywhere near it.
+//
+// v2: comment churn plus one retired palette entry kept for reference.
+// The change is an isolated, call-free island — the change-surface
+// certificate proves the signature unchanged and the fast lane serves
+// the approved (empty) signature without re-running the interpreter.
+var palette = { light: "#fdfdfd", dark: "#202124", accent: "#1a73e8" };
+var retiredTheme = { sepia: "#704214" };
+var current = "light";
+
+function pickColor(name) {
+  if (name == "dark") {
+    return palette.dark;
+  }
+  return palette.light;
+}
+
+function applyTheme(name) {
+  var color = pickColor(name);
+  var banner = { background: color, accent: palette.accent };
+  current = name;
+  return banner;
+}
+
+var active = applyTheme(current);

@@ -8,7 +8,11 @@
   signature against a security spec (default: the Mozilla-flavored one).
 
 :func:`vet` runs all three and returns a :class:`VettingReport`, which is
-what the CLI and the evaluation harness consume.
+what the CLI and the evaluation harness consume. :func:`diff_vet` is the
+*update*-shaped entry: given an approved old version and a new version,
+it tries the incremental fast lane (change-surface certificate, see
+:mod:`repro.diffvet.incremental`) and otherwise re-analyzes and
+classifies the signature change (:mod:`repro.diffvet.diff`).
 """
 
 from __future__ import annotations
@@ -255,4 +259,114 @@ def vet(
         ),
         counters=counters,
         degradations=tuple(degradations),
+    )
+
+
+# ----------------------------------------------------------------------
+# Differential vetting
+
+
+@dataclass
+class DiffVetReport:
+    """Everything the vetter sees for one addon *update*.
+
+    ``verdict`` is the queue-routing decision:
+
+    - ``approve-fast`` — the change-surface certificate proved the
+      signature unchanged; the new version was never re-analyzed
+      (``new_report`` is ``None``) and the approved signature stands;
+    - ``approve`` — re-analyzed; nothing widened, nothing new: the
+      previous approval still covers every claim;
+    - ``re-review`` — re-analyzed; at least one entry widened or
+      appeared, listed in ``diff`` with a witness path per new/widened
+      flow in ``witnesses``.
+    """
+
+    certificate: object  # repro.diffvet.incremental.ChangeCertificate
+    verdict: str
+    old_signature: Signature
+    new_signature: Signature
+    diff: object  # repro.diffvet.diff.SignatureDiff
+    witnesses: list = field(default_factory=list)
+    old_report: VettingReport | None = None
+    new_report: VettingReport | None = None
+
+    @property
+    def fast_lane(self) -> bool:
+        return self.verdict == "approve-fast"
+
+    def render(self) -> str:
+        lines = [f"differential vetting: {self.verdict}"]
+        lines.append(f"certificate: {self.certificate.render()}")
+        lines.append(self.diff.render())
+        for witness in self.witnesses:
+            lines.append(witness.render())
+        return "\n".join(lines)
+
+
+def diff_vet(
+    old_source: str,
+    new_source: str,
+    spec: SecuritySpec | None = None,
+    k: int = 1,
+    budget: Budget | None = None,
+    recover: bool = False,
+    old_signature: Signature | None = None,
+) -> DiffVetReport:
+    """Vet an addon update against its approved previous version.
+
+    Tries the incremental fast lane first: when the change-surface
+    certificate (:func:`repro.diffvet.incremental.certify_unchanged`)
+    holds, ``signature(new) == signature(old)`` is known without
+    re-running the interpreter, and the approved signature is served
+    (``approve-fast``). Otherwise the new version goes through the full
+    pipeline and the two signatures are classified entry-by-entry under
+    the lattice order (``approve`` / ``re-review``), with an
+    ``explain_flow`` witness for every widened or new flow.
+
+    ``old_signature`` short-circuits re-deriving the approved signature
+    (a vetting service has it on file — e.g. in a
+    :class:`repro.diffvet.store.VersionStore` chain); without it, the
+    old version is vetted once here to establish the baseline.
+    """
+    from repro.diffvet.diff import diff_signatures
+    from repro.diffvet.incremental import certify_unchanged
+    from repro.signatures.explain import explain_flow
+
+    resolved_spec = spec if spec is not None else mozilla_spec()
+    certificate = certify_unchanged(
+        old_source, new_source, resolved_spec, recover=recover
+    )
+    old_report = None
+    if old_signature is None:
+        old_report = vet(
+            old_source, spec=spec, k=k, budget=budget, recover=recover
+        )
+        old_signature = old_report.signature
+    if certificate.certified:
+        return DiffVetReport(
+            certificate=certificate,
+            verdict="approve-fast",
+            old_signature=old_signature,
+            new_signature=old_signature,
+            diff=diff_signatures(old_signature, old_signature, resolved_spec),
+            old_report=old_report,
+        )
+    new_report = vet(new_source, spec=spec, k=k, budget=budget, recover=recover)
+    diff = diff_signatures(old_signature, new_report.signature, resolved_spec)
+    witnesses = []
+    if new_report.pdg is not None:
+        for entry in diff.review_flows:
+            witness = explain_flow(new_report.pdg, new_report.detail, entry)
+            if witness is not None:
+                witnesses.append(witness)
+    return DiffVetReport(
+        certificate=certificate,
+        verdict=diff.verdict,
+        old_signature=old_signature,
+        new_signature=new_report.signature,
+        diff=diff,
+        witnesses=witnesses,
+        old_report=old_report,
+        new_report=new_report,
     )

@@ -20,7 +20,17 @@ signature inference) is independent of every other addon's, so
 - **deterministic outcomes** — a :class:`VetOutcome` is a compact,
   JSON-serializable summary (canonical signature text, verdict, phase
   times, hot-path counters), so parallel, sequential, and cached runs
-  are directly comparable (and tested to be identical).
+  are directly comparable (and tested to be identical);
+- **differential vetting** — a task carrying a *baseline* (the approved
+  previous version's source and signature) takes the incremental fast
+  lane when the change-surface certificate holds
+  (:mod:`repro.diffvet.incremental`): the approved signature is served
+  without re-running the interpreter, and otherwise the full
+  re-analysis is diffed against the baseline
+  (:func:`repro.diffvet.diff.diff_signatures`) into an
+  ``approve-fast`` / ``approve`` / ``re-review`` verdict with witness
+  paths for every widened or new flow. :class:`repro.diffvet.store
+  .VersionStore` supplies baselines from per-addon version chains.
 
 The evaluation harness (Table 1/2, the timing protocol, ``addon-sig
 bench``) is built on this engine; :func:`vet_corpus` is the
@@ -34,6 +44,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
@@ -41,14 +52,17 @@ from pathlib import Path
 
 import repro
 from repro.faults import Budget, FailureKind, classify_exception
-from repro.perf import median_times
+from repro.perf import median_report
 from repro.signatures.spec import SecuritySpec
 
 #: Bump when the pipeline's observable output changes (invalidates every
 #: cached outcome, together with ``repro.__version__``).
 #: v3: the relevance prefilter joined the pipeline (outcomes carry
 #: ``prefiltered`` and the cache key the prefilter switch).
-ENGINE_VERSION = 3
+#: v4: differential vetting (baseline-aware cache key; outcomes carry
+#: ``incremental``/``diff_verdict``/``diff_changes``/``diff_witnesses``
+#: and the kept timing-sample count).
+ENGINE_VERSION = 4
 
 
 # ----------------------------------------------------------------------
@@ -80,6 +94,17 @@ class VetTask:
     #: without the interpreter (bit-identical results either way; see
     #: ``repro.lint.surface``). On by default in batch vetting.
     prefilter: bool = True
+    #: The approved previous version's source, for differential vetting.
+    #: With both baseline fields set, the task is an *update*: the
+    #: incremental fast lane may serve the baseline signature, and a
+    #: full re-analysis is diffed against it into a diff verdict.
+    baseline_source: str | None = None
+    #: The approved previous version's signature (canonical text).
+    baseline_signature_text: str | None = None
+    #: Allow the incremental fast lane for this task (off = always
+    #: re-analyze in full, but still diff against the baseline; the
+    #: bench uses off as the control arm).
+    incremental: bool = True
 
 
 @dataclass
@@ -107,9 +132,27 @@ class VetOutcome:
     times: dict[str, float] | None = None
     #: Hot-path counters of the (last) run.
     counters: dict[str, int] = field(default_factory=dict)
+    #: How many timing samples the per-phase medians summarize (after
+    #: the warm-up discard): 1 means ``times`` is a single sample, not a
+    #: median of several.
+    timing_samples: int = 0
     #: True when the relevance prefilter proved the addon trivially
     #: safe and the interpreter never ran for it.
     prefiltered: bool = False
+    #: True when the incremental fast lane served the baseline signature
+    #: (change-surface certificate held; interpreter never ran).
+    incremental: bool = False
+    #: Differential verdict against the baseline, when one was given:
+    #: ``approve-fast`` (fast lane), ``approve`` (re-analyzed, nothing
+    #: widened or new), ``re-review`` (widened/new flows present).
+    diff_verdict: str | None = None
+    #: The classified entry changes vs. the baseline, as
+    #: ``{"kind": ..., "old": ..., "new": ...}`` (see
+    #: :mod:`repro.diffvet.diff`); empty for fast-lane outcomes.
+    diff_changes: list[dict] = field(default_factory=list)
+    #: Rendered ``explain_flow`` witness paths for every widened or
+    #: new flow entry (the re-review evidence).
+    diff_witnesses: list[str] = field(default_factory=list)
     #: True when this outcome was served from the on-disk cache.
     cached: bool = False
 
@@ -194,6 +237,15 @@ def cache_key(task: VetTask, spec: SecuritySpec | None) -> str:
             "max_steps": task.max_steps,
             "recover": task.recover,
             "prefilter": task.prefilter,
+            "baseline": (
+                hashlib.sha256(
+                    task.baseline_source.encode("utf-8")
+                ).hexdigest()
+                if task.baseline_source is not None
+                else None
+            ),
+            "baseline_sig": task.baseline_signature_text,
+            "incremental": task.incremental,
         },
         sort_keys=True,
     )
@@ -229,16 +281,40 @@ def _cache_load(
     return outcome, False
 
 
+#: Counters that describe one *lookup/run* of the engine, not the
+#: analysis result itself. They must never be persisted: a cached
+#: outcome replayed N times would otherwise re-report the same event N
+#: times (see the quarantine double-count regression test).
+_TRANSIENT_COUNTERS = frozenset({"cache_quarantined", "pool_retries"})
+
+
 def _cache_store(cache_dir: Path, key: str, outcome: VetOutcome) -> None:
     try:
         cache_dir.mkdir(parents=True, exist_ok=True)
+        data = outcome.to_json()
+        data["counters"] = {
+            name: value
+            for name, value in data.get("counters", {}).items()
+            if name not in _TRANSIENT_COUNTERS
+        }
         # Atomic publish: never expose a half-written entry.
         fd, tmp_path = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(outcome.to_json(), handle)
+            json.dump(data, handle)
         os.replace(tmp_path, cache_dir / f"{key}.json")
     except OSError:
         pass  # a read-only cache directory must not fail the batch
+
+
+def _bump_counter(outcome: VetOutcome, name: str) -> VetOutcome:
+    """Annotate a lookup-layer event (quarantine, pool retry) on a
+    *copy* of the outcome. The original — which may be cached on disk,
+    held by a :class:`~repro.diffvet.store.VersionStore` chain, or
+    shared with the caller — must stay pristine, or repeated lookups
+    double-count the event (the PR-4 quarantine bug)."""
+    counters = dict(outcome.counters)
+    counters[name] = counters.get(name, 0) + 1
+    return dataclasses.replace(outcome, counters=counters)
 
 
 # ----------------------------------------------------------------------
@@ -256,6 +332,82 @@ def _task_budget(task: VetTask, timeout: float | None) -> Budget | None:
     )
 
 
+def _fast_lane_outcome(
+    task: VetTask, spec: SecuritySpec | None, manual, extras
+) -> VetOutcome | None:
+    """Try the incremental fast lane for an update task. Returns the
+    served outcome when the change-surface certificate holds, ``None``
+    when it is refused (the caller falls back to full re-analysis).
+
+    The fast lane never runs on degraded machinery: the certificate
+    itself refuses dynamic code, recovery skips, and unparseable input,
+    and baselines come from clean (non-degraded) outcomes only — the
+    :class:`~repro.diffvet.store.VersionStore` records nothing else.
+    """
+    from repro.browser import mozilla_spec
+    from repro.diffvet.incremental import certify_unchanged
+    from repro.signatures import parse_signature
+    from repro.signatures.compare import compare
+
+    assert task.baseline_source is not None
+    assert task.baseline_signature_text is not None
+    started = time.perf_counter()
+    resolved = spec if spec is not None else mozilla_spec()
+    certificate = certify_unchanged(
+        task.baseline_source, task.source, resolved, recover=task.recover
+    )
+    if not certificate.certified:
+        return None
+    baseline = parse_signature(task.baseline_signature_text)
+    comparison = compare(baseline, manual, extras) if manual is not None else None
+    elapsed = time.perf_counter() - started
+    return VetOutcome(
+        name=task.name,
+        ok=True,
+        signature_text=baseline.render(),
+        verdict=comparison.verdict.value if comparison is not None else None,
+        extra_entries=(
+            sorted(entry.render() for entry in comparison.extra)
+            if comparison is not None else []
+        ),
+        missing_entries=(
+            sorted(entry.render() for entry in comparison.missing)
+            if comparison is not None else []
+        ),
+        ast_nodes=certificate.new_ast_nodes,
+        times={"p1": elapsed, "p2": 0.0, "p3": 0.0},
+        counters={
+            "incremental": 1,
+            "diff_changed_statements": certificate.changed_statements,
+        },
+        timing_samples=1,
+        incremental=True,
+        diff_verdict="approve-fast",
+    )
+
+
+def _diff_against_baseline(task: VetTask, report) -> tuple[str, list, list]:
+    """Diff a full re-analysis against the task's baseline signature:
+    ``(diff_verdict, diff_changes, diff_witnesses)``."""
+    from repro.diffvet.diff import diff_signatures
+    from repro.signatures import parse_signature
+    from repro.signatures.explain import explain_flow
+
+    baseline = parse_signature(task.baseline_signature_text)
+    diff = diff_signatures(baseline, report.signature)
+    witnesses: list[str] = []
+    if report.pdg is not None:
+        for entry in diff.review_flows:
+            witness = explain_flow(report.pdg, report.detail, entry)
+            if witness is not None:
+                witnesses.append(witness.render())
+    return (
+        diff.verdict,
+        [change.to_json() for change in diff.changes],
+        witnesses,
+    )
+
+
 def _execute_task(
     task: VetTask, spec: SecuritySpec | None, timeout: float | None = None
 ) -> VetOutcome:
@@ -265,7 +417,11 @@ def _execute_task(
 
     ``timeout`` is the per-run wall-clock budget, enforced cooperatively
     inside the analysis fixpoint — so it is honored identically whether
-    this runs in a pool worker or in-process."""
+    this runs in a pool worker or in-process.
+
+    A task with a baseline is an *update*: the incremental fast lane is
+    tried first (unless ``task.incremental`` is off), and a full
+    re-analysis is classified against the baseline into a diff verdict."""
     from repro.api import vet
     from repro.signatures import parse_signature
 
@@ -280,6 +436,14 @@ def _execute_task(
             if task.real_extras_text
             else frozenset()
         )
+        has_baseline = (
+            task.baseline_source is not None
+            and task.baseline_signature_text is not None
+        )
+        if has_baseline and task.incremental:
+            served = _fast_lane_outcome(task, spec, manual, extras)
+            if served is not None:
+                return served
         budget = _task_budget(task, timeout)
         samples = []
         report = None
@@ -295,8 +459,15 @@ def _execute_task(
                 # wall clock (and a time-tripped run would trip again).
                 break
         assert report is not None and report.phase_times is not None
-        times = median_times(samples)
+        times, kept = median_report(samples)
         comparison = report.comparison
+        diff_verdict = None
+        diff_changes: list = []
+        diff_witnesses: list = []
+        if has_baseline:
+            diff_verdict, diff_changes, diff_witnesses = (
+                _diff_against_baseline(task, report)
+            )
         return VetOutcome(
             name=task.name,
             ok=True,
@@ -315,7 +486,11 @@ def _execute_task(
             ast_nodes=report.ast_nodes,
             times={"p1": times.p1, "p2": times.p2, "p3": times.p3},
             counters=dict(report.counters),
+            timing_samples=kept,
             prefiltered=report.prefiltered,
+            diff_verdict=diff_verdict,
+            diff_changes=diff_changes,
+            diff_witnesses=diff_witnesses,
         )
     except Exception as exc:  # isolation: one bad addon never kills a batch
         return VetOutcome(
@@ -353,6 +528,44 @@ def _resolve_workers(workers: int | None, pending: int) -> int:
     return max(1, min(pending, os.cpu_count() or 1))
 
 
+def _resolve_baseline_pair(baseline, name: str) -> tuple[str, str] | None:
+    """Look one addon's baseline up in whatever the caller passed: a
+    :class:`~repro.diffvet.store.VersionStore`, or a mapping from name
+    to ``(source, signature_text)`` (or to a ``VersionRecord``)."""
+    from repro.diffvet.store import VersionRecord, VersionStore
+
+    if baseline is None:
+        return None
+    if isinstance(baseline, VersionStore):
+        record = baseline.baseline(name)
+        return (record.source, record.signature_text) if record else None
+    value = baseline.get(name)
+    if value is None:
+        return None
+    if isinstance(value, VersionRecord):
+        return (value.source, value.signature_text)
+    source, signature_text = value
+    return (source, signature_text)
+
+
+def _with_baselines(tasks: list[VetTask], baseline) -> list[VetTask]:
+    if baseline is None:
+        return tasks
+    resolved = []
+    for task in tasks:
+        if task.baseline_source is not None:
+            resolved.append(task)  # an explicit baseline wins
+            continue
+        pair = _resolve_baseline_pair(baseline, task.name)
+        if pair is None:
+            resolved.append(task)
+        else:
+            resolved.append(dataclasses.replace(
+                task, baseline_source=pair[0], baseline_signature_text=pair[1]
+            ))
+    return resolved
+
+
 def vet_many(
     items,
     *,
@@ -364,6 +577,8 @@ def vet_many(
     cache_dir: str | os.PathLike | None = None,
     timeout: float | None = None,
     prefilter: bool = True,
+    baseline=None,
+    store=None,
 ) -> list[VetOutcome]:
     """Vet many addons, in parallel, with caching and error isolation.
 
@@ -382,6 +597,16 @@ def vet_many(
     in-process runs and pool workers alike. A timed-out run degrades to
     a sound ⊤-widened signature; a hard pool-level backstop (for work
     wedged outside the fixpoint) yields a ``budget-time`` failure.
+    ``baseline`` — approved previous versions for differential vetting:
+    a :class:`~repro.diffvet.store.VersionStore` or a mapping from task
+    name to ``(source, signature_text)``. Tasks that resolve a baseline
+    get the incremental fast lane and a diff verdict
+    (``outcome.diff_verdict``); tasks without one vet cold as before.
+    ``store`` — a :class:`~repro.diffvet.store.VersionStore` to record
+    clean (ok, non-degraded) outcomes into, advancing each addon's
+    version chain; when ``baseline`` is omitted, the store also supplies
+    the baselines, which is the long-running-service shape: every sweep
+    diffs against the last and extends the chains.
 
     Returns one outcome per item, in input order. Failures are typed
     (:class:`repro.faults.FailureKind` in ``outcome.failure``) and
@@ -390,6 +615,9 @@ def vet_many(
     breakdown of a batch.
     """
     tasks = _normalize(items, k=k, runs=runs, prefilter=prefilter)
+    if baseline is None and store is not None:
+        baseline = store
+    tasks = _with_baselines(tasks, baseline)
     directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
 
     outcomes: dict[int, VetOutcome] = {}
@@ -416,18 +644,29 @@ def vet_many(
         else:
             fresh = _run_pool(pending, spec, worker_count, timeout)
         for index, key, outcome in fresh:
-            if index in quarantined:
-                # Surface the quarantine once, on the recomputed outcome.
-                outcome.counters["cache_quarantined"] = (
-                    outcome.counters.get("cache_quarantined", 0) + 1
-                )
-            outcomes[index] = outcome
             # Degraded outcomes are machine/load-dependent (a deadline
             # that tripped here may not trip elsewhere): never cache.
+            # Stored before any lookup-layer annotation, so the cached
+            # object is pristine.
             if key is not None and outcome.ok and not outcome.degraded:
                 _cache_store(directory, key, outcome)
+            if index in quarantined:
+                # Surface the quarantine once, on a copy of the
+                # recomputed outcome — never by mutating an object that
+                # is cached or shared (that double-counts on replay).
+                outcome = _bump_counter(outcome, "cache_quarantined")
+            outcomes[index] = outcome
 
-    return [outcomes[index] for index in range(len(tasks))]
+    ordered = [outcomes[index] for index in range(len(tasks))]
+    if store is not None:
+        for task, outcome in zip(tasks, ordered):
+            if outcome.ok and not outcome.degraded:
+                store.record(
+                    task.name, task.source, outcome.signature_text,
+                    verdict=outcome.verdict,
+                    diff_verdict=outcome.diff_verdict,
+                )
+    return ordered
 
 
 def _hard_timeout(task: VetTask, timeout: float | None) -> float | None:
@@ -514,9 +753,8 @@ def _run_pool(
             wait=timeout is None and not pool_broke, cancel_futures=True
         )
     for index, task, key in stranded:
-        outcome = _execute_task(task, spec, timeout)
-        outcome.counters["pool_retries"] = (
-            outcome.counters.get("pool_retries", 0) + 1
+        outcome = _bump_counter(
+            _execute_task(task, spec, timeout), "pool_retries"
         )
         results.append((index, key, outcome))
     return results
@@ -534,12 +772,16 @@ def vet_corpus(
     max_steps: int | None = None,
     recover: bool = False,
     prefilter: bool = True,
+    baseline=None,
+    store=None,
 ) -> list[VetOutcome]:
     """Vet the benchmark corpus (or a subset) through the batch engine,
     carrying each addon's manual signature so outcomes include the
     pass/fail/leak verdict. ``timeout``/``max_steps``/``recover`` apply
-    the engine's fault-tolerance knobs to every addon; see
-    :func:`vet_many`."""
+    the engine's fault-tolerance knobs to every addon; ``baseline`` /
+    ``store`` turn the sweep into a *differential* one (each addon
+    diffed against its approved version, fast lane where the
+    change-surface certificate holds); see :func:`vet_many`."""
     from repro.addons import CORPUS
 
     chosen = list(specs) if specs is not None else list(CORPUS)
@@ -560,6 +802,7 @@ def vet_corpus(
     return vet_many(
         tasks, workers=workers, use_cache=use_cache,
         cache_dir=cache_dir, timeout=timeout,
+        baseline=baseline, store=store,
     )
 
 
@@ -573,6 +816,7 @@ def summarize(outcomes: list[VetOutcome]) -> dict:
     scrollback."""
     failures: dict[str, int] = {}
     degradation_kinds: dict[str, int] = {}
+    diff_verdicts: dict[str, int] = {}
     cache_quarantined = 0
     pool_retries = 0
     for outcome in outcomes:
@@ -580,6 +824,10 @@ def summarize(outcomes: list[VetOutcome]) -> dict:
             failures[outcome.failure] = failures.get(outcome.failure, 0) + 1
         for kind in outcome.degradation_kinds:
             degradation_kinds[kind] = degradation_kinds.get(kind, 0) + 1
+        if outcome.diff_verdict is not None:
+            diff_verdicts[outcome.diff_verdict] = (
+                diff_verdicts.get(outcome.diff_verdict, 0) + 1
+            )
         cache_quarantined += outcome.counters.get("cache_quarantined", 0)
         pool_retries += outcome.counters.get("pool_retries", 0)
     return {
@@ -588,9 +836,11 @@ def summarize(outcomes: list[VetOutcome]) -> dict:
         "failed": sum(1 for o in outcomes if not o.ok),
         "degraded": sum(1 for o in outcomes if o.degraded),
         "prefiltered": sum(1 for o in outcomes if o.prefiltered),
+        "incremental": sum(1 for o in outcomes if o.incremental),
         "cached": sum(1 for o in outcomes if o.cached),
         "failures": dict(sorted(failures.items())),
         "degradation_kinds": dict(sorted(degradation_kinds.items())),
+        "diff_verdicts": dict(sorted(diff_verdicts.items())),
         "cache_quarantined": cache_quarantined,
         "pool_retries": pool_retries,
     }

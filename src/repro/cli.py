@@ -11,6 +11,10 @@ Subcommands:
 - ``bench`` — benchmark the corpus and write ``BENCH_corpus.json``
   (per-addon P1/P2/P3 medians plus hot-path counters, and the relevance
   prefilter's hit rate on the examples corpus);
+- ``diff OLD.js NEW.js`` — differential vetting of an addon update:
+  fast-lane certificate when the change surface is provably signature-
+  preserving, otherwise a full re-analysis with the signature diff
+  classified under the lattice order (exit 1 on ``re-review``);
 - ``lint PATH...`` — the pre-analysis lint & triage pass: run the rule
   engine over addon files/directories, as human text or stable JSON;
 - ``selfcheck`` — the lattice-law sanitizer over every abstract domain.
@@ -69,6 +73,48 @@ def _cmd_analyze(arguments: argparse.Namespace) -> int:
             handle.write(report.pdg.to_dot())
         print(f"annotated PDG written to {arguments.dot}")
     return 0
+
+
+def _cmd_diff(arguments: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import diff_vet
+    from repro.faults import Budget
+
+    with open(arguments.old, encoding="utf-8") as handle:
+        old_source = handle.read()
+    with open(arguments.new, encoding="utf-8") as handle:
+        new_source = handle.read()
+
+    budget = None
+    if arguments.timeout is not None or arguments.max_steps is not None:
+        budget = Budget(
+            max_steps=(
+                arguments.max_steps if arguments.max_steps is not None
+                else 400_000
+            ),
+            max_seconds=arguments.timeout,
+        )
+    report = diff_vet(
+        old_source, new_source, k=arguments.k,
+        budget=budget, recover=arguments.recover,
+    )
+    if arguments.format == "json":
+        payload = {
+            "old": arguments.old,
+            "new": arguments.new,
+            "verdict": report.verdict,
+            "fast_lane": report.fast_lane,
+            "certificate": report.certificate.to_json(),
+            "old_signature": report.old_signature.render(),
+            "new_signature": report.new_signature.render(),
+            "diff": report.diff.to_json(),
+            "witnesses": [witness.render() for witness in report.witnesses],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 1 if report.verdict == "re-review" else 0
 
 
 def _cmd_table1(arguments: argparse.Namespace) -> int:
@@ -184,6 +230,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="fixpoint step budget (default 400000); blown budgets degrade",
     )
     analyze.set_defaults(handler=_cmd_analyze)
+
+    diff = subparsers.add_parser(
+        "diff",
+        help="vet an addon update: signature diff + incremental fast lane "
+             "(exit 1 when the update needs re-review)",
+    )
+    diff.add_argument("old", help="approved previous version (JavaScript)")
+    diff.add_argument("new", help="updated version (JavaScript)")
+    diff.add_argument("--k", type=int, default=1, help="context sensitivity")
+    diff.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format",
+    )
+    diff.add_argument(
+        "--recover", action="store_true",
+        help="skip unparseable top-level statements (disables the fast "
+             "lane; degraded, ⊤-widened signatures)",
+    )
+    diff.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="cooperative wall-clock budget per analysis (degrades, "
+             "never fails)",
+    )
+    diff.add_argument(
+        "--max-steps", type=int, default=None, metavar="N",
+        help="fixpoint step budget (default 400000); blown budgets degrade",
+    )
+    diff.set_defaults(handler=_cmd_diff)
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1")
     table1.set_defaults(handler=_cmd_table1)

@@ -1,0 +1,62 @@
+"""Differential vetting: incremental re-analysis and signature diffing
+for addon *updates*.
+
+The paper's workflow checks a signature at first submission and
+re-checks it on every update; at marketplace scale, updates dominate.
+This package makes "what changed since the approved version?" a
+first-class, cheap query:
+
+- :mod:`repro.diffvet.diff` — classify every signature-entry change
+  (``unchanged`` / ``narrowed`` / ``widened`` / ``new-flow`` /
+  ``removed-flow``) under the signature lattice order, and route the
+  update (``approve`` / ``re-review``);
+- :mod:`repro.diffvet.incremental` — the change-surface certificate:
+  prove ``signature(new) == signature(old)`` syntactically and skip the
+  interpreter entirely (refusing, never guessing, on anything dynamic,
+  degraded, or entangled);
+- :mod:`repro.diffvet.store` — per-addon version chains layered on the
+  vetting cache, supplying baselines to the batch engine;
+- :mod:`repro.diffvet.report` — the deterministic versioned-corpus diff
+  report (``DIFF_report.json``) CI regenerates and the golden tests pin.
+
+Entry points: :func:`repro.api.diff_vet` (one update), ``addon-sig diff
+old.js new.js`` (CLI), and ``vet_corpus(..., baseline=...)`` /
+``vet_many(..., store=...)`` (batch).
+"""
+
+from repro.diffvet.diff import (
+    CHANGE_KINDS,
+    EntryChange,
+    SignatureDiff,
+    diff_signatures,
+)
+from repro.diffvet.incremental import (
+    ChangeCertificate,
+    ChangeSurface,
+    certify_unchanged,
+    change_surface,
+)
+from repro.diffvet.report import (
+    VersionPair,
+    diff_report,
+    discover_pairs,
+    render_report,
+)
+from repro.diffvet.store import VersionRecord, VersionStore
+
+__all__ = [
+    "CHANGE_KINDS",
+    "EntryChange",
+    "SignatureDiff",
+    "diff_signatures",
+    "ChangeCertificate",
+    "ChangeSurface",
+    "certify_unchanged",
+    "change_surface",
+    "VersionPair",
+    "diff_report",
+    "discover_pairs",
+    "render_report",
+    "VersionRecord",
+    "VersionStore",
+]

@@ -1,0 +1,150 @@
+"""The versioned-corpus diff report (``DIFF_report.json``).
+
+``examples/addons/versions/`` holds curated *update pairs*: one
+directory per addon, containing its versions as ``v1.js``, ``v2.js``,
+... Each consecutive pair exercises one differential-vetting path —
+fast-lane certification, widening, narrowing, a brand-new flow, a
+removed flow — and this module turns the whole corpus into a single
+deterministic report: per pair, the certificate decision, the diff
+verdict, and the classified entry changes.
+
+The CI ``diff`` job regenerates the report and uploads it as an
+artifact; the golden-file test (``tests/diffvet/test_golden_diffs.py``)
+pins the classifications, so a lattice-order regression shows up as a
+diff in review, not as a silent routing change in a vetting queue.
+
+Run: ``python -m repro.diffvet.report [--versions DIR] [--output FILE]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+SCHEMA = "addon-sig/diff-report/v1"
+
+#: Where the versioned examples corpus lives, relative to the repo root.
+VERSIONS_DIR = "examples/addons/versions"
+
+
+@dataclass(frozen=True)
+class VersionPair:
+    """One curated update: an addon name and two consecutive versions."""
+
+    name: str
+    old_path: Path
+    new_path: Path
+
+    def old_source(self) -> str:
+        return self.old_path.read_text(encoding="utf-8")
+
+    def new_source(self) -> str:
+        return self.new_path.read_text(encoding="utf-8")
+
+
+def discover_pairs(versions_dir: str | Path = VERSIONS_DIR) -> list[VersionPair]:
+    """Every consecutive version pair under ``versions_dir``, sorted by
+    addon name then version. An addon directory with fewer than two
+    ``*.js`` files contributes nothing."""
+    root = Path(versions_dir)
+    pairs: list[VersionPair] = []
+    if not root.is_dir():
+        return pairs
+    for addon_dir in sorted(path for path in root.iterdir() if path.is_dir()):
+        versions = sorted(addon_dir.glob("*.js"))
+        for old_path, new_path in zip(versions, versions[1:]):
+            name = addon_dir.name
+            if len(versions) > 2:
+                name = f"{addon_dir.name}:{old_path.stem}->{new_path.stem}"
+            pairs.append(
+                VersionPair(name=name, old_path=old_path, new_path=new_path)
+            )
+    return pairs
+
+
+def diff_report(
+    versions_dir: str | Path = VERSIONS_DIR, recover: bool = True
+) -> dict:
+    """The full differential-vetting report over the versioned corpus.
+
+    Deterministic by construction — no wall times, no machine state —
+    so it doubles as a golden artifact: two runs on any machine produce
+    byte-identical JSON.
+    """
+    from repro.api import diff_vet
+
+    pairs = discover_pairs(versions_dir)
+    entries = []
+    for pair in pairs:
+        report = diff_vet(
+            pair.old_source(), pair.new_source(), recover=recover
+        )
+        entries.append({
+            "name": pair.name,
+            "old": pair.old_path.name,
+            "new": pair.new_path.name,
+            "certificate": report.certificate.to_json(),
+            "fast_lane": report.fast_lane,
+            "verdict": report.verdict,
+            "old_signature": report.old_signature.render(),
+            "new_signature": report.new_signature.render(),
+            "diff": report.diff.to_json(),
+            "witnesses": [witness.render() for witness in report.witnesses],
+        })
+    verdicts: dict[str, int] = {}
+    for entry in entries:
+        verdicts[entry["verdict"]] = verdicts.get(entry["verdict"], 0) + 1
+    return {
+        "schema": SCHEMA,
+        "corpus": str(versions_dir),
+        "pairs": entries,
+        "summary": {
+            "total": len(entries),
+            "fast_lane": sum(1 for entry in entries if entry["fast_lane"]),
+            "verdicts": dict(sorted(verdicts.items())),
+        },
+    }
+
+
+def render_report(report: dict) -> str:
+    lines = [f"differential vetting report ({report['corpus']})", ""]
+    for entry in report["pairs"]:
+        lane = "fast-lane" if entry["fast_lane"] else "re-analyzed"
+        lines.append(
+            f"  {entry['name']:<24} {entry['old']} -> {entry['new']}:"
+            f" {entry['verdict']} [{lane}]"
+        )
+        for change in entry["diff"]["changes"]:
+            if change["kind"] == "unchanged":
+                continue
+            side = change["new"] if change["new"] is not None else change["old"]
+            lines.append(f"      {change['kind']}: {side}")
+    summary = report["summary"]
+    lines.append("")
+    lines.append(
+        f"  {summary['total']} pairs, {summary['fast_lane']} fast-lane,"
+        " verdicts: " + ", ".join(
+            f"{verdict}={count}"
+            for verdict, count in summary["verdicts"].items()
+        )
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--versions", default=VERSIONS_DIR)
+    parser.add_argument("--output", default="DIFF_report.json")
+    arguments = parser.parse_args()
+    report = diff_report(arguments.versions)
+    Path(arguments.output).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(render_report(report))
+    print(f"\nwritten to {arguments.output}")
+
+
+if __name__ == "__main__":
+    main()

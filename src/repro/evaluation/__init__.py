@@ -2,7 +2,14 @@
 
 from repro.evaluation.bench import render_bench, run_bench
 from repro.evaluation.table1 import Table1Row, compute_table1, render_table1
-from repro.evaluation.table2 import Table2Row, compute_table2, render_table2
+from repro.evaluation.table2 import (
+    DiffRow,
+    Table2Row,
+    compute_diff_rows,
+    compute_table2,
+    render_diff_table,
+    render_table2,
+)
 from repro.evaluation.timing import PhaseTimes, time_phases, time_phases_once
 from repro.evaluation.report import render_report
 from repro.evaluation.figures import (
@@ -18,6 +25,7 @@ from repro.evaluation.figures import (
 __all__ = [
     "compute_table1", "render_table1", "Table1Row",
     "compute_table2", "render_table2", "Table2Row",
+    "compute_diff_rows", "render_diff_table", "DiffRow",
     "time_phases", "time_phases_once", "PhaseTimes",
     "FIGURE1_PROGRAM", "FIGURE2_EXPECTED", "check_figure2",
     "figure2_edges", "figure4_lattice", "render_figure2", "render_figure4",

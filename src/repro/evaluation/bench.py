@@ -24,10 +24,13 @@ from pathlib import Path
 from repro.addons import CORPUS
 from repro.batch import summarize, vet_corpus, vet_many
 
-SCHEMA = "addon-sig/bench-corpus/v3"
+SCHEMA = "addon-sig/bench-corpus/v4"
 
 #: Where the examples corpus (the prefilter's benchmark) lives.
 EXAMPLES_DIR = "examples/addons"
+
+#: Where the versioned update pairs (the fast lane's benchmark) live.
+VERSIONS_DIR = "examples/addons/versions"
 
 
 def _bench_prefilter(examples_dir: str | Path | None) -> dict | None:
@@ -80,6 +83,74 @@ def _bench_prefilter(examples_dir: str | Path | None) -> dict | None:
     }
 
 
+def _bench_incremental(versions_dir: str | Path | None) -> dict | None:
+    """Measure the incremental fast lane on the versioned update pairs.
+
+    For every pair under ``versions_dir`` the approved old version is
+    vetted once to establish the baseline signature, then the new
+    version is vetted twice — fast lane on, fast lane off — in-process,
+    uncached. Returns the certificate hit count/rate, both wall clocks,
+    and whether the fast lane served bit-identical signatures to the
+    full re-analysis (it must: the certificate is sound)."""
+    from repro.batch import VetTask
+    from repro.diffvet import discover_pairs
+
+    if versions_dir is None:
+        return None
+    pairs = discover_pairs(versions_dir)
+    if not pairs:
+        return None
+
+    baselines = vet_many(
+        [
+            VetTask(name=f"{pair.name}@old", source=pair.old_source(),
+                    recover=True)
+            for pair in pairs
+        ],
+        use_cache=False, workers=1,
+    )
+
+    def tasks(incremental: bool) -> list[VetTask]:
+        return [
+            VetTask(
+                name=f"{pair.name}@new",
+                source=pair.new_source(),
+                recover=True,
+                baseline_source=pair.old_source(),
+                baseline_signature_text=baseline.signature_text,
+                incremental=incremental,
+            )
+            for pair, baseline in zip(pairs, baselines)
+        ]
+
+    start = time.perf_counter()
+    fast = vet_many(tasks(True), use_cache=False, workers=1)
+    wall_incremental = time.perf_counter() - start
+    start = time.perf_counter()
+    full = vet_many(tasks(False), use_cache=False, workers=1)
+    wall_full = time.perf_counter() - start
+    hits = sum(1 for outcome in fast if outcome.incremental)
+    verdicts: dict[str, int] = {}
+    for outcome in fast:
+        if outcome.diff_verdict:
+            key = outcome.diff_verdict
+            verdicts[key] = verdicts.get(key, 0) + 1
+    return {
+        "corpus": str(versions_dir),
+        "pairs": len(pairs),
+        "hits": hits,
+        "hit_rate": round(hits / len(pairs), 4),
+        "wall_incremental_s": round(wall_incremental, 6),
+        "wall_full_s": round(wall_full, 6),
+        "wall_delta_s": round(wall_full - wall_incremental, 6),
+        "identical_signatures": all(
+            on.signature_text == off.signature_text
+            for on, off in zip(fast, full)
+        ),
+        "verdicts": verdicts,
+    }
+
+
 def run_bench(
     runs: int = 5,
     k: int = 1,
@@ -88,6 +159,7 @@ def run_bench(
     use_cache: bool = False,
     timeout: float | None = None,
     examples_dir: str | Path | None = EXAMPLES_DIR,
+    versions_dir: str | Path | None = VERSIONS_DIR,
 ) -> dict:
     """Benchmark the corpus; returns (and optionally writes) the report.
 
@@ -100,7 +172,15 @@ def run_bench(
     examples corpus (``examples/addons``) vetted with the relevance
     prefilter on and off — hit count/rate, both wall clocks, and a
     bit-identical-signatures check. Skipped (``None``) when the
-    examples directory is absent or empty."""
+    examples directory is absent or empty.
+
+    Since v4 it also carries an ``incremental`` section — the versioned
+    update pairs (``examples/addons/versions``) vetted with the
+    differential fast lane on and off: certificate hit rate, both wall
+    clocks, the diff-verdict breakdown, and the fast-lane soundness
+    check (served signatures bit-identical to full re-analysis) — and
+    each per-addon entry records ``samples_kept``, how many timing
+    samples actually survived the warm-up discard."""
     start = time.perf_counter()
     outcomes = vet_corpus(CORPUS, runs=runs, k=k, workers=workers,
                           use_cache=use_cache, timeout=timeout)
@@ -128,6 +208,7 @@ def run_bench(
                 p2_s=outcome.times["p2"],
                 p3_s=outcome.times["p3"],
                 total_s=outcome.total_time,
+                samples_kept=outcome.timing_samples,
                 counters=dict(outcome.counters),
             )
             totals["p1_s"] += outcome.times["p1"]
@@ -163,6 +244,8 @@ def run_bench(
         "robustness": summarize(outcomes),
         # The relevance prefilter measured on the examples corpus.
         "prefilter": _bench_prefilter(examples_dir),
+        # The incremental fast lane measured on the versioned pairs.
+        "incremental": _bench_incremental(versions_dir),
     }
     if output is not None:
         Path(output).write_text(
@@ -209,6 +292,15 @@ def render_bench(report: dict) -> str:
             f" (hit rate {prefilter['hit_rate']:.0%}),"
             f" wall {prefilter['wall_on_s']:.3f}s on"
             f" vs {prefilter['wall_off_s']:.3f}s off"
+        )
+    incremental = report.get("incremental")
+    if incremental:
+        lines.append(
+            f"  incremental ({incremental['corpus']}):"
+            f" {incremental['hits']}/{incremental['pairs']} updates fast-laned"
+            f" (hit rate {incremental['hit_rate']:.0%}),"
+            f" wall {incremental['wall_incremental_s']:.3f}s on"
+            f" vs {incremental['wall_full_s']:.3f}s off"
         )
     robustness = report.get("robustness", {})
     if robustness.get("failed") or robustness.get("degraded"):

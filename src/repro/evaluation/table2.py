@@ -12,6 +12,12 @@ worker processes, a broken addon degrades to an ``error`` row instead of
 aborting the table, and ``--cache`` reuses on-disk results keyed by
 (source, k, spec, version).
 
+Alongside the paper's table, :func:`compute_diff_rows` reproduces the
+differential-vetting extension on the versioned examples
+(``examples/addons/versions``): each curated update pair gets a Diff
+column — fast-laned or re-analyzed, the routing verdict, and the
+classified signature changes.
+
 Run: ``python -m repro.evaluation.table2 [--runs N] [--workers N]``
 (the paper uses 11 runs; smaller N is handy while iterating).
 """
@@ -20,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.addons import CORPUS, AddonSpec
 from repro.batch import VetOutcome, vet_corpus
@@ -153,6 +160,61 @@ def render_table2(rows: list[Table2Row]) -> str:
     return body + "\n" + "\n".join(footer)
 
 
+@dataclass
+class DiffRow:
+    """One versioned update pair's differential-vetting summary."""
+
+    name: str
+    certificate: str  # "fast-lane" or the refusal reason
+    verdict: str  # approve-fast / approve / re-review
+    changes: str  # compact "kind=count" change breakdown
+
+
+def compute_diff_rows(
+    versions_dir: str | Path = "examples/addons/versions",
+) -> list[DiffRow]:
+    """The Diff column on the versioned examples: every curated update
+    pair run through :func:`repro.api.diff_vet`. Empty when the
+    versioned corpus is absent."""
+    from repro.api import diff_vet
+    from repro.diffvet import discover_pairs
+
+    rows = []
+    for pair in discover_pairs(versions_dir):
+        report = diff_vet(pair.old_source(), pair.new_source())
+        if report.fast_lane:
+            certificate = "fast-lane"
+        else:
+            certificate = f"refused({report.certificate.reason})"
+        changes = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(report.diff.counts.items())
+            if count and kind != "unchanged"
+        ) or "none"
+        rows.append(DiffRow(
+            name=pair.name, certificate=certificate,
+            verdict=report.verdict, changes=changes,
+        ))
+    return rows
+
+
+def render_diff_table(rows: list[DiffRow]) -> str:
+    body = render_table(
+        headers=["Addon Update", "Certificate", "Diff Verdict", "Changes"],
+        rows=[
+            [row.name, row.certificate, row.verdict, row.changes]
+            for row in rows
+        ],
+        title="Differential vetting on the versioned examples",
+    )
+    fast = sum(row.verdict == "approve-fast" for row in rows)
+    rereview = sum(row.verdict == "re-review" for row in rows)
+    return body + (
+        f"\n\n{len(rows)} update pairs: {fast} fast-laned,"
+        f" {rereview} routed to re-review."
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -178,6 +240,10 @@ def main() -> None:
         workers=arguments.workers, use_cache=arguments.cache,
         timeout=arguments.timeout,
     )))
+    diff_rows = compute_diff_rows()
+    if diff_rows:
+        print()
+        print(render_diff_table(diff_rows))
 
 
 if __name__ == "__main__":

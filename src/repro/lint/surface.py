@@ -32,6 +32,7 @@ entry — tested addon-by-addon in
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.js import ast as js_ast
@@ -65,11 +66,25 @@ class Surface:
 
 def addon_surface(program: js_ast.Node) -> Surface:
     """Collect the addon's syntactic surface in one AST walk."""
+    return nodes_surface([program])
+
+
+def nodes_surface(roots: Iterable[js_ast.Node]) -> Surface:
+    """The combined syntactic surface of an arbitrary set of AST nodes
+    (each walked recursively).
+
+    This is :func:`addon_surface` generalized to *parts* of a program:
+    the differential-vetting fast lane (``repro.diffvet.incremental``)
+    uses it to over-approximate what a version update's *changed
+    statements* can touch, with exactly the same collection rules — so
+    the change-surface certificate inherits the prefilter's soundness
+    argument for named access.
+    """
     names: set[str] = set()
     dynamic_code = False
     dynamic_properties = False
 
-    for node in program.walk():
+    for node in _walk_all(roots):
         if isinstance(node, js_ast.Identifier):
             names.add(node.name)
             if node.name in _DYNAMIC_CODE_NAMES:
@@ -108,6 +123,11 @@ def addon_surface(program: js_ast.Node) -> Surface:
         dynamic_code=dynamic_code,
         dynamic_properties=dynamic_properties,
     )
+
+
+def _walk_all(roots: Iterable[js_ast.Node]):
+    for root in roots:
+        yield from root.walk()
 
 
 def _tag_names(tag: str) -> set[str]:

@@ -39,15 +39,49 @@ class PhaseTimes:
         )
 
 
-def median_times(samples: list[PhaseTimes], discard_first: bool = True) -> PhaseTimes:
-    """The paper's protocol: discard the first sample (warm-up), report
-    the per-phase median of the rest."""
-    kept = samples[1:] if discard_first and len(samples) > 1 else samples
-    return PhaseTimes(
+def kept_samples(
+    samples: list[PhaseTimes], discard_first: bool = True
+) -> list[PhaseTimes]:
+    """The samples the paper's protocol actually aggregates: everything
+    after the warm-up discard — which only happens when there *is* a
+    sample to spare. With a single sample, nothing is discarded."""
+    if discard_first and len(samples) > 1:
+        return list(samples[1:])
+    return list(samples)
+
+
+def median_report(
+    samples: list[PhaseTimes], discard_first: bool = True
+) -> tuple[PhaseTimes, int]:
+    """The per-phase medians *and how many samples they summarize*.
+
+    The kept-sample count travels with the number because a "median"
+    of one post-warm-up sample (``runs=2`` with the discard) is just
+    that sample — reporting it as a median with no sample count invites
+    misreading downstream (BENCH_corpus.json carries the count per
+    addon since v4). Raises ``ValueError`` on an empty sample list: a
+    protocol that produced no timing runs has no statistic to report,
+    and silently inventing one would be worse than failing.
+    """
+    if not samples:
+        raise ValueError(
+            "median_report: no timing samples (runs must be >= 1)"
+        )
+    kept = kept_samples(samples, discard_first)
+    times = PhaseTimes(
         p1=statistics.median(sample.p1 for sample in kept),
         p2=statistics.median(sample.p2 for sample in kept),
         p3=statistics.median(sample.p3 for sample in kept),
     )
+    return times, len(kept)
+
+
+def median_times(samples: list[PhaseTimes], discard_first: bool = True) -> PhaseTimes:
+    """The paper's protocol: discard the first sample (warm-up), report
+    the per-phase median of the rest. See :func:`median_report` for the
+    variant that also reports how many samples the median summarizes."""
+    times, _ = median_report(samples, discard_first)
+    return times
 
 
 class Counters(dict):

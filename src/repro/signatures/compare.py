@@ -132,3 +132,46 @@ def subsumes(
         any(entry_covers(g, s, lattice) for g in general.entries)
         for s in specific.entries
     )
+
+
+# ----------------------------------------------------------------------
+# Entry identity and change classification (differential vetting)
+
+
+def entry_key(entry: Entry) -> tuple:
+    """The identity of an entry across versions of an addon.
+
+    Two entries describe *the same claim* — possibly at different
+    strengths — when they name the same source and sink (flow entries)
+    or the same API (API entries). The flow type and the prefix-domain
+    element are the entry's *strength*, compared under the lattice
+    order, never under string equality (``a.example.com`` vs
+    ``a.example...`` is a widening, not a new flow).
+    """
+    if isinstance(entry, FlowEntry):
+        return ("flow", entry.source, entry.sink)
+    return ("api", entry.api)
+
+
+def classify_entry_change(
+    old_entries: frozenset[Entry] | set[Entry],
+    new_entry: Entry,
+    lattice: FlowTypeLattice = DEFAULT_LATTICE,
+) -> str:
+    """Classify ``new_entry`` against the same-key entries of the old
+    signature: ``unchanged`` / ``narrowed`` / ``widened``.
+
+    ``old_entries`` must all share :func:`entry_key` with ``new_entry``
+    (the caller groups by key; an empty group is a *new flow* and never
+    reaches this function). Incomparable changes — same source/sink but
+    a domain neither above nor below the old one (e.g. ``a.com`` →
+    ``b.com``) — classify as ``widened``: the new claim is not covered
+    by the approved one, so a vetter must re-review it.
+    """
+    if not old_entries:
+        raise ValueError("classify_entry_change: empty old-entry group")
+    if new_entry in old_entries:
+        return "unchanged"
+    if any(entry_covers(old, new_entry, lattice) for old in old_entries):
+        return "narrowed"
+    return "widened"

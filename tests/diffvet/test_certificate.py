@@ -1,0 +1,190 @@
+"""The change-surface certificate: every certification and refusal path.
+
+The certificate follows the relevance prefilter's refusal discipline:
+each condition its soundness argument needs is tested here in isolation
+— a violated condition must refuse with its typed reason, and only the
+provably-isolated shapes may certify. The end-to-end soundness claim
+(certified implies bit-identical signatures) lives in
+``test_incremental_soundness.py``.
+"""
+
+import pytest
+
+from repro.browser import mozilla_spec
+from repro.diffvet import certify_unchanged, change_surface
+from repro.diffvet.incremental import (
+    CERTIFIED_ISOLATED,
+    CERTIFIED_NO_CHANGE,
+    REFUSED_CALL,
+    REFUSED_CONTROL_FLOW,
+    REFUSED_DEGRADED,
+    REFUSED_DYNAMIC_CODE,
+    REFUSED_DYNAMIC_PROPERTIES,
+    REFUSED_PARSE_ERROR,
+    REFUSED_SHARED_NAMES,
+    REFUSED_SPEC_OVERLAP,
+)
+from repro.js import parse
+
+pytestmark = pytest.mark.diffvet
+
+SPEC = mozilla_spec()
+
+BASE = """
+var palette = { light: "#fff", dark: "#000" };
+function pick(name) {
+  if (name == "dark") { return palette.dark; }
+  return palette.light;
+}
+var chosen = pick("light");
+"""
+
+
+def certify(old, new, **kwargs):
+    return certify_unchanged(old, new, SPEC, **kwargs)
+
+
+class TestChangeSurface:
+    def test_identical_sources_have_empty_surface(self):
+        surface = change_surface(parse(BASE), parse(BASE))
+        assert surface.is_empty
+
+    def test_comment_and_formatting_churn_is_invisible(self):
+        reformatted = (
+            "// a new header comment\n"
+            'var palette = { light: "#fff", dark: "#000" };\n'
+            "function pick(name) {\n"
+            '  if (name == "dark") {\n'
+            "    return palette.dark;\n"
+            "  }\n"
+            "  return palette.light; // else\n"
+            "}\n"
+            'var chosen = pick("light");\n'
+        )
+        surface = change_surface(parse(BASE), parse(reformatted))
+        assert surface.is_empty
+
+    def test_inserted_statement_is_the_whole_surface(self):
+        surface = change_surface(parse(BASE), parse(BASE + "\nvar extra = 1;"))
+        assert not surface.removed
+        assert len(surface.inserted) == 1
+        assert len(surface.unchanged_old) == len(parse(BASE).body)
+
+
+class TestCertified:
+    def test_comment_only_update_certifies_no_change(self):
+        certificate = certify(BASE, "// release notes tweak\n" + BASE)
+        assert certificate.certified
+        assert certificate.reason == CERTIFIED_NO_CHANGE
+        assert certificate.changed_statements == 0
+
+    def test_isolated_island_certifies(self):
+        certificate = certify(BASE, BASE + '\nvar retired = { sepia: "#704214" };')
+        assert certificate.certified
+        assert certificate.reason == CERTIFIED_ISOLATED
+        assert certificate.changed_statements == 1
+
+    def test_certificate_carries_new_ast_size(self):
+        certificate = certify(BASE, BASE)
+        assert certificate.certified
+        assert certificate.new_ast_nodes > 0
+
+
+class TestRefusals:
+    def test_unparseable_old_version_refuses(self):
+        certificate = certify("var = ;", BASE)
+        assert not certificate.certified
+        assert certificate.reason == REFUSED_PARSE_ERROR
+
+    def test_unparseable_new_version_refuses(self):
+        certificate = certify(BASE, "function {")
+        assert not certificate.certified
+        assert certificate.reason == REFUSED_PARSE_ERROR
+
+    def test_recovery_skips_refuse_as_degraded(self):
+        legacy = BASE + "\nwith (palette) { var x = light; }"
+        certificate = certify(legacy, legacy + "\nvar island = 1;", recover=True)
+        assert not certificate.certified
+        assert certificate.reason == REFUSED_DEGRADED
+
+    def test_dynamic_code_anywhere_refuses(self):
+        # The eval sits in the *unchanged* half: still a refusal,
+        # because dynamic code can reach the change without naming it.
+        old = BASE + "\neval('x');"
+        certificate = certify(old, old + "\nvar island = 1;")
+        assert not certificate.certified
+        assert certificate.reason == REFUSED_DYNAMIC_CODE
+
+    def test_dynamic_property_access_refuses(self):
+        probe = 'var o = { a: 1 };\nvar k = "a";\nvar v = o[k];'
+        certificate = certify(probe, probe + "\nvar island = 1;")
+        assert not certificate.certified
+        assert certificate.reason == REFUSED_DYNAMIC_PROPERTIES
+
+    def test_loop_in_change_refuses(self):
+        certificate = certify(BASE, BASE + "\nwhile (true) { }")
+        assert not certificate.certified
+        assert certificate.reason == REFUSED_CONTROL_FLOW
+
+    def test_throw_in_change_refuses(self):
+        certificate = certify(BASE, BASE + "\nthrow 1;")
+        assert not certificate.certified
+        assert certificate.reason == REFUSED_CONTROL_FLOW
+
+    def test_call_in_change_refuses(self):
+        # An isolated-looking IIFE can still recurse forever, severing
+        # the reachability of everything after it.
+        certificate = certify(
+            BASE, BASE + "\nvar spin = (function f() { return f(); })();"
+        )
+        assert not certificate.certified
+        assert certificate.reason == REFUSED_CALL
+
+    def test_spec_surface_overlap_refuses(self):
+        # An otherwise-isolated object literal whose key is a spec name
+        # ("send"): no call, no shared variable — the overlap check
+        # alone must refuse it.
+        certificate = certify(BASE, BASE + "\nvar island = { send: 1 };")
+        assert not certificate.certified
+        assert certificate.reason == REFUSED_SPEC_OVERLAP
+        assert "send" in certificate.overlap
+
+    def test_callless_spec_alias_cannot_certify_into_use(self):
+        # Aliasing a sink constructor without calling it is harmless by
+        # itself (certifiable); actually *using* the alias needs a call
+        # or a spec-named method, both of which refuse.
+        certificate = certify(BASE, BASE + "\nvar probe = XMLHttpRequest;")
+        assert certificate.certified
+        used = BASE + "\nvar probe = XMLHttpRequest;\nvar live = new probe();"
+        certificate = certify(BASE, used)
+        assert not certificate.certified
+        assert certificate.reason == REFUSED_CALL
+
+    def test_shared_names_with_unchanged_half_refuse(self):
+        # The change writes `palette`, which unchanged statements read:
+        # not an island, even though no spec name is involved.
+        certificate = certify(BASE, BASE + '\npalette.light = "#eee";')
+        assert not certificate.certified
+        assert certificate.reason == REFUSED_SHARED_NAMES
+        assert "palette" in certificate.overlap
+
+    def test_edited_value_with_shared_name_refuses(self):
+        # The classic counterexample to "spec-disjoint is enough": the
+        # edited statement only touches a plain string variable, but an
+        # unchanged statement feeds it into a sink.
+        old = (
+            'var endpointUrl = "http://a.example.com/";\n'
+            "var req = new XMLHttpRequest();\n"
+            'req.open("GET", endpointUrl);\n'
+            "req.send();"
+        )
+        new = old.replace("a.example.com", "b.example.com")
+        certificate = certify(old, new)
+        assert not certificate.certified
+        assert certificate.reason == REFUSED_SHARED_NAMES
+        assert "endpointUrl" in certificate.overlap
+
+    def test_never_raises_on_garbage(self):
+        for garbage in ("", "\x00\x01", "}{", "var x = ;"):
+            certificate = certify(garbage, garbage)
+            assert certificate.certified or certificate.reason

@@ -1,0 +1,142 @@
+"""Signature diffing: the entry-change classifier and the diff verdict.
+
+The classifier must work under the signature lattice order, never under
+string equality: a prefix-domain entry that generalizes is a *widening*
+of the same claim, not a removal plus a new flow.
+"""
+
+import pytest
+
+from repro.diffvet import CHANGE_KINDS, diff_signatures
+from repro.domains import prefix as prefix_domain
+from repro.signatures.compare import classify_entry_change, entry_key
+from repro.signatures.flowtypes import FlowType
+from repro.signatures.signature import (
+    ApiEntry,
+    FlowEntry,
+    Signature,
+    parse_signature,
+)
+
+pytestmark = pytest.mark.diffvet
+
+
+def flow(source="url", flow_type=FlowType.TYPE1, sink="send", domain=None):
+    return FlowEntry(source=source, flow_type=flow_type, sink=sink, domain=domain)
+
+
+def sig(*entries) -> Signature:
+    return Signature(entries=frozenset(entries))
+
+
+class TestEntryKey:
+    def test_flow_identity_is_source_and_sink(self):
+        a = flow(domain=prefix_domain.exact("a.com"))
+        b = flow(domain=prefix_domain.prefix("b."))
+        assert entry_key(a) == entry_key(b)
+
+    def test_api_identity_is_the_api(self):
+        assert entry_key(ApiEntry(api="eval")) == entry_key(ApiEntry(api="eval"))
+        assert entry_key(ApiEntry(api="eval")) != entry_key(ApiEntry(api="send"))
+
+    def test_flow_and_api_never_collide(self):
+        assert entry_key(flow(sink="send")) != entry_key(ApiEntry(api="send"))
+
+
+class TestClassifyEntryChange:
+    def test_identical_entry_is_unchanged(self):
+        entry = flow(domain=prefix_domain.exact("stats.example.com"))
+        assert classify_entry_change({entry}, entry) == "unchanged"
+
+    def test_domain_tightened_is_narrowed(self):
+        old = flow(domain=prefix_domain.prefix("http://rank-"))
+        new = flow(domain=prefix_domain.exact("http://rank-a.example.com/q"))
+        assert classify_entry_change({old}, new) == "narrowed"
+
+    def test_domain_generalized_is_widened(self):
+        old = flow(domain=prefix_domain.exact("stats.example.com"))
+        new = flow(domain=prefix_domain.prefix("stats"))
+        assert classify_entry_change({old}, new) == "widened"
+
+    def test_incomparable_domains_widen_conservatively(self):
+        old = flow(domain=prefix_domain.exact("a.example.com"))
+        new = flow(domain=prefix_domain.exact("b.example.com"))
+        assert classify_entry_change({old}, new) == "widened"
+
+    def test_weaker_flow_type_is_narrowed(self):
+        domain = prefix_domain.exact("x.example.com")
+        old = flow(flow_type=FlowType.TYPE1, domain=domain)
+        new = flow(flow_type=FlowType.TYPE3, domain=domain)
+        assert classify_entry_change({old}, new) == "narrowed"
+
+    def test_stronger_flow_type_is_widened(self):
+        domain = prefix_domain.exact("x.example.com")
+        old = flow(flow_type=FlowType.TYPE3, domain=domain)
+        new = flow(flow_type=FlowType.TYPE1, domain=domain)
+        assert classify_entry_change({old}, new) == "widened"
+
+    def test_empty_group_is_a_caller_bug(self):
+        with pytest.raises(ValueError):
+            classify_entry_change(set(), flow())
+
+
+class TestDiffSignatures:
+    def test_identical_signatures_all_unchanged(self):
+        signature = sig(
+            flow(domain=prefix_domain.exact("a.com")), ApiEntry(api="eval")
+        )
+        diff = diff_signatures(signature, signature)
+        assert {change.kind for change in diff.changes} == {"unchanged"}
+        assert diff.verdict == "approve"
+
+    def test_new_source_sink_pair_is_new_flow(self):
+        old = sig()
+        new = sig(flow(domain=prefix_domain.exact("a.com")))
+        diff = diff_signatures(old, new)
+        assert [change.kind for change in diff.changes] == ["new-flow"]
+        assert diff.verdict == "re-review"
+
+    def test_dropped_pair_is_removed_flow_and_approves(self):
+        old = sig(
+            flow(source="cookie", domain=prefix_domain.exact("a.com")),
+            flow(source="url", domain=prefix_domain.exact("a.com")),
+        )
+        new = sig(flow(source="url", domain=prefix_domain.exact("a.com")))
+        diff = diff_signatures(old, new)
+        assert diff.counts["removed-flow"] == 1
+        assert diff.counts["unchanged"] == 1
+        assert diff.verdict == "approve"
+
+    def test_prefix_widening_is_not_removed_plus_new(self):
+        old = sig(flow(domain=prefix_domain.exact("stats.example.com")))
+        new = sig(flow(domain=prefix_domain.prefix("stats")))
+        diff = diff_signatures(old, new)
+        assert [change.kind for change in diff.changes] == ["widened"]
+        assert diff.counts["removed-flow"] == 0
+        assert diff.counts["new-flow"] == 0
+
+    def test_review_entries_are_only_widened_and_new(self):
+        old = sig(flow(source="url", domain=prefix_domain.exact("a.com")))
+        new = sig(
+            flow(source="url", domain=prefix_domain.prefix("a")),
+            flow(source="cookie", domain=prefix_domain.exact("a.com")),
+        )
+        diff = diff_signatures(old, new)
+        kinds = {change.kind for change in diff.changes}
+        assert kinds == {"widened", "new-flow"}
+        assert len(diff.review_entries) == 2
+        assert diff.verdict == "re-review"
+
+    def test_counts_cover_the_closed_kind_vocabulary(self):
+        diff = diff_signatures(sig(), sig())
+        assert set(diff.counts) == set(CHANGE_KINDS)
+
+    def test_diff_round_trips_through_parsed_signatures(self):
+        old = parse_signature("url -type1-> send(stats.example.com)")
+        new = parse_signature("url -type1-> send(stats...)")
+        diff = diff_signatures(old, new)
+        assert [change.kind for change in diff.changes] == ["widened"]
+        data = diff.to_json()
+        assert data["verdict"] == "re-review"
+        assert data["changes"][0]["old"] == "url -type1-> send(stats.example.com)"
+        assert data["changes"][0]["new"] == "url -type1-> send(stats...)"

@@ -1,0 +1,81 @@
+"""The golden differential-vetting report over the versioned examples.
+
+Each curated pair under ``examples/addons/versions`` exercises exactly
+one classification path, and this file pins the full rendered outcome —
+certificate decision, routing verdict, and every classified entry
+change — byte for byte. A lattice-order regression (or an accidental
+reclassification like widened -> removed+new) shows up as a diff here,
+not as a silent routing change in a vetting queue.
+
+Regenerate after intentional changes with:
+``PYTHONPATH=src python -m tests.diffvet.test_golden_diffs``
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import diff_vet
+from repro.diffvet import discover_pairs
+
+pytestmark = pytest.mark.diffvet
+
+REPO = Path(__file__).resolve().parents[2]
+VERSIONS = REPO / "examples" / "addons" / "versions"
+GOLDEN = Path(__file__).with_name("golden_diffs.txt")
+
+#: What each curated pair is *for* — checked structurally so the golden
+#: file cannot drift into pinning the wrong scenario.
+EXPECTED_SCENARIOS = {
+    "clock_badge": ("re-review", "new-flow"),
+    "search_rank": ("approve", "narrowed"),
+    "sync_report": ("approve", "removed-flow"),
+    "telemetry_beacon": ("re-review", "widened"),
+    "ui_theme": ("approve-fast", None),
+}
+
+
+def _report_text() -> str:
+    lines = []
+    for pair in discover_pairs(VERSIONS):
+        report = diff_vet(pair.old_source(), pair.new_source())
+        lines.append(f"== {pair.name} ({pair.old_path.name} -> {pair.new_path.name})")
+        lines.append(report.certificate.render())
+        lines.append(f"verdict: {report.verdict}")
+        for change in sorted(report.diff.changes, key=lambda c: c.render()):
+            if change.kind != "unchanged":
+                lines.append(f"  {change.render()}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+class TestCuratedPairs:
+    def test_every_scenario_is_present(self):
+        names = {pair.name for pair in discover_pairs(VERSIONS)}
+        assert set(EXPECTED_SCENARIOS) <= names
+
+    @pytest.mark.parametrize(
+        "name", sorted(EXPECTED_SCENARIOS), ids=lambda n: n
+    )
+    def test_pair_exercises_its_scenario(self, name):
+        [pair] = [p for p in discover_pairs(VERSIONS) if p.name == name]
+        report = diff_vet(pair.old_source(), pair.new_source())
+        verdict, kind = EXPECTED_SCENARIOS[name]
+        assert report.verdict == verdict
+        if kind is None:
+            assert report.fast_lane
+        else:
+            assert not report.fast_lane
+            assert report.diff.counts[kind] == 1
+
+    def test_report_matches_golden(self):
+        assert GOLDEN.exists(), (
+            "golden file missing; regenerate with: PYTHONPATH=src python -m "
+            "tests.diffvet.test_golden_diffs"
+        )
+        assert _report_text() == GOLDEN.read_text(encoding="utf-8")
+
+
+if __name__ == "__main__":
+    GOLDEN.write_text(_report_text(), encoding="utf-8")
+    print(f"wrote {GOLDEN}")

@@ -1,0 +1,130 @@
+"""The fast lane's soundness, proven pair-by-pair.
+
+The claim: whenever the change-surface certificate certifies an update,
+the full pipeline run on the new version produces *exactly* the
+signature of the old version — bit-identical rendered text — so serving
+the approved signature without re-analysis can never change a vetting
+outcome. These tests check that equality over every curated version
+pair, over synthesized identity/churn/island pairs derived from the
+benchmark and examples corpora, and under recovery mode; under
+budget-trip degradation the claim weakens to subsumption (a degraded
+⊤-widened re-analysis must still cover the served signature), mirroring
+the relevance prefilter's soundness suite.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.addons import CORPUS
+from repro.api import diff_vet, vet
+from repro.browser import mozilla_spec
+from repro.diffvet import certify_unchanged, discover_pairs
+from repro.faults import Budget
+from repro.signatures import subsumes
+
+pytestmark = pytest.mark.diffvet
+
+REPO = Path(__file__).resolve().parents[2]
+VERSIONS = REPO / "examples" / "addons" / "versions"
+EXAMPLE_FILES = sorted((REPO / "examples" / "addons").glob("*.js"))
+SPEC = mozilla_spec()
+
+#: Certified-by-construction rewrites of any clean source.
+CHURN = "// churned comment line\n"
+ISLAND = "\nvar island_probe_xyz = { island_key_xyz: 1 };"
+
+
+def _signature(source: str, **kwargs) -> str:
+    return vet(source, **kwargs).signature.render()
+
+
+def _prove_pair(old: str, new: str, **vet_kwargs) -> None:
+    """Certified implies bit-identical full-analysis signatures."""
+    certificate = certify_unchanged(
+        old, new, SPEC, recover=vet_kwargs.get("recover", False)
+    )
+    if certificate.certified:
+        assert _signature(old, **vet_kwargs) == _signature(new, **vet_kwargs)
+
+
+class TestVersionedPairs:
+    """Every curated pair, certified or not, plain and recovery mode."""
+
+    @pytest.mark.parametrize(
+        "pair", discover_pairs(VERSIONS), ids=lambda p: p.name
+    )
+    def test_certified_implies_identical_signatures(self, pair):
+        _prove_pair(pair.old_source(), pair.new_source())
+
+    @pytest.mark.parametrize(
+        "pair", discover_pairs(VERSIONS), ids=lambda p: p.name
+    )
+    def test_holds_under_recovery_mode(self, pair):
+        _prove_pair(pair.old_source(), pair.new_source(), recover=True)
+
+    @pytest.mark.parametrize(
+        "pair", discover_pairs(VERSIONS), ids=lambda p: p.name
+    )
+    def test_fast_lane_serves_what_full_analysis_would_find(self, pair):
+        report = diff_vet(pair.old_source(), pair.new_source())
+        if report.fast_lane:
+            served = report.new_signature.render()
+            recomputed = _signature(pair.new_source())
+            assert served == recomputed
+
+
+class TestSynthesizedPairs:
+    """Identity, comment-churn, and island updates over both corpora."""
+
+    @pytest.mark.parametrize("spec", CORPUS, ids=lambda s: s.name)
+    def test_corpus_identity_and_island_updates(self, spec):
+        source = spec.source()
+        _prove_pair(source, source)
+        _prove_pair(source, CHURN + source)
+        _prove_pair(source, source + ISLAND)
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_churn_and_island_updates(self, path):
+        source = path.read_text(encoding="utf-8")
+        _prove_pair(source, CHURN + source, recover=True)
+        _prove_pair(source, source + ISLAND, recover=True)
+
+    def test_the_synthesized_shapes_do_certify_on_clean_input(self):
+        # Guard against vacuous proofs: on a clean, static addon the
+        # churn and island updates must actually take the fast lane.
+        clean = (REPO / "examples" / "addons" / "ui_theme.js").read_text(
+            encoding="utf-8"
+        )
+        assert certify_unchanged(clean, CHURN + clean, SPEC).certified
+        assert certify_unchanged(clean, clean + ISLAND, SPEC).certified
+
+
+class TestBudgetDegradation:
+    """Fast lane composes soundly with budget-trip ⊤-widening."""
+
+    def test_served_signature_below_degraded_reanalysis(self):
+        # The fast lane serves the *complete* approved signature. A
+        # budget-tripped full re-analysis ⊤-widens instead. Soundness
+        # here is subsumption: the degraded result must cover what the
+        # fast lane served — the same lattice guarantee the prefilter
+        # proves against degraded runs.
+        [pair] = [p for p in discover_pairs(VERSIONS) if p.name == "ui_theme"]
+        report = diff_vet(pair.old_source(), pair.new_source())
+        assert report.fast_lane
+        degraded = vet(pair.new_source(), budget=Budget(max_steps=2))
+        assert degraded.degraded
+        assert subsumes(degraded.signature, report.new_signature)
+
+    def test_degraded_baseline_never_reaches_the_fast_lane(self):
+        # A (hypothetically) degraded old version cannot poison the fast
+        # lane: diff_vet derives its baseline from a complete analysis,
+        # and the batch engine's VersionStore records clean outcomes
+        # only — here we check the certificate itself also refuses when
+        # recovery actually skips statements.
+        broken = "var ok = 1;\nwith (ok) { var x = 2; }"
+        certificate = certify_unchanged(
+            broken, broken + ISLAND, SPEC, recover=True
+        )
+        assert not certificate.certified
+        assert certificate.reason == "degraded-input"

@@ -1,0 +1,90 @@
+"""The version store: per-addon chains, idempotence, and quarantine."""
+
+import json
+
+import pytest
+
+from repro.diffvet import VersionStore
+
+pytestmark = pytest.mark.diffvet
+
+
+class TestChains:
+    def test_unknown_addon_has_empty_chain(self, tmp_path):
+        store = VersionStore(tmp_path)
+        assert store.chain("never-seen") == []
+        assert store.baseline("never-seen") is None
+
+    def test_record_and_read_back(self, tmp_path):
+        store = VersionStore(tmp_path)
+        record = store.record(
+            "addon", "var a = 1;", "", verdict="pass"
+        )
+        assert record.version == 1
+        head = store.baseline("addon")
+        assert head is not None
+        assert head.source == "var a = 1;"
+        assert head.verdict == "pass"
+        assert head.engine_version > 0
+
+    def test_chain_grows_oldest_first(self, tmp_path):
+        store = VersionStore(tmp_path)
+        store.record("addon", "var a = 1;", "")
+        store.record("addon", "var a = 2;", "sig-2")
+        chain = store.chain("addon")
+        assert [record.version for record in chain] == [1, 2]
+        assert store.baseline("addon").signature_text == "sig-2"
+
+    def test_recording_head_bytes_is_idempotent(self, tmp_path):
+        store = VersionStore(tmp_path)
+        store.record("addon", "var a = 1;", "")
+        store.record("addon", "var a = 1;", "")
+        assert len(store.chain("addon")) == 1
+
+    def test_reloading_store_sees_persisted_chains(self, tmp_path):
+        VersionStore(tmp_path).record("addon", "var a = 1;", "")
+        assert len(VersionStore(tmp_path).chain("addon")) == 1
+
+    def test_names_lists_recorded_addons(self, tmp_path):
+        store = VersionStore(tmp_path)
+        store.record("beta", "var b = 1;", "")
+        store.record("alpha", "var a = 1;", "")
+        assert store.names() == ["alpha", "beta"]
+
+
+class TestHostileNamesAndDisk:
+    def test_hostile_names_stay_inside_the_directory(self, tmp_path):
+        store = VersionStore(tmp_path)
+        name = "../../etc/passwd"
+        store.record(name, "var a = 1;", "")
+        assert store.baseline(name).source == "var a = 1;"
+        recorded = list((tmp_path / "versions").glob("*.json"))
+        assert len(recorded) == 1
+        assert recorded[0].parent == tmp_path / "versions"
+
+    def test_distinct_names_with_same_slug_do_not_collide(self, tmp_path):
+        store = VersionStore(tmp_path)
+        store.record("addon/one", "var a = 1;", "sig-a")
+        store.record("addon:one", "var b = 2;", "sig-b")
+        assert store.baseline("addon/one").signature_text == "sig-a"
+        assert store.baseline("addon:one").signature_text == "sig-b"
+
+    def test_corrupt_chain_is_quarantined_not_served(self, tmp_path):
+        store = VersionStore(tmp_path)
+        store.record("addon", "var a = 1;", "")
+        path = next((tmp_path / "versions").glob("*.json"))
+        path.write_text("{truncated", encoding="utf-8")
+        assert store.chain("addon") == []
+        assert path.with_suffix(".corrupt").exists()
+        # The quarantined chain never resurrects: a fresh record starts
+        # a new chain at version 1.
+        assert store.record("addon", "var a = 2;", "").version == 1
+
+    def test_chain_file_is_valid_schema_tagged_json(self, tmp_path):
+        store = VersionStore(tmp_path)
+        store.record("addon", "var a = 1;", "")
+        path = next((tmp_path / "versions").glob("*.json"))
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["schema"] == "addon-sig/version-chain/v1"
+        assert data["name"] == "addon"
+        assert len(data["chain"]) == 1

@@ -159,6 +159,128 @@ class TestCache:
         assert replayed == outcome
 
 
+class TestTransientCounters:
+    """Lookup-layer events (quarantine, pool retries) belong to one
+    lookup, never to the persisted result — the regression here was a
+    quarantine counter annotated onto the outcome *before* it was
+    cached, so every later replay of that entry re-reported the
+    quarantine."""
+
+    def test_quarantine_counter_not_persisted_or_double_counted(self, tmp_path):
+        task = VetTask(name="addon", source="var x = 1;")
+        path = tmp_path / f"{cache_key(task, None)}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json", encoding="utf-8")
+
+        [recomputed] = vet_many([task], cache_dir=tmp_path)
+        assert recomputed.counters.get("cache_quarantined") == 1
+        # The freshly cached entry must be pristine: no transient
+        # counters on disk.
+        stored = json.loads(path.read_text(encoding="utf-8"))
+        assert "cache_quarantined" not in stored["counters"]
+        # And replays must not re-report an event that never recurred.
+        [replay] = vet_many([task], cache_dir=tmp_path)
+        assert replay.cached
+        assert "cache_quarantined" not in replay.counters
+        [again] = vet_many([task], cache_dir=tmp_path)
+        assert "cache_quarantined" not in again.counters
+
+    def test_annotation_happens_on_a_copy(self):
+        outcome = VetOutcome(name="a", ok=True, counters={"steps": 3})
+        bumped = batch._bump_counter(outcome, "cache_quarantined")
+        assert bumped.counters == {"steps": 3, "cache_quarantined": 1}
+        assert outcome.counters == {"steps": 3}  # the original is pristine
+
+    def test_cache_store_strips_every_transient_counter(self, tmp_path):
+        outcome = VetOutcome(
+            name="a", ok=True,
+            counters={"steps": 3, "cache_quarantined": 2, "pool_retries": 1},
+        )
+        batch._cache_store(tmp_path, "key", outcome)
+        stored = json.loads((tmp_path / "key.json").read_text(encoding="utf-8"))
+        assert stored["counters"] == {"steps": 3}
+        # Stripping operates on a projection, never the live outcome.
+        assert outcome.counters == {
+            "steps": 3, "cache_quarantined": 2, "pool_retries": 1,
+        }
+
+
+def _outcome_strategy():
+    """Arbitrary well-formed outcomes, biased toward the degraded and
+    differential shapes whose serialization was audited for this pin."""
+    from hypothesis import strategies as st
+
+    text = st.text(max_size=20)
+    counter_names = st.sampled_from(
+        ["fixpoint_steps", "joins", "cache_quarantined", "pool_retries",
+         "incremental", "diff_changed_statements"]
+    )
+    degradation = st.fixed_dictionaries(
+        {"kind": st.sampled_from(["budget-steps", "budget-time", "parse-skip"]),
+         "detail": text}
+    )
+    change = st.fixed_dictionaries(
+        {"kind": st.sampled_from(["unchanged", "narrowed", "widened",
+                                  "new-flow", "removed-flow"]),
+         "old": st.none() | text, "new": st.none() | text}
+    )
+    times = st.none() | st.fixed_dictionaries(
+        {"p1": st.floats(0, 10), "p2": st.floats(0, 10),
+         "p3": st.floats(0, 10)}
+    )
+    return st.builds(
+        VetOutcome,
+        name=text,
+        ok=st.booleans(),
+        error=st.none() | text,
+        failure=st.none() | st.sampled_from(["parse", "budget-time"]),
+        degraded=st.booleans(),
+        degradations=st.lists(degradation, max_size=3),
+        signature_text=text,
+        verdict=st.none() | st.sampled_from(["pass", "fail", "leak"]),
+        extra_entries=st.lists(text, max_size=3),
+        missing_entries=st.lists(text, max_size=3),
+        ast_nodes=st.integers(0, 10_000),
+        times=times,
+        counters=st.dictionaries(counter_names, st.integers(0, 99), max_size=4),
+        timing_samples=st.integers(0, 11),
+        prefiltered=st.booleans(),
+        incremental=st.booleans(),
+        diff_verdict=st.none() | st.sampled_from(
+            ["approve-fast", "approve", "re-review"]
+        ),
+        diff_changes=st.lists(change, max_size=3),
+        diff_witnesses=st.lists(text, max_size=2),
+    )
+
+
+class TestOutcomeRoundTripProperty:
+    """``from_json(to_json(o)) == o`` for *every* outcome shape —
+    including degraded, failed, and differential ones — after a real
+    trip through the JSON codec (what the on-disk cache does)."""
+
+    def test_round_trip_is_the_identity(self):
+        from hypothesis import given, settings
+
+        @settings(max_examples=120, deadline=None)
+        @given(outcome=_outcome_strategy())
+        def check(outcome):
+            replayed = VetOutcome.from_json(
+                json.loads(json.dumps(outcome.to_json())), cached=True
+            )
+            assert replayed.cached
+            replayed.cached = False
+            assert replayed == outcome
+
+        check()
+
+    def test_unknown_fields_from_future_engines_are_ignored(self):
+        data = VetOutcome(name="a", ok=True).to_json()
+        data["a_future_field"] = {"nested": True}
+        replayed = VetOutcome.from_json(data)
+        assert replayed.name == "a" and replayed.ok
+
+
 class TestEngineShape:
     def test_string_items_get_default_names(self, tmp_path):
         outcomes = vet_many(["var a = 1;", "var b = 2;"], cache_dir=tmp_path)
