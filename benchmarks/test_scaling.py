@@ -1,57 +1,49 @@
 """Scalability: pipeline time vs addon size.
 
 The paper's practicality claim is "analysis time is reasonable" on
-addons up to ~4k AST nodes. This benchmark sweeps synthetic addons of
-growing size (event handler + per-page URL check + network send,
-repeated N times — the dominant corpus shape) and records the full
-pipeline time per size, giving the scaling curve our EXPERIMENTS.md
-reports.
+addons up to ~4k AST nodes. This benchmark sweeps synthetic addons well
+past that — up to 128 independent handlers, ~12k AST nodes — in two
+shapes (the flat corpus shape and an adversarial nested-loop callback
+chain; see :mod:`repro.evaluation.scaling`, which owns the synthesizers
+and the ``BENCH_scaling.json`` emitter) and records the full pipeline
+time per size, giving the scaling curve our EXPERIMENTS.md reports.
 """
 
 import pytest
 
 from repro.api import vet
+from repro.evaluation.scaling import (
+    expected_flows,
+    synthesize_chain,
+    synthesize_flat,
+)
 from repro.js import node_count, parse
 
-
-def synthesize_addon(handlers: int) -> str:
-    """A realistic addon with the given number of independent features."""
-    chunks = [
-        "var BASE = \"https://api.example/feature\";",
-    ]
-    for index in range(handlers):
-        chunks.append(
-            f"""
-function feature{index}(e) {{
-    var url = content.location.href;
-    var marker = url.indexOf("site{index}");
-    if (marker == -1) {{
-        return;
-    }}
-    var req = new XMLHttpRequest();
-    req.open("GET", BASE + "{index}?u=" + encodeURIComponent(url), true);
-    req.onreadystatechange = function () {{
-        if (req.readyState == 4 && req.status == 200) {{
-            var label = document.getElementById("label{index}");
-            if (label) {{
-                label.textContent = req.responseText;
-            }}
-        }}
-    }};
-    req.send(null);
-}}
-window.addEventListener("load", feature{index}, false);
-"""
-        )
-    return "\n".join(chunks)
+#: Backward-compatible name: the flat shape was born in this file.
+synthesize_addon = synthesize_flat
 
 
 @pytest.mark.table("scaling")
-@pytest.mark.parametrize("handlers", [1, 2, 4, 8], ids=lambda n: f"{n}-features")
+@pytest.mark.parametrize(
+    "handlers", [1, 2, 4, 8, 32, 128], ids=lambda n: f"{n}-features"
+)
 def test_pipeline_scaling(benchmark, handlers):
-    source = synthesize_addon(handlers)
+    source = synthesize_flat(handlers)
     size = node_count(parse(source))
     report = benchmark.pedantic(vet, args=(source,), rounds=2, iterations=1)
     # Every feature's flow is found, regardless of scale.
-    assert len(report.signature.flows) == handlers
+    assert len(report.signature.flows) == expected_flows("flat", handlers)
+    benchmark.extra_info["ast_nodes"] = size
+
+
+@pytest.mark.table("scaling")
+@pytest.mark.parametrize(
+    "stages", [2, 8, 32, 128], ids=lambda n: f"{n}-stages"
+)
+def test_pipeline_scaling_chain(benchmark, stages):
+    source = synthesize_chain(stages)
+    size = node_count(parse(source))
+    report = benchmark.pedantic(vet, args=(source,), rounds=2, iterations=1)
+    # The chain funnels into exactly one network flow at the last stage.
+    assert len(report.signature.flows) == expected_flows("chain", stages)
     benchmark.extra_info["ast_nodes"] = size

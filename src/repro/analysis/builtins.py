@@ -394,7 +394,7 @@ def install(state: State) -> None:
 
     heap = state.heap
     heap.allocate(ERROR_ADDRESS, native_object("error"))
-    heap.singletons.discard(ERROR_ADDRESS)  # summarizes all errors
+    heap.drop_singleton(ERROR_ADDRESS)  # summarizes all errors
 
     for family_addresses in (
         _STRING_METHOD_ADDRESSES,

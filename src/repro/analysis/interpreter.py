@@ -32,8 +32,9 @@ from dataclasses import dataclass, field
 from repro.analysis import builtins, transfer
 from repro.analysis.contexts import EMPTY_CONTEXT, CallSiteSensitivity, Context
 from repro.analysis.environment import DefaultEnvironment, Environment, NativeCall
+from repro.analysis.wto import build_schedule
 from repro.domains import values as values_domain
-from repro.domains.objects import AbstractObject, function_object
+from repro.domains.objects import AbstractObject, function_object, interned_object
 from repro.domains.state import COPIES, State
 from repro.domains.values import AbstractValue
 from repro.faults import Budget, Degradation, FailureKind
@@ -244,6 +245,7 @@ class Interpreter:
         max_steps: int = 400_000,
         budget: Budget | None = None,
         salvage: bool = False,
+        widen_after: int = 512,
     ):
         self.program = program
         self.environment = environment or DefaultEnvironment()
@@ -260,8 +262,20 @@ class Interpreter:
         self.natives = dict(builtins.NATIVE_TABLE)
         self.natives.update(self.environment.natives)
 
+        #: Weak topological order of the static flow graph: each pending
+        #: node is scheduled by its component's rank, so inner cyclic
+        #: components stabilize before their results propagate outward.
+        self.schedule = build_schedule(program)
+        self._rank = self.schedule.rank
+        #: Per-loop-head widening: after this many growing joins at one
+        #: (head, context) node, the join is widened. High enough that
+        #: ordinary programs converge well below it — widening is a
+        #: termination safeguard, not a precision policy.
+        self.widen_after = widen_after
+        self._head_joins: dict[Node, int] = {}
+
         self.states: dict[Node, State] = {}
-        self.worklist: list[Node] = []  # heapq, ordered by (sid, context)
+        self.worklist: list[tuple[int, int, Context]] = []  # heapq by (rank, sid, context)
         self.on_worklist: set[Node] = set()
         self.call_edges: dict[Node, set[tuple[int, Context]]] = {}
         self.return_sites: dict[tuple[int, Context], set[Node]] = {}
@@ -274,6 +288,9 @@ class Interpreter:
         self._next_stub_address = -1_000_000
         self._call_graph: dict[int, set[int]] = {}
         self._multi_instance: set[int] = set()
+        #: Compiled transfer closures, one per statement id, filled
+        #: lazily by :meth:`_process` on first visit.
+        self._compiled: dict[int, object] = {}
         self.counters = Counters()
 
     # ------------------------------------------------------------------
@@ -317,6 +334,7 @@ class Interpreter:
 
         meter = self.budget.start()
         steps = 0
+        processed = 0
         while self.worklist:
             steps += 1
             tripped = meter.check(steps, len(self.states))
@@ -325,17 +343,28 @@ class Interpreter:
                     raise AnalysisBudgetExceeded(meter.describe(tripped), kind=tripped)
                 self._salvage(tripped, meter.describe(tripped))
                 break
-            # Process in statement order (sids are assigned in program
-            # order, so this approximates reverse postorder): upstream
-            # changes settle before downstream statements re-run, which
-            # substantially cuts fixpoint rounds on cyclic graphs.
-            node = heapq.heappop(self.worklist)
+            # Process in weak topological order: a pending node inside an
+            # inner cyclic component sorts before everything downstream
+            # of the component, so the cycle iterates to stabilization
+            # before its results propagate outward. Rank ties (same
+            # component, or components the graph does not order) fall
+            # back to statement order, matching the previous scheduling.
+            _rank, sid, context = heapq.heappop(self.worklist)
+            node = (sid, context)
             self.on_worklist.discard(node)
             self._process(node)
+            processed += 1
 
         self.counters["fixpoint_steps"] = steps
+        # Visits served by an already-compiled transfer closure (every
+        # visit after a statement's first).
+        self.counters["closure_cache_hits"] = processed - len(self._compiled)
         self.counters["analysis_nodes"] = len(self.states)
         self.counters["states_created"] = COPIES.value - copies_before
+        # All state copies share structure (O(1) persistent-map copies).
+        self.counters["shared_copies"] = COPIES.value - copies_before
+        self.counters["wto_components"] = self.schedule.components
+        self.counters["widening_points"] = self.schedule.cyclic_components
         return AnalysisResult(
             program=self.program,
             states=self.states,
@@ -375,7 +404,8 @@ class Interpreter:
     def _enqueue(self, node: Node) -> None:
         if node not in self.on_worklist:
             self.on_worklist.add(node)
-            heapq.heappush(self.worklist, node)
+            sid, context = node
+            heapq.heappush(self.worklist, (self._rank.get(sid, 0), sid, context))
 
     def _propagate(self, sid: int, context: Context, state: State) -> None:
         self.counters.bump("propagations")
@@ -385,79 +415,381 @@ class Interpreter:
             self.states[node] = state
             self._enqueue(node)
             return
-        # State.join is identity-preserving: it returns the *same* object
-        # when nothing changed, which doubles as the fixpoint test.
-        merged = existing.join(state)
+        # join_changed reports growth explicitly (the fixpoint test) and
+        # may hand back an equal state whose trie has adopted the
+        # incoming side's nodes — storing it either way is what makes
+        # the next join along this edge short-circuit on node identity.
+        merged, changed = existing.join_changed(state)
+        if changed and sid in self.schedule.heads:
+            # Per-loop-head widening: a head whose state keeps growing
+            # past its join budget is widened so the cycle stabilizes.
+            count = self._head_joins.get(node, 0) + 1
+            self._head_joins[node] = count
+            if count >= self.widen_after:
+                merged = existing.widen(merged)
+                self.counters.bump("widenings")
         if merged is not existing:
-            self.counters.bump("state_joins")
             self.states[node] = merged
+        if changed:
+            self.counters.bump("state_joins")
             self._enqueue(node)
 
     # ------------------------------------------------------------------
-    # Statement dispatch
-
-    #: Statements whose transfer functions never mutate the incoming
-    #: state in place (they only read it, or copy internally before
-    #: writing). Processing these works directly on the stored input
-    #: state — no defensive copy. Everything else gets a private copy
-    #: because the stored input must survive as the join target.
-    _READ_ONLY_STMTS = frozenset({
-        BranchStmt,
-        CallStmt,
-        ConstructStmt,
-        EntryStmt,
-        EventLoopStmt,
-        ExitStmt,
-        NopStmt,
-        ThrowStmt,
-    })
+    # Statement dispatch: compiled transfer closures
 
     def _process(self, node: Node) -> None:
+        # Each statement's transfer function is compiled once, on first
+        # visit, into a closure with everything per-visit dispatch used
+        # to redo — node-type tests, atom/constant resolution, edge
+        # target lists, copy-or-not, write strength — resolved up front.
+        # Every later visit (the overwhelming majority under a fixpoint)
+        # is a dict hit plus a direct call; ``closure_cache_hits``
+        # reports exactly those.
         sid, context = node
-        stmt = self.program.stmts[sid]
-        state = self.states[node]
-        if type(stmt) not in self._READ_ONLY_STMTS:
-            state = state.copy()
+        run = self._compiled.get(sid)
+        if run is None:
+            run = self._compile(self.program.stmts[sid])
+            self._compiled[sid] = run
+        run(context, self.states[node])
 
-        if isinstance(stmt, AssignStmt):
-            self._do_assign(stmt, context, state)
-        elif isinstance(stmt, LoadPropStmt):
-            self._do_load(stmt, context, state)
-        elif isinstance(stmt, StorePropStmt):
-            self._do_store(stmt, context, state)
-        elif isinstance(stmt, DeletePropStmt):
-            self._do_delete(stmt, context, state)
-        elif isinstance(stmt, AllocStmt):
-            self._do_alloc(stmt, context, state)
-        elif isinstance(stmt, ClosureStmt):
-            self._do_closure(stmt, context, state)
-        elif isinstance(stmt, (CallStmt, ConstructStmt)):
-            self._do_call(stmt, context, state)
-        elif isinstance(stmt, BranchStmt):
-            self._do_branch(stmt, context, state)
-        elif isinstance(stmt, ReturnStmt):
-            self._do_return(stmt, context, state)
-        elif isinstance(stmt, ThrowStmt):
-            self._do_throw(stmt, context, state)
-        elif isinstance(stmt, CatchStmt):
-            self._do_catch(stmt, context, state)
-        elif isinstance(stmt, ForInNextStmt):
-            self._do_forin(stmt, context, state)
-        elif isinstance(stmt, EventLoopStmt):
-            self._do_event_loop(stmt, context, state)
-        elif isinstance(stmt, ExitStmt):
-            self._do_exit(stmt, context, state)
-        elif isinstance(stmt, (EntryStmt, NopStmt)):
+    def _compile(self, stmt: Stmt):
+        """Build the transfer closure for one statement. The closures
+        mirror the former ``_do_*`` methods exactly — same evaluation
+        order, same copy discipline (statements that mutate state work
+        on a private copy; read-only ones use the stored state as-is)."""
+        stype = type(stmt)
+        propagate = self._propagate
+
+        if stype is AssignStmt:
+            eval_rhs = self._compile_rhs(stmt.rhs)
+            write = self._compile_var_write(stmt.target, stmt.sid)
+            flow = self._compile_flow(stmt, EdgeKind.SEQ)
+
+            def run(context: Context, state: State) -> None:
+                state = state.copy()
+                write(state, eval_rhs(state))
+                flow(context, state)
+
+            return run
+
+        if stype is LoadPropStmt:
+            read_obj = self._compile_atom(stmt.obj)
+            read_prop = self._compile_atom(stmt.prop)
+            write = self._compile_var_write(stmt.target, stmt.sid)
+            flow = self._compile_flow(stmt, EdgeKind.SEQ)
+            throw = self._compile_implicit_throw(stmt)
+            method_lookup = self._object_method_lookup
+            primitive_member = self._primitive_member
+
+            def run(context: Context, state: State) -> None:
+                state = state.copy()
+                obj = read_obj(state)
+                if obj.may_throw_on_property_access():
+                    throw(context, state)
+                name = read_prop(state).to_property_name()
+                value = values_domain.BOTTOM
+                if obj.addresses:
+                    value = value.join(state.heap.read(obj.addresses, name))
+                    value = value.join(method_lookup(state, obj, name))
+                value = value.join(primitive_member(obj, name))
+                if not _has_normal_continuation(obj):
+                    # Base can only be undefined/null. In real JS this
+                    # throws; in practice it usually means an unmodeled
+                    # host API, so we keep the analysis going with an
+                    # unknown result (the implicit throw is recorded).
+                    value = value.join(builtins.unknown_value())
+                write(state, value)
+                flow(context, state)
+
+            return run
+
+        if stype is StorePropStmt:
+            read_obj = self._compile_atom(stmt.obj)
+            read_prop = self._compile_atom(stmt.prop)
+            read_value = self._compile_atom(stmt.value)
+            flow = self._compile_flow(stmt, EdgeKind.SEQ)
+            throw = self._compile_implicit_throw(stmt)
+
+            def run(context: Context, state: State) -> None:
+                state = state.copy()
+                obj = read_obj(state)
+                if obj.may_throw_on_property_access():
+                    throw(context, state)
+                name = read_prop(state).to_property_name()
+                value = read_value(state)
+                if obj.addresses:
+                    state.heap.write(obj.addresses, name, value)
+                # Continue even when the base can only be undefined/null:
+                # usually an unmodeled host API (the throw is recorded).
+                flow(context, state)
+
+            return run
+
+        if stype is DeletePropStmt:
+            read_obj = self._compile_atom(stmt.obj)
+            read_prop = self._compile_atom(stmt.prop)
+            flow = self._compile_flow(stmt, EdgeKind.SEQ)
+            throw = self._compile_implicit_throw(stmt)
+
+            def run(context: Context, state: State) -> None:
+                state = state.copy()
+                obj = read_obj(state)
+                if obj.may_throw_on_property_access():
+                    throw(context, state)
+                name = read_prop(state).to_property_name()
+                if obj.addresses:
+                    state.heap.delete(obj.addresses, name)
+                flow(context, state)
+
+            return run
+
+        if stype is AllocStmt or stype is ClosureStmt:
+            if stype is AllocStmt:
+                obj = interned_object(AbstractObject(kind=stmt.kind))
+            else:
+                obj = function_object(stmt.function_id)
+            address = stmt.sid
+            addr_value = values_domain.from_addresses(address)
+            write = self._compile_var_write(stmt.target, stmt.sid)
+            flow = self._compile_flow(stmt, EdgeKind.SEQ)
+
+            def run(context: Context, state: State) -> None:
+                state = state.copy()
+                state.heap.allocate(address, obj)
+                write(state, addr_value)
+                flow(context, state)
+
+            return run
+
+        if stype is BranchStmt:
+            read_cond = self._compile_atom(stmt.condition)
+            targets = tuple(
+                e.target for e in stmt.edges if e.kind is EdgeKind.SEQ
+            )
+            if len(targets) == 1:
+                only = targets[0]
+
+                def run(context: Context, state: State) -> None:
+                    condition = read_cond(state)
+                    if condition.may_be_truthy() or condition.may_be_falsy():
+                        propagate(only, context, state)
+
+                return run
+
+            first, second = targets[0], targets[1]
+            truthy_first = stmt.truthy_first
+
+            def run(context: Context, state: State) -> None:
+                condition = read_cond(state)
+                may_true = condition.may_be_truthy()
+                may_false = condition.may_be_falsy()
+                if may_true if truthy_first else may_false:
+                    propagate(first, context, state)
+                if may_false if truthy_first else may_true:
+                    propagate(second, context, state)
+
+            return run
+
+        if stype is ReturnStmt:
+            fid = self.program.owner[stmt.sid]
+            read_value = (
+                self._compile_atom(stmt.value) if stmt.value is not None else None
+            )
+            write = self._compile_var_write(Var(RETURN_SLOT, fid), stmt.sid)
+            flow = self._compile_flow(stmt, EdgeKind.JUMP)
+
+            def run(context: Context, state: State) -> None:
+                state = state.copy()
+                value = (
+                    read_value(state) if read_value is not None
+                    else values_domain.UNDEF
+                )
+                write(state, value)
+                flow(context, state)
+
+            return run
+
+        if stype is ThrowStmt:
+            fid = self.program.owner[stmt.sid]
+            read_value = self._compile_atom(stmt.value)
+            handlers = tuple(
+                (e.target, self._compile_var_write(
+                    Var(exception_slot(e.target), fid), stmt.sid
+                ))
+                for e in stmt.edges
+                if e.kind is EdgeKind.JUMP
+            )
+
+            def run(context: Context, state: State) -> None:
+                value = read_value(state)
+                for target, write in handlers:  # empty => uncaught
+                    out = state.copy()
+                    write(out, value)
+                    propagate(target, context, out)
+
+            return run
+
+        if stype is CatchStmt:
+            fid = self.program.owner[stmt.sid]
+            exc_var = Var(exception_slot(stmt.sid), fid)
+            write = self._compile_var_write(stmt.target, stmt.sid)
+            flow = self._compile_flow(stmt, EdgeKind.SEQ)
+
+            def run(context: Context, state: State) -> None:
+                state = state.copy()
+                value = state.read_var(exc_var)
+                if value.is_bottom or value.may_undef:
+                    value = value.join(builtins.ERROR_VALUE)
+                write(state, value)
+                flow(context, state)
+
+            return run
+
+        if stype is ForInNextStmt:
+            write = self._compile_var_write(stmt.target, stmt.sid)
+            flow = self._compile_flow(stmt, EdgeKind.SEQ)
+
+            def run(context: Context, state: State) -> None:
+                # The loop variable is some enumerable property name.
+                state = state.copy()
+                write(state, values_domain.ANY_STRING)
+                flow(context, state)
+
+            return run
+
+        if stype is CallStmt or stype is ConstructStmt:
+            do_call = self._do_call
+
+            def run(context: Context, state: State, _stmt=stmt) -> None:
+                do_call(_stmt, context, state)
+
+            return run
+
+        if stype is EventLoopStmt:
+            do_event_loop = self._do_event_loop
+
+            def run(context: Context, state: State, _stmt=stmt) -> None:
+                do_event_loop(_stmt, context, state)
+
+            return run
+
+        if stype is ExitStmt:
+            do_exit = self._do_exit
+
+            def run(context: Context, state: State, _stmt=stmt) -> None:
+                do_exit(_stmt, context, state)
+
+            return run
+
+        if stype is EntryStmt or stype is NopStmt:
             # break/continue lower to NopStmts whose only real edge is a
             # JUMP to the loop exit/header — follow those too.
-            targets = [
+            targets = tuple(
                 e.target
                 for e in stmt.edges
                 if e.kind in (EdgeKind.SEQ, EdgeKind.JUMP)
-            ]
-            self._flow_to(targets, context, state)
-        else:  # pragma: no cover - exhaustive over IR statement types
-            raise TypeError(f"unhandled statement {stmt!r}")
+            )
+
+            def run(context: Context, state: State) -> None:
+                for target in targets:
+                    propagate(target, context, state)
+
+            return run
+
+        raise TypeError(f"unhandled statement {stmt!r}")  # pragma: no cover
+
+    def _compile_atom(self, atom: Atom):
+        """An evaluator closure for one atom: constants resolve to their
+        abstract value now; variables to a prebuilt environment key."""
+        if isinstance(atom, Const):
+            value = values_domain.from_constant(atom.value)
+            return lambda state, _value=value: _value
+        assert isinstance(atom, Var)
+        key = (atom.scope, atom.name)
+
+        def read(state: State, _key=key):
+            value = state.vars.get(_key)
+            # Never assigned: undefined (hoisted local / missing global).
+            return values_domain.UNDEF if value is None else value
+
+        return read
+
+    def _compile_rhs(self, rhs: Rhs):
+        if isinstance(rhs, AtomRhs):
+            return self._compile_atom(rhs.atom)
+        if isinstance(rhs, BinOpRhs):
+            left = self._compile_atom(rhs.left)
+            right = self._compile_atom(rhs.right)
+            operator = rhs.operator
+            binary_op = transfer.binary_op
+            return lambda state: binary_op(operator, left(state), right(state))
+        assert isinstance(rhs, UnOpRhs)
+        operand = self._compile_atom(rhs.operand)
+        operator = rhs.operator
+        unary_op = transfer.unary_op
+        return lambda state: unary_op(operator, operand(state))
+
+    def _compile_var_write(self, var: Var, sid: int):
+        """A writer closure with the static part of the strong/weak
+        decision resolved now (see :meth:`_strong_var`); only the
+        multi-instance test — which evolves as the call graph is
+        discovered — stays a runtime check."""
+        if var.scope == -1:  # GLOBAL_SCOPE: always strong
+            return lambda state, value, _var=var: state.write_var(_var, value, True)
+        if var.scope != self.program.owner[sid]:
+            # Captured outer local: other frames may be live — weak.
+            return lambda state, value, _var=var: state.write_var(_var, value, False)
+        multi_instance = self._multi_instance  # live set, mutated in place
+
+        def write(state: State, value, _var=var, _scope=var.scope):
+            state.write_var(_var, value, _scope not in multi_instance)
+
+        return write
+
+    def _compile_flow(self, stmt: Stmt, kind: EdgeKind):
+        targets = tuple(e.target for e in stmt.edges if e.kind is kind)
+        propagate = self._propagate
+        if len(targets) == 1:
+            only = targets[0]
+            return lambda context, state: propagate(only, context, state)
+
+        def flow(context: Context, state: State) -> None:
+            for target in targets:
+                propagate(target, context, state)
+
+        return flow
+
+    def _compile_implicit_throw(self, stmt: Stmt):
+        """The compiled form of :meth:`_record_implicit_throw`: handler
+        targets and their exception-slot writers are resolved once."""
+        sid = stmt.sid
+        throwing = self.throwing
+        targets = tuple(
+            e.target for e in stmt.edges if e.kind is EdgeKind.IMPLICIT
+        )
+        if not targets:
+            def record(context: Context, state: State) -> None:
+                throwing.add(sid)  # uncaught: termination, out of scope
+
+            return record
+        fid = self.program.owner[sid]
+        handlers = tuple(
+            (target, self._compile_var_write(
+                Var(exception_slot(target), fid), sid
+            ))
+            for target in targets
+        )
+        propagate = self._propagate
+        error_value = builtins.ERROR_VALUE
+
+        def record(context: Context, state: State) -> None:
+            throwing.add(sid)
+            for target, write in handlers:
+                exc_state = state.copy()
+                write(exc_state, error_value)
+                propagate(target, context, exc_state)
+
+        return record
 
     # ------------------------------------------------------------------
     # Flow helpers
@@ -529,40 +861,6 @@ class Interpreter:
     def _eval(self, atom: Atom, state: State) -> AbstractValue:
         return _eval_atom(atom, state)
 
-    def _eval_rhs(self, rhs: Rhs, state: State) -> AbstractValue:
-        if isinstance(rhs, AtomRhs):
-            return self._eval(rhs.atom, state)
-        if isinstance(rhs, BinOpRhs):
-            return transfer.binary_op(
-                rhs.operator, self._eval(rhs.left, state), self._eval(rhs.right, state)
-            )
-        assert isinstance(rhs, UnOpRhs)
-        return transfer.unary_op(rhs.operator, self._eval(rhs.operand, state))
-
-    def _do_assign(self, stmt: AssignStmt, context: Context, state: State) -> None:
-        value = self._eval_rhs(stmt.rhs, state)
-        state.write_var(stmt.target, value, self._strong_var(stmt.target, stmt.sid))
-        self._flow_seq(stmt, context, state)
-
-    def _do_load(self, stmt: LoadPropStmt, context: Context, state: State) -> None:
-        obj = self._eval(stmt.obj, state)
-        if obj.may_throw_on_property_access():
-            self._record_implicit_throw(stmt, context, state)
-        name = self._eval(stmt.prop, state).to_property_name()
-        value = values_domain.BOTTOM
-        if obj.addresses:
-            value = value.join(state.heap.read(obj.addresses, name))
-            value = value.join(self._object_method_lookup(state, obj, name))
-        value = value.join(self._primitive_member(obj, name))
-        if not _has_normal_continuation(obj):
-            # Base can only be undefined/null. In real JS this throws; in
-            # practice it usually means an unmodeled host API, so we keep
-            # the analysis going with an unknown result (the implicit
-            # throw has already been recorded above).
-            value = value.join(builtins.unknown_value())
-        state.write_var(stmt.target, value, self._strong_var(stmt.target, stmt.sid))
-        self._flow_seq(stmt, context, state)
-
     def _object_method_lookup(self, state, obj_value, name):
         """Built-in methods on plain objects and arrays, looked up when an
         exact property name misses the object's own properties."""
@@ -605,101 +903,6 @@ class Interpreter:
         if address is not None:
             return result.join(values_domain.from_addresses(address))
         return result.join(values_domain.UNDEF)
-
-    def _do_store(self, stmt: StorePropStmt, context: Context, state: State) -> None:
-        obj = self._eval(stmt.obj, state)
-        if obj.may_throw_on_property_access():
-            self._record_implicit_throw(stmt, context, state)
-        name = self._eval(stmt.prop, state).to_property_name()
-        value = self._eval(stmt.value, state)
-        if obj.addresses:
-            state.heap.write(obj.addresses, name, value)
-        # Continue even when the base can only be undefined/null: that
-        # usually means an unmodeled host API (the throw is recorded).
-        self._flow_seq(stmt, context, state)
-
-    def _do_delete(self, stmt: DeletePropStmt, context: Context, state: State) -> None:
-        obj = self._eval(stmt.obj, state)
-        if obj.may_throw_on_property_access():
-            self._record_implicit_throw(stmt, context, state)
-        name = self._eval(stmt.prop, state).to_property_name()
-        if obj.addresses:
-            state.heap.delete(obj.addresses, name)
-        self._flow_seq(stmt, context, state)
-
-    def _do_alloc(self, stmt: AllocStmt, context: Context, state: State) -> None:
-        state.heap.allocate(stmt.sid, AbstractObject(kind=stmt.kind))
-        state.write_var(
-            stmt.target,
-            values_domain.from_addresses(stmt.sid),
-            self._strong_var(stmt.target, stmt.sid),
-        )
-        self._flow_seq(stmt, context, state)
-
-    def _do_closure(self, stmt: ClosureStmt, context: Context, state: State) -> None:
-        state.heap.allocate(stmt.sid, function_object(stmt.function_id))
-        state.write_var(
-            stmt.target,
-            values_domain.from_addresses(stmt.sid),
-            self._strong_var(stmt.target, stmt.sid),
-        )
-        self._flow_seq(stmt, context, state)
-
-    def _do_branch(self, stmt: BranchStmt, context: Context, state: State) -> None:
-        condition = self._eval(stmt.condition, state)
-        may_true, may_false = transfer.truthy_outcomes(condition)
-        targets = [e.target for e in stmt.edges if e.kind is EdgeKind.SEQ]
-        if len(targets) == 1:
-            if may_true or may_false:
-                self._flow_to(targets, context, state)
-            return
-        first_taken = may_true if stmt.truthy_first else may_false
-        second_taken = may_false if stmt.truthy_first else may_true
-        chosen = []
-        if first_taken:
-            chosen.append(targets[0])
-        if second_taken:
-            chosen.append(targets[1])
-        self._flow_to(chosen, context, state)
-
-    def _do_return(self, stmt: ReturnStmt, context: Context, state: State) -> None:
-        fid = self.program.owner[stmt.sid]
-        value = (
-            self._eval(stmt.value, state)
-            if stmt.value is not None
-            else values_domain.UNDEF
-        )
-        slot = Var(RETURN_SLOT, fid)
-        state.write_var(slot, value, self._strong_var(slot, stmt.sid))
-        targets = [e.target for e in stmt.edges if e.kind is EdgeKind.JUMP]
-        self._flow_to(targets, context, state)
-
-    def _do_throw(self, stmt: ThrowStmt, context: Context, state: State) -> None:
-        fid = self.program.owner[stmt.sid]
-        value = self._eval(stmt.value, state)
-        targets = [e.target for e in stmt.edges if e.kind is EdgeKind.JUMP]
-        for target in targets:  # empty => uncaught (termination)
-            out = state.copy()
-            slot = Var(exception_slot(target), fid)
-            out.write_var(slot, value, self._strong_var(slot, stmt.sid))
-            self._propagate(target, context, out)
-
-    def _do_catch(self, stmt: CatchStmt, context: Context, state: State) -> None:
-        fid = self.program.owner[stmt.sid]
-        value = state.read_var(Var(exception_slot(stmt.sid), fid))
-        if value.is_bottom or value.may_undef:
-            value = value.join(builtins.ERROR_VALUE)
-        state.write_var(stmt.target, value, self._strong_var(stmt.target, stmt.sid))
-        self._flow_seq(stmt, context, state)
-
-    def _do_forin(self, stmt: ForInNextStmt, context: Context, state: State) -> None:
-        # The loop variable is some enumerable property name.
-        state.write_var(
-            stmt.target,
-            values_domain.ANY_STRING,
-            self._strong_var(stmt.target, stmt.sid),
-        )
-        self._flow_seq(stmt, context, state)
 
     # ------------------------------------------------------------------
     # Calls
@@ -758,7 +961,10 @@ class Interpreter:
             if out_state is None:
                 out_state = state.copy()
             if is_construct:
-                address = self.alloc_at(stmt.sid, salt=0, obj=AbstractObject(), state=out_state)
+                address = self.alloc_at(
+                    stmt.sid, salt=0, obj=interned_object(AbstractObject()),
+                    state=out_state,
+                )
                 native_result = native_result.join(values_domain.from_addresses(address))
             else:
                 native_result = native_result.join(builtins.unknown_value())
@@ -795,7 +1001,7 @@ class Interpreter:
         function = self.program.functions[fid]
         entry_state = state.copy()
         if is_construct:
-            entry_state.heap.allocate(call_stmt.sid, AbstractObject())
+            entry_state.heap.allocate(call_stmt.sid, interned_object(AbstractObject()))
             this_value = values_domain.from_addresses(call_stmt.sid)
         strong = fid not in self._multi_instance
         for index, param in enumerate(function.params):

@@ -21,7 +21,14 @@ _COMPARISON = frozenset({"==", "!=", "===", "!==", "<", ">", "<=", ">="})
 
 
 def binary_op(operator: str, left: AbstractValue, right: AbstractValue) -> AbstractValue:
-    """Abstract evaluation of a JS binary operator."""
+    """Abstract evaluation of a JS binary operator. The result is
+    interned: re-evaluating the same statement across fixpoint rounds
+    yields the *same* object, which keeps downstream identity fast paths
+    (state joins, persistent-map merges) hot."""
+    return values_domain.interned(_binary_op(operator, left, right))
+
+
+def _binary_op(operator: str, left: AbstractValue, right: AbstractValue) -> AbstractValue:
     if left.is_bottom or right.is_bottom:
         return values_domain.BOTTOM
     if operator == "+":
@@ -40,7 +47,12 @@ def binary_op(operator: str, left: AbstractValue, right: AbstractValue) -> Abstr
 
 
 def unary_op(operator: str, operand: AbstractValue) -> AbstractValue:
-    """Abstract evaluation of a JS unary operator."""
+    """Abstract evaluation of a JS unary operator; result interned (see
+    :func:`binary_op`)."""
+    return values_domain.interned(_unary_op(operator, operand))
+
+
+def _unary_op(operator: str, operand: AbstractValue) -> AbstractValue:
     if operand.is_bottom:
         return values_domain.BOTTOM
     if operator == "!":

@@ -1,0 +1,112 @@
+"""Weak-topological-order scheduling for the fixpoint worklist.
+
+The interpreter's worklist used to process pending ``(statement,
+context)`` nodes in plain statement-id order — a good approximation of
+reverse postorder for the code the lowerer emits, but blind to the
+actual shape of the flow graph. This module computes a Bourdoncle-style
+weak topological order instead:
+
+1. Take the static flow graph over *all* statements (every stored edge
+   kind: SEQ, JUMP, IMPLICIT, FALLTHROUGH).
+2. Condense it into strongly connected components (iterative Tarjan,
+   shared with the CFG layer).
+3. Topologically order the condensation, breaking ties by the smallest
+   statement id in each component, and use each component's position as
+   the scheduling *rank* of all its statements.
+
+Scheduling by ``(rank, sid, context)`` means every statement of an
+inner cyclic component sorts before anything downstream of it: the
+component is iterated to stabilization before its results propagate
+outward, instead of re-visiting the downstream suffix once per inner
+iteration. The min-sid tie-break keeps the order aligned with statement
+order wherever the graph itself does not force a difference, so the
+schedule is a refinement of the previous behavior, not a reshuffle.
+
+Each cyclic component also designates a *widening point* (its smallest
+statement id — the component's entry for the lowering's reducible
+graphs). The interpreter arms a per-loop-head join budget at these
+statements and widens only there, rather than applying any global
+heuristic; see ``Interpreter._propagate``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.ir.cfg import strongly_connected_components
+from repro.ir.nodes import ProgramIR
+
+
+@dataclass(frozen=True)
+class WTOSchedule:
+    """The precomputed schedule: statement id -> rank, plus the widening
+    points (one head per cyclic component)."""
+
+    rank: dict[int, int]
+    heads: frozenset[int]
+    #: Number of condensation components (``wto_components`` counter).
+    components: int
+    #: Number of cyclic components (each contributes one widening point).
+    cyclic_components: int
+
+
+def build_schedule(program: ProgramIR) -> WTOSchedule:
+    """Compute the weak topological order of ``program``'s flow graph."""
+    nodes = sorted(program.stmts)
+    successors: dict[int, list[int]] = {
+        sid: [edge.target for edge in stmt.edges]
+        for sid, stmt in program.stmts.items()
+    }
+    sccs = strongly_connected_components(nodes, successors)
+
+    component_of: dict[int, int] = {}
+    for index, scc in enumerate(sccs):
+        for sid in scc:
+            component_of[sid] = index
+
+    # Condensation edges and in-degrees.
+    out_edges: list[set[int]] = [set() for _ in sccs]
+    indegree = [0] * len(sccs)
+    for sid in nodes:
+        source = component_of[sid]
+        for target_sid in successors[sid]:
+            target = component_of.get(target_sid)
+            if target is not None and target != source and target not in out_edges[source]:
+                out_edges[source].add(target)
+                indegree[target] += 1
+
+    # Kahn's algorithm with a min-heap keyed by each component's smallest
+    # statement id: a topological order of the condensation that sticks
+    # to statement order whenever the graph allows it.
+    min_sid = [min(scc) for scc in sccs]
+    ready = [
+        (min_sid[index], index)
+        for index in range(len(sccs))
+        if indegree[index] == 0
+    ]
+    heapq.heapify(ready)
+    rank: dict[int, int] = {}
+    position = 0
+    while ready:
+        _key, index = heapq.heappop(ready)
+        for sid in sccs[index]:
+            rank[sid] = position
+        position += 1
+        for target in out_edges[index]:
+            indegree[target] -= 1
+            if indegree[target] == 0:
+                heapq.heappush(ready, (min_sid[target], target))
+
+    heads = frozenset(
+        min(scc)
+        for scc in sccs
+        if len(scc) > 1
+        or scc[0] in successors[scc[0]]  # self-loop
+    )
+    return WTOSchedule(
+        rank=rank,
+        heads=heads,
+        components=len(sccs),
+        cyclic_components=len(heads),
+    )

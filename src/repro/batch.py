@@ -62,7 +62,20 @@ from repro.signatures.spec import SecuritySpec
 #: v4: differential vetting (baseline-aware cache key; outcomes carry
 #: ``incremental``/``diff_verdict``/``diff_changes``/``diff_witnesses``
 #: and the kept timing-sample count).
-ENGINE_VERSION = 4
+#: v5: cost-gated fast lane (small updates skip certification; the gate
+#: is part of the cache key, and outcomes count attempted/skipped
+#: certifications).
+ENGINE_VERSION = 5
+
+#: The fast lane's cost gate: updates whose new version is smaller than
+#: this (source characters) skip the change-surface certificate and go
+#: straight to full re-analysis. Certification parses both versions and
+#: walks their surfaces — on a small addon that costs more than the full
+#: pipeline it is trying to avoid, so attempting it loses wall clock
+#: even when the certificate would hold. The threshold approximates the
+#: size (roughly 250-300 AST nodes at the corpus's ~14 chars/node) below
+#: which measured full-analysis time drops to certification time.
+FAST_LANE_MIN_SOURCE_CHARS = 4096
 
 
 # ----------------------------------------------------------------------
@@ -105,6 +118,12 @@ class VetTask:
     #: re-analyze in full, but still diff against the baseline; the
     #: bench uses off as the control arm).
     incremental: bool = True
+    #: Cost gate for the fast lane: skip certification when the new
+    #: version has fewer source characters than this (``None`` = the
+    #: engine default, ``FAST_LANE_MIN_SOURCE_CHARS``; 0 = always
+    #: attempt). Tests exercising fast-lane mechanics on tiny fixtures
+    #: set 0; production sweeps keep the default.
+    fast_lane_min_chars: int | None = None
 
 
 @dataclass
@@ -246,6 +265,7 @@ def cache_key(task: VetTask, spec: SecuritySpec | None) -> str:
             ),
             "baseline_sig": task.baseline_signature_text,
             "incremental": task.incremental,
+            "fast_lane_min_chars": task.fast_lane_min_chars,
         },
         sort_keys=True,
     )
@@ -378,6 +398,7 @@ def _fast_lane_outcome(
         times={"p1": elapsed, "p2": 0.0, "p3": 0.0},
         counters={
             "incremental": 1,
+            "certification_attempted": 1,
             "diff_changed_statements": certificate.changed_statements,
         },
         timing_samples=1,
@@ -420,8 +441,9 @@ def _execute_task(
     this runs in a pool worker or in-process.
 
     A task with a baseline is an *update*: the incremental fast lane is
-    tried first (unless ``task.incremental`` is off), and a full
-    re-analysis is classified against the baseline into a diff verdict."""
+    tried first (unless ``task.incremental`` is off or the cost gate
+    predicts full re-analysis is cheaper), and a full re-analysis is
+    classified against the baseline into a diff verdict."""
     from repro.api import vet
     from repro.signatures import parse_signature
 
@@ -440,10 +462,22 @@ def _execute_task(
             task.baseline_source is not None
             and task.baseline_signature_text is not None
         )
+        certification: str | None = None
         if has_baseline and task.incremental:
-            served = _fast_lane_outcome(task, spec, manual, extras)
-            if served is not None:
-                return served
+            gate = (
+                task.fast_lane_min_chars
+                if task.fast_lane_min_chars is not None
+                else FAST_LANE_MIN_SOURCE_CHARS
+            )
+            if len(task.source) >= gate:
+                certification = "attempted"
+                served = _fast_lane_outcome(task, spec, manual, extras)
+                if served is not None:
+                    return served
+            else:
+                # Below the gate, the certificate's double parse costs
+                # more than the full pipeline — skip straight to it.
+                certification = "skipped"
         budget = _task_budget(task, timeout)
         samples = []
         report = None
@@ -468,6 +502,9 @@ def _execute_task(
             diff_verdict, diff_changes, diff_witnesses = (
                 _diff_against_baseline(task, report)
             )
+        counters = dict(report.counters)
+        if certification is not None:
+            counters[f"certification_{certification}"] = 1
         return VetOutcome(
             name=task.name,
             ok=True,
@@ -485,7 +522,7 @@ def _execute_task(
             ),
             ast_nodes=report.ast_nodes,
             times={"p1": times.p1, "p2": times.p2, "p3": times.p3},
-            counters=dict(report.counters),
+            counters=counters,
             timing_samples=kept,
             prefiltered=report.prefiltered,
             diff_verdict=diff_verdict,
@@ -830,6 +867,14 @@ def summarize(outcomes: list[VetOutcome]) -> dict:
             )
         cache_quarantined += outcome.counters.get("cache_quarantined", 0)
         pool_retries += outcome.counters.get("pool_retries", 0)
+    certifications = {
+        "attempted": sum(
+            o.counters.get("certification_attempted", 0) for o in outcomes
+        ),
+        "skipped": sum(
+            o.counters.get("certification_skipped", 0) for o in outcomes
+        ),
+    }
     return {
         "total": len(outcomes),
         "ok": sum(1 for o in outcomes if o.ok),
@@ -837,6 +882,9 @@ def summarize(outcomes: list[VetOutcome]) -> dict:
         "degraded": sum(1 for o in outcomes if o.degraded),
         "prefiltered": sum(1 for o in outcomes if o.prefiltered),
         "incremental": sum(1 for o in outcomes if o.incremental),
+        # Fast-lane certification economics: how many updates attempted
+        # the change-surface certificate vs. skipped it on the cost gate.
+        "certifications": certifications,
         "cached": sum(1 for o in outcomes if o.cached),
         "failures": dict(sorted(failures.items())),
         "degradation_kinds": dict(sorted(degradation_kinds.items())),

@@ -236,7 +236,7 @@ class BrowserEnvironment:
             ),
         )
         # The element's own properties may be freely assigned by addons.
-        heap.singletons.discard(stubs.ELEMENT)
+        heap.drop_singleton(stubs.ELEMENT)
 
         # --- XPCOM services ---
         heap.allocate(

@@ -11,6 +11,10 @@ Subcommands:
 - ``bench`` — benchmark the corpus and write ``BENCH_corpus.json``
   (per-addon P1/P2/P3 medians plus hot-path counters, and the relevance
   prefilter's hit rate on the examples corpus);
+- ``scaling`` — sweep synthetic addons (flat handler farms and nested-
+  loop callback chains) up to ~12k AST nodes and write
+  ``BENCH_scaling.json``; with ``--baseline`` it gates on a >20% P1
+  regression at the largest size (machine-speed calibrated);
 - ``diff OLD.js NEW.js`` — differential vetting of an addon update:
   fast-lane certificate when the change surface is provably signature-
   preserving, otherwise a full re-analysis with the signature diff
@@ -145,6 +149,32 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
     )
     print(render_bench(report))
     print(f"\nwritten to {arguments.output}")
+    return 0
+
+
+def _cmd_scaling(arguments: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.evaluation import check_regression, render_scaling, run_scaling
+
+    report = run_scaling(
+        runs=arguments.runs, k=arguments.k, output=arguments.output,
+    )
+    print(render_scaling(report))
+    print(f"\nwritten to {arguments.output}")
+    if arguments.baseline is not None:
+        baseline = json.loads(
+            Path(arguments.baseline).read_text(encoding="utf-8")
+        )
+        failures = check_regression(
+            report, baseline, tolerance=arguments.tolerance
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"regression gate passed (vs {arguments.baseline})")
     return 0
 
 
@@ -283,7 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="benchmark the corpus; write BENCH_corpus.json"
     )
     bench.add_argument(
-        "--runs", type=int, default=5,
+        "--runs", type=int, default=3,
         help="pipeline runs per addon (first discarded; medians reported)",
     )
     bench.add_argument("--k", type=int, default=1)
@@ -298,6 +328,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-run wall-clock budget per addon (degrades, not fails)",
     )
     bench.set_defaults(handler=_cmd_bench)
+
+    scaling = subparsers.add_parser(
+        "scaling",
+        help="synthetic scaling benchmark (flat + chain shapes, up to "
+             "~12k AST nodes); write BENCH_scaling.json",
+    )
+    scaling.add_argument(
+        "--runs", type=int, default=3,
+        help="pipeline runs per size (first discarded; medians reported)",
+    )
+    scaling.add_argument("--k", type=int, default=1)
+    scaling.add_argument("--output", default="BENCH_scaling.json")
+    scaling.add_argument(
+        "--baseline", default=None,
+        help="BENCH_scaling baseline to gate against (exit 1 on "
+             "p1 regression at the largest size beyond --tolerance)",
+    )
+    scaling.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed relative p1 regression at the largest size",
+    )
+    scaling.set_defaults(handler=_cmd_scaling)
 
     lint = subparsers.add_parser(
         "lint", help="lint addon sources (pre-analysis triage rules)"

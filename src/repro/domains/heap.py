@@ -7,74 +7,137 @@ to stand for at most one concrete object, which is the condition for
 strong property updates (and hence for "definite writes" in the paper's
 read/write sets). An address loses singleton-ness when its allocation
 site re-executes (loop/second context) or when states disagree at a join.
+
+Entries live in a persistent map (:mod:`repro.domains.pmap`) as
+``(object, singleton)`` pairs, so :meth:`Heap.copy` is O(1) and
+:meth:`join`/:meth:`leq` skip subtrees the two heaps share. The
+per-address entry join — objects joined, singleton only if both sides
+agree, one-sided entries kept as-is — is entry-wise equivalent to the
+earlier two-set formulation ``(s₁ ∪ s₂) − (O₁ − s₁) − (O₂ − s₂)``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.domains import values as values_domain
 from repro.domains.objects import AbstractObject
+from repro.domains.pmap import PMap
 from repro.domains.prefix import Prefix
 from repro.domains.values import AbstractValue
 
+_EMPTY_ENTRIES = PMap()
 
-@dataclass
+#: A heap entry: the abstract object plus its singleton flag.
+Entry = tuple[AbstractObject, bool]
+
+
+def _entry_join(left: Entry, right: Entry) -> Entry:
+    if left is right:
+        return left
+    left_obj, left_single = left
+    right_obj, right_single = right
+    obj = left_obj if left_obj is right_obj else left_obj.join(right_obj)
+    # An address stays singleton only if every side holding it agrees.
+    single = left_single and right_single
+    if obj is left_obj and single == left_single:
+        return left
+    if obj is right_obj and single == right_single:
+        return right
+    return (obj, single)
+
+
+def _entry_leq(left: Entry, right: Entry) -> bool:
+    if left is right:
+        return True
+    # Singleton-ness is *more* precise, so left ⊑ right fails when the
+    # right side claims singleton-ness the left does not have.
+    if right[1] and not left[1]:
+        return False
+    return left[0] is right[0] or left[0].leq(right[0])
+
+
+def _absent_fails(_entry: Entry) -> bool:
+    # An address the right heap lacks is unbounded there: not ⊑.
+    return False
+
+
 class Heap:
     """Mutable heap used with copy-on-write discipline: the interpreter
-    calls :meth:`copy` before flowing a state to two successors."""
+    calls :meth:`copy` before flowing a state to two successors; the
+    copy shares the whole entry trie."""
 
-    objects: dict[int, AbstractObject] = field(default_factory=dict)
-    singletons: set[int] = field(default_factory=set)
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: PMap | None = None):
+        self._entries = entries if entries is not None else _EMPTY_ENTRIES
 
     def copy(self) -> "Heap":
-        return Heap(dict(self.objects), set(self.singletons))
+        return Heap(self._entries)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Heap):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __repr__(self) -> str:
+        return f"Heap({self._entries.to_dict()!r})"
+
+    # Materialized views, for tests and diagnostics (not hot paths).
+
+    @property
+    def objects(self) -> dict[int, AbstractObject]:
+        return {address: entry[0] for address, entry in self._entries.items()}
+
+    @property
+    def singletons(self) -> set[int]:
+        return {address for address, entry in self._entries.items() if entry[1]}
+
+    def addresses(self):
+        return self._entries.keys()
 
     # ------------------------------------------------------------------
     # Lattice
 
     def leq(self, other: "Heap") -> bool:
-        for address, obj in self.objects.items():
-            bound = other.objects.get(address)
-            if bound is None:
-                return False
-            if bound is not obj and not obj.leq(bound):
-                return False
-        # Singleton-ness is *more* precise, so self ⊑ other requires
-        # other's singleton set not to claim more than self's on shared
-        # addresses.
-        for address in self.objects:
-            if address in other.singletons and address not in self.singletons:
-                return False
-        return True
+        return self._entries.leq(other._entries, _entry_leq, _absent_fails)
+
+    def join_changed(self, other: "Heap") -> tuple["Heap", bool]:
+        """Join with an explicit change flag. The returned heap may be a
+        new object even when nothing changed: its trie adopts the other
+        side's nodes where the two agree, so keeping the result
+        accelerates future joins (see ``PMap.merge_changed``)."""
+        if other is self:
+            return self, False
+        merged, changed = self._entries.merge_changed(other._entries, _entry_join)
+        if merged is self._entries:
+            return self, changed
+        return Heap(merged), changed
 
     def join(self, other: "Heap") -> "Heap":
         """Join; identity-preserving: returns ``self`` (the same object)
         when the other heap adds nothing, so callers can detect "no
         change" with an ``is`` check instead of a full ``leq`` pass."""
-        changed = False
-        merged: dict[int, AbstractObject] = dict(self.objects)
-        for address, obj in other.objects.items():
-            existing = merged.get(address)
-            if existing is None:
-                merged[address] = obj
-                changed = True
-            elif existing is not obj:
-                joined = existing.join(obj)
-                if joined is not existing:
-                    changed = True
-                merged[address] = joined
-        # An address stays singleton only if every side holding it agrees.
-        non_singleton_self = self.objects.keys() - self.singletons
-        non_singleton_other = other.objects.keys() - other.singletons
-        singletons = (
-            (self.singletons | other.singletons)
-            - non_singleton_self
-            - non_singleton_other
-        )
-        if not changed and singletons == self.singletons:
+        joined, changed = self.join_changed(other)
+        return joined if changed else self
+
+    def widen(self, other: "Heap") -> "Heap":
+        """Widening: ``old.widen(joined)`` with ``self ⊑ other`` —
+        shared addresses widen object-wise; addresses only the joined
+        heap has are taken as-is (the address space is finite)."""
+        if other is self:
             return self
-        return Heap(merged, singletons)
+        entries = other._entries
+        for address, old_entry in self._entries.items():
+            new_entry = entries.get(address)
+            if new_entry is None or new_entry is old_entry:
+                continue
+            if new_entry[0] is old_entry[0]:
+                continue
+            obj = old_entry[0].widen(new_entry[0])
+            if obj is not new_entry[0]:
+                entries = entries.set(address, (obj, new_entry[1]))
+        if entries is other._entries:
+            return other
+        return Heap(entries)
 
     # ------------------------------------------------------------------
     # Operations
@@ -83,30 +146,42 @@ class Heap:
         """Allocate at a site. Re-allocation (same site executing again)
         joins the objects and drops singleton-ness: the address now
         summarizes several concrete objects."""
-        existing = self.objects.get(address)
+        existing = self._entries.get(address)
         if existing is None:
-            self.objects[address] = obj
-            self.singletons.add(address)
+            self._entries = self._entries.set(address, (obj, True))
         else:
-            self.objects[address] = existing.join(obj)
-            self.singletons.discard(address)
+            joined = existing[0].join(obj)
+            # Re-allocation converges quickly (the site keeps producing
+            # the same object); skip the path copy once it has.
+            if joined is existing[0] and not existing[1]:
+                return
+            self._entries = self._entries.set(address, (joined, False))
+
+    def drop_singleton(self, address: int) -> None:
+        """Force an address to summary (non-singleton) status — used by
+        environment setup for pre-allocated objects that stand for many
+        concrete ones (DOM elements, error instances)."""
+        entry = self._entries.get(address)
+        if entry is not None and entry[1]:
+            self._entries = self._entries.set(address, (entry[0], False))
 
     def contains(self, address: int) -> bool:
-        return address in self.objects
+        return self._entries.get(address) is not None
 
     def get(self, address: int) -> AbstractObject:
-        return self.objects[address]
+        return self._entries[address][0]
 
     def is_singleton(self, address: int) -> bool:
-        return address in self.singletons
+        entry = self._entries.get(address)
+        return entry is not None and entry[1]
 
     def read(self, addresses: frozenset[int], name: Prefix) -> AbstractValue:
         """Read ``name`` from every object the address set may denote."""
         result = values_domain.BOTTOM
         for address in addresses:
-            obj = self.objects.get(address)
-            if obj is not None:
-                result = result.join(obj.read(name))
+            entry = self._entries.get(address)
+            if entry is not None:
+                result = result.join(entry[0].read(name))
         return result
 
     def write(
@@ -120,22 +195,30 @@ class Heap:
         strong = (
             len(addresses) == 1
             and name.concrete() is not None
-            and next(iter(addresses)) in self.singletons
+            and self.is_singleton(next(iter(addresses)))
         )
+        entries = self._entries
         for address in addresses:
-            obj = self.objects.get(address)
-            if obj is not None:
-                self.objects[address] = obj.write(name, value, strong)
+            entry = entries.get(address)
+            if entry is not None:
+                written = entry[0].write(name, value, strong)
+                if written is not entry[0]:
+                    entries = entries.set(address, (written, entry[1]))
+        self._entries = entries
         return strong
 
     def delete(self, addresses: frozenset[int], name: Prefix) -> bool:
         strong = (
             len(addresses) == 1
             and name.concrete() is not None
-            and next(iter(addresses)) in self.singletons
+            and self.is_singleton(next(iter(addresses)))
         )
+        entries = self._entries
         for address in addresses:
-            obj = self.objects.get(address)
-            if obj is not None:
-                self.objects[address] = obj.delete(name, strong)
+            entry = entries.get(address)
+            if entry is not None:
+                deleted = entry[0].delete(name, strong)
+                if deleted is not entry[0]:
+                    entries = entries.set(address, (deleted, entry[1]))
+        self._entries = entries
         return strong

@@ -27,9 +27,14 @@ from repro.domains.prefix import Prefix
 from repro.domains.values import AbstractValue
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class AbstractObject:
-    """One abstract heap object (immutable)."""
+    """One abstract heap object (immutable).
+
+    Hot-path constructions are *interned* (:func:`interned_object`):
+    structurally equal objects become one instance, so heap joins across
+    fixpoint rounds hit their identity fast paths instead of re-merging
+    equal property maps. The hash is memoized for the intern table."""
 
     kind: str = "object"  # object | array | function | regex | native
     closures: frozenset[int] = frozenset()
@@ -37,10 +42,40 @@ class AbstractObject:
     properties: tuple[tuple[str, AbstractValue], ...] = ()
     unknown: AbstractValue = values_domain.BOTTOM
 
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, AbstractObject):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.closures == other.closures
+            and self.native == other.native
+            and self.properties == other.properties
+            and self.unknown == other.unknown
+        )
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((
+                self.kind, self.closures, self.native,
+                self.properties, self.unknown,
+            ))
+            object.__setattr__(self, "_hash", value)
+            return value
+
     # The tuple encoding keeps the dataclass hashable/immutable; access
-    # goes through this cached view.
+    # goes through this cached view. The dict is built once per object
+    # and must be treated as read-only (mutating call sites copy it).
     def _props(self) -> dict[str, AbstractValue]:
-        return dict(self.properties)
+        try:
+            return self._props_cache  # type: ignore[attr-defined]
+        except AttributeError:
+            cache = dict(self.properties)
+            object.__setattr__(self, "_props_cache", cache)
+            return cache
 
     @staticmethod
     def _pack(props: dict[str, AbstractValue]) -> tuple[tuple[str, AbstractValue], ...]:
@@ -109,12 +144,42 @@ class AbstractObject:
             and properties == other.properties
         ):
             return other
-        return AbstractObject(
+        return interned_object(AbstractObject(
             kind=kind,
             closures=closures,
             native=native,
             properties=properties,
             unknown=unknown,
+        ))
+
+    def widen(self, other: "AbstractObject") -> "AbstractObject":
+        """Widening: ``old.widen(joined)`` with ``self ⊑ other`` —
+        property values and the unknown summary widen component-wise
+        (:meth:`AbstractValue.widen`)."""
+        if other is self:
+            return self
+        mine = self._props()
+        theirs = other._props()
+        changed = False
+        widened: dict[str, AbstractValue] = {}
+        for name, value in theirs.items():
+            old = mine.get(name)
+            if old is None or old is value:
+                widened[name] = value
+            else:
+                result = old.widen(value)
+                widened[name] = result
+                if result is not value:
+                    changed = True
+        unknown = other.unknown
+        if self.unknown is not unknown:
+            unknown = self.unknown.widen(unknown)
+            if unknown is not other.unknown:
+                changed = True
+        if not changed:
+            return other
+        return interned_object(
+            replace(other, properties=self._pack(widened), unknown=unknown)
         )
 
     # ------------------------------------------------------------------
@@ -140,38 +205,63 @@ class AbstractObject:
 
     def write(self, name: Prefix, value: AbstractValue, strong: bool) -> "AbstractObject":
         """Abstract property write. ``strong`` is only honored for exact
-        names (the caller has established the object is a singleton)."""
+        names (the caller has established the object is a singleton).
+        Identity-preserving: a write that changes nothing returns
+        ``self``, so heap tries keep sharing their subtrees."""
         props = self._props()
         concrete = name.concrete()
         if concrete is not None:
+            old = props.get(concrete)
             if strong:
-                props[concrete] = value
+                if old is value:
+                    return self
+                new_value = value
             else:
-                old = props.get(concrete, self.unknown.join(values_domain.UNDEF))
-                props[concrete] = old.join(value)
-            return replace(self, properties=self._pack(props))
+                base = old if old is not None else self.unknown.join(values_domain.UNDEF)
+                new_value = base.join(value)
+                if new_value is old:
+                    return self
+            updated = dict(props)
+            updated[concrete] = new_value
+            return interned_object(replace(self, properties=self._pack(updated)))
         # Non-exact name: the write may hit any admitted existing
         # property (weakly) and anything else (the unknown summary).
-        for prop_name in list(props):
+        changed = False
+        updated = dict(props)
+        for prop_name, old in props.items():
             if name.admits(prop_name):
-                props[prop_name] = props[prop_name].join(value)
-        return replace(
-            self,
-            properties=self._pack(props),
-            unknown=self.unknown.join(value),
+                joined = old.join(value)
+                if joined is not old:
+                    updated[prop_name] = joined
+                    changed = True
+        unknown = self.unknown.join(value)
+        if not changed and unknown is self.unknown:
+            return self
+        return interned_object(
+            replace(self, properties=self._pack(updated), unknown=unknown)
         )
 
     def delete(self, name: Prefix, strong: bool) -> "AbstractObject":
         props = self._props()
         concrete = name.concrete()
         if concrete is not None and strong:
-            props.pop(concrete, None)
-            return replace(self, properties=self._pack(props))
+            if concrete not in props:
+                return self
+            updated = dict(props)
+            updated.pop(concrete, None)
+            return interned_object(replace(self, properties=self._pack(updated)))
         # Weak delete: the property may or may not be removed.
-        for prop_name in list(props):
+        changed = False
+        updated = dict(props)
+        for prop_name, old in props.items():
             if name.admits(prop_name):
-                props[prop_name] = props[prop_name].join(values_domain.UNDEF)
-        return replace(self, properties=self._pack(props))
+                joined = old.join(values_domain.UNDEF)
+                if joined is not old:
+                    updated[prop_name] = joined
+                    changed = True
+        if not changed:
+            return self
+        return interned_object(replace(self, properties=self._pack(updated)))
 
     def property_names(self) -> list[str]:
         return [name for name, _ in self.properties]
@@ -189,11 +279,28 @@ class AbstractObject:
         return "{" + ", ".join(parts) + "}"
 
 
+#: Hash-consing table; bounded like the value intern table (overflow
+#: means new objects stay un-interned — a perf miss, never a result
+#: change).
+_OBJECT_INTERN: dict[AbstractObject, AbstractObject] = {}
+_OBJECT_INTERN_LIMIT = 131_072
+
+
+def interned_object(obj: AbstractObject) -> AbstractObject:
+    """The canonical instance structurally equal to ``obj``."""
+    cached = _OBJECT_INTERN.get(obj)
+    if cached is not None:
+        return cached
+    if len(_OBJECT_INTERN) < _OBJECT_INTERN_LIMIT:
+        _OBJECT_INTERN[obj] = obj
+    return obj
+
+
 def function_object(*fids: int) -> AbstractObject:
     """A function value that may call any of the given IR functions."""
-    return AbstractObject(kind="function", closures=frozenset(fids))
+    return interned_object(AbstractObject(kind="function", closures=frozenset(fids)))
 
 
 def native_object(tag: str, kind: str = "native") -> AbstractObject:
     """A native browser API object, interpreted by the stub registry."""
-    return AbstractObject(kind=kind, native=tag)
+    return interned_object(AbstractObject(kind=kind, native=tag))

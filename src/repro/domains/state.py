@@ -10,18 +10,27 @@ local is weak, because other live instances of that frame may exist.
 An absent variable entry means "never assigned on this path": globals
 read before assignment are ``undefined`` (ES5), locals likewise after
 hoisting.
+
+The environment is a persistent map (:mod:`repro.domains.pmap`), so
+:meth:`State.copy` is O(1) structure sharing and :meth:`State.join` /
+:meth:`State.leq` walk only the subtrees where the two states actually
+diverged — states that share an ancestor skip the common bulk entirely.
+The ``State`` object itself stays mutable (``write_var`` rebinds the
+underlying map), preserving the interpreter's copy-then-mutate calling
+convention unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.domains import values as values_domain
 from repro.domains.heap import Heap
+from repro.domains.pmap import PMap
 from repro.domains.values import AbstractValue
 from repro.ir.nodes import Var
 
 VarKey = tuple[int, str]
+
+_EMPTY_VARS = PMap()
 
 
 def var_key(var: Var) -> VarKey:
@@ -30,8 +39,8 @@ def var_key(var: Var) -> VarKey:
 
 class _CopyCounter:
     """Process-global tally of :meth:`State.copy` calls, snapshotted by
-    the interpreter to report a ``states_created`` counter without
-    threading an observer through every copy site."""
+    the interpreter to report ``states_created`` / ``shared_copies``
+    counters without threading an observer through every copy site."""
 
     __slots__ = ("value",)
 
@@ -42,68 +51,115 @@ class _CopyCounter:
 COPIES = _CopyCounter()
 
 
-@dataclass
+def _join_value(left: AbstractValue, right: AbstractValue) -> AbstractValue:
+    if left is right:
+        return left
+    return left.join(right)
+
+
+def _leq_value(left: AbstractValue, right: AbstractValue) -> bool:
+    return left.leq(right)
+
+
+def _absent_ok(value: AbstractValue) -> bool:
+    # A key the right side lacks is implicitly bottom there.
+    return value.is_bottom
+
+
 class State:
     """One abstract state (environment + heap). Mutable; the interpreter
-    copies before branching."""
+    copies before branching — the copy shares all structure."""
 
-    vars: dict[VarKey, AbstractValue] = field(default_factory=dict)
-    heap: Heap = field(default_factory=Heap)
+    __slots__ = ("vars", "heap")
+
+    def __init__(self, vars: PMap | dict | None = None, heap: Heap | None = None):
+        if vars is None:
+            vars = _EMPTY_VARS
+        elif type(vars) is dict:
+            vars = PMap.from_dict(vars)
+        self.vars = vars
+        self.heap = heap if heap is not None else Heap()
 
     def copy(self) -> "State":
         COPIES.value += 1
-        return State(dict(self.vars), self.heap.copy())
+        return State(self.vars, self.heap.copy())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, State):
+            return NotImplemented
+        return self.vars == other.vars and self.heap == other.heap
+
+    def __repr__(self) -> str:
+        return f"State(vars={self.vars.to_dict()!r}, heap={self.heap!r})"
 
     # ------------------------------------------------------------------
     # Lattice
 
     def leq(self, other: "State") -> bool:
-        for key, value in self.vars.items():
-            bound = other.vars.get(key)
-            if bound is None:
-                if not value.is_bottom:
-                    return False
-            elif not value.leq(bound):
-                return False
+        if not self.vars.leq(other.vars, _leq_value, _absent_ok):
+            return False
         return self.heap.leq(other.heap)
+
+    def join_changed(self, other: "State") -> tuple["State", bool]:
+        """Join with an explicit change flag — the worklist's "did this
+        state grow?" test. The returned state may be a new object even
+        when unchanged: its tries adopt the other side's nodes where the
+        two agree (see ``PMap.merge_changed``), so a caller that stores
+        the result makes the next round's join against the same incoming
+        edge short-circuit on literal node identity."""
+        if other is self:
+            return self, False
+        merged, vars_changed = self.vars.merge_changed(other.vars, _join_value)
+        heap, heap_changed = self.heap.join_changed(other.heap)
+        changed = vars_changed or heap_changed
+        if merged is self.vars and heap is self.heap:
+            return self, changed
+        return State(merged, heap), changed
 
     def join(self, other: "State") -> "State":
         """Join; identity-preserving: returns ``self`` (the same object)
-        when ``other`` adds nothing — the worklist uses an ``is`` check
-        as its "state changed?" test."""
+        when ``other`` adds nothing — callers use an ``is`` check as
+        their "state changed?" test. Shared subtrees of the two
+        environments are skipped wholesale."""
+        joined, changed = self.join_changed(other)
+        return joined if changed else self
+
+    def widen(self, other: "State") -> "State":
+        """Widening: ``old.widen(joined)`` with ``self ⊑ other``. Used
+        by the interpreter at loop heads whose per-head join budget ran
+        out: strictly-growing lattice components jump to their tops so
+        the cycle stabilizes promptly. Walks the full environment — fine
+        for an operation that fires at most once per widening point."""
         if other is self:
             return self
-        changed = False
-        merged: dict[VarKey, AbstractValue] = dict(self.vars)
-        for key, value in other.vars.items():
-            existing = merged.get(key)
-            if existing is None:
-                merged[key] = value
-                changed = True
-            elif existing is not value:
-                joined = existing.join(value)
-                if joined is not existing:
-                    changed = True
-                merged[key] = joined
-        heap = self.heap.join(other.heap)
-        if not changed and heap is self.heap:
-            return self
-        return State(merged, heap)
+        vars = other.vars
+        for key, old in self.vars.items():
+            new = vars.get(key)
+            if new is not None and new is not old:
+                widened = old.widen(new)
+                if widened is not new:
+                    vars = vars.set(key, widened)
+        heap = self.heap.widen(other.heap)
+        if vars is other.vars and heap is other.heap:
+            return other
+        return State(vars, heap)
 
     # ------------------------------------------------------------------
     # Variable access
 
     def read_var(self, var: Var) -> AbstractValue:
-        value = self.vars.get(var_key(var))
+        value = self.vars.get((var.scope, var.name))
         if value is None:
             # Never assigned: undefined (hoisted local or missing global).
             return values_domain.UNDEF
         return value
 
     def write_var(self, var: Var, value: AbstractValue, strong: bool = True) -> None:
-        key = var_key(var)
-        if strong:
-            self.vars[key] = value
-        else:
-            existing = self.vars.get(key, values_domain.UNDEF)
-            self.vars[key] = existing.join(value)
+        key = (var.scope, var.name)
+        if not strong:
+            existing = self.vars.get(key)
+            if existing is not None:
+                value = existing.join(value)
+            else:
+                value = values_domain.UNDEF.join(value)
+        self.vars = self.vars.set(key, value)

@@ -22,9 +22,15 @@ from repro.domains.prefix import Prefix
 from repro.ir.nodes import UNDEFINED
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class AbstractValue:
-    """One abstract JavaScript value (immutable)."""
+    """One abstract JavaScript value (immutable).
+
+    Instances created on hot paths are *interned* (:func:`interned`):
+    structurally equal values become the same object, so the
+    identity-preserving ``is`` fast paths in joins, persistent-map merges
+    and the worklist's fixpoint test fire across fixpoint rounds, not
+    just within one. The hash is memoized for the intern table."""
 
     may_undef: bool = False
     may_null: bool = False
@@ -32,6 +38,35 @@ class AbstractValue:
     number: AbstractNumber = numbers.BOTTOM
     string: Prefix = prefix_domain.BOTTOM
     addresses: frozenset[int] = frozenset()
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, AbstractValue):
+            return NotImplemented
+        return (
+            self.may_undef == other.may_undef
+            and self.may_null == other.may_null
+            and self.boolean == other.boolean
+            and self.number == other.number
+            and self.string == other.string
+            and self.addresses == other.addresses
+        )
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((
+                self.may_undef,
+                self.may_null,
+                self.boolean,
+                self.number,
+                self.string,
+                self.addresses,
+            ))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     # ------------------------------------------------------------------
     # Lattice
@@ -89,14 +124,46 @@ class AbstractValue:
             and addresses == other.addresses
         ):
             return other
-        return AbstractValue(
+        return interned(AbstractValue(
             may_undef=may_undef,
             may_null=may_null,
             boolean=boolean,
             number=number,
             string=string,
             addresses=addresses,
+        ))
+
+    def widen(self, other: "AbstractValue") -> "AbstractValue":
+        """Widening: ``old.widen(joined)`` with ``self ⊑ other``.
+
+        Every strictly-growing finite-height component jumps straight to
+        its top, so a cyclic flow that keeps nudging a component
+        stabilizes after one widening instead of climbing its chain.
+        Address sets are kept as-is — they are bounded by the program's
+        allocation sites and have no meaningful top short of "every
+        address"."""
+        if other is self:
+            return self
+        boolean = other.boolean
+        if boolean != self.boolean and not boolean.is_bottom:
+            boolean = bools.TOP
+        number = other.number
+        if number != self.number and not number.is_bottom:
+            number = numbers.TOP
+        string = other.string
+        if string != self.string and not string.is_bottom:
+            string = prefix_domain.TOP
+        widened = AbstractValue(
+            may_undef=other.may_undef,
+            may_null=other.may_null,
+            boolean=boolean,
+            number=number,
+            string=string,
+            addresses=other.addresses,
         )
+        if widened == other:
+            return other
+        return interned(widened)
 
     # ------------------------------------------------------------------
     # Queries
@@ -170,12 +237,14 @@ class AbstractValue:
         return result
 
     def without_addresses(self) -> "AbstractValue":
-        return replace(self, addresses=frozenset())
+        if not self.addresses:
+            return self
+        return interned(replace(self, addresses=frozenset()))
 
     def restricted_to_objects(self) -> "AbstractValue":
         """Keep only the object part (used after a successful property
         access proves the base was an object)."""
-        return AbstractValue(addresses=self.addresses)
+        return interned(AbstractValue(addresses=self.addresses))
 
     def __str__(self) -> str:
         parts: list[str] = []
@@ -192,6 +261,24 @@ class AbstractValue:
         if self.addresses:
             parts.append("objs{" + ",".join(map(str, sorted(self.addresses))) + "}")
         return "|".join(parts) if parts else "⊥"
+
+
+#: Hash-consing table. Bounded so pathological inputs cannot grow it
+#: without limit; on overflow new values simply stay un-interned (a pure
+#: perf miss — identity coincidences only ever help, never change
+#: results, because every consumer treats identity as "equal for sure").
+_VALUE_INTERN: dict[AbstractValue, AbstractValue] = {}
+_VALUE_INTERN_LIMIT = 262_144
+
+
+def interned(value: AbstractValue) -> AbstractValue:
+    """The canonical instance structurally equal to ``value``."""
+    cached = _VALUE_INTERN.get(value)
+    if cached is not None:
+        return cached
+    if len(_VALUE_INTERN) < _VALUE_INTERN_LIMIT:
+        _VALUE_INTERN[value] = value
+    return value
 
 
 #: The bottom value: no concrete value at all (unreachable / uninitialized).
@@ -212,6 +299,16 @@ ANY_NUMBER = AbstractValue(number=numbers.TOP)
 #: An unknown boolean.
 ANY_BOOL = AbstractValue(boolean=bools.TOP)
 
+# Seed the intern table with the canonical constants, so a structurally
+# equal value built elsewhere (whose components may be fresh objects
+# rather than the domain singletons) can never become the canonical
+# representative ahead of them. Interning must canonicalize *towards*
+# these — their components satisfy identity checks like
+# ``value.boolean is bools.TOP``.
+for _value in (BOTTOM, UNDEF, NULL, ANY_STRING, ANY_NUMBER, ANY_BOOL):
+    _VALUE_INTERN[_value] = _value
+del _value
+
 
 #: Interned constant values. Literals are re-abstracted on every fixpoint
 #: re-execution of their statement; returning the same object each time
@@ -225,11 +322,11 @@ _CONSTANT_CACHE_LIMIT = 8192
 
 def _build_constant(value: object) -> AbstractValue:
     if isinstance(value, bool):
-        return AbstractValue(boolean=bools.from_bool(value))
+        return interned(AbstractValue(boolean=bools.from_bool(value)))
     if isinstance(value, float):
-        return AbstractValue(number=numbers.constant(value))
+        return interned(AbstractValue(number=numbers.constant(value)))
     if isinstance(value, str):
-        return AbstractValue(string=prefix_domain.exact(value))
+        return interned(AbstractValue(string=prefix_domain.exact(value)))
     raise TypeError(f"not a JS constant: {value!r}")
 
 
@@ -254,11 +351,11 @@ def from_constant(value: object) -> AbstractValue:
 
 
 def from_string(abstract: Prefix) -> AbstractValue:
-    return AbstractValue(string=abstract)
+    return interned(AbstractValue(string=abstract))
 
 
 def from_addresses(*addresses: int) -> AbstractValue:
-    return AbstractValue(addresses=frozenset(addresses))
+    return interned(AbstractValue(addresses=frozenset(addresses)))
 
 
 def join_all(values: list[AbstractValue]) -> AbstractValue:

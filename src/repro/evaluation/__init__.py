@@ -1,6 +1,13 @@
 """The evaluation harness: Table 1, Table 2, and figure reproductions."""
 
 from repro.evaluation.bench import render_bench, run_bench
+from repro.evaluation.scaling import (
+    check_regression,
+    render_scaling,
+    run_scaling,
+    synthesize_chain,
+    synthesize_flat,
+)
 from repro.evaluation.table1 import Table1Row, compute_table1, render_table1
 from repro.evaluation.table2 import (
     DiffRow,
@@ -31,4 +38,6 @@ __all__ = [
     "figure2_edges", "figure4_lattice", "render_figure2", "render_figure4",
     "render_report",
     "run_bench", "render_bench",
+    "run_scaling", "render_scaling", "check_regression",
+    "synthesize_flat", "synthesize_chain",
 ]

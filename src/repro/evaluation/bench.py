@@ -24,7 +24,7 @@ from pathlib import Path
 from repro.addons import CORPUS
 from repro.batch import summarize, vet_corpus, vet_many
 
-SCHEMA = "addon-sig/bench-corpus/v4"
+SCHEMA = "addon-sig/bench-corpus/v5"
 
 #: Where the examples corpus (the prefilter's benchmark) lives.
 EXAMPLES_DIR = "examples/addons"
@@ -130,6 +130,12 @@ def _bench_incremental(versions_dir: str | Path | None) -> dict | None:
     full = vet_many(tasks(False), use_cache=False, workers=1)
     wall_full = time.perf_counter() - start
     hits = sum(1 for outcome in fast if outcome.incremental)
+    attempted = sum(
+        outcome.counters.get("certification_attempted", 0) for outcome in fast
+    )
+    skipped = sum(
+        outcome.counters.get("certification_skipped", 0) for outcome in fast
+    )
     verdicts: dict[str, int] = {}
     for outcome in fast:
         if outcome.diff_verdict:
@@ -140,6 +146,10 @@ def _bench_incremental(versions_dir: str | Path | None) -> dict | None:
         "pairs": len(pairs),
         "hits": hits,
         "hit_rate": round(hits / len(pairs), 4),
+        # The cost gate's economics: certificates attempted vs. skipped
+        # because full re-analysis was predicted cheaper.
+        "certifications_attempted": attempted,
+        "certifications_skipped": skipped,
         "wall_incremental_s": round(wall_incremental, 6),
         "wall_full_s": round(wall_full, 6),
         "wall_delta_s": round(wall_full - wall_incremental, 6),
@@ -152,7 +162,7 @@ def _bench_incremental(versions_dir: str | Path | None) -> dict | None:
 
 
 def run_bench(
-    runs: int = 5,
+    runs: int = 3,
     k: int = 1,
     workers: int | None = None,
     output: str | Path | None = "BENCH_corpus.json",
@@ -160,6 +170,7 @@ def run_bench(
     timeout: float | None = None,
     examples_dir: str | Path | None = EXAMPLES_DIR,
     versions_dir: str | Path | None = VERSIONS_DIR,
+    corpus=None,
 ) -> dict:
     """Benchmark the corpus; returns (and optionally writes) the report.
 
@@ -180,9 +191,19 @@ def run_bench(
     clocks, the diff-verdict breakdown, and the fast-lane soundness
     check (served signatures bit-identical to full re-analysis) — and
     each per-addon entry records ``samples_kept``, how many timing
-    samples actually survived the warm-up discard."""
+    samples actually survived the warm-up discard.
+
+    Since v5 the default protocol is ``runs=3`` (discard the warm-up,
+    median of 2 kept samples — the cheapest protocol whose medians are
+    not single samples) and the incremental section counts fast-lane
+    certifications attempted vs. skipped by the cost gate
+    (``repro.batch.FAST_LANE_MIN_SOURCE_CHARS``).
+
+    ``corpus`` restricts the sweep to the given addon specs (default:
+    the full benchmark corpus)."""
     start = time.perf_counter()
-    outcomes = vet_corpus(CORPUS, runs=runs, k=k, workers=workers,
+    outcomes = vet_corpus(corpus if corpus is not None else CORPUS,
+                          runs=runs, k=k, workers=workers,
                           use_cache=use_cache, timeout=timeout)
     wall_s = time.perf_counter() - start
 
@@ -319,7 +340,7 @@ def render_bench(report: dict) -> str:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--runs", type=int, default=5)
+    parser.add_argument("--runs", type=int, default=3)
     parser.add_argument("--k", type=int, default=1)
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--output", default="BENCH_corpus.json")

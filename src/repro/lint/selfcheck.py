@@ -9,7 +9,8 @@ catches.
 
 This module enumerates a small, deterministic element set for each
 domain (prefix strings, booleans, numbers, the reduced-product values,
-and the k-bounded string-set extension) and checks every law on every
+the k-bounded string-set extension, and the machine state itself —
+environment + heap over their persistent maps) and checks every law on every
 element/pair/triple (for the large closed-under-join values domain,
 triples range over the base generators). It runs in about a second, as a CLI
 subcommand (``addon-sig selfcheck``) and as a pytest suite
@@ -23,6 +24,11 @@ Domain-specific notes:
 - **stringset** — elements are enumerated as singletons: the bounded
   join deliberately collapses sets over budget (a widening), and the
   lattice laws are only promised below the bound.
+- **state** — elements deliberately include copy-on-write aliases
+  (states built by ``copy()`` + mutation, sharing trie nodes with their
+  ancestors), so the laws exercise the persistent maps' shared-subtree
+  short-circuits, not just structurally independent states; equality is
+  semantic (an absent variable is an implicit bottom binding).
 """
 
 from __future__ import annotations
@@ -32,7 +38,10 @@ from dataclasses import dataclass, field
 
 from repro.domains import bools, numbers, values
 from repro.domains import prefix as prefix_domain
+from repro.domains.objects import AbstractObject
+from repro.domains.state import State
 from repro.domains.stringset import StringSet
+from repro.ir.nodes import GLOBAL_SCOPE, Var
 
 
 @dataclass
@@ -338,6 +347,86 @@ def _stringset_elements() -> list[StringSet]:
     ]
 
 
+def _state_elements() -> list[State]:
+    """Small, corner-heavy machine states — several built as COW aliases
+    of one another (``copy()`` + mutation), so join/leq run against
+    states that literally share persistent-map nodes."""
+    x = Var("x", GLOBAL_SCOPE)
+    y = Var("y", GLOBAL_SCOPE)
+    one = values.from_constant(1.0)
+    two = values.from_constant(2.0)
+
+    bottom = State()
+    x_one = State()
+    x_one.write_var(x, one)
+    x_two = State()
+    x_two.write_var(x, two)
+    x_num = State()
+    x_num.write_var(x, values.ANY_NUMBER)
+
+    # COW aliases: grown from x_one's trie, sharing its nodes.
+    xy = x_one.copy()
+    xy.write_var(y, values.from_constant("a"))
+    xy_wide = xy.copy()
+    xy_wide.write_var(y, values.ANY_STRING)
+
+    heap_single = State()
+    heap_single.heap.allocate(1, AbstractObject())
+    heap_summary = heap_single.copy()
+    heap_summary.heap.allocate(1, AbstractObject())  # loses singleton-ness
+    heap_grown = heap_single.copy()
+    heap_grown.heap.allocate(2, AbstractObject())
+    heap_grown.write_var(x, one)
+
+    return [
+        bottom, x_one, x_two, x_num, xy, xy_wide,
+        heap_single, heap_summary, heap_grown,
+    ]
+
+
+def _state_eq(a: State, b: State) -> bool:
+    """Semantic state equality: an absent variable entry means "never
+    assigned", i.e. an implicit bottom — so explicit-bottom bindings
+    (joins can produce them) compare equal to absence, and trie shape
+    never matters."""
+    def normal(state: State):
+        return (
+            {
+                key: value
+                for key, value in state.vars.items()
+                if not value.is_bottom
+            },
+            state.heap.objects,
+            state.heap.singletons,
+        )
+
+    return normal(a) == normal(b)
+
+
+def _state_copy_strong_write(state: State) -> State:
+    out = state.copy()
+    out.write_var(Var("x", GLOBAL_SCOPE), values.ANY_NUMBER, strong=True)
+    return out
+
+
+def _state_copy_weak_write(state: State) -> State:
+    # Weak-writes a variable no enumerated element binds: the lattice
+    # order reads an absent binding as bottom while the machine reads it
+    # as ``undefined``, so a weak write is only monotone across states
+    # that agree on whether the variable was ever assigned — which is
+    # the only situation the interpreter compares (same program point,
+    # same hoisted declarations).
+    out = state.copy()
+    out.write_var(Var("z", GLOBAL_SCOPE), values.ANY_NUMBER, strong=False)
+    return out
+
+
+def _state_copy_alloc(state: State) -> State:
+    out = state.copy()
+    out.heap.allocate(9, AbstractObject())
+    return out
+
+
 def _implies(a: bool, b: bool) -> bool:
     return (not a) or b
 
@@ -430,6 +519,22 @@ def run_selfcheck() -> list[DomainCheck]:
                     values.AbstractValue.may_be_falsy,
                     out_leq=_implies,
                 ),
+            ],
+        ),
+        _LawChecker(
+            "state",
+            _state_elements(),
+            leq=State.leq,
+            join=State.join,
+            eq=_state_eq,
+            # The empty state is bottom; there is no finite top (the
+            # address space is unbounded) and no meet.
+            bottom=State(),
+            transfers=[
+                Transfer("copy", State.copy),
+                Transfer("copy+strong-write", _state_copy_strong_write),
+                Transfer("copy+weak-write", _state_copy_weak_write),
+                Transfer("copy+alloc", _state_copy_alloc),
             ],
         ),
         _LawChecker(

@@ -38,11 +38,15 @@ class ICFG:
     nodes: list[Node]
     succs: dict[Node, list[Node]] = field(default_factory=dict)
     preds: dict[Node, list[Node]] = field(default_factory=dict)
+    #: Edge membership, for O(1) duplicate suppression in ``add_edge``;
+    #: the lists above keep insertion order (downstream determinism).
+    _edges: set[tuple[Node, Node]] = field(default_factory=set)
 
     def add_edge(self, source: Node, target: Node) -> None:
-        targets = self.succs.setdefault(source, [])
-        if target not in targets:
-            targets.append(target)
+        edge = (source, target)
+        if edge not in self._edges:
+            self._edges.add(edge)
+            self.succs.setdefault(source, []).append(target)
             self.preds.setdefault(target, []).append(source)
 
     def successors(self, node: Node) -> list[Node]:

@@ -1,0 +1,155 @@
+"""The weak-topological-order scheduler behind the fixpoint worklist.
+
+``build_schedule`` condenses the flow graph into SCCs, ranks the
+condensation topologically (min-sid tie-break, so the order refines
+plain statement order), and designates one widening point per cyclic
+component. These tests pin those structural properties on real lowered
+programs — straight-line code, loops, nested loops, self-recursion —
+plus the interpreter-facing counters.
+"""
+
+from repro.analysis import analyze
+from repro.analysis.wto import build_schedule
+from repro.ir import lower
+from repro.js import parse
+
+
+def schedule_of(source, event_loop=False):
+    program = lower(parse(source), event_loop=event_loop)
+    return program, build_schedule(program)
+
+
+def assert_edges_respect_ranks(program, schedule):
+    """Every flow edge goes rank-forward, except edges inside one SCC
+    (which share a rank) — the defining property of a WTO."""
+    for sid, stmt in program.stmts.items():
+        for edge in stmt.edges:
+            if edge.target in schedule.rank:
+                assert schedule.rank[sid] <= schedule.rank[edge.target], (
+                    f"edge {sid}->{edge.target} goes rank-backward"
+                )
+
+
+class TestStraightLine:
+    def test_every_statement_ranked(self):
+        program, schedule = schedule_of("var a = 1; var b = a + 1; send(b);")
+        assert set(schedule.rank) == set(program.stmts)
+
+    def test_acyclic_code_has_no_heads(self):
+        _, schedule = schedule_of("var a = 1; if (a) { a = 2; } send(a);")
+        assert schedule.heads == frozenset()
+        assert schedule.cyclic_components == 0
+
+    def test_acyclic_components_are_singletons(self):
+        program, schedule = schedule_of("var a = 1; var b = a;")
+        # One component per statement: ranks are a permutation.
+        assert schedule.components == len(program.stmts)
+        assert sorted(schedule.rank.values()) == list(range(len(program.stmts)))
+
+    def test_ranks_refine_statement_order(self):
+        # With no cycles forcing otherwise, the min-sid tie-break keeps
+        # the schedule aligned with statement order.
+        program, schedule = schedule_of("var a = 1; var b = a; var c = b;")
+        sids = sorted(program.stmts)
+        ranks = [schedule.rank[sid] for sid in sids]
+        assert ranks == sorted(ranks)
+
+    def test_edges_respect_ranks(self):
+        program, schedule = schedule_of(
+            "var a = 1; if (a) { a = 2; } else { a = 3; } send(a);"
+        )
+        assert_edges_respect_ranks(program, schedule)
+
+
+class TestLoops:
+    def test_while_loop_designates_one_head(self):
+        _, schedule = schedule_of(
+            "var i = 0; while (i < 3) { i = i + 1; } send(i);"
+        )
+        assert schedule.cyclic_components == 1
+        assert len(schedule.heads) == 1
+
+    def test_loop_head_is_smallest_sid_of_its_component(self):
+        program, schedule = schedule_of(
+            "var i = 0; while (i < 3) { i = i + 1; }"
+        )
+        [head] = schedule.heads
+        head_rank = schedule.rank[head]
+        component = [
+            sid for sid, rank in schedule.rank.items() if rank == head_rank
+        ]
+        assert head == min(component)
+        assert len(component) > 1
+
+    def test_loop_body_shares_one_rank(self):
+        program, schedule = schedule_of(
+            "var i = 0; while (i < 3) { var a = i; var b = a; i = b + 1; }"
+        )
+        # The whole cycle collapses into one component, so the number of
+        # distinct ranks is the component count, not the statement count.
+        assert schedule.components < len(program.stmts)
+        assert schedule.components == len(set(schedule.rank.values()))
+        assert_edges_respect_ranks(program, schedule)
+
+    def test_nested_loops_one_head_per_cycle(self):
+        _, schedule = schedule_of(
+            "var i = 0;"
+            "while (i < 3) {"
+            "  var j = 0;"
+            "  while (j < 3) { j = j + 1; }"
+            "  i = i + 1;"
+            "}"
+        )
+        # Both loops share the outer cycle's SCC in the static flow
+        # graph only if the inner loop flows back into it — here the
+        # inner loop is a sub-cycle of the outer component, so Tarjan
+        # merges them into one SCC: a single head.  The invariant worth
+        # pinning is one head per *cyclic component*.
+        assert schedule.cyclic_components == len(schedule.heads)
+        assert schedule.cyclic_components >= 1
+
+    def test_sequential_loops_get_separate_heads(self):
+        _, schedule = schedule_of(
+            "var i = 0; while (i < 3) { i = i + 1; }"
+            "var j = 0; while (j < 3) { j = j + 1; }"
+        )
+        assert schedule.cyclic_components == 2
+        assert len(schedule.heads) == 2
+
+
+class TestRecursionAndSelfLoops:
+    def test_recursion_is_not_a_static_cycle(self):
+        program, schedule = schedule_of(
+            "function f(n) { if (n) { f(n - 1); } return n; } f(3);"
+        )
+        # Call and return edges are resolved *during* the analysis (they
+        # depend on which closures flow to the call site), so they are
+        # not part of the static flow graph the WTO is built from:
+        # recursion re-enqueues through the worklist, not through a
+        # ranked cycle, and the static schedule stays acyclic here.
+        assert schedule.cyclic_components == 0
+        assert set(schedule.rank) == set(program.stmts)
+
+    def test_counters_reach_the_interpreter(self):
+        program = lower(
+            parse("var i = 0; while (i < 3) { i = i + 1; }"),
+            event_loop=False,
+        )
+        result = analyze(program)
+        schedule = build_schedule(program)
+        assert result.counters["wto_components"] == schedule.components
+        assert result.counters["widening_points"] == len(schedule.heads)
+
+
+class TestDeterminism:
+    def test_schedule_is_deterministic(self):
+        source = (
+            "var i = 0; while (i < 3) { i = i + 1; }"
+            "function f(n) { return n; } send(f(i));"
+        )
+        program = lower(parse(source), event_loop=False)
+        first = build_schedule(program)
+        second = build_schedule(program)
+        assert first.rank == second.rank
+        assert first.heads == second.heads
+        assert first.components == second.components

@@ -7,6 +7,7 @@ with clean outcomes only, and fast-lane outcomes cache and replay like
 any other outcome.
 """
 
+import dataclasses
 from pathlib import Path
 
 import pytest
@@ -69,12 +70,37 @@ class TestFastLaneIdentity:
             _update_tasks(baselines, True), use_cache=False, workers=1
         )
         by_name = {outcome.name: outcome for outcome in fast}
-        assert by_name["ui_theme"].incremental
-        assert by_name["ui_theme"].diff_verdict == "approve-fast"
+        assert by_name["big_dashboard"].incremental
+        assert by_name["big_dashboard"].diff_verdict == "approve-fast"
         # A fast-laned outcome still reports a nonzero p1 (the
         # certificate check) and a real AST size.
-        assert by_name["ui_theme"].ast_nodes > 0
-        assert by_name["ui_theme"].timing_samples == 1
+        assert by_name["big_dashboard"].ast_nodes > 0
+        assert by_name["big_dashboard"].timing_samples == 1
+
+    def test_cost_gate_skips_certification_on_small_updates(self, baselines):
+        # ui_theme's certificate would hold, but the addon is far below
+        # the cost gate: parsing it twice to certify costs more than
+        # simply re-analyzing it, so the engine skips certification and
+        # records the skip.
+        fast = vet_many(
+            _update_tasks(baselines, True), use_cache=False, workers=1
+        )
+        by_name = {outcome.name: outcome for outcome in fast}
+        small = by_name["ui_theme"]
+        assert not small.incremental
+        assert small.counters.get("certification_skipped") == 1
+        assert by_name["big_dashboard"].counters.get(
+            "certification_attempted"
+        ) == 1
+        # Gate off: the certificate fires even on the tiny update.
+        ungated = vet_many(
+            [
+                dataclasses.replace(task, fast_lane_min_chars=0)
+                for task in _update_tasks(baselines, True)
+            ],
+            use_cache=False, workers=1,
+        )
+        assert {o.name: o for o in ungated}["ui_theme"].incremental
 
     def test_incremental_off_never_fast_lanes(self, baselines):
         full = vet_many(
@@ -119,6 +145,8 @@ class TestFastLaneIdentity:
         assert summary["incremental"] == sum(1 for o in fast if o.incremental)
         assert summary["diff_verdicts"]["approve-fast"] >= 1
         assert summary["diff_verdicts"]["re-review"] >= 1
+        assert summary["certifications"]["attempted"] >= 1
+        assert summary["certifications"]["skipped"] >= 1
 
 
 class TestBaselineResolution:
@@ -126,7 +154,9 @@ class TestBaselineResolution:
         old = "var quiet = 1;"
         new = "// churn\nvar quiet = 1;"
         [outcome] = vet_many(
-            [VetTask(name="addon", source=new)],
+            # fast_lane_min_chars=0: the fixture is tiny by design; the
+            # test exercises baseline resolution, not the cost gate.
+            [VetTask(name="addon", source=new, fast_lane_min_chars=0)],
             baseline={"addon": (old, "")},
             use_cache=False, workers=1,
         )
@@ -148,13 +178,13 @@ class TestBaselineResolution:
         old = "var quiet = 1;"
         new = "var quiet = 1;\nvar island_probe = { probe_key: 2 };"
         [first] = vet_many(
-            [VetTask(name="addon", source=old)],
+            [VetTask(name="addon", source=old, fast_lane_min_chars=0)],
             store=store, use_cache=False, workers=1,
         )
         assert not first.incremental  # no baseline yet
         assert len(store.chain("addon")) == 1
         [second] = vet_many(
-            [VetTask(name="addon", source=new)],
+            [VetTask(name="addon", source=new, fast_lane_min_chars=0)],
             store=store, use_cache=False, workers=1,
         )
         assert second.incremental
@@ -187,6 +217,7 @@ class TestCaching:
         task = VetTask(
             name="addon", source="// churn\n" + old,
             baseline_source=old, baseline_signature_text="",
+            fast_lane_min_chars=0,
         )
         [first] = vet_many([task], cache_dir=tmp_path, workers=1)
         assert first.incremental and not first.cached

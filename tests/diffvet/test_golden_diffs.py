@@ -27,6 +27,7 @@ GOLDEN = Path(__file__).with_name("golden_diffs.txt")
 #: What each curated pair is *for* — checked structurally so the golden
 #: file cannot drift into pinning the wrong scenario.
 EXPECTED_SCENARIOS = {
+    "big_dashboard": ("approve-fast", None),
     "clock_badge": ("re-review", "new-flow"),
     "search_rank": ("approve", "narrowed"),
     "sync_report": ("approve", "removed-flow"),

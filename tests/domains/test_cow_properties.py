@@ -1,0 +1,168 @@
+"""Copy-on-write aliasing properties of the machine state.
+
+``State.copy`` is O(1) structure sharing over persistent maps, and the
+interpreter's correctness rests on the aliasing discipline: mutating a
+copy must never be observable through the original (in either
+direction), and join/leq/copy on states that literally share trie nodes
+must agree with what the seed's deep-copy semantics would compute.
+Hypothesis drives randomized op sequences against both a shared-
+structure state and an independently rebuilt deep clone and checks the
+two worlds never diverge.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domains import prefix as p
+from repro.domains import values as v
+from repro.domains.objects import AbstractObject
+from repro.domains.state import State
+from repro.ir.nodes import GLOBAL_SCOPE, Var
+
+_values = st.one_of(
+    st.just(v.UNDEF),
+    st.just(v.NULL),
+    st.just(v.ANY_STRING),
+    st.builds(v.from_constant, st.text(alphabet="ab", max_size=3)),
+    st.builds(v.from_constant, st.floats(allow_nan=False, width=16)),
+    st.builds(v.from_constant, st.booleans()),
+    st.builds(v.from_addresses, st.integers(0, 3)),
+)
+
+_names = st.text(alphabet="xyz", min_size=1, max_size=2)
+_addresses = st.integers(0, 5)
+
+#: One mutation step: variable writes (strong and weak), allocations,
+#: property writes/deletes, and singleton demotion — every way the
+#: interpreter mutates a state after copying it.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), _names, _values, st.booleans()),
+        st.tuples(st.just("alloc"), _addresses),
+        st.tuples(st.just("heap_write"), _addresses, _values),
+        st.tuples(st.just("heap_delete"), _addresses),
+        st.tuples(st.just("drop_singleton"), _addresses),
+    ),
+    max_size=8,
+)
+
+_PROP = p.exact("p")
+
+
+def _apply(state: State, ops) -> State:
+    for op in ops:
+        kind = op[0]
+        if kind == "write":
+            state.write_var(Var(op[1], GLOBAL_SCOPE), op[2], strong=op[3])
+        elif kind == "alloc":
+            state.heap.allocate(op[1], AbstractObject())
+        elif kind == "heap_write":
+            state.heap.write(frozenset([op[1]]), _PROP, op[2])
+        elif kind == "heap_delete":
+            state.heap.delete(frozenset([op[1]]), _PROP)
+        elif kind == "drop_singleton":
+            state.heap.drop_singleton(op[1])
+    return state
+
+
+def _build_state(ops) -> State:
+    return _apply(State(), ops)
+
+
+_states = st.builds(_build_state, _ops)
+
+
+def _snapshot(state: State):
+    """A value-level snapshot: every binding, object, and singleton flag.
+    Abstract values and objects are immutable, so sharing them is safe —
+    only the map structure can alias."""
+    return (
+        state.vars.to_dict(),
+        state.heap.objects,
+        state.heap.singletons,
+    )
+
+
+def _deep(state: State) -> State:
+    """Rebuild an equal state sharing NO trie nodes with the input —
+    the seed's deep-copy world, used as the semantics oracle."""
+    clone = State()
+    for key, value in sorted(state.vars.items()):
+        clone.vars = clone.vars.set(key, value)
+    for address in sorted(state.heap.addresses()):
+        clone.heap.allocate(address, state.heap.get(address))
+        if not state.heap.is_singleton(address):
+            clone.heap.drop_singleton(address)
+    return clone
+
+
+class TestAliasing:
+    @settings(max_examples=150, deadline=None)
+    @given(_states, _ops)
+    def test_mutating_the_copy_never_leaks_into_the_original(
+        self, original, ops
+    ):
+        before = _snapshot(original)
+        _apply(original.copy(), ops)
+        assert _snapshot(original) == before
+
+    @settings(max_examples=150, deadline=None)
+    @given(_states, _ops)
+    def test_mutating_the_original_never_leaks_into_the_copy(
+        self, original, ops
+    ):
+        copy = original.copy()
+        before = _snapshot(copy)
+        _apply(original, ops)
+        assert _snapshot(copy) == before
+
+    @settings(max_examples=100, deadline=None)
+    @given(_states)
+    def test_copy_is_equal_and_join_identity(self, state):
+        copy = state.copy()
+        assert copy == state
+        assert copy.leq(state) and state.leq(copy)
+        assert state.join(copy) is state
+
+
+class TestSharedStructureAgreesWithDeepCopy:
+    """join/leq on COW siblings (states grown from a common ancestor,
+    sharing subtrees) must compute exactly what structurally independent
+    deep clones compute — the shared-subtree short-circuits are pure
+    optimization."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(_states, _ops, _ops)
+    def test_join_matches_deep_copy_semantics(self, base, left_ops, right_ops):
+        left = _apply(base.copy(), left_ops)
+        right = _apply(base.copy(), right_ops)
+        shared = left.join(right)
+        deep = _deep(left).join(_deep(right))
+        assert _snapshot(shared) == _snapshot(deep)
+
+    @settings(max_examples=150, deadline=None)
+    @given(_states, _ops, _ops)
+    def test_leq_matches_deep_copy_semantics(self, base, left_ops, right_ops):
+        left = _apply(base.copy(), left_ops)
+        right = _apply(base.copy(), right_ops)
+        assert left.leq(right) == _deep(left).leq(_deep(right))
+        assert right.leq(left) == _deep(right).leq(_deep(left))
+
+    @settings(max_examples=100, deadline=None)
+    @given(_states, _ops)
+    def test_join_with_grown_sibling_is_upper_bound(self, base, ops):
+        grown = _apply(base.copy(), ops)
+        joined = base.join(grown)
+        assert base.leq(joined)
+        assert grown.leq(joined)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_states, _ops)
+    def test_join_result_leaves_operands_untouched(self, base, ops):
+        grown = _apply(base.copy(), ops)
+        base_before = _snapshot(base)
+        grown_before = _snapshot(grown)
+        base.join(grown)
+        grown.join(base)
+        assert _snapshot(base) == base_before
+        assert _snapshot(grown) == grown_before

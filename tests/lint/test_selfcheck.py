@@ -19,7 +19,7 @@ pytestmark = pytest.mark.lint
 class TestRealDomains:
     def test_every_domain_covered(self):
         assert set(RESULTS) == {
-            "prefix", "bools", "numbers", "values", "stringset"
+            "prefix", "bools", "numbers", "values", "stringset", "state"
         }
 
     @pytest.mark.parametrize("domain", sorted(RESULTS))
