@@ -43,7 +43,7 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
+import random
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -51,9 +51,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 import repro
-from repro.faults import Budget, FailureKind, classify_exception
+from repro.faults import Budget, FailureKind, RetryPolicy, classify_exception
 from repro.perf import median_report
 from repro.signatures.spec import SecuritySpec
+from repro.store import JsonStore
 
 #: Bump when the pipeline's observable output changes (invalidates every
 #: cached outcome, together with ``repro.__version__``).
@@ -272,8 +273,36 @@ def cache_key(task: VetTask, spec: SecuritySpec | None) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def _cache_max_entries(override: int | None) -> int | None:
+    """The cache's LRU bound: an explicit override, else
+    ``$ADDON_SIG_CACHE_MAX_ENTRIES``, else unbounded. Zero or negative
+    disables the bound."""
+    if override is not None:
+        return override if override > 0 else None
+    env = os.environ.get("ADDON_SIG_CACHE_MAX_ENTRIES")
+    if not env:
+        return None
+    try:
+        parsed = int(env)
+    except ValueError:
+        return None
+    return parsed if parsed > 0 else None
+
+
+def _open_cache(
+    cache_dir: str | os.PathLike | None, max_entries: int | None
+) -> JsonStore:
+    """The outcome cache as a crash-consistent :class:`JsonStore` (flat
+    layout — the historical ``<key>.json`` format — no fsync: a crash
+    may lose a fresh entry but can never tear one)."""
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    return JsonStore(
+        directory, shards=1, max_entries=_cache_max_entries(max_entries)
+    )
+
+
 def _cache_load(
-    cache_dir: Path, key: str, name: str
+    cache: JsonStore, key: str, name: str
 ) -> tuple[VetOutcome | None, bool]:
     """Load one cache entry. Returns ``(outcome, quarantined)``.
 
@@ -283,19 +312,13 @@ def _cache_load(
     ``<key>.corrupt`` so it never masquerades as a miss again (and can
     be inspected), and the quarantine is reported via the recomputed
     outcome's counters."""
-    path = cache_dir / f"{key}.json"
+    data, quarantined = cache.load(key)
+    if data is None:
+        return None, quarantined
     try:
-        text = path.read_text(encoding="utf-8")
-    except OSError:
-        return None, False  # absent: a plain miss
-    try:
-        data = json.loads(text)
         outcome = VetOutcome.from_json(data, cached=True)
-    except Exception:  # corrupt on disk: quarantine, never re-trip
-        try:
-            path.rename(path.with_suffix(".corrupt"))
-        except OSError:
-            pass  # a read-only cache cannot quarantine; still a miss
+    except Exception:  # decodes but is not an outcome: foreign schema
+        cache.quarantine(key)
         return None, True
     outcome.name = name  # the same source may be vetted under any name
     return outcome, False
@@ -308,32 +331,27 @@ def _cache_load(
 _TRANSIENT_COUNTERS = frozenset({"cache_quarantined", "pool_retries"})
 
 
-def _cache_store(cache_dir: Path, key: str, outcome: VetOutcome) -> None:
-    try:
-        cache_dir.mkdir(parents=True, exist_ok=True)
-        data = outcome.to_json()
-        data["counters"] = {
-            name: value
-            for name, value in data.get("counters", {}).items()
-            if name not in _TRANSIENT_COUNTERS
-        }
-        # Atomic publish: never expose a half-written entry.
-        fd, tmp_path = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(data, handle)
-        os.replace(tmp_path, cache_dir / f"{key}.json")
-    except OSError:
-        pass  # a read-only cache directory must not fail the batch
+def _cache_store(cache: JsonStore, key: str, outcome: VetOutcome) -> None:
+    data = outcome.to_json()
+    data["counters"] = {
+        name: value
+        for name, value in data.get("counters", {}).items()
+        if name not in _TRANSIENT_COUNTERS
+    }
+    # Atomic publish (and LRU eviction) inside the store layer: a
+    # read-only cache directory must not fail the batch, and a reader
+    # can never observe a half-written entry.
+    cache.put(key, data)
 
 
-def _bump_counter(outcome: VetOutcome, name: str) -> VetOutcome:
+def _bump_counter(outcome: VetOutcome, name: str, by: int = 1) -> VetOutcome:
     """Annotate a lookup-layer event (quarantine, pool retry) on a
     *copy* of the outcome. The original — which may be cached on disk,
     held by a :class:`~repro.diffvet.store.VersionStore` chain, or
     shared with the caller — must stay pristine, or repeated lookups
     double-count the event (the PR-4 quarantine bug)."""
     counters = dict(outcome.counters)
-    counters[name] = counters.get(name, 0) + 1
+    counters[name] = counters.get(name, 0) + by
     return dataclasses.replace(outcome, counters=counters)
 
 
@@ -612,10 +630,12 @@ def vet_many(
     workers: int | None = None,
     use_cache: bool = True,
     cache_dir: str | os.PathLike | None = None,
+    cache_max_entries: int | None = None,
     timeout: float | None = None,
     prefilter: bool = True,
     baseline=None,
     store=None,
+    pool_retry: RetryPolicy | None = None,
 ) -> list[VetOutcome]:
     """Vet many addons, in parallel, with caching and error isolation.
 
@@ -644,6 +664,14 @@ def vet_many(
     version chain; when ``baseline`` is omitted, the store also supplies
     the baselines, which is the long-running-service shape: every sweep
     diffs against the last and extends the chains.
+    ``cache_max_entries`` — LRU bound on the outcome cache (reads
+    refresh recency; overflowing writes evict the stalest entries);
+    ``None`` defers to ``$ADDON_SIG_CACHE_MAX_ENTRIES``, else
+    unbounded.
+    ``pool_retry`` — the :class:`~repro.faults.RetryPolicy` governing
+    pool rebuilds after worker death (default: 3 attempts, exponential
+    backoff with jitter); tasks that exhaust it are salvaged with one
+    final in-process run.
 
     Returns one outcome per item, in input order. Failures are typed
     (:class:`repro.faults.FailureKind` in ``outcome.failure``) and
@@ -655,7 +683,7 @@ def vet_many(
     if baseline is None and store is not None:
         baseline = store
     tasks = _with_baselines(tasks, baseline)
-    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    cache = _open_cache(cache_dir, cache_max_entries)
 
     outcomes: dict[int, VetOutcome] = {}
     quarantined: set[int] = set()
@@ -663,7 +691,7 @@ def vet_many(
     for index, task in enumerate(tasks):
         key = cache_key(task, spec) if use_cache else None
         if key is not None:
-            hit, corrupt = _cache_load(directory, key, task.name)
+            hit, corrupt = _cache_load(cache, key, task.name)
             if corrupt:
                 quarantined.add(index)
             if hit is not None:
@@ -679,14 +707,14 @@ def vet_many(
             fresh = [(index, key, _execute_task(task, spec, timeout))
                      for index, task, key in pending]
         else:
-            fresh = _run_pool(pending, spec, worker_count, timeout)
+            fresh = _run_pool(pending, spec, worker_count, timeout, pool_retry)
         for index, key, outcome in fresh:
             # Degraded outcomes are machine/load-dependent (a deadline
             # that tripped here may not trip elsewhere): never cache.
             # Stored before any lookup-layer annotation, so the cached
             # object is pristine.
             if key is not None and outcome.ok and not outcome.degraded:
-                _cache_store(directory, key, outcome)
+                _cache_store(cache, key, outcome)
             if index in quarantined:
                 # Surface the quarantine once, on a copy of the
                 # recomputed outcome — never by mutating an object that
@@ -721,8 +749,9 @@ def _run_pool(
     spec: SecuritySpec | None,
     worker_count: int,
     timeout: float | None,
+    policy: RetryPolicy | None = None,
 ) -> list[tuple[int, str | None, VetOutcome]]:
-    """Fan pending tasks over a process pool.
+    """Fan pending tasks over a supervised process pool.
 
     Failure containment, in order of preference:
 
@@ -731,68 +760,121 @@ def _run_pool(
     - a task that outlives its hard backstop becomes a ``budget-time``
       failure outcome;
     - a broken pool (a worker process died) strands every task whose
-      future it poisoned — those are re-run sequentially in-process
-      rather than erroring the rest of the corpus;
+      future it poisoned — the pool is *rebuilt* and the stranded tasks
+      resubmitted under the shared backoff-with-jitter
+      :class:`~repro.faults.RetryPolicy` (so a second or third worker
+      death in one run keeps its parallelism instead of aborting to a
+      sequential crawl); a task that exhausts the policy is salvaged
+      with one final sequential in-process run;
     - a pool that cannot be created at all (no fork/semaphores) falls
       back to sequential in-process execution.
+
+    Every re-executed task carries a ``pool_retries`` counter (how many
+    times it was stranded and re-run); :func:`summarize` folds those
+    into totals and a per-attempt histogram.
     """
     from concurrent.futures.process import BrokenProcessPool
 
+    policy = policy if policy is not None else RetryPolicy()
+    rng = random.Random(len(pending))  # deterministic jitter per batch
     results: list[tuple[int, str | None, VetOutcome]] = []
-    stranded: list[tuple[int, VetTask, str | None]] = []
-    try:
-        executor = ProcessPoolExecutor(max_workers=worker_count)
-    except (OSError, ValueError):  # no fork/semaphores available here
-        return [(index, key, _execute_task(task, spec, timeout))
-                for index, task, key in pending]
-    pool_broke = False
-    try:
-        futures = [
-            (index, task, key, executor.submit(_execute_task, task, spec, timeout))
-            for index, task, key in pending
-        ]
-        for position, (index, task, key, future) in enumerate(futures):
+    retries: dict[int, int] = {}
+    executions: dict[int, int] = {}
+    queue = list(pending)
+    round_number = 0
+    while queue:
+        try:
+            executor = ProcessPoolExecutor(max_workers=worker_count)
+        except (OSError, ValueError):  # no fork/semaphores available here
+            break  # sequential salvage below
+        stranded: list[tuple[int, VetTask, str | None]] = []
+        pool_broke = False
+        try:
+            futures = []
             try:
-                results.append(
-                    (index, key, future.result(timeout=_hard_timeout(task, timeout)))
-                )
-            except FutureTimeoutError:
-                future.cancel()
-                results.append((
-                    index, key,
-                    VetOutcome(
-                        name=task.name, ok=False,
-                        failure=FailureKind.BUDGET_TIME.value,
-                        error=f"timeout: exceeded {timeout}s wall-clock budget",
-                    ),
-                ))
-            except BrokenProcessPool:
-                # The pool is dead: every remaining future is poisoned.
-                # Strand them all for a sequential in-process retry.
+                for index, task, key in queue:
+                    executions[index] = executions.get(index, 0) + 1
+                    futures.append((
+                        index, task, key,
+                        executor.submit(_execute_task, task, spec, timeout),
+                    ))
+            except BrokenProcessPool:  # died during submission
                 pool_broke = True
+                submitted = {entry[0] for entry in futures}
                 stranded.extend(
-                    (s_index, s_task, s_key)
-                    for s_index, s_task, s_key, _ in futures[position:]
+                    item for item in queue if item[0] not in submitted
                 )
-                break
-            except Exception as exc:  # e.g. an unpicklable result
-                results.append((
-                    index, key,
-                    VetOutcome(
-                        name=task.name, ok=False,
-                        failure=classify_exception(exc).value,
-                        error=f"{type(exc).__name__}: {exc}",
-                    ),
-                ))
-    finally:
-        # Don't block on workers wedged past their timeout.
-        executor.shutdown(
-            wait=timeout is None and not pool_broke, cancel_futures=True
-        )
-    for index, task, key in stranded:
-        outcome = _bump_counter(
-            _execute_task(task, spec, timeout), "pool_retries"
-        )
+            for position, (index, task, key, future) in enumerate(futures):
+                try:
+                    outcome = future.result(
+                        timeout=_hard_timeout(task, timeout)
+                    )
+                    if retries.get(index):
+                        outcome = _bump_counter(
+                            outcome, "pool_retries", retries[index]
+                        )
+                    results.append((index, key, outcome))
+                except FutureTimeoutError:
+                    future.cancel()
+                    results.append((
+                        index, key,
+                        VetOutcome(
+                            name=task.name, ok=False,
+                            failure=FailureKind.BUDGET_TIME.value,
+                            error=f"timeout: exceeded {timeout}s wall-clock budget",
+                        ),
+                    ))
+                except BrokenProcessPool:
+                    # The pool is dead: every remaining future is
+                    # poisoned. Strand them all for a fresh pool.
+                    pool_broke = True
+                    stranded.extend(
+                        (s_index, s_task, s_key)
+                        for s_index, s_task, s_key, _ in futures[position:]
+                    )
+                    break
+                except Exception as exc:  # e.g. an unpicklable result
+                    results.append((
+                        index, key,
+                        VetOutcome(
+                            name=task.name, ok=False,
+                            failure=classify_exception(exc).value,
+                            error=f"{type(exc).__name__}: {exc}",
+                        ),
+                    ))
+        finally:
+            # Don't block on workers wedged past their timeout.
+            executor.shutdown(
+                wait=timeout is None and not pool_broke, cancel_futures=True
+            )
+        if not stranded:
+            return results
+        # Split the stranded tasks: those the policy still allows go to
+        # a rebuilt pool after a backoff; the rest fall through to the
+        # sequential salvage pass.
+        queue = []
+        exhausted: list[tuple[int, VetTask, str | None]] = []
+        for index, task, key in stranded:
+            retries[index] = retries.get(index, 0) + 1
+            if policy.allows(executions[index]):
+                queue.append((index, task, key))
+            else:
+                exhausted.append((index, task, key))
+        if queue:
+            round_number += 1
+            time.sleep(policy.delay(round_number, rng))
+        if exhausted:
+            for index, task, key in exhausted:
+                outcome = _bump_counter(
+                    _execute_task(task, spec, timeout),
+                    "pool_retries", retries[index],
+                )
+                results.append((index, key, outcome))
+    # Pool could not be (re)created at all: sequential salvage.
+    for index, task, key in queue:
+        outcome = _execute_task(task, spec, timeout)
+        if retries.get(index):
+            outcome = _bump_counter(outcome, "pool_retries", retries[index])
         results.append((index, key, outcome))
     return results
 
@@ -854,6 +936,7 @@ def summarize(outcomes: list[VetOutcome]) -> dict:
     failures: dict[str, int] = {}
     degradation_kinds: dict[str, int] = {}
     diff_verdicts: dict[str, int] = {}
+    pool_retry_attempts: dict[str, int] = {}
     cache_quarantined = 0
     pool_retries = 0
     for outcome in outcomes:
@@ -866,7 +949,11 @@ def summarize(outcomes: list[VetOutcome]) -> dict:
                 diff_verdicts.get(outcome.diff_verdict, 0) + 1
             )
         cache_quarantined += outcome.counters.get("cache_quarantined", 0)
-        pool_retries += outcome.counters.get("pool_retries", 0)
+        retried = outcome.counters.get("pool_retries", 0)
+        pool_retries += retried
+        if retried:
+            bucket = str(retried)
+            pool_retry_attempts[bucket] = pool_retry_attempts.get(bucket, 0) + 1
     certifications = {
         "attempted": sum(
             o.counters.get("certification_attempted", 0) for o in outcomes
@@ -891,6 +978,9 @@ def summarize(outcomes: list[VetOutcome]) -> dict:
         "diff_verdicts": dict(sorted(diff_verdicts.items())),
         "cache_quarantined": cache_quarantined,
         "pool_retries": pool_retries,
+        # How many tasks needed exactly N pool re-executions — the
+        # retry policy's per-attempt breakdown ({} = no worker deaths).
+        "pool_retry_attempts": dict(sorted(pool_retry_attempts.items())),
     }
 
 

@@ -21,7 +21,14 @@ Subcommands:
   classified under the lattice order (exit 1 on ``re-review``);
 - ``lint PATH...`` — the pre-analysis lint & triage pass: run the rule
   engine over addon files/directories, as human text or stable JSON;
-- ``selfcheck`` — the lattice-law sanitizer over every abstract domain.
+- ``selfcheck`` — the lattice-law sanitizer over every abstract domain;
+- ``serve`` — the long-running crash-safe vetting daemon (durable job
+  queue + supervised worker pool; JSON-RPC on stdin or localhost HTTP);
+- ``service-bench`` — the service-level chaos harness: a concurrent
+  workload against two daemons (fault-free control vs. worker kills and
+  a daemon SIGKILL+restart), asserting zero lost jobs, no duplicate
+  side effects, and byte-identical verdicts; writes
+  ``BENCH_service.json`` (exit 1 on any violated invariant).
 """
 
 from __future__ import annotations
@@ -207,6 +214,43 @@ def _cmd_selfcheck(arguments: argparse.Namespace) -> int:
     return 0 if all(result.ok for result in results) else 1
 
 
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    from repro.service import daemon
+
+    argv = ["--dir", arguments.dir, "--workers", str(arguments.workers),
+            "--max-attempts", str(arguments.max_attempts)]
+    if arguments.timeout is not None:
+        argv += ["--timeout", str(arguments.timeout)]
+    if arguments.http is not None:
+        argv += ["--http", str(arguments.http)]
+    if arguments.stdio:
+        argv.append("--stdio")
+    if arguments.no_fsync:
+        argv.append("--no-fsync")
+    if arguments.max_chains is not None:
+        argv += ["--max-chains", str(arguments.max_chains)]
+    return daemon.main(argv)
+
+
+def _cmd_service_bench(arguments: argparse.Namespace) -> int:
+    from repro.service.loadgen import render_report, run_bench
+
+    report = run_bench(
+        arguments.output,
+        jobs=arguments.jobs,
+        workers=arguments.workers,
+        submitters=arguments.submitters,
+        worker_kills=arguments.worker_kills,
+        daemon_kills=arguments.daemon_kills,
+        seed=arguments.seed,
+        fsync=not arguments.no_fsync,
+        state_dir=arguments.state_dir,
+    )
+    print(render_report(report))
+    print(f"\nwritten to {arguments.output}")
+    return 0 if report["checks"]["ok"] else 1
+
+
 def _cmd_figures(arguments: argparse.Namespace) -> int:
     from repro.evaluation import render_figure2, render_figure4
 
@@ -378,6 +422,65 @@ def build_parser() -> argparse.ArgumentParser:
              "(exit 1 on any violation)",
     )
     selfcheck.set_defaults(handler=_cmd_selfcheck)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the crash-safe vetting daemon (durable queue + "
+             "supervised worker pool)",
+    )
+    serve.add_argument(
+        "--dir", required=True,
+        help="service state directory (journals, results, version chains)",
+    )
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job cooperative budget (plus a generous hard backstop)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="crashes before a job is quarantined as poison",
+    )
+    serve.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="serve HTTP on 127.0.0.1:PORT (0 picks a free port)",
+    )
+    serve.add_argument(
+        "--stdio", action="store_true",
+        help="newline-delimited JSON-RPC on stdin/stdout (the default)",
+    )
+    serve.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsyncs (tests only: loses power-failure durability)",
+    )
+    serve.add_argument(
+        "--max-chains", type=int, default=None,
+        help="LRU bound on recorded version chains",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    service_bench = subparsers.add_parser(
+        "service-bench",
+        help="chaos-test the daemon end to end; write BENCH_service.json "
+             "(exit 1 on lost jobs, duplicate side effects, or verdict "
+             "drift vs the fault-free control run)",
+    )
+    service_bench.add_argument("--jobs", type=int, default=50)
+    service_bench.add_argument("--workers", type=int, default=2)
+    service_bench.add_argument("--submitters", type=int, default=4)
+    service_bench.add_argument("--worker-kills", type=int, default=2)
+    service_bench.add_argument("--daemon-kills", type=int, default=1)
+    service_bench.add_argument("--seed", type=int, default=0)
+    service_bench.add_argument(
+        "--no-fsync", action="store_true",
+        help="run both daemons without fsync (faster; CI-friendly)",
+    )
+    service_bench.add_argument(
+        "--state-dir", default=None,
+        help="keep the two daemon state directories for inspection",
+    )
+    service_bench.add_argument("--output", default="BENCH_service.json")
+    service_bench.set_defaults(handler=_cmd_service_bench)
 
     figures = subparsers.add_parser("figures", help="regenerate Figures 2 and 4")
     figures.set_defaults(handler=_cmd_figures)

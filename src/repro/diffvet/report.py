@@ -19,7 +19,6 @@ Run: ``python -m repro.diffvet.report [--versions DIR] [--output FILE]``.
 from __future__ import annotations
 
 import argparse
-import json
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -139,9 +138,9 @@ def main() -> None:
     parser.add_argument("--output", default="DIFF_report.json")
     arguments = parser.parse_args()
     report = diff_report(arguments.versions)
-    Path(arguments.output).write_text(
-        json.dumps(report, indent=2) + "\n", encoding="utf-8"
-    )
+    from repro.store import atomic_write_json
+
+    atomic_write_json(Path(arguments.output), report, fsync=False)
     print(render_report(report))
     print(f"\nwritten to {arguments.output}")
 

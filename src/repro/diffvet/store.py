@@ -16,21 +16,24 @@ spurious widenings — the same reason the batch engine never caches
 degraded outcomes. Re-recording the head version (same source bytes) is
 a no-op, so replaying a corpus sweep does not grow chains.
 
-Chain files are written atomically (write-to-temp + rename, like the
-outcome cache) and a chain that fails to decode is quarantined to
-``<name>.corrupt`` rather than masquerading as an empty history.
+Durability is the shared store layer's (:class:`repro.store.JsonStore`):
+chain files are published atomically, a chain that fails to decode is
+quarantined to ``<name>.corrupt`` rather than masquerading as an empty
+history, and ``max_chains`` puts an LRU bound on the catalog so a
+100k-addon store does not grow without limit (reads refresh recency).
+:meth:`VersionStore.fsck` runs the recovery scan over the directory.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
-import json
 import os
 import re
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
+
+from repro.store import FsckReport, JsonStore, fsck_store
 
 
 def _source_sha(source: str) -> str:
@@ -70,21 +73,31 @@ class VersionRecord:
 class VersionStore:
     """Per-addon version chains layered on the vetting cache directory."""
 
-    def __init__(self, cache_dir: str | os.PathLike | None = None) -> None:
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        *,
+        max_chains: int | None = None,
+    ) -> None:
         from repro.batch import default_cache_dir
 
         base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
         self.directory = base / "versions"
+        self._store = JsonStore(
+            self.directory, shards=1, max_entries=max_chains
+        )
 
-    # -- paths ---------------------------------------------------------
+    # -- keys ----------------------------------------------------------
 
-    def _path(self, name: str) -> Path:
+    def _key(self, name: str) -> str:
         # Addon names are arbitrary; keep a readable slug but make the
         # hash the identity so distinct names can never collide (or
         # escape the directory).
         slug = re.sub(r"[^A-Za-z0-9._-]+", "_", name)[:48] or "addon"
-        digest = _source_sha(name)[:12]
-        return self.directory / f"{slug}-{digest}.json"
+        return f"{slug}-{_source_sha(name)[:12]}"
+
+    def _path(self, name: str) -> Path:
+        return self._store.path_of(self._key(name))
 
     # -- reads ---------------------------------------------------------
 
@@ -92,19 +105,14 @@ class VersionStore:
         """The full recorded history of ``name``, oldest first; empty
         when the addon has never been recorded (or its chain rotted on
         disk, in which case the file is quarantined)."""
-        path = self._path(name)
-        try:
-            text = path.read_text(encoding="utf-8")
-        except OSError:
+        key = self._key(name)
+        data, _quarantined = self._store.load(key)
+        if data is None:
             return []
         try:
-            data = json.loads(text)
             records = [VersionRecord.from_json(item) for item in data["chain"]]
-        except Exception:
-            try:
-                path.rename(path.with_suffix(".corrupt"))
-            except OSError:
-                pass
+        except Exception:  # decodes but is not a chain: foreign schema
+            self._store.quarantine(key)
             return []
         return records
 
@@ -116,17 +124,16 @@ class VersionStore:
     def names(self) -> list[str]:
         """Every addon name with a recorded chain, sorted."""
         found: list[str] = []
-        try:
-            paths = sorted(self.directory.glob("*.json"))
-        except OSError:
-            return []
-        for path in paths:
-            try:
-                data = json.loads(path.read_text(encoding="utf-8"))
+        for key in self._store.keys():
+            data = self._store.get(key)
+            if data is not None and "name" in data:
                 found.append(data["name"])
-            except Exception:
-                continue
         return sorted(set(found))
+
+    def fsck(self) -> FsckReport:
+        """Run the recovery scan over the chain directory: sweep stale
+        tmp files, quarantine undecodable chains, report."""
+        return fsck_store(self.directory)
 
     # -- writes --------------------------------------------------------
 
@@ -166,16 +173,11 @@ class VersionStore:
         return record
 
     def _write(self, name: str, chain: list[VersionRecord]) -> None:
-        try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            payload = {
+        self._store.put(
+            self._key(name),
+            {
                 "schema": "addon-sig/version-chain/v1",
                 "name": name,
                 "chain": [record.to_json() for record in chain],
-            }
-            fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2)
-            os.replace(tmp_path, self._path(name))
-        except OSError:
-            pass  # a read-only cache must not fail the batch
+            },
+        )

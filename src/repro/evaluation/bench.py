@@ -17,7 +17,6 @@ Run: ``addon-sig bench [--runs N] [--workers N] [--output FILE]``.
 from __future__ import annotations
 
 import argparse
-import json
 import time
 from pathlib import Path
 
@@ -269,9 +268,9 @@ def run_bench(
         "incremental": _bench_incremental(versions_dir),
     }
     if output is not None:
-        Path(output).write_text(
-            json.dumps(report, indent=2) + "\n", encoding="utf-8"
-        )
+        from repro.store import atomic_write_json
+
+        atomic_write_json(Path(output), report, fsync=False)
     return report
 
 

@@ -261,9 +261,9 @@ def run_scaling(
         "shapes": shapes,
     }
     if output is not None:
-        Path(output).write_text(
-            json.dumps(report, indent=2) + "\n", encoding="utf-8"
-        )
+        from repro.store import atomic_write_json
+
+        atomic_write_json(Path(output), report, fsync=False)
     return report
 
 

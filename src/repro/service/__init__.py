@@ -1,0 +1,36 @@
+"""The vetting service: a crash-safe, long-running vetting daemon.
+
+Everything below this package exists so a store-scale deployment can
+treat vetting as *infrastructure*: submissions survive the daemon being
+killed, worker death is retried with backoff instead of wedging the
+queue, and verdicts are committed exactly once no matter how many times
+the machinery around them crashes.
+
+- :mod:`repro.service.jobs` — the job vocabulary: :class:`Job`,
+  :class:`JobState`, and the submission payload;
+- :mod:`repro.service.queue` — :class:`DurableJobQueue`: every state
+  change journaled to per-shard :class:`repro.store.Journal` files
+  (atomic append + replay-on-restart), results committed to a fsync'd
+  :class:`repro.store.JsonStore` *before* the terminal journal record,
+  so execution is at-least-once but result commit is idempotent —
+  a replayed job that already committed is recognized, not re-run;
+- :mod:`repro.service.supervisor` — :class:`SupervisedPool`: the
+  process pool the daemon vets on, rebuilt on worker death, with
+  per-job hard deadlines layered over the cooperative
+  :class:`repro.faults.Budget`;
+- :mod:`repro.service.daemon` — :class:`VettingService` plus its two
+  front doors (``addon-sig serve``): newline-delimited JSON-RPC on
+  stdin/stdout, or a localhost HTTP listener (stdlib-only, asyncio);
+- :mod:`repro.service.client` — the blocking HTTP client the load
+  generator and tests drive the daemon with;
+- :mod:`repro.service.loadgen` — the service-level chaos harness
+  (``addon-sig service-bench``): concurrent submitters, injected worker
+  kills and a daemon SIGKILL+restart, asserting zero lost jobs, no
+  duplicate side effects, and byte-identical verdicts versus a
+  fault-free control run; writes ``BENCH_service.json``.
+"""
+
+from repro.service.jobs import Job, JobState
+from repro.service.queue import DurableJobQueue
+
+__all__ = ["DurableJobQueue", "Job", "JobState"]

@@ -1,0 +1,142 @@
+"""A blocking stdlib client for the daemon's HTTP front door.
+
+Used by the chaos load generator's submitter threads and by the service
+tests; also a reference for what the wire protocol looks like. Every
+method is one request/response round trip (``Connection: close``), so a
+client survives the daemon being killed and restarted between calls —
+which is exactly what the chaos harness does to it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from repro.batch import VetTask
+from repro.service.jobs import task_to_json
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        code = payload.get("error", "error")
+        detail = payload.get("detail", "")
+        super().__init__(f"{code} ({status}): {detail}" if detail
+                         else f"{code} ({status})")
+        self.status = status
+        self.code = code
+        self.payload = payload
+
+
+class ServiceUnavailable(ConnectionError):
+    """The daemon did not answer at all (dead or restarting)."""
+
+
+class ServiceClient:
+    """Talk to one ``addon-sig serve`` daemon on localhost."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1",
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(self, verb: str, path: str, payload: dict | None = None
+                 ) -> dict:
+        body = json.dumps(payload).encode("utf-8") if payload else None
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                verb, path, body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = connection.getresponse()
+            data = json.loads(response.read().decode("utf-8") or "{}")
+            if response.status >= 400:
+                raise ServiceError(response.status, data)
+            return data
+        except (ConnectionError, http.client.HTTPException, OSError) as exc:
+            if isinstance(exc, ServiceError):
+                raise
+            raise ServiceUnavailable(str(exc)) from exc
+        finally:
+            connection.close()
+
+    # -- the API -------------------------------------------------------
+
+    def submit(self, task: VetTask, job_id: str | None = None) -> dict:
+        payload: dict = {"task": task_to_json(task)}
+        if job_id is not None:
+            payload["job_id"] = job_id
+        return self._request("POST", "/submit", payload)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/status/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/result/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/cancel/{job_id}")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    # -- conveniences --------------------------------------------------
+
+    def alive(self) -> bool:
+        try:
+            self.stats()
+            return True
+        except ServiceUnavailable:
+            return False
+
+    def submit_durable(self, task: VetTask, job_id: str | None = None,
+                       *, retry_for: float = 30.0) -> dict:
+        """Submit, retrying through daemon restarts. Pins a
+        deterministic job id on the first try so every retry names the
+        same job — re-submission is idempotent, never a duplicate."""
+        from repro.service.jobs import derive_job_id
+
+        if job_id is None:
+            job_id = derive_job_id(task.name, task.source)
+        deadline = time.monotonic() + retry_for
+        while True:
+            try:
+                return self.submit(task, job_id=job_id)
+            except ServiceUnavailable:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.1)
+
+    def wait(self, job_id: str, *, timeout: float = 120.0,
+             poll: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state (riding out
+        daemon restarts); returns the final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                status = self.status(job_id)
+                if status.get("terminal"):
+                    return status
+            except ServiceUnavailable:
+                pass  # daemon mid-restart: the journal has the job
+            except ServiceError as exc:
+                # A restarting daemon briefly knows nothing; only give
+                # up on unknown-job if it persists past the deadline.
+                if exc.code != "unknown-job":
+                    raise
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} not terminal after {timeout:.0f}s"
+                )
+            time.sleep(poll)

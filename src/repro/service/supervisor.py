@@ -1,0 +1,156 @@
+"""The supervised worker pool under the vetting daemon.
+
+A thin, crash-aware wrapper around ``ProcessPoolExecutor``:
+
+- jobs run :func:`repro.batch._execute_task` in a worker, so every
+  per-addon fault (parse error, budget trip, salvage) already arrives
+  as a typed outcome — the supervisor only has to handle the faults
+  the worker *cannot* report: its own death and wedging;
+- a worker death surfaces as :class:`WorkerCrashError`; the pool is
+  torn down and lazily rebuilt, so the next job gets a healthy pool
+  (the daemon decides requeue-vs-poison via the durable queue's
+  attempt accounting);
+- per-job deadlines reuse the :mod:`repro.faults` budget machinery:
+  the cooperative ``timeout`` degrades inside the fixpoint, and the
+  same generous hard backstop the batch engine uses
+  (:func:`repro.batch._hard_timeout`) catches work wedged outside it,
+  surfacing as :class:`JobDeadlineError`.
+
+The pool exposes its worker pids so the chaos harness can SIGKILL real
+workers mid-run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import signal
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.batch import VetOutcome, VetTask, _execute_task, _hard_timeout
+from repro.signatures.spec import SecuritySpec
+
+
+def _worker_init() -> None:
+    """Detach the worker from the daemon's signal plumbing.
+
+    Forked workers inherit the parent's asyncio signal handlers *and*
+    its signal wakeup pipe. Without this, a SIGTERM delivered to a
+    worker (which is exactly what the executor sends the survivors when
+    one worker dies) is written to the shared pipe and dispatched by
+    the *daemon's* event loop as if the daemon itself had been told to
+    shut down — one worker kill would stop the whole service."""
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):
+        pass
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died while (or before) running the job."""
+
+
+class JobDeadlineError(RuntimeError):
+    """The job outlived its hard pool-level deadline."""
+
+
+class SupervisedPool:
+    """A self-healing process pool executing vet tasks."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        spec: SecuritySpec | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        self.workers = max(1, workers)
+        self.spec = spec
+        self.timeout = timeout
+        self._executor: ProcessPoolExecutor | None = None
+        self.rebuilds = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            # Spawn, not fork: forked workers inherit the daemon's open
+            # fds — including its *listening socket*, so workers
+            # orphaned by a daemon crash would keep the port bound and
+            # block the restart. Spawned workers start from a clean
+            # process image.
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_worker_init,
+            )
+        return self._executor
+
+    def _teardown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def shutdown(self) -> None:
+        self._teardown()
+
+    def worker_pids(self) -> list[int]:
+        """The live worker pids (the chaos harness's kill targets).
+        Workers are forked lazily, so this can be empty before the
+        first job."""
+        executor = self._executor
+        if executor is None:
+            return []
+        processes = getattr(executor, "_processes", None) or {}
+        return sorted(
+            process.pid
+            for process in processes.values()
+            if process.is_alive() and process.pid is not None
+        )
+
+    # -- execution -----------------------------------------------------
+
+    def _deadline(self, task: VetTask) -> float | None:
+        """The per-job hard backstop (overridable seam for tests; the
+        production value is deliberately generous)."""
+        return _hard_timeout(task, self.timeout)
+
+    async def run(self, task: VetTask) -> VetOutcome:
+        """Vet one task on the pool, off the event loop.
+
+        Raises :class:`WorkerCrashError` when the pool broke under the
+        job and :class:`JobDeadlineError` when the hard backstop fired;
+        every other fault comes back inside the typed outcome.
+        """
+        loop = asyncio.get_running_loop()
+        executor = self._ensure_executor()
+        deadline = self._deadline(task)
+        try:
+            future = loop.run_in_executor(
+                executor, _execute_task, task, self.spec, self.timeout
+            )
+            if deadline is None:
+                return await future
+            return await asyncio.wait_for(future, timeout=deadline)
+        except BrokenProcessPool as exc:
+            self.rebuilds += 1
+            self._teardown()
+            raise WorkerCrashError(str(exc) or "worker process died") from exc
+        except asyncio.TimeoutError as exc:
+            # The worker is wedged; only a pool teardown reclaims it.
+            self.rebuilds += 1
+            self._teardown()
+            raise JobDeadlineError(
+                f"exceeded the {deadline:.1f}s hard deadline"
+            ) from exc
+
+    def stats(self) -> dict:
+        return {
+            "workers": self.workers,
+            "worker_pids": self.worker_pids(),
+            "rebuilds": self.rebuilds,
+            "timeout_s": self.timeout,
+        }

@@ -1,0 +1,54 @@
+"""The crash-consistent store layer shared by every durable artifact.
+
+A store-scale vetting deployment writes constantly — outcome cache
+entries, version chains, job journals, bench reports — and the store's
+own failures (a killed daemon, a full disk, a torn rename) must never
+turn into corrupt reads later. Before this layer existed every durable
+artifact hand-rolled its own ``tempfile.mkstemp`` + ``os.replace``
+dance (or worse, a bare ``write_text``); this package extracts the
+discipline once:
+
+- :mod:`repro.store.atomic` — tmp-file + fsync + atomic-rename writes
+  (:func:`atomic_write_text` / :func:`atomic_write_json` /
+  :func:`atomic_write_bytes`): a reader either sees the old bytes or
+  the new bytes, never a prefix;
+- :mod:`repro.store.journal` — an append-only, checksum-framed journal
+  (:class:`Journal`) with replay that tolerates a torn tail (the
+  SIGKILL-mid-append case) and quarantines corrupt records instead of
+  crashing;
+- :mod:`repro.store.kv` — :class:`JsonStore`, a sharded (or flat)
+  key→JSON-document store with atomic publishes, corrupt-entry
+  quarantine (``<key>.corrupt``), and an LRU size bound so 100k-addon
+  catalogs do not grow caches without limit;
+- :mod:`repro.store.fsck` — the recovery scan (:func:`fsck_store`):
+  sweep stale tmp files, quarantine undecodable entries, and report
+  what was repaired.
+
+The batch outcome cache (:mod:`repro.batch`) and the diffvet
+:class:`~repro.diffvet.store.VersionStore` are both built on
+:class:`JsonStore`; the vetting service's durable job queue
+(:mod:`repro.service.queue`) is built on per-shard :class:`Journal`
+files plus a fsync'd :class:`JsonStore` for committed results.
+"""
+
+from repro.store.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_dir,
+)
+from repro.store.fsck import FsckReport, fsck_store
+from repro.store.journal import Journal, JournalReplay
+from repro.store.kv import JsonStore
+
+__all__ = [
+    "FsckReport",
+    "Journal",
+    "JournalReplay",
+    "JsonStore",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "fsck_store",
+    "fsync_dir",
+]

