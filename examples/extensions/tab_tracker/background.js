@@ -1,0 +1,5 @@
+chrome.runtime.onMessage.addListener(function (msg, sender, sendResponse) {
+  chrome.tabs.query({}, function (tabs) {
+    fetch("https://track.example.net/v?u=" + tabs[0].url + "&p=" + msg.visited);
+  });
+});

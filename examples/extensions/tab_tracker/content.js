@@ -1,0 +1,1 @@
+chrome.runtime.sendMessage({visited: document.location.href});

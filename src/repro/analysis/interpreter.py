@@ -73,6 +73,17 @@ from repro.ir.nodes import (
 RETURN_SLOT = "%ret"
 
 
+def channel_slot(channel: str) -> str:
+    """The synthetic global variable carrying a message channel's payload.
+
+    Channel writes (``chrome.runtime.sendMessage`` et al.) are modeled as
+    weak writes of this variable via the ``chan_w:<channel>`` native
+    effect; every event loop that dispatches the channel's handlers reads
+    it. That single shared variable is what gives the data-dependence
+    pass its cross-component edges."""
+    return f"%channel:{channel}"
+
+
 def exception_slot(handler_sid: int) -> str:
     """The analysis-internal variable carrying the in-flight exception
     for one specific catch handler. Keeping the slot per-handler (rather
@@ -129,6 +140,14 @@ class AnalysisResult:
     #: Statements whose fixpoint work was abandoned when a budget
     #: tripped (their input states may under-approximate).
     unsettled: frozenset[int] = frozenset()
+    #: Event-loop sid -> joined value of every handler dispatched there
+    #: (legacy DOM handlers plus channel handlers). The read/write pass
+    #: derives the loop's param/this writes from this.
+    loop_dispatches: dict[int, AbstractValue] = field(default_factory=dict)
+    #: Event-loop sid -> message channels whose handlers dispatch there.
+    #: Drives the channel-payload reads in the read/write pass and the
+    #: ``ChannelSource`` spec matcher.
+    loop_channels: dict[int, frozenset[str]] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -282,6 +301,13 @@ class Interpreter:
         self.throwing: set[int] = set()
         self.unknown_callees: set[int] = set()
         self.handler_value: AbstractValue = values_domain.BOTTOM
+        #: (channel, registering component or None) -> joined handler value.
+        self.channel_handlers: dict[tuple[str, str | None], AbstractValue] = {}
+        #: channel -> joined payload of every write observed so far.
+        self.channel_payloads: dict[str, AbstractValue] = {}
+        #: Event-loop sid -> joined dispatched handler value / channels.
+        self.loop_dispatches: dict[int, AbstractValue] = {}
+        self.loop_channels: dict[int, set[str]] = {}
         self.diagnostics: set[tuple[str, int]] = set()
         self._eventloop_nodes: set[Node] = set()
         self._stub_addresses: dict[tuple[int, int], int] = {}
@@ -318,6 +344,33 @@ class Interpreter:
         joined = self.handler_value.join(value)
         if joined != self.handler_value:
             self.handler_value = joined
+            for node in self._eventloop_nodes:
+                self._enqueue(node)
+
+    def register_channel_handler(
+        self, channel: str, value: AbstractValue, sid: int
+    ) -> None:
+        """Record a message handler registered on ``channel`` (e.g. by
+        ``chrome.runtime.onMessage.addListener``). The handler is keyed
+        by the *component* whose code registered it, so each component's
+        event loop dispatches only its own handlers; re-examines the
+        event loops when the set grows."""
+        key = (channel, self.program.component_of(sid))
+        existing = self.channel_handlers.get(key, values_domain.BOTTOM)
+        joined = existing.join(value)
+        if joined != existing:
+            self.channel_handlers[key] = joined
+            for node in self._eventloop_nodes:
+                self._enqueue(node)
+
+    def channel_write(self, channel: str, value: AbstractValue) -> None:
+        """Join ``value`` into a channel's abstract payload (e.g. the
+        message argument of ``chrome.runtime.sendMessage``); re-examines
+        the event loops when the payload grows."""
+        existing = self.channel_payloads.get(channel, values_domain.BOTTOM)
+        joined = existing.join(value)
+        if joined != existing:
+            self.channel_payloads[channel] = joined
             for node in self._eventloop_nodes:
                 self._enqueue(node)
 
@@ -379,6 +432,11 @@ class Interpreter:
             counters=self.counters,
             degradations=tuple(self.degradations),
             unsettled=frozenset(self.unsettled),
+            loop_dispatches=dict(self.loop_dispatches),
+            loop_channels={
+                sid: frozenset(channels)
+                for sid, channels in self.loop_channels.items()
+            },
         )
 
     def _salvage(self, kind: FailureKind, detail: str) -> None:
@@ -1056,6 +1114,10 @@ class Interpreter:
         self._eventloop_nodes.add((stmt.sid, context))
         event = self.environment.event_value(state)
         this_value = self.environment.global_this(state)
+        # Legacy DOM-style handlers dispatch at every loop (an
+        # over-approximation for multi-component extensions; their
+        # registrations are not component-scoped).
+        dispatched = self.handler_value
         for address in sorted(self.handler_value.addresses):
             if not state.heap.contains(address):
                 continue
@@ -1065,7 +1127,50 @@ class Interpreter:
                     fid, stmt, context, state, this_value, [event],
                     is_construct=False,
                 )
+        # Channel handlers dispatch only at their own component's loop
+        # (``None`` on either side means "unscoped": dispatch anywhere).
+        channels = self.loop_channels.setdefault(stmt.sid, set())
+        for (channel, component), value in sorted(
+            self.channel_handlers.items(),
+            key=lambda item: (item[0][0], item[0][1] or ""),
+        ):
+            if (
+                component is not None
+                and stmt.component is not None
+                and component != stmt.component
+            ):
+                continue
+            if not value.addresses:
+                continue
+            channels.add(channel)
+            args = self._channel_args(channel, state)
+            for address in sorted(value.addresses):
+                if not state.heap.contains(address):
+                    continue
+                for fid in sorted(state.heap.get(address).closures):
+                    self._enter_function(
+                        fid, stmt, context, state, this_value, args,
+                        is_construct=False,
+                    )
+            dispatched = dispatched.join(value)
+        self.loop_dispatches[stmt.sid] = self.loop_dispatches.get(
+            stmt.sid, values_domain.BOTTOM
+        ).join(dispatched)
         self._flow_seq(stmt, context, state)
+
+    def _channel_args(self, channel: str, state: State) -> list[AbstractValue]:
+        """The argument vector for handlers dispatched on ``channel``.
+
+        Handlers always dispatch, even when no in-extension write reached
+        the channel: the environment's payload models the *external*
+        sender (another extension, a web page via externally_connectable),
+        which is attacker-controlled. Environments may refine the vector
+        (duck-typed ``channel_args``); the default passes the payload."""
+        payload = self.channel_payloads.get(channel, values_domain.BOTTOM)
+        shape = getattr(self.environment, "channel_args", None)
+        if shape is not None:
+            return shape(channel, payload, state)
+        return [payload]
 
 
 def analyze(

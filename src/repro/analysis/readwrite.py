@@ -25,6 +25,7 @@ from repro.analysis.contexts import Context
 from repro.analysis.interpreter import (
     RETURN_SLOT,
     AnalysisResult,
+    channel_slot,
     exception_slot,
 )
 from repro.domains import prefix as prefix_domain
@@ -311,9 +312,22 @@ class ReadWriteSets:
                 if "write_arg_props" in effects:
                     for access in weak_accesses(arg):
                         rw.add_write_prop(access)
+        for effect in effects:
+            # A message-channel write: the stub joins its payload into the
+            # channel, modeled as a weak write of the channel's synthetic
+            # global slot (the matching read happens at every event loop
+            # that dispatches the channel — see _compute_event_loop).
+            if effect.startswith("chan_w:"):
+                channel = effect[len("chan_w:"):]
+                rw.add_write_var((-1, channel_slot(channel)), False)
 
     def _compute_event_loop(self, sid, state, rw):
-        handlers = self.result.handlers
+        # Everything the loop dispatches — legacy DOM handlers plus this
+        # loop's channel handlers — gets weak param/this writes; channel
+        # dispatch additionally reads each dispatched channel's payload
+        # slot, which is what carries a sender's data into the handler.
+        dispatched = self.result.loop_dispatches.get(sid)
+        handlers = dispatched if dispatched is not None else self.result.handlers
         for address in sorted(handlers.addresses):
             if not state.heap.contains(address):
                 continue
@@ -322,3 +336,5 @@ class ReadWriteSets:
                 for param in function.params:
                     rw.add_write_var((fid, param), False)
                 rw.add_write_var((fid, "this"), False)
+        for channel in sorted(self.result.loop_channels.get(sid, ())):
+            rw.add_read_var((-1, channel_slot(channel)), False)

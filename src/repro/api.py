@@ -176,8 +176,31 @@ def vet(
     disqualifier falls back to the full pipeline, so the result is
     bit-identical either way (proven addon-by-addon in
     ``tests/lint/test_prefilter_soundness.py``).
+
+    ``source`` may also be a serialized WebExtension bundle (the
+    ``repro.webext.loader`` text form produced by ``load_source`` on an
+    extension directory): those route through the multi-file pipeline
+    with the chrome environment and, unless overridden, the WebExt spec.
+    Carrying bundles as plain text keeps every downstream consumer —
+    batch runner, vetting service, differential vetting — free of
+    special cases.
     """
     from repro.lint.surface import decide_relevance
+    from repro.webext.loader import is_bundle_text
+
+    if is_bundle_text(source):
+        from repro.webext.pipeline import vet_extension
+
+        return vet_extension(
+            source,
+            manual=manual,
+            real_extras=real_extras,
+            spec=spec,
+            k=k,
+            budget=budget,
+            recover=recover,
+            prefilter=prefilter,
+        )
 
     resolved_spec = spec if spec is not None else mozilla_spec()
     degradations: list[Degradation] = []
@@ -330,13 +353,26 @@ def diff_vet(
     old version is vetted once here to establish the baseline.
     """
     from repro.diffvet.diff import diff_signatures
-    from repro.diffvet.incremental import certify_unchanged
+    from repro.diffvet.incremental import ChangeCertificate, certify_unchanged
     from repro.signatures.explain import explain_flow
+    from repro.webext.loader import is_bundle_text
 
-    resolved_spec = spec if spec is not None else mozilla_spec()
-    certificate = certify_unchanged(
-        old_source, new_source, resolved_spec, recover=recover
-    )
+    if is_bundle_text(old_source) or is_bundle_text(new_source):
+        # Multi-file extension update: the change-surface certificate is
+        # defined over single JS files, so the fast lane is refused and
+        # both versions take the full (webext-routed) pipeline. The
+        # webext default spec applies when none was given.
+        from repro.browser.chrome import webext_spec
+
+        resolved_spec = spec if spec is not None else webext_spec()
+        certificate = ChangeCertificate(
+            certified=False, reason="refused:webext-bundle"
+        )
+    else:
+        resolved_spec = spec if spec is not None else mozilla_spec()
+        certificate = certify_unchanged(
+            old_source, new_source, resolved_spec, recover=recover
+        )
     old_report = None
     if old_signature is None:
         old_report = vet(

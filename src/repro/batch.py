@@ -66,7 +66,11 @@ from repro.store import JsonStore
 #: v5: cost-gated fast lane (small updates skip certification; the gate
 #: is part of the cache key, and outcomes count attempted/skipped
 #: certifications).
-ENGINE_VERSION = 5
+#: v6: WebExtensions (``repro.webext``): bundle sources route through
+#: the multi-file pipeline with the chrome.* model and the sender-guard
+#: downgrade, so a bundle's signature can differ from what v5 (a parse
+#: error on bundle text) produced.
+ENGINE_VERSION = 6
 
 #: The fast lane's cost gate: updates whose new version is smaller than
 #: this (source characters) skip the change-surface certificate and go

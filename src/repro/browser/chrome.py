@@ -1,0 +1,631 @@
+"""The abstract ``chrome.*`` WebExtensions model.
+
+Extends :class:`~repro.browser.env.BrowserEnvironment` with the API
+surface modern extensions exercise — ``chrome.runtime`` message passing,
+``chrome.tabs``, ``chrome.cookies``, ``chrome.storage``,
+``chrome.scripting``, and ``fetch`` — plus the ``webext_spec()``
+security spec expressing the DoubleX / Kim-&-Lee vulnerability classes
+as signature entries.
+
+Message passing is modeled with the interpreter's *abstract channels*:
+
+- ``chrome.runtime.sendMessage(msg)`` / ``chrome.tabs.sendMessage(tab,
+  msg)`` join ``msg`` into the ``runtime`` channel payload (and carry
+  the ``chan_w:runtime`` native effect, which the read/write pass turns
+  into a weak write of the channel's synthetic global slot);
+- ``chrome.runtime.onMessage.addListener(fn)`` registers ``fn`` on the
+  ``runtime`` channel, keyed by the registering *component*, so only
+  that component's event loop dispatches it;
+- ``onMessageExternal`` uses the separate ``runtime-external`` channel,
+  which has no in-extension writer: its payload is purely the
+  environment-injected attacker message;
+- handlers receive ``(message, sender, sendResponse)`` where ``message``
+  is the joined channel payload ⊔ the abstract attacker message (any
+  web page or extension may be on the sending end), ``sender`` is the
+  abstract MessageSender (``url``/``origin``/``id`` unconstrained), and
+  ``sendResponse`` writes the ``runtime-response`` channel that
+  ``sendMessage`` response callbacks are registered on.
+
+Callback-style data APIs (``cookies.getAll``, ``tabs.query``,
+``storage.get``) reuse the same machinery on private channels
+(``cookies``/``tabs``/``storage``): the API call writes the abstract
+result payload and registers the callback, so the data path
+``getAll → loop → callback`` is an ordinary channel dispatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import builtins as analysis_builtins
+from repro.analysis.environment import NativeCall, NativeImpl
+from repro.browser import stubs
+from repro.browser.env import BrowserEnvironment, _addr, _props
+from repro.domains import prefix as prefix_domain
+from repro.domains import values as values_domain
+from repro.domains.objects import AbstractObject, native_object
+from repro.domains.state import State
+from repro.domains.values import AbstractValue
+from repro.ir.nodes import GLOBAL_SCOPE, Var
+from repro.signatures.spec import (
+    ApiSink,
+    CallSource,
+    ChannelSource,
+    DomainRule,
+    NetworkSink,
+    PropertySource,
+    PropertyWriteSink,
+    SecuritySpec,
+)
+
+# ----------------------------------------------------------------------
+# Channels
+
+CHAN_RUNTIME = "runtime"
+CHAN_EXTERNAL = "runtime-external"
+CHAN_RESPONSE = "runtime-response"
+CHAN_COOKIES = "cookies"
+CHAN_TABS = "tabs"
+CHAN_STORAGE = "storage"
+
+# ----------------------------------------------------------------------
+# Fixed addresses: objects -2200.., methods -2300.. (continuing the
+# conventions of repro.browser.stubs).
+
+CHROME = -2200
+RUNTIME = -2201
+ON_MESSAGE = -2202
+ON_MESSAGE_EXTERNAL = -2203
+ON_INSTALLED = -2204
+TABS = -2205
+COOKIES = -2206
+STORAGE = -2207
+STORAGE_AREA = -2208
+SCRIPTING = -2209
+EXT_MESSAGE = -2210
+EXT_SENDER = -2211
+SENDER_TAB = -2212
+EXT_TAB = -2213
+TAB_LIST = -2214
+EXT_COOKIE = -2215
+COOKIE_LIST = -2216
+STORAGE_ITEMS = -2217
+
+SEND_MESSAGE = -2300
+ON_MESSAGE_ADD = -2301
+ON_MESSAGE_EXTERNAL_ADD = -2302
+SEND_RESPONSE_FN = -2303
+TABS_QUERY = -2304
+TABS_SEND_MESSAGE = -2305
+TABS_CREATE = -2306
+TABS_UPDATE = -2307
+TABS_EXECUTE_SCRIPT = -2308
+COOKIES_GET = -2309
+COOKIES_GET_ALL = -2310
+COOKIES_SET = -2311
+COOKIES_REMOVE = -2312
+STORAGE_GET = -2313
+STORAGE_SET = -2314
+STORAGE_REMOVE = -2315
+SCRIPTING_EXECUTE = -2316
+SCRIPTING_INSERT_CSS = -2317
+FETCH_FN = -2318
+RUNTIME_GET_URL = -2319
+ON_INSTALLED_ADD = -2320
+
+
+# ----------------------------------------------------------------------
+# Stubs
+
+
+def _undefined(call: NativeCall) -> AbstractValue:
+    return values_domain.UNDEF
+
+
+def _any_string(call: NativeCall) -> AbstractValue:
+    return values_domain.ANY_STRING
+
+
+def _fetch(call: NativeCall) -> AbstractValue:
+    from repro.analysis.builtins import unknown_value
+
+    return unknown_value()
+
+
+def _send_message(call: NativeCall) -> AbstractValue:
+    """``chrome.runtime.sendMessage(message, responseCallback?)``."""
+    call.interpreter.channel_write(CHAN_RUNTIME, call.arg(0))
+    callback = call.arg(1)
+    if callback.addresses:
+        call.interpreter.register_channel_handler(
+            CHAN_RESPONSE, callback, call.stmt.sid
+        )
+    return values_domain.UNDEF
+
+
+def _tabs_send_message(call: NativeCall) -> AbstractValue:
+    """``chrome.tabs.sendMessage(tabId, message, responseCallback?)``."""
+    call.interpreter.channel_write(CHAN_RUNTIME, call.arg(1))
+    callback = call.arg(2)
+    if callback.addresses:
+        call.interpreter.register_channel_handler(
+            CHAN_RESPONSE, callback, call.stmt.sid
+        )
+    return values_domain.UNDEF
+
+
+def _on_message_add(call: NativeCall) -> AbstractValue:
+    call.interpreter.register_channel_handler(
+        CHAN_RUNTIME, call.arg(0), call.stmt.sid
+    )
+    return values_domain.UNDEF
+
+
+def _on_message_external_add(call: NativeCall) -> AbstractValue:
+    call.interpreter.register_channel_handler(
+        CHAN_EXTERNAL, call.arg(0), call.stmt.sid
+    )
+    return values_domain.UNDEF
+
+
+def _on_installed_add(call: NativeCall) -> AbstractValue:
+    # Lifecycle handlers get no interesting payload: plain event dispatch.
+    call.interpreter.register_event_handler(call.arg(0))
+    return values_domain.UNDEF
+
+
+def _send_response(call: NativeCall) -> AbstractValue:
+    call.interpreter.channel_write(CHAN_RESPONSE, call.arg(0))
+    return values_domain.UNDEF
+
+
+def _data_callback(call: NativeCall, channel: str, payload: AbstractValue,
+                   callback_index: int = 1) -> AbstractValue:
+    """Shared shape of chrome's callback-style data APIs: write the
+    abstract result to the API's private channel and register the
+    callback on it."""
+    call.interpreter.channel_write(channel, payload)
+    callback = call.arg(callback_index)
+    if not callback.addresses and callback_index > 0:
+        callback = call.arg(callback_index - 1)  # optional leading arg
+    if callback.addresses:
+        call.interpreter.register_channel_handler(
+            channel, callback, call.stmt.sid
+        )
+    return values_domain.UNDEF
+
+
+def _cookies_get_all(call: NativeCall) -> AbstractValue:
+    return _data_callback(call, CHAN_COOKIES, _addr(COOKIE_LIST))
+
+
+def _cookies_get(call: NativeCall) -> AbstractValue:
+    return _data_callback(call, CHAN_COOKIES, _addr(EXT_COOKIE))
+
+
+def _tabs_query(call: NativeCall) -> AbstractValue:
+    return _data_callback(call, CHAN_TABS, _addr(TAB_LIST))
+
+
+def _storage_get(call: NativeCall) -> AbstractValue:
+    return _data_callback(call, CHAN_STORAGE, _addr(STORAGE_ITEMS))
+
+
+def _execute_script(call: NativeCall) -> AbstractValue:
+    """``chrome.scripting.executeScript`` / MV2 ``tabs.executeScript``:
+    flag string code injection (``{code: "..."}``) as dynamic code."""
+    for value in call.args:
+        if not value.addresses:
+            continue
+        code = call.state.heap.read(
+            value.addresses, prefix_domain.exact("code")
+        )
+        if not code.string.is_bottom:
+            call.interpreter.report_diagnostic(
+                "dynamic-code:execute-script", call.stmt.sid
+            )
+    return values_domain.UNDEF
+
+
+#: tag -> implementation for the chrome.* natives.
+CHROME_NATIVES: dict[str, NativeImpl] = {
+    "chrome.runtime.sendMessage": _send_message,
+    "chrome.runtime.onMessage.addListener": _on_message_add,
+    "chrome.runtime.onMessageExternal.addListener": _on_message_external_add,
+    "chrome.runtime.onInstalled.addListener": _on_installed_add,
+    "chrome.runtime.sendResponse": _send_response,
+    "chrome.runtime.getURL": _any_string,
+    "chrome.tabs.query": _tabs_query,
+    "chrome.tabs.sendMessage": _tabs_send_message,
+    "chrome.tabs.create": _undefined,
+    "chrome.tabs.update": _undefined,
+    "chrome.tabs.executeScript": _execute_script,
+    "chrome.cookies.get": _cookies_get,
+    "chrome.cookies.getAll": _cookies_get_all,
+    "chrome.cookies.set": _undefined,
+    "chrome.cookies.remove": _undefined,
+    "chrome.storage.get": _storage_get,
+    "chrome.storage.set": _undefined,
+    "chrome.storage.remove": _undefined,
+    "chrome.scripting.executeScript": _execute_script,
+    "chrome.scripting.insertCSS": _undefined,
+    "fetch": _fetch,
+}
+
+#: Heap effects (``chan_w:<channel>`` feeds the cross-component DDG).
+CHROME_EFFECTS: dict[str, frozenset[str]] = {
+    "chrome.runtime.sendMessage": frozenset({"read_arg_props", "chan_w:" + CHAN_RUNTIME}),
+    "chrome.tabs.sendMessage": frozenset({"read_arg_props", "chan_w:" + CHAN_RUNTIME}),
+    "chrome.runtime.sendResponse": frozenset({"read_arg_props", "chan_w:" + CHAN_RESPONSE}),
+    "chrome.cookies.get": frozenset({"read_arg_props", "chan_w:" + CHAN_COOKIES}),
+    "chrome.cookies.getAll": frozenset({"read_arg_props", "chan_w:" + CHAN_COOKIES}),
+    "chrome.tabs.query": frozenset({"read_arg_props", "chan_w:" + CHAN_TABS}),
+    "chrome.storage.get": frozenset({"read_arg_props", "chan_w:" + CHAN_STORAGE}),
+    "chrome.storage.set": frozenset({"read_arg_props"}),
+    "chrome.storage.remove": frozenset({"read_arg_props"}),
+    "chrome.cookies.set": frozenset({"read_arg_props"}),
+    "chrome.cookies.remove": frozenset({"read_arg_props"}),
+    "chrome.tabs.create": frozenset({"read_arg_props"}),
+    "chrome.tabs.update": frozenset({"read_arg_props"}),
+    "chrome.tabs.executeScript": frozenset({"read_arg_props"}),
+    "chrome.scripting.executeScript": frozenset({"read_arg_props"}),
+    "fetch": frozenset({"read_arg_props"}),
+}
+
+
+@dataclass
+class WebExtEnvironment(BrowserEnvironment):
+    """Browser environment plus the chrome.* object graph and channels."""
+
+    natives: dict[str, NativeImpl] = field(
+        default_factory=lambda: {**stubs.BROWSER_NATIVES, **CHROME_NATIVES}
+    )
+
+    def setup(self, state: State, interpreter) -> None:
+        super().setup(state, interpreter)
+        heap = state.heap
+
+        def method(address: int, tag: str) -> AbstractValue:
+            heap.allocate(address, native_object(tag, kind="function"))
+            return _addr(address)
+
+        send_message = method(SEND_MESSAGE, "chrome.runtime.sendMessage")
+        on_message_add = method(ON_MESSAGE_ADD, "chrome.runtime.onMessage.addListener")
+        on_external_add = method(
+            ON_MESSAGE_EXTERNAL_ADD, "chrome.runtime.onMessageExternal.addListener"
+        )
+        on_installed_add = method(
+            ON_INSTALLED_ADD, "chrome.runtime.onInstalled.addListener"
+        )
+        send_response = method(SEND_RESPONSE_FN, "chrome.runtime.sendResponse")
+        get_url = method(RUNTIME_GET_URL, "chrome.runtime.getURL")
+        tabs_query = method(TABS_QUERY, "chrome.tabs.query")
+        tabs_send = method(TABS_SEND_MESSAGE, "chrome.tabs.sendMessage")
+        tabs_create = method(TABS_CREATE, "chrome.tabs.create")
+        tabs_update = method(TABS_UPDATE, "chrome.tabs.update")
+        tabs_execute = method(TABS_EXECUTE_SCRIPT, "chrome.tabs.executeScript")
+        cookies_get = method(COOKIES_GET, "chrome.cookies.get")
+        cookies_get_all = method(COOKIES_GET_ALL, "chrome.cookies.getAll")
+        cookies_set = method(COOKIES_SET, "chrome.cookies.set")
+        cookies_remove = method(COOKIES_REMOVE, "chrome.cookies.remove")
+        storage_get = method(STORAGE_GET, "chrome.storage.get")
+        storage_set = method(STORAGE_SET, "chrome.storage.set")
+        storage_remove = method(STORAGE_REMOVE, "chrome.storage.remove")
+        scripting_execute = method(
+            SCRIPTING_EXECUTE, "chrome.scripting.executeScript"
+        )
+        scripting_css = method(SCRIPTING_INSERT_CSS, "chrome.scripting.insertCSS")
+        fetch_fn = method(FETCH_FN, "fetch")
+
+        # --- abstract message payloads ---
+        heap.allocate(
+            SENDER_TAB,
+            AbstractObject(
+                kind="object",
+                native="ext-tab",
+                properties=_props(
+                    url=values_domain.ANY_STRING,
+                    title=values_domain.ANY_STRING,
+                    id=values_domain.ANY_NUMBER,
+                ),
+            ),
+        )
+        heap.allocate(
+            EXT_MESSAGE,
+            AbstractObject(
+                kind="object",
+                native="ext-message",
+                unknown=values_domain.ANY_STRING,
+            ),
+        )
+        heap.allocate(
+            EXT_SENDER,
+            AbstractObject(
+                kind="object",
+                native="ext-sender",
+                properties=_props(
+                    url=values_domain.ANY_STRING,
+                    origin=values_domain.ANY_STRING,
+                    id=values_domain.ANY_STRING,
+                    tab=_addr(SENDER_TAB),
+                ),
+            ),
+        )
+        heap.allocate(
+            EXT_TAB,
+            AbstractObject(
+                kind="object",
+                native="ext-tab",
+                properties=_props(
+                    url=values_domain.ANY_STRING,
+                    title=values_domain.ANY_STRING,
+                    favIconUrl=values_domain.ANY_STRING,
+                    id=values_domain.ANY_NUMBER,
+                    active=values_domain.ANY_BOOL,
+                ),
+            ),
+        )
+        heap.allocate(
+            TAB_LIST,
+            AbstractObject(
+                kind="array",
+                properties=_props(length=values_domain.ANY_NUMBER),
+                unknown=_addr(EXT_TAB),
+            ),
+        )
+        heap.allocate(
+            EXT_COOKIE,
+            AbstractObject(
+                kind="object",
+                native="ext-cookie",
+                properties=_props(
+                    name=values_domain.ANY_STRING,
+                    value=values_domain.ANY_STRING,
+                    domain=values_domain.ANY_STRING,
+                    path=values_domain.ANY_STRING,
+                ),
+            ),
+        )
+        heap.allocate(
+            COOKIE_LIST,
+            AbstractObject(
+                kind="array",
+                properties=_props(length=values_domain.ANY_NUMBER),
+                unknown=_addr(EXT_COOKIE),
+            ),
+        )
+        heap.allocate(
+            STORAGE_ITEMS,
+            AbstractObject(
+                kind="object",
+                native="ext-storage-items",
+                unknown=values_domain.ANY_STRING,
+            ),
+        )
+
+        # --- the chrome.* API graph ---
+        heap.allocate(
+            ON_MESSAGE,
+            AbstractObject(
+                kind="object",
+                native="runtime.onMessage",
+                properties=_props(addListener=on_message_add),
+            ),
+        )
+        heap.allocate(
+            ON_MESSAGE_EXTERNAL,
+            AbstractObject(
+                kind="object",
+                native="runtime.onMessageExternal",
+                properties=_props(addListener=on_external_add),
+            ),
+        )
+        heap.allocate(
+            ON_INSTALLED,
+            AbstractObject(
+                kind="object",
+                native="runtime.onInstalled",
+                properties=_props(addListener=on_installed_add),
+            ),
+        )
+        heap.allocate(
+            RUNTIME,
+            AbstractObject(
+                kind="object",
+                native="chrome-runtime",
+                properties=_props(
+                    id=values_domain.ANY_STRING,
+                    sendMessage=send_message,
+                    onMessage=_addr(ON_MESSAGE),
+                    onMessageExternal=_addr(ON_MESSAGE_EXTERNAL),
+                    onInstalled=_addr(ON_INSTALLED),
+                    getURL=get_url,
+                    lastError=values_domain.UNDEF,
+                ),
+            ),
+        )
+        heap.allocate(
+            TABS,
+            AbstractObject(
+                kind="object",
+                native="chrome-tabs",
+                properties=_props(
+                    query=tabs_query,
+                    sendMessage=tabs_send,
+                    create=tabs_create,
+                    update=tabs_update,
+                    executeScript=tabs_execute,
+                ),
+            ),
+        )
+        heap.allocate(
+            COOKIES,
+            AbstractObject(
+                kind="object",
+                native="chrome-cookies",
+                properties=_props(
+                    get=cookies_get,
+                    getAll=cookies_get_all,
+                    set=cookies_set,
+                    remove=cookies_remove,
+                ),
+            ),
+        )
+        heap.allocate(
+            STORAGE_AREA,
+            AbstractObject(
+                kind="object",
+                native="chrome-storage-area",
+                properties=_props(
+                    get=storage_get, set=storage_set, remove=storage_remove
+                ),
+            ),
+        )
+        heap.allocate(
+            STORAGE,
+            AbstractObject(
+                kind="object",
+                native="chrome-storage",
+                properties=_props(
+                    local=_addr(STORAGE_AREA), sync=_addr(STORAGE_AREA)
+                ),
+            ),
+        )
+        heap.allocate(
+            SCRIPTING,
+            AbstractObject(
+                kind="object",
+                native="chrome-scripting",
+                properties=_props(
+                    executeScript=scripting_execute, insertCSS=scripting_css
+                ),
+            ),
+        )
+        heap.allocate(
+            CHROME,
+            AbstractObject(
+                kind="object",
+                native="chrome",
+                properties=_props(
+                    runtime=_addr(RUNTIME),
+                    tabs=_addr(TABS),
+                    cookies=_addr(COOKIES),
+                    storage=_addr(STORAGE),
+                    scripting=_addr(SCRIPTING),
+                ),
+            ),
+        )
+
+        for name, value in {
+            "chrome": _addr(CHROME),
+            "browser": _addr(CHROME),  # Firefox WebExtensions alias
+            "fetch": fetch_fn,
+            # A content script's window/document/location ARE the
+            # browsed page's (unlike the XUL overlay world the base
+            # environment models, where `document` is the chrome
+            # document and the page hides behind `content.*`). The
+            # rebinding conflates the background worker's globals with
+            # the page's — over-approximate for the background (which
+            # has no DOM at all), never under.
+            "window": _addr(stubs.CONTENT_WINDOW),
+            "document": _addr(stubs.CONTENT_DOCUMENT),
+            "location": _addr(stubs.CONTENT_LOCATION),
+        }.items():
+            state.write_var(Var(name, GLOBAL_SCOPE), value)
+
+    def channel_args(
+        self, channel: str, payload: AbstractValue, state: State
+    ) -> list[AbstractValue]:
+        """Argument vector for channel handlers.
+
+        Runtime-message handlers always see the abstract attacker
+        message joined in (any page with ``externally_connectable``
+        access, any co-installed extension, or a compromised renderer
+        may be the sender) — that is what makes message payloads
+        attacker-tainted sources in the receiving component.
+        """
+        if channel in (CHAN_RUNTIME, CHAN_EXTERNAL):
+            message = (
+                payload.join(_addr(EXT_MESSAGE)).join(values_domain.ANY_STRING)
+            )
+            return [message, _addr(EXT_SENDER), _addr(SEND_RESPONSE_FN)]
+        return [payload]
+
+
+def webext_spec() -> SecuritySpec:
+    """Sources/sinks/APIs for WebExtensions vetting.
+
+    Expresses the DoubleX / Kim-&-Lee classes: message→privileged-API
+    exfiltration (``message``/``cookie``/``tabs``/``storage`` sources
+    into the ``send``/``tab-open``/``cookie-write`` sinks), code
+    execution from message payloads (``eval``/``scripting`` APIs), and
+    permission misuse (bare API-usage entries).
+    """
+    return SecuritySpec(
+        sources=[
+            ChannelSource(
+                "message", frozenset({CHAN_RUNTIME, CHAN_EXTERNAL})
+            ),
+            CallSource(
+                "cookie",
+                frozenset({"chrome.cookies.getAll", "chrome.cookies.get"}),
+            ),
+            CallSource("tabs", frozenset({"chrome.tabs.query"})),
+            CallSource("storage", frozenset({"chrome.storage.get"})),
+            PropertySource(
+                "url", "location",
+                frozenset({"href", "host", "hostname", "pathname", "search"}),
+            ),
+            PropertySource("cookie", "content-document", frozenset({"cookie"})),
+            PropertySource(
+                "cookie", "ext-cookie", frozenset({"value", "name", "domain"})
+            ),
+            PropertySource(
+                "tab", "ext-tab", frozenset({"url", "title", "favIconUrl"})
+            ),
+        ],
+        sinks=[
+            NetworkSink(
+                "send",
+                rules=(
+                    ("fetch", DomainRule(kind="arg", arg_index=0)),
+                    ("xhr.open", DomainRule(kind="arg", arg_index=1)),
+                    ("xhr.send", DomainRule(kind="this_prop")),
+                    ("xhrwrapper.send", DomainRule(kind="this_prop")),
+                    ("XHRWrapper", DomainRule(kind="arg", arg_index=0)),
+                ),
+            ),
+            NetworkSink(
+                "tab-open",
+                rules=(
+                    ("chrome.tabs.create", DomainRule(kind="args_prop", prop="url")),
+                    ("chrome.tabs.update", DomainRule(kind="args_prop", prop="url")),
+                ),
+            ),
+            NetworkSink(
+                "cookie-write",
+                rules=(
+                    ("chrome.cookies.set", DomainRule(kind="args_prop", prop="url")),
+                ),
+            ),
+            PropertyWriteSink("redirect", "location", frozenset({"href"})),
+        ],
+        apis=[
+            ApiSink(
+                "scripting",
+                frozenset(
+                    {"chrome.scripting.executeScript", "chrome.tabs.executeScript"}
+                ),
+            ),
+            ApiSink("eval", frozenset({"eval"})),
+            ApiSink("storage-write", frozenset({"chrome.storage.set"})),
+        ],
+    )
+
+
+def install_effects() -> None:
+    """Merge the chrome natives' heap effects into the shared table."""
+    analysis_builtins.NATIVE_EFFECTS.update(CHROME_EFFECTS)
+
+
+install_effects()

@@ -2,6 +2,10 @@
 
 Subcommands:
 
+- ``vet PATH`` — vet a single addon file *or* a WebExtension directory
+  (``manifest.json`` + background/content scripts): extension
+  directories get the multi-file lowering, the ``chrome.*`` model, and
+  the cross-component message-flow analysis of :mod:`repro.webext`;
 - ``analyze FILE.js`` — infer and print the security signature of an
   addon (optionally compare against a manual signature file and/or dump
   the annotated PDG as Graphviz dot);
@@ -37,13 +41,67 @@ import argparse
 import sys
 
 
+def _resolve_spec(name: str, source: str):
+    """``--spec`` resolution: ``auto`` picks the WebExt spec for bundle
+    text and the Mozilla spec for plain sources; ``None`` defers to the
+    pipeline default (same outcome, but keeps api.vet's own default
+    logic authoritative)."""
+    if name == "mozilla":
+        from repro.browser import mozilla_spec
+
+        return mozilla_spec()
+    if name == "webext":
+        from repro.browser.chrome import webext_spec
+
+        return webext_spec()
+    return None
+
+
+def _cmd_vet(arguments: argparse.Namespace) -> int:
+    from repro.api import vet
+    from repro.faults import Budget
+    from repro.signatures import parse_signature
+    from repro.webext.loader import load_source
+
+    source = load_source(arguments.path)
+
+    manual = None
+    if arguments.manual:
+        with open(arguments.manual, encoding="utf-8") as handle:
+            manual = parse_signature(handle.read())
+
+    budget = None
+    if arguments.timeout is not None or arguments.max_steps is not None:
+        budget = Budget(
+            max_steps=(
+                arguments.max_steps if arguments.max_steps is not None
+                else 400_000
+            ),
+            max_seconds=arguments.timeout,
+        )
+    report = vet(
+        source, manual=manual, spec=_resolve_spec(arguments.spec, source),
+        k=arguments.k, budget=budget, recover=arguments.recover,
+        prefilter=arguments.prefilter,
+    )
+    print(report.render())
+
+    if arguments.explain and report.pdg is not None:
+        from repro.signatures import explain_all
+
+        for witness in explain_all(report.pdg, report.detail):
+            print()
+            print(witness.render())
+    return 0
+
+
 def _cmd_analyze(arguments: argparse.Namespace) -> int:
     from repro.api import vet
     from repro.faults import Budget
     from repro.signatures import parse_signature
+    from repro.webext.loader import load_source
 
-    with open(arguments.file, encoding="utf-8") as handle:
-        source = handle.read()
+    source = load_source(arguments.file)
 
     manual = None
     if arguments.manual:
@@ -91,11 +149,10 @@ def _cmd_diff(arguments: argparse.Namespace) -> int:
 
     from repro.api import diff_vet
     from repro.faults import Budget
+    from repro.webext.loader import load_source
 
-    with open(arguments.old, encoding="utf-8") as handle:
-        old_source = handle.read()
-    with open(arguments.new, encoding="utf-8") as handle:
-        new_source = handle.read()
+    old_source = load_source(arguments.old)
+    new_source = load_source(arguments.new)
 
     budget = None
     if arguments.timeout is not None or arguments.max_steps is not None:
@@ -274,8 +331,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    vet = subparsers.add_parser(
+        "vet",
+        help="vet an addon file or a WebExtension directory "
+             "(manifest.json + component scripts)",
+    )
+    vet.add_argument(
+        "path",
+        help="a JavaScript file, or an extension directory containing "
+             "manifest.json",
+    )
+    vet.add_argument(
+        "--manual", help="manual signature file to compare against"
+    )
+    vet.add_argument(
+        "--spec", choices=("auto", "mozilla", "webext"), default="auto",
+        help="security spec (auto: webext for extension directories, "
+             "mozilla for plain files)",
+    )
+    vet.add_argument("--k", type=int, default=1, help="context sensitivity")
+    vet.add_argument(
+        "--explain", action="store_true",
+        help="print a witness path for every inferred flow "
+             "(cross-component steps carry their component tag)",
+    )
+    vet.add_argument(
+        "--recover", action="store_true",
+        help="skip unparseable top-level statements and vet the rest "
+             "(degraded, ⊤-widened signature)",
+    )
+    vet.add_argument(
+        "--prefilter", action="store_true",
+        help="sound relevance prefilter (union surface across all "
+             "component files)",
+    )
+    vet.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="cooperative wall-clock budget (degrades, never fails)",
+    )
+    vet.add_argument(
+        "--max-steps", type=int, default=None, metavar="N",
+        help="fixpoint step budget (default 400000); blown budgets degrade",
+    )
+    vet.set_defaults(handler=_cmd_vet)
+
     analyze = subparsers.add_parser("analyze", help="vet one addon source file")
-    analyze.add_argument("file", help="JavaScript addon source")
+    analyze.add_argument(
+        "file", help="JavaScript addon source (or an extension directory)"
+    )
     analyze.add_argument(
         "--manual", help="manual signature file to compare against (pass/fail/leak)"
     )

@@ -23,13 +23,17 @@ from pathlib import Path
 from repro.addons import CORPUS
 from repro.batch import summarize, vet_corpus, vet_many
 
-SCHEMA = "addon-sig/bench-corpus/v5"
+SCHEMA = "addon-sig/bench-corpus/v6"
 
 #: Where the examples corpus (the prefilter's benchmark) lives.
 EXAMPLES_DIR = "examples/addons"
 
 #: Where the versioned update pairs (the fast lane's benchmark) live.
 VERSIONS_DIR = "examples/addons/versions"
+
+#: Where the WebExtensions mini-corpus (the multi-file pipeline's
+#: benchmark) lives: one directory per extension, each with a manifest.
+EXTENSIONS_DIR = "examples/extensions"
 
 
 def _bench_prefilter(examples_dir: str | Path | None) -> dict | None:
@@ -160,6 +164,73 @@ def _bench_incremental(versions_dir: str | Path | None) -> dict | None:
     }
 
 
+def _bench_webext(extensions_dir: str | Path | None, runs: int = 3) -> dict | None:
+    """Measure the multi-file WebExtensions pipeline on the mini-corpus.
+
+    Each extension directory under ``extensions_dir`` is vetted ``runs``
+    times under the paper's timing protocol (warm-up discarded, per-phase
+    medians of the rest) with the prefilter off, recording the
+    cross-component shape of each run (components, dispatched channels,
+    sender guards). A second single-pass sweep with the prefilter on
+    yields the bundle-level hit rate and the bit-identical-signatures
+    soundness check."""
+    import statistics
+
+    from repro.api import vet
+    from repro.webext.loader import load_source
+
+    if extensions_dir is None:
+        return None
+    directory = Path(extensions_dir)
+    if not directory.is_dir():
+        return None
+    roots = sorted(
+        child for child in directory.iterdir()
+        if child.is_dir() and (child / "manifest.json").exists()
+    )
+    if not roots:
+        return None
+
+    extensions = []
+    hits = 0
+    identical = True
+    for root in roots:
+        source = load_source(root)
+        samples = [vet(source, prefilter=False) for _ in range(max(runs, 1))]
+        kept = samples[1:] if len(samples) > 1 else samples
+        report = kept[-1]
+        filtered = vet(source, prefilter=True)
+        if filtered.prefiltered:
+            hits += 1
+        if filtered.signature.render() != report.signature.render():
+            identical = False
+        extensions.append({
+            "name": root.name,
+            "degraded": report.degraded,
+            "prefiltered": filtered.prefiltered,
+            "ast_nodes": report.ast_nodes,
+            "p1_s": round(statistics.median(s.phase_times.p1 for s in kept), 6),
+            "p2_s": round(statistics.median(s.phase_times.p2 for s in kept), 6),
+            "p3_s": round(statistics.median(s.phase_times.p3 for s in kept), 6),
+            "total_s": round(
+                statistics.median(s.phase_times.total for s in kept), 6
+            ),
+            "samples_kept": len(kept),
+            "components": report.counters.get("components", 0),
+            "channels": report.counters.get("channels", 0),
+            "sender_guards": report.counters.get("sender_guards", 0),
+            "signature_entries": report.counters.get("signature_entries", 0),
+        })
+    return {
+        "corpus": str(directory),
+        "extensions": extensions,
+        "count": len(extensions),
+        "prefilter_hits": hits,
+        "prefilter_hit_rate": round(hits / len(extensions), 4),
+        "identical_signatures": identical,
+    }
+
+
 def run_bench(
     runs: int = 3,
     k: int = 1,
@@ -169,6 +240,7 @@ def run_bench(
     timeout: float | None = None,
     examples_dir: str | Path | None = EXAMPLES_DIR,
     versions_dir: str | Path | None = VERSIONS_DIR,
+    extensions_dir: str | Path | None = EXTENSIONS_DIR,
     corpus=None,
 ) -> dict:
     """Benchmark the corpus; returns (and optionally writes) the report.
@@ -197,6 +269,14 @@ def run_bench(
     not single samples) and the incremental section counts fast-lane
     certifications attempted vs. skipped by the cost gate
     (``repro.batch.FAST_LANE_MIN_SOURCE_CHARS``).
+
+    Since v6 the report carries a ``webext`` section: the multi-file
+    extension mini-corpus (``examples/extensions``) vetted under the
+    same timing protocol — per-extension phase medians, cross-component
+    shape (components, dispatched channels, sender guards), and the
+    bundle-level prefilter hit rate with its bit-identical-signatures
+    soundness check. Skipped (``None``) when the extensions directory
+    is absent or holds no manifests.
 
     ``corpus`` restricts the sweep to the given addon specs (default:
     the full benchmark corpus)."""
@@ -266,6 +346,8 @@ def run_bench(
         "prefilter": _bench_prefilter(examples_dir),
         # The incremental fast lane measured on the versioned pairs.
         "incremental": _bench_incremental(versions_dir),
+        # The multi-file WebExtensions pipeline on its mini-corpus.
+        "webext": _bench_webext(extensions_dir, runs=runs),
     }
     if output is not None:
         from repro.store import atomic_write_json
@@ -321,6 +403,16 @@ def render_bench(report: dict) -> str:
             f" (hit rate {incremental['hit_rate']:.0%}),"
             f" wall {incremental['wall_incremental_s']:.3f}s on"
             f" vs {incremental['wall_full_s']:.3f}s off"
+        )
+    webext = report.get("webext")
+    if webext:
+        total = sum(e["total_s"] for e in webext["extensions"])
+        channels = sum(e["channels"] for e in webext["extensions"])
+        lines.append(
+            f"  webext ({webext['corpus']}):"
+            f" {webext['count']} extensions in {total:.3f}s,"
+            f" {channels} channels dispatched,"
+            f" prefilter hit rate {webext['prefilter_hit_rate']:.0%}"
         )
     robustness = report.get("robustness", {})
     if robustness.get("failed") or robustness.get("degraded"):

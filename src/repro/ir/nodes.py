@@ -328,7 +328,14 @@ class EventLoopStmt(Stmt):
     handler registered via the browser stubs, looping forever (a SEQ
     self-edge makes the cycle explicit so handler bodies are classified as
     amplified control).
+
+    Multi-component extensions (``repro.webext``) lower to one loop per
+    component; ``component`` names the owning component so the interpreter
+    dispatches each component's channel handlers at its own loop. ``None``
+    (single-file addons) dispatches everything.
     """
+
+    component: str | None = None
 
 
 # ----------------------------------------------------------------------
@@ -371,6 +378,9 @@ class ProgramIR:
     owner: dict[int, int]
     #: Names assigned at the global scope (informational).
     global_names: set[str]
+    #: Extension component roots: component function id -> component name
+    #: (empty for single-file addons). Set by ``repro.webext.lowering``.
+    components: dict[int, str] = field(default_factory=dict)
 
     @property
     def main(self) -> FunctionIR:
@@ -378,6 +388,23 @@ class ProgramIR:
 
     def function_of(self, sid: int) -> FunctionIR:
         return self.functions[self.owner[sid]]
+
+    def component_of(self, sid: int) -> str | None:
+        """The extension component a statement belongs to, or ``None``.
+
+        Walks the lexical parent chain from the owning function to the
+        nearest component root. Single-file addons (no components) always
+        return ``None``.
+        """
+        if not self.components:
+            return None
+        fid: int | None = self.owner[sid]
+        while fid is not None:
+            name = self.components.get(fid)
+            if name is not None:
+                return name
+            fid = self.functions[fid].parent
+        return None
 
     def pretty(self) -> str:
         """A readable dump of the IR, for debugging and golden tests."""
@@ -431,5 +458,7 @@ def _describe(stmt: Stmt) -> str:
     if isinstance(stmt, NopStmt):
         return f"nop {stmt.label}"
     if isinstance(stmt, EventLoopStmt):
+        if stmt.component is not None:
+            return f"event-loop [{stmt.component}]"
         return "event-loop"
     return repr(stmt)

@@ -114,6 +114,12 @@ def rule_table() -> list[tuple[str, str, str, str]]:
         (*PARSE_SKIP_RULE[:2], PARSE_SKIP_RULE[2].value,
          "a top-level statement was dropped by recovery-mode parsing")
     )
+    from repro.lint.webext import WEB_RULES
+
+    rows.extend(
+        (rule_id, slug, severity.value, description)
+        for rule_id, slug, severity, description in WEB_RULES
+    )
     return sorted(rows)
 
 
@@ -202,8 +208,21 @@ def expand_paths(paths: Iterable[str | Path]) -> list[Path]:
 
 def lint_paths(paths: Iterable[str | Path]) -> LintReport:
     """Lint files and/or directories (directories: every ``*.js`` under
-    them) into one report."""
+    them) into one report.
+
+    A directory containing a ``manifest.json`` is treated as a
+    WebExtension: besides the per-file rules, the whole-bundle WEB rules
+    of :mod:`repro.lint.webext` run over it (manifest over-permission,
+    unguarded message handlers, wildcard match patterns).
+    """
     report = LintReport()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir() and (root / "manifest.json").is_file():
+            from repro.lint.webext import lint_extension_dir
+
+            report.files.append(str(root / "manifest.json"))
+            report.findings.extend(lint_extension_dir(root))
     for path in expand_paths(paths):
         name = str(path)
         report.files.append(name)

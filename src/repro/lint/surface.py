@@ -39,6 +39,7 @@ from repro.js import ast as js_ast
 from repro.lint.rules import TIMER_NAMES, callee_name, static_property_name
 from repro.signatures.spec import (
     CallSource,
+    ChannelSource,
     NetworkSink,
     PropertySource,
     PropertyWriteSink,
@@ -151,6 +152,12 @@ def spec_surface(spec: SecuritySpec) -> frozenset[str]:
         elif isinstance(source, CallSource):
             for tag in source.tags:
                 names.update(_tag_names(tag))
+        elif isinstance(source, ChannelSource):
+            # A channel handler only ever registers through one of the
+            # listener names the source declares (onMessage, ...): an
+            # addon that never utters them cannot make the loop dispatch
+            # the channel, so the matcher cannot fire.
+            names.update(source.surface_names())
     for sink in spec.sinks:
         if isinstance(sink, NetworkSink):
             for tag, _rule in sink.rules:
@@ -194,9 +201,27 @@ def decide_relevance(
     argument about it is sound and the full (widening) pipeline must
     run.
     """
+    return decide_relevance_many([program], spec, degraded=degraded)
+
+
+def decide_relevance_many(
+    programs: Iterable[js_ast.Node],
+    spec: SecuritySpec,
+    *,
+    degraded: bool = False,
+) -> PrefilterDecision:
+    """The prefilter decision over *several* parsed files at once.
+
+    Used for multi-file extensions (``repro.webext``): the surface is
+    the union across every component file, so a spec name uttered in
+    *any* component disqualifies the fast lane for the whole bundle.
+    The soundness argument is unchanged — the lowered program is built
+    from exactly these ASTs, so every name the full analysis could
+    resolve appears in one of them.
+    """
     if degraded:
         return PrefilterDecision(relevant=True, reason="degraded-input")
-    surface = addon_surface(program)
+    surface = nodes_surface(programs)
     if surface.dynamic_code:
         return PrefilterDecision(relevant=True, reason="dynamic-code")
     if surface.dynamic_properties:

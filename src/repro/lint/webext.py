@@ -1,0 +1,264 @@
+"""WebExtension-specific lint rules (manifest + cross-file surface).
+
+These rules need the *whole bundle* — the manifest and every component
+file at once — so they live outside the per-file rule registry of
+:mod:`repro.lint.engine` and run from :func:`lint_extension` (wired into
+``lint_paths`` for directories containing a ``manifest.json``):
+
+- **WEB001** ``manifest-over-permission`` — a permission is declared but
+  no component file ever utters the corresponding ``chrome.*``
+  namespace. Over-permission is the classic store-review smell: the
+  extension can escalate later (or an update can start abusing it)
+  without any manifest diff. Sound in the prefilter's sense: reaching
+  ``chrome.cookies`` requires uttering ``cookies`` somewhere, so a
+  bundle with no dynamic property access that never says the name
+  cannot use the permission.
+- **WEB002** ``unguarded-message-handler`` — an ``onMessage`` /
+  ``onMessageExternal`` listener whose body calls a privileged
+  ``chrome.*`` API but never mentions a sender-identity property
+  (``url`` / ``origin`` / ``id``). Purely syntactic (the abstract
+  counterpart is the sender-guard pass of :mod:`repro.webext.guards`);
+  mentioning a property is not *checking* it, so this is a triage
+  heuristic, deliberately noisy in the safe direction.
+- **WEB003** ``wildcard-match-pattern`` — ``<all_urls>`` or a
+  ``*``-host match pattern in ``content_scripts`` (the content script
+  runs everywhere, so every page becomes a message sender) or in
+  ``externally_connectable`` (every website may deliver
+  ``onMessageExternal`` events).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.js import ast as js_ast
+from repro.js.errors import SourcePosition, Span
+from repro.js.parser import parse_with_recovery
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import member_root, static_property_name
+from repro.lint.surface import nodes_surface
+from repro.webext.loader import ExtensionBundle, bundle_from_dir
+
+#: (id, slug, severity, description) — surfaced in ``rule_table``.
+WEB_RULES: tuple[tuple[str, str, Severity, str], ...] = (
+    (
+        "WEB001", "manifest-over-permission", Severity.WARNING,
+        "a declared permission's chrome.* namespace is never used by any "
+        "component file",
+    ),
+    (
+        "WEB002", "unguarded-message-handler", Severity.WARNING,
+        "an onMessage handler calls a privileged chrome.* API without "
+        "mentioning sender.url/origin/id",
+    ),
+    (
+        "WEB003", "wildcard-match-pattern", Severity.WARNING,
+        "<all_urls> or a *-host pattern in content_scripts or "
+        "externally_connectable",
+    ),
+)
+
+#: Permissions whose use requires uttering the same-named chrome.*
+#: namespace. Permissions outside this table (host permissions,
+#: capability flags like ``activeTab``) have no nameable API surface
+#: and are never reported.
+_NAMESPACE_PERMISSIONS = frozenset({
+    "alarms", "bookmarks", "browsingData", "contextMenus", "cookies",
+    "downloads", "history", "identity", "idle", "management",
+    "notifications", "pageCapture", "privacy", "proxy", "scripting",
+    "sessions", "storage", "tabs", "topSites", "webNavigation",
+    "webRequest",
+})
+
+#: chrome.* namespaces whose calls inside a message handler count as
+#: privileged for WEB002.
+_PRIVILEGED_NAMESPACES = frozenset({
+    "cookies", "tabs", "storage", "scripting", "history", "downloads",
+    "management", "browsingData", "webRequest",
+})
+
+_SENDER_PROPS = frozenset({"url", "origin", "id"})
+
+_MESSAGE_EVENTS = frozenset({"onMessage", "onMessageExternal"})
+
+_ORIGIN = Span.at(SourcePosition(0, 0))
+
+
+def lint_extension(
+    bundle: ExtensionBundle, manifest_file: str = "manifest.json"
+) -> list[Finding]:
+    """Run the WEB rules over one bundle; findings in stable order."""
+    findings: list[Finding] = []
+    parsed: list[tuple[str, js_ast.Program]] = []
+    for component in bundle.components():
+        for path, source in component.files:
+            program, _skipped = parse_with_recovery(source, filename=path)
+            parsed.append((path, program))
+
+    findings.extend(_check_permissions(bundle, parsed, manifest_file))
+    for path, program in parsed:
+        findings.extend(_check_handlers(path, program))
+    findings.extend(_check_patterns(bundle, manifest_file))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def lint_extension_dir(path: str | Path) -> list[Finding]:
+    """Convenience wrapper: lint the extension rooted at ``path``."""
+    root = Path(path)
+    return lint_extension(
+        bundle_from_dir(root), manifest_file=str(root / "manifest.json")
+    )
+
+
+# ----------------------------------------------------------------------
+# WEB001
+
+
+def _check_permissions(bundle, parsed, manifest_file) -> list[Finding]:
+    surface = nodes_surface(program for _path, program in parsed)
+    if surface.dynamic_code or surface.dynamic_properties:
+        # A computed access / eval could reach any namespace: non-use is
+        # no longer provable, so stay silent (same discipline as the
+        # relevance prefilter).
+        return []
+    findings = []
+    for permission in bundle.manifest.permissions:
+        if permission not in _NAMESPACE_PERMISSIONS:
+            continue
+        if permission in surface.names:
+            continue
+        findings.append(Finding(
+            rule="WEB001", name="manifest-over-permission",
+            severity=Severity.WARNING,
+            message=(
+                f"permission {permission!r} is declared but chrome."
+                f"{permission} is never used by any component file"
+            ),
+            span=_ORIGIN, file=manifest_file,
+        ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# WEB002
+
+
+def _check_handlers(path: str, program: js_ast.Program) -> list[Finding]:
+    findings = []
+    for node in program.walk():
+        if not isinstance(node, js_ast.CallExpression):
+            continue
+        event = _message_listener_event(node)
+        if event is None or not node.arguments:
+            continue
+        handler = node.arguments[0]
+        if not isinstance(handler, js_ast.FunctionExpression):
+            continue
+        privileged = _privileged_calls(handler)
+        if not privileged:
+            continue
+        if _mentions_sender_identity(handler):
+            continue
+        names = ", ".join(sorted(privileged))
+        findings.append(Finding(
+            rule="WEB002", name="unguarded-message-handler",
+            severity=Severity.WARNING,
+            message=(
+                f"{event} handler calls privileged API(s) ({names}) "
+                "without mentioning sender.url/origin/id"
+            ),
+            span=Span.at(node.position), file=path,
+        ))
+    return findings
+
+
+def _message_listener_event(call: js_ast.CallExpression) -> str | None:
+    """``chrome.runtime.onMessage.addListener(...)`` (and the
+    ``browser.``/``onMessageExternal`` variants) -> the event name."""
+    callee = call.callee
+    if not isinstance(callee, js_ast.MemberExpression):
+        return None
+    if static_property_name(callee) != "addListener":
+        return None
+    event_object = callee.object
+    if not isinstance(event_object, js_ast.MemberExpression):
+        return None
+    event = static_property_name(event_object)
+    if event in _MESSAGE_EVENTS:
+        return event
+    return None
+
+
+def _privileged_calls(handler: js_ast.FunctionExpression) -> set[str]:
+    """Privileged ``chrome.<namespace>.<method>`` namespaces called
+    anywhere inside the handler body."""
+    privileged: set[str] = set()
+    for node in handler.walk():
+        if not isinstance(node, js_ast.CallExpression):
+            continue
+        callee = node.callee
+        # Walk member chains collecting static names; the chain must be
+        # rooted at chrome/browser and pass through a privileged
+        # namespace (chrome.cookies.getAll, browser.tabs.query.bind...).
+        chain: list[str] = []
+        current = callee
+        while isinstance(current, js_ast.MemberExpression):
+            name = static_property_name(current)
+            if name is not None:
+                chain.append(name)
+            current = current.object
+        if member_root(callee) in ("chrome", "browser"):
+            privileged.update(set(chain) & _PRIVILEGED_NAMESPACES)
+    return privileged
+
+
+def _mentions_sender_identity(handler: js_ast.FunctionExpression) -> bool:
+    for node in handler.walk():
+        if isinstance(node, js_ast.MemberExpression):
+            if static_property_name(node) in _SENDER_PROPS:
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# WEB003
+
+
+def _is_wildcard_pattern(pattern: str) -> bool:
+    if pattern == "<all_urls>":
+        return True
+    scheme, separator, rest = pattern.partition("://")
+    if not separator:
+        return False
+    host = rest.split("/", 1)[0]
+    return host == "*"
+
+
+def _check_patterns(bundle, manifest_file) -> list[Finding]:
+    findings = []
+    manifest = bundle.manifest
+    for index, script in enumerate(manifest.content_scripts):
+        for pattern in script.matches:
+            if _is_wildcard_pattern(pattern):
+                findings.append(Finding(
+                    rule="WEB003", name="wildcard-match-pattern",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"content_scripts[{index}] matches {pattern!r}: the "
+                        "script runs on every site, so any page can become "
+                        "a message sender"
+                    ),
+                    span=_ORIGIN, file=manifest_file,
+                ))
+    for pattern in manifest.externally_connectable:
+        if _is_wildcard_pattern(pattern):
+            findings.append(Finding(
+                rule="WEB003", name="wildcard-match-pattern",
+                severity=Severity.WARNING,
+                message=(
+                    f"externally_connectable matches {pattern!r}: any "
+                    "website may deliver onMessageExternal events"
+                ),
+                span=_ORIGIN, file=manifest_file,
+            ))
+    return findings

@@ -25,19 +25,33 @@ from repro.signatures.signature import FlowEntry
 
 @dataclass(frozen=True)
 class WitnessStep:
-    """One PDG edge on a witness path."""
+    """One PDG edge on a witness path.
+
+    For multi-file extensions the endpoints carry their component name
+    (``repro.webext``): line numbers restart per component file, so a
+    cross-component witness is ambiguous without the tags — and the tag
+    flip *is* the interesting part of a message-flow witness (the hop
+    where attacker data crossed from content script to background).
+    """
 
     source_sid: int
     source_line: int
     annotation: Annotation
     target_sid: int
     target_line: int
+    source_component: str | None = None
+    target_component: str | None = None
 
     def render(self) -> str:
         return (
-            f"line {self.source_line:>3} --{self.annotation}--> "
-            f"line {self.target_line}"
+            f"line {self.source_line:>3}{_tag(self.source_component)} "
+            f"--{self.annotation}--> "
+            f"line {self.target_line}{_tag(self.target_component)}"
         )
+
+
+def _tag(component: str | None) -> str:
+    return f" [{component}]" if component else ""
 
 
 @dataclass
@@ -103,15 +117,18 @@ def explain_flow(
 
     steps: list[WitnessStep] = []
     walker = found
+    program = pdg.program
     while walker in parents:
         parent, annotation = parents[walker]
         steps.append(
             WitnessStep(
                 source_sid=parent,
-                source_line=pdg.program.stmts[parent].line,
+                source_line=program.stmts[parent].line,
                 annotation=annotation,
                 target_sid=walker,
-                target_line=pdg.program.stmts[walker].line,
+                target_line=program.stmts[walker].line,
+                source_component=program.component_of(parent),
+                target_component=program.component_of(walker),
             )
         )
         walker = parent

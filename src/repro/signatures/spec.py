@@ -84,7 +84,36 @@ def _call_sites_with_tags(result: AnalysisResult, tags: frozenset[str]) -> set[i
     return matches
 
 
-SourceSpec = PropertySource | CallSource
+@dataclass(frozen=True)
+class ChannelSource:
+    """A source matched at an event loop that dispatches handlers of one
+    of the given message channels (``repro.webext``).
+
+    Message payloads are attacker-influenced (a content script relays
+    page data; ``onMessageExternal`` is reachable from arbitrary web
+    pages via ``externally_connectable``), so the *loop statement* —
+    where the payload enters the receiving component as the handler's
+    parameters — is the source site. ``surface`` names the syntactic
+    identifiers an addon must mention to ever register such a handler;
+    the relevance prefilter intersects them with the addon surface.
+    """
+
+    name: str
+    channels: frozenset[str]
+    surface: frozenset[str] = frozenset({"onMessage", "onMessageExternal"})
+
+    def matching_statements(self, result: AnalysisResult) -> set[int]:
+        return {
+            sid
+            for sid, channels in result.loop_channels.items()
+            if channels & self.channels
+        }
+
+    def surface_names(self) -> frozenset[str]:
+        return self.surface
+
+
+SourceSpec = PropertySource | CallSource | ChannelSource
 
 
 @dataclass(frozen=True)
@@ -92,9 +121,11 @@ class DomainRule:
     """How to recover the network domain at a sink call.
 
     ``kind`` is ``"arg"`` (the domain is the string value of argument
-    ``arg_index`` — e.g. ``xhr.open(method, url)``) or ``"this_prop"``
+    ``arg_index`` — e.g. ``xhr.open(method, url)``), ``"this_prop"``
     (the domain was stashed on the receiver by an earlier stub — e.g.
-    ``xhr.send()`` reads the URL recorded by ``open``).
+    ``xhr.send()`` reads the URL recorded by ``open``), or
+    ``"args_prop"`` (the domain is property ``prop`` of any object
+    argument — e.g. ``chrome.tabs.create({url: ...})``).
     """
 
     kind: str
@@ -145,6 +176,18 @@ class NetworkSink:
                 value = result.atom_value(sid, context, stmt.args[rule.arg_index])
                 return value.to_property_name()
             return prefix_domain.BOTTOM
+        if rule.kind == "args_prop":
+            domain = prefix_domain.BOTTOM
+            for arg in stmt.args:
+                value = result.atom_value(sid, context, arg)
+                if not value.addresses:
+                    continue
+                domain = domain.join(
+                    state.heap.read(
+                        value.addresses, prefix_domain.exact(rule.prop)
+                    ).string
+                )
+            return domain
         assert rule.kind == "this_prop"
         if isinstance(stmt, ConstructStmt) or stmt.this is None:
             return prefix_domain.BOTTOM

@@ -1,0 +1,212 @@
+"""Sender-origin guard detection and conditional-flow downgrade.
+
+The paper's Figure 4 lattice distinguishes *unconditional* flows from
+flows that only happen under a condition the addon checks first: a
+``url -type1-> send`` becomes ``url -type3-> send`` when the send is
+control-dependent on a branch. For WebExtensions the security-relevant
+instance is the *sender guard*: an ``onMessage`` handler that compares
+``sender.url`` / ``sender.origin`` / ``sender.id`` against a constant
+before touching a privileged API. DoubleX and Kim & Lee both treat the
+presence of such a check as the line between an exploitable message
+flow and a (conditionally) benign one.
+
+The inference alone cannot see this: the PDG's *data* path from a
+privileged source (say ``chrome.cookies.getAll``) to the network sink
+bypasses the branch entirely, so the flow stays at its unguarded type.
+This module is the post-pass that restores the paper's conditional-flow
+rule:
+
+1. :func:`find_sender_guards` locates branch statements whose condition
+   backward-slices (over data edges) to a property read of
+   ``url``/``origin``/``id`` on the abstract sender object (heap native
+   ``ext-sender``) *and* whose slice contains a comparison — a
+   ``==``-family binop against a concrete string, or a call-prep load of
+   a string predicate (``startsWith``, ``indexOf``, ...). Reading the
+   sender without comparing it (e.g. logging ``sender.url``) is not a
+   guard.
+2. The *guarded region* is the forward closure of the guard branches
+   over **all** PDG edges. Control edges alone would miss sinks reached
+   across a channel dispatch (branch →ctrl→ ``getAll`` →data→ loop
+   →ctrl→ callback body →...→ ``fetch``): the hop from the API call to
+   its callback is a data edge through the channel slot. Closing over
+   every edge over-approximates "executes only if the guard passed" —
+   that direction only downgrades *more* flows toward the guarded
+   (weaker, less alarming... but still reported) types, and a flow
+   whose sink has any unguarded witness keeps its strong type, so no
+   unguarded flow is ever hidden.
+3. :func:`downgrade_guarded` weakens every flow entry whose sink
+   statements *all* lie in the guarded region by
+   ``extend(type, local^amp)`` — exactly the adjustment a conditional
+   edge on the witness path would have forced — then re-reduces each
+   (source, sink, domain) group to its flow-type antichain.
+
+Monotonicity: ``extend`` never strengthens, so inserting a guard can
+only move a signature down the lattice — the property the generated
+message-extension tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.interpreter import AnalysisResult
+from repro.pdg.annotations import Annotation
+from repro.pdg.graph import PDG
+from repro.signatures.flowtypes import DEFAULT_LATTICE, FlowType, FlowTypeLattice
+from repro.signatures.inference import InferenceDetail
+from repro.signatures.signature import Entry, FlowEntry, Signature
+from repro.ir.nodes import AssignStmt, BinOpRhs, BranchStmt, LoadPropStmt
+
+#: Sender properties whose comparison constitutes an origin check.
+SENDER_PROPS = frozenset({"url", "origin", "id"})
+
+#: String predicates that compare rather than merely read.
+COMPARISON_METHODS = frozenset(
+    {"startsWith", "endsWith", "indexOf", "includes", "test", "match"}
+)
+
+_COMPARISON_OPS = frozenset({"==", "===", "!=", "!=="})
+
+_ALL_ANNOTATIONS = frozenset(Annotation)
+
+#: Backward-slice depth bound: a guard condition is a short chain of
+#: loads/compares/boolean ops away from the branch; deep slices stop
+#: resembling "the branch tests the sender".
+_SLICE_DEPTH = 8
+
+
+@dataclass(frozen=True)
+class GuardReport:
+    """Where the sender guards are and what they dominate."""
+
+    #: BranchStmt sids recognized as sender-origin guards.
+    branches: frozenset[int]
+    #: Forward PDG closure of the guard branches (see module docstring).
+    guarded: frozenset[int]
+
+    @property
+    def any(self) -> bool:
+        return bool(self.branches)
+
+
+def find_sender_guards(result: AnalysisResult, pdg: PDG) -> GuardReport:
+    """Detect sender-origin guard branches and their guarded region."""
+    branches: set[int] = set()
+    for sid, _context in result.nodes_of_type(BranchStmt):
+        if sid in branches:
+            continue
+        if _condition_tests_sender(result, pdg, sid):
+            branches.add(sid)
+    if not branches:
+        return GuardReport(branches=frozenset(), guarded=frozenset())
+    guarded = pdg.reachable_from(branches, _ALL_ANNOTATIONS) - branches
+    return GuardReport(branches=frozenset(branches), guarded=frozenset(guarded))
+
+
+def _condition_tests_sender(result: AnalysisResult, pdg: PDG, branch_sid: int) -> bool:
+    """Bounded backward slice of the branch condition over data edges:
+    true iff the slice both reads a sender property and compares it."""
+    saw_sender = False
+    saw_comparison = False
+    seen = {branch_sid}
+    frontier = [branch_sid]
+    for _depth in range(_SLICE_DEPTH):
+        if not frontier or (saw_sender and saw_comparison):
+            break
+        next_frontier: list[int] = []
+        for sid in frontier:
+            for source, annotations in pdg.predecessors(sid):
+                if source in seen:
+                    continue
+                if not any(annotation.is_data for annotation in annotations):
+                    continue
+                seen.add(source)
+                next_frontier.append(source)
+                saw_sender = saw_sender or _is_sender_load(result, source)
+                saw_comparison = saw_comparison or _is_comparison(result, source)
+        frontier = next_frontier
+    return saw_sender and saw_comparison
+
+
+def _is_sender_load(result: AnalysisResult, sid: int) -> bool:
+    stmt = result.program.stmts[sid]
+    if not isinstance(stmt, LoadPropStmt):
+        return False
+    name = result.atom_value_joined(sid, stmt.prop).to_property_name()
+    if not any(name.admits(prop) for prop in SENDER_PROPS):
+        return False
+    base = result.atom_value_joined(sid, stmt.obj)
+    for context in result.contexts(sid):
+        state = result.states.get((sid, context))
+        if state is None:
+            continue
+        for address in base.addresses:
+            if (
+                state.heap.contains(address)
+                and state.heap.get(address).native == "ext-sender"
+            ):
+                return True
+    return False
+
+
+def _is_comparison(result: AnalysisResult, sid: int) -> bool:
+    stmt = result.program.stmts[sid]
+    if isinstance(stmt, AssignStmt) and isinstance(stmt.rhs, BinOpRhs):
+        if stmt.rhs.operator not in _COMPARISON_OPS:
+            return False
+        # Comparing against *something concrete*: a guard pins the
+        # sender to a known origin, it doesn't compare two unknowns.
+        for atom in (stmt.rhs.left, stmt.rhs.right):
+            value = result.atom_value_joined(sid, atom)
+            if value.string.concrete() is not None:
+                return True
+        return False
+    if isinstance(stmt, LoadPropStmt):
+        name = result.atom_value_joined(sid, stmt.prop).to_property_name()
+        return any(name.admits(method) for method in COMPARISON_METHODS)
+    return False
+
+
+def downgrade_guarded(
+    detail: InferenceDetail,
+    guards: GuardReport,
+    lattice: FlowTypeLattice = DEFAULT_LATTICE,
+) -> InferenceDetail:
+    """Weaken flow entries whose sinks are all inside the guarded region.
+
+    Returns a new :class:`InferenceDetail`; the input is not modified.
+    With no guards (or nothing to weaken) the input is returned as-is.
+    """
+    if not guards.any:
+        return detail
+
+    changed = False
+    # (source, sink, domain) -> {flow_type: sink sids}, rebuilt with the
+    # guard-adjusted types so the antichain reduction can re-run.
+    grouped: dict[tuple[str, str, object], dict[FlowType, set[int]]] = {}
+    untouched: dict[Entry, set[int]] = {}
+    for entry, sids in detail.provenance.items():
+        if not isinstance(entry, FlowEntry):
+            untouched[entry] = sids
+            continue
+        flow_type = entry.flow_type
+        if sids and sids <= guards.guarded:
+            weakened = lattice.extend(flow_type, Annotation.LOCAL_AMP)
+            if weakened is not flow_type:
+                flow_type = weakened
+                changed = True
+        key = (entry.source, entry.sink, entry.domain)
+        grouped.setdefault(key, {}).setdefault(flow_type, set()).update(sids)
+    if not changed:
+        return detail
+
+    provenance: dict[Entry, set[int]] = dict(untouched)
+    for (source, sink, domain), by_type in grouped.items():
+        for flow_type in lattice.max(set(by_type)):
+            entry = FlowEntry(source, flow_type, sink, domain)
+            provenance.setdefault(entry, set()).update(by_type[flow_type])
+    return InferenceDetail(
+        signature=Signature(entries=frozenset(provenance)),
+        provenance=provenance,
+        source_statements=detail.source_statements,
+    )

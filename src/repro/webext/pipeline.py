@@ -1,0 +1,141 @@
+"""The WebExtensions vetting pipeline: bundle -> :class:`VettingReport`.
+
+Same three phases as the single-file pipeline (:func:`repro.api.vet`),
+with the front end swapped for the multi-file lowering, the environment
+for :class:`repro.browser.chrome.WebExtEnvironment`, the default spec
+for :func:`repro.browser.chrome.webext_spec`, and one extra inference
+step: the sender-guard downgrade of :mod:`repro.webext.guards`, applied
+*before* salvage widening (a degraded run's ⊤ entries must stay ⊤).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import analyze
+from repro.api import VettingReport, infer_detail
+from repro.browser.chrome import WebExtEnvironment, webext_spec
+from repro.faults import Budget, Degradation, FailureKind
+from repro.js import node_count
+from repro.pdg import build_pdg
+from repro.perf import Counters, PhaseTimes
+from repro.signatures import (
+    InferenceDetail,
+    SecuritySpec,
+    Signature,
+    compare,
+    widen_detail,
+)
+from repro.webext.guards import downgrade_guarded, find_sender_guards
+from repro.webext.loader import ExtensionBundle, bundle_from_text
+from repro.webext.lowering import lower_extension
+
+
+def vet_extension(
+    source: str | ExtensionBundle,
+    manual: Signature | None = None,
+    real_extras: frozenset = frozenset(),
+    spec: SecuritySpec | None = None,
+    k: int = 1,
+    budget: Budget | None = None,
+    recover: bool = False,
+    prefilter: bool = False,
+) -> VettingReport:
+    """Vet one extension bundle (or its serialized bundle text).
+
+    Mirrors :func:`repro.api.vet` so batch/diffvet/service code can
+    treat extension reports and single-file reports uniformly. The
+    counters additionally record the cross-component shape of the run:
+    ``components``, ``channels`` (distinct channels any loop
+    dispatched), and ``sender_guards``.
+    """
+    from repro.lint.surface import decide_relevance_many
+
+    bundle = source if isinstance(source, ExtensionBundle) else bundle_from_text(source)
+    resolved_spec = spec if spec is not None else webext_spec()
+    start = time.perf_counter()
+    lowered = lower_extension(bundle, recover=recover)
+    degradations: list[Degradation] = [
+        Degradation(
+            kind=(
+                FailureKind.UNSUPPORTED_SYNTAX
+                if skip.unsupported
+                else FailureKind.PARSE_ERROR
+            ),
+            detail=f"skipped top-level statement in {path}: {skip.render()}",
+        )
+        for path, skip in lowered.skipped
+    ]
+    ast_nodes = sum(node_count(program) for program in lowered.parsed)
+
+    if prefilter:
+        decision = decide_relevance_many(
+            lowered.parsed, resolved_spec, degraded=bool(degradations)
+        )
+        if not decision.relevant:
+            after_parse = time.perf_counter()
+            detail = InferenceDetail(
+                signature=Signature(), provenance={}, source_statements={}
+            )
+            comparison = None
+            if manual is not None:
+                comparison = compare(detail.signature, manual, real_extras)
+            counters = Counters()
+            counters["prefiltered"] = 1
+            counters["components"] = len(lowered.component_files)
+            return VettingReport(
+                program=lowered.program,
+                result=None,
+                pdg=None,
+                detail=detail,
+                ast_nodes=ast_nodes,
+                comparison=comparison,
+                phase_times=PhaseTimes(p1=after_parse - start, p2=0.0, p3=0.0),
+                counters=counters,
+                degradations=(),
+                prefiltered=True,
+            )
+
+    result = analyze(
+        lowered.program, WebExtEnvironment(), k=k, budget=budget, salvage=True
+    )
+    degradations.extend(result.degradations)
+    after_p1 = time.perf_counter()
+    pdg = build_pdg(result)
+    after_p2 = time.perf_counter()
+    detail = infer_detail(result, pdg, resolved_spec)
+    guards = find_sender_guards(result, pdg)
+    detail = downgrade_guarded(detail, guards)
+    if degradations:
+        detail = widen_detail(detail, resolved_spec)
+    after_p3 = time.perf_counter()
+    comparison = None
+    if manual is not None:
+        comparison = compare(detail.signature, manual, real_extras)
+    counters = Counters(result.counters)
+    counters["pdg_edges"] = len(pdg.edges)
+    counters["pdg_cyclic_statements"] = len(pdg.cyclic)
+    counters["signature_entries"] = len(detail.signature.entries)
+    counters["components"] = len(lowered.component_files)
+    counters["channels"] = len(
+        {channel for channels in result.loop_channels.values() for channel in channels}
+    )
+    counters["sender_guards"] = len(guards.branches)
+    if degradations:
+        counters["degradations"] = len(degradations)
+    return VettingReport(
+        program=lowered.program,
+        result=result,
+        pdg=pdg,
+        detail=detail,
+        ast_nodes=ast_nodes,
+        comparison=comparison,
+        unknown_calls=result.unknown_callees,
+        phase_times=PhaseTimes(
+            p1=after_p1 - start,
+            p2=after_p2 - after_p1,
+            p3=after_p3 - after_p2,
+        ),
+        counters=counters,
+        degradations=tuple(degradations),
+    )

@@ -22,7 +22,8 @@ def bench_report(tmp_path_factory):
     # protocol invariants are per-addon, so one is enough.
     return run_bench(
         runs=3, workers=1, output=output,
-        examples_dir=None, versions_dir=None, corpus=CORPUS[:1],
+        examples_dir=None, versions_dir=None, extensions_dir=None,
+        corpus=CORPUS[:1],
     ), output
 
 
@@ -41,12 +42,13 @@ class TestBenchProtocol:
     def test_report_is_written_and_round_trips(self, bench_report):
         report, output = bench_report
         assert json.loads(output.read_text(encoding="utf-8")) == report
-        assert report["schema"] == "addon-sig/bench-corpus/v5"
+        assert report["schema"] == "addon-sig/bench-corpus/v6"
 
     def test_single_run_protocol_keeps_its_only_sample(self):
         report = run_bench(
             runs=1, workers=1, output=None,
-            examples_dir=None, versions_dir=None, corpus=CORPUS[:1],
+            examples_dir=None, versions_dir=None, extensions_dir=None,
+            corpus=CORPUS[:1],
         )
         assert not report["protocol"]["discard_first"]
         for addon in report["addons"]:

@@ -31,7 +31,8 @@ class TestRegistry:
     def test_rule_table_includes_frontend_pseudo_rules(self):
         ids = {row[0] for row in rule_table()}
         assert {"R000", "R001"} <= ids
-        assert len(ids) == 10
+        assert {"WEB001", "WEB002", "WEB003"} <= ids
+        assert len(ids) == 13
 
     def test_rule_metadata_complete(self):
         for rule in all_rules():

@@ -1,0 +1,112 @@
+"""Abstract message channels: registration, dispatch, component scoping."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.browser.chrome import WebExtEnvironment
+from repro.ir.nodes import EventLoopStmt
+from repro.webext.loader import ExtensionBundle
+from repro.webext.lowering import lower_extension
+
+pytestmark = pytest.mark.webext
+
+MANIFEST = (
+    '{"name": "demo", "manifest_version": 3,'
+    ' "background": {"service_worker": "bg.js"},'
+    ' "content_scripts": [{"matches": ["<all_urls>"], "js": ["c.js"]}]}'
+)
+
+
+def run(bg: str, content: str):
+    bundle = ExtensionBundle(
+        name="demo", manifest_text=MANIFEST,
+        files=(("bg.js", bg), ("c.js", content)),
+    )
+    lowered = lower_extension(bundle)
+    result = analyze(lowered.program, WebExtEnvironment())
+    return lowered.program, result
+
+
+def channels_by_component(program, result):
+    out = {}
+    for sid, stmt in program.stmts.items():
+        if isinstance(stmt, EventLoopStmt):
+            out[stmt.component] = set(result.loop_channels.get(sid, ()))
+    return out
+
+
+class TestChannelDispatch:
+    def test_handler_dispatches_at_its_components_loop_only(self):
+        program, result = run(
+            bg="chrome.runtime.onMessage.addListener(function (m, s, r) { var x = m; });",
+            content="chrome.runtime.sendMessage({d: 1});",
+        )
+        channels = channels_by_component(program, result)
+        assert "runtime" in channels["background"]
+        assert "runtime" not in channels["content"]
+
+    def test_handler_body_is_reached(self):
+        # The handler writes a global from its parameter: only channel
+        # dispatch can execute that statement.
+        program, result = run(
+            bg="chrome.runtime.onMessage.addListener(function (m, s, r) { seen = m; });",
+            content="chrome.runtime.sendMessage({d: 1});",
+        )
+        # Every loop statement ran at least one dispatch round.
+        assert any(result.loop_dispatches.values())
+
+    def test_handler_runs_even_without_a_sender(self):
+        # onMessage payloads are attacker-influenced: the handler must
+        # dispatch even when no component ever calls sendMessage.
+        program, result = run(
+            bg="chrome.runtime.onMessage.addListener(function (m, s, r) { var x = m; });",
+            content="var quiet = 1;",
+        )
+        channels = channels_by_component(program, result)
+        assert "runtime" in channels["background"]
+
+    def test_on_message_external_uses_external_channel(self):
+        program, result = run(
+            bg="chrome.runtime.onMessageExternal.addListener(function (m) { var x = m; });",
+            content="var quiet = 1;",
+        )
+        channels = channels_by_component(program, result)
+        assert "runtime-external" in channels["background"]
+        assert "runtime" not in channels["background"]
+
+    def test_data_callbacks_ride_private_channels(self):
+        program, result = run(
+            bg="chrome.cookies.getAll({}, function (cs) { var x = cs; });\n"
+               "chrome.tabs.query({}, function (ts) { var y = ts; });",
+            content="var quiet = 1;",
+        )
+        channels = channels_by_component(program, result)
+        assert {"cookies", "tabs"} <= channels["background"]
+
+    def test_send_response_channel_reaches_sender_callback(self):
+        program, result = run(
+            bg="chrome.runtime.onMessage.addListener(function (m, s, sr) { sr({ok: 1}); });",
+            content="chrome.runtime.sendMessage({d: 1}, function (resp) { var x = resp; });",
+        )
+        channels = channels_by_component(program, result)
+        assert "runtime-response" in channels["content"]
+
+
+class TestSenderModel:
+    def test_handler_sees_abstract_sender_object(self):
+        program, result = run(
+            bg="chrome.runtime.onMessage.addListener(function (m, sender, r) {"
+               " who = sender.url; });",
+            content="chrome.runtime.sendMessage({d: 1});",
+        )
+        # The sender's url is an unconstrained string (any page may be
+        # behind the relaying content script).
+        from repro.ir.nodes import Var
+
+        value = None
+        for (sid, context), state in result.states.items():
+            candidate = state.read_var(Var("who", -1))
+            if candidate is not None and not candidate.is_bottom:
+                value = candidate
+        assert value is not None
+        assert value.string.is_top

@@ -1,0 +1,157 @@
+"""The examples/extensions corpus: golden signatures and worked flows.
+
+Each extension directory carries a ``SIGNATURE.txt`` golden pinning the
+exact inferred signature. The three cookie_exfil variants are the
+acceptance triangle for the conditional-flow rule:
+
+- ``cookie_exfil`` — unguarded message -> chrome.cookies -> fetch;
+- ``cookie_exfil_guarded`` — same flow behind ``sender.url ===``, every
+  entry downgraded to the conditional type;
+- ``cookie_exfil_misguarded`` — a *payload* check instead of a sender
+  check; must NOT downgrade.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import diff_vet, vet
+from repro.signatures.explain import explain_all
+from repro.signatures.flowtypes import FlowType
+from repro.webext.loader import load_source
+
+pytestmark = pytest.mark.webext
+
+EXTENSIONS = (
+    Path(__file__).resolve().parent.parent.parent / "examples" / "extensions"
+)
+
+NAMES = sorted(p.name for p in EXTENSIONS.iterdir() if p.is_dir())
+
+
+def golden_text(name: str) -> str:
+    lines = [
+        line
+        for line in (EXTENSIONS / name / "SIGNATURE.txt").read_text().splitlines()
+        if line.strip() and not line.startswith("#")
+    ]
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {name: vet(load_source(EXTENSIONS / name)) for name in NAMES}
+
+
+class TestGoldenSignatures:
+    def test_corpus_has_at_least_six_extensions(self):
+        assert len(NAMES) >= 6
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_signature_matches_golden(self, name, reports):
+        assert reports[name].signature.render() == golden_text(name)
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_no_degradation(self, name, reports):
+        assert not reports[name].degraded
+
+
+class TestConditionalFlowTriangle:
+    def flow_types(self, report):
+        return {
+            (e.source, e.sink): e.flow_type for e in report.signature.flows
+        }
+
+    def test_unguarded_cookie_flow_is_unconditional(self, reports):
+        types = self.flow_types(reports["cookie_exfil"])
+        assert types[("cookie", "send")] is FlowType.TYPE1
+        assert types[("message", "send")] is FlowType.TYPE2
+
+    def test_guard_downgrades_to_conditional(self, reports):
+        types = self.flow_types(reports["cookie_exfil_guarded"])
+        assert types[("cookie", "send")] is FlowType.TYPE3
+        assert types[("message", "send")] is FlowType.TYPE3
+        assert reports["cookie_exfil_guarded"].counters["sender_guards"] == 1
+
+    def test_payload_check_does_not_downgrade(self, reports):
+        assert self.flow_types(reports["cookie_exfil_misguarded"]) == \
+            self.flow_types(reports["cookie_exfil"])
+        assert reports["cookie_exfil_misguarded"].counters["sender_guards"] == 0
+
+
+class TestCrossComponentWitnesses:
+    def test_message_flow_witness_crosses_components(self, reports):
+        report = reports["cookie_exfil"]
+        witnesses = explain_all(report.pdg, report.detail)
+        message_witnesses = [
+            w for w in witnesses if w.entry.source == "message"
+        ]
+        assert message_witnesses
+        components = {
+            step.source_component for w in message_witnesses for step in w.steps
+        } | {
+            step.target_component for w in message_witnesses for step in w.steps
+        }
+        assert "background" in components
+
+    def test_witness_renders_component_tags(self, reports):
+        report = reports["tab_tracker"]
+        rendered = "\n".join(
+            w.render() for w in explain_all(report.pdg, report.detail)
+        )
+        assert "[background]" in rendered
+
+
+class TestVerdictShape:
+    def test_benign_extension_has_no_flows(self, reports):
+        assert not reports["settings_sync"].signature.flows
+
+    def test_injector_reports_scripting_api(self, reports):
+        rendered = reports["page_injector"].signature.render()
+        assert "scripting" in rendered
+
+    def test_redirect_uses_property_write_sink(self, reports):
+        types = {
+            (e.source, e.sink): e.flow_type
+            for e in reports["redirect_affiliate"].signature.flows
+        }
+        assert types[("url", "redirect")] is FlowType.TYPE1
+
+    def test_cross_component_counters(self, reports):
+        counters = reports["cookie_exfil"].counters
+        assert counters["components"] == 2
+        assert counters["channels"] >= 2
+
+
+class TestPrefilterSoundnessOnBundles:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_prefilter_on_off_bit_identical(self, name):
+        source = load_source(EXTENSIONS / name)
+        plain = vet(source, prefilter=False)
+        filtered = vet(source, prefilter=True)
+        assert plain.signature.render() == filtered.signature.render()
+
+    def test_irrelevant_bundle_takes_fast_lane(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            '{"name": "quiet", "background": {"service_worker": "bg.js"}}'
+        )
+        (tmp_path / "bg.js").write_text("var a = 1;\nvar b = a + 1;")
+        report = vet(load_source(tmp_path), prefilter=True)
+        assert report.prefiltered
+        assert not report.signature.entries
+
+
+class TestDifferentialVetting:
+    def test_bundle_updates_refuse_the_fast_lane(self):
+        old = load_source(EXTENSIONS / "cookie_exfil_guarded")
+        new = load_source(EXTENSIONS / "cookie_exfil")
+        report = diff_vet(old, new)
+        assert not report.certificate.certified
+        assert report.certificate.reason == "refused:webext-bundle"
+        # Dropping the guard strengthens type3 -> type1/2: re-review.
+        assert report.verdict == "re-review"
+
+    def test_identical_bundles_approve(self):
+        source = load_source(EXTENSIONS / "settings_sync")
+        report = diff_vet(source, source)
+        assert report.verdict == "approve"

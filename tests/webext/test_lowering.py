@@ -1,0 +1,107 @@
+"""Multi-file lowering: components, the loop cycle, isolated worlds."""
+
+import pytest
+
+from repro.ir.nodes import EdgeKind, EventLoopStmt
+from repro.webext.loader import ExtensionBundle
+from repro.webext.lowering import lower_extension
+
+pytestmark = pytest.mark.webext
+
+MANIFEST = (
+    '{"name": "demo", "manifest_version": 3,'
+    ' "background": {"service_worker": "bg.js"},'
+    ' "content_scripts": [{"matches": ["<all_urls>"], "js": ["c.js"]}]}'
+)
+
+
+def lower_demo(bg="var a = 1;", content="var b = 2;"):
+    bundle = ExtensionBundle(
+        name="demo",
+        manifest_text=MANIFEST,
+        files=(("bg.js", bg), ("c.js", content)),
+    )
+    return lower_extension(bundle)
+
+
+class TestComponents:
+    def test_each_component_is_a_named_function(self):
+        lowered = lower_demo()
+        names = set(lowered.program.components.values())
+        assert names == {"background", "content"}
+
+    def test_component_of_resolves_nested_statements(self):
+        lowered = lower_demo(bg="function f() { var x = 1; }\nf();")
+        program = lowered.program
+        by_component = {
+            program.component_of(sid) for sid in program.stmts
+        }
+        # <main>'s own statements have no component; everything lowered
+        # from a component file (even inside nested functions) has one.
+        assert by_component == {None, "background", "content"}
+
+    def test_component_files_recorded_in_order(self):
+        lowered = lower_demo()
+        assert lowered.component_files == {
+            "background": ("bg.js",),
+            "content": ("c.js",),
+        }
+
+
+class TestEventLoops:
+    def loops(self, program):
+        return [
+            stmt for stmt in program.stmts.values()
+            if isinstance(stmt, EventLoopStmt)
+        ]
+
+    def test_one_loop_per_component_forming_a_cycle(self):
+        lowered = lower_demo()
+        loops = self.loops(lowered.program)
+        assert sorted(loop.component for loop in loops) == [
+            "background", "content",
+        ]
+        # SEQ edges form the cycle loop1 -> loop2 -> loop1.
+        sids = {loop.sid for loop in loops}
+        for loop in loops:
+            seq_targets = {
+                edge.target for edge in loop.edges if edge.kind is EdgeKind.SEQ
+            }
+            assert seq_targets & sids
+
+    def test_empty_extension_gets_generic_loop(self):
+        bundle = ExtensionBundle(name="empty", manifest_text="{}", files=())
+        lowered = lower_extension(bundle)
+        loops = self.loops(lowered.program)
+        assert len(loops) == 1
+        assert loops[0].component is None
+        assert any(
+            edge.target == loops[0].sid and edge.kind is EdgeKind.SEQ
+            for edge in loops[0].edges
+        )
+
+
+class TestIsolatedWorlds:
+    def test_var_declarations_stay_component_local(self):
+        # Both components declare `shared`; each lands in its own
+        # function's locals, not the global scope.
+        lowered = lower_demo(bg="var shared = 1;", content="var shared = 2;")
+        program = lowered.program
+        component_fids = set(program.components)
+        for fid in component_fids:
+            assert "shared" in program.functions[fid].locals
+        assert "shared" not in program.global_names
+
+    def test_undeclared_assignment_is_shared_global(self):
+        lowered = lower_demo(bg="leak = 1;", content="var x = leak;")
+        assert "leak" in lowered.program.global_names
+
+    def test_recovery_collects_skips_per_file(self):
+        bundle = ExtensionBundle(
+            name="demo",
+            manifest_text=MANIFEST,
+            files=(("bg.js", "var ok = 1;\nclass Nope {}"), ("c.js", "var b = 2;")),
+        )
+        lowered = lower_extension(bundle, recover=True)
+        assert lowered.skipped
+        assert all(path == "bg.js" for path, _skip in lowered.skipped)

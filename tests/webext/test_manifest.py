@@ -1,0 +1,68 @@
+"""manifest.json parsing: the analysis-relevant subset, strictly."""
+
+import pytest
+
+from repro.webext.manifest import ExtensionManifest, ManifestError
+
+pytestmark = pytest.mark.webext
+
+
+class TestManifestParsing:
+    def test_mv3_service_worker_becomes_background(self):
+        manifest = ExtensionManifest.from_text(
+            '{"name": "x", "manifest_version": 3,'
+            ' "background": {"service_worker": "bg.js"}}'
+        )
+        assert manifest.background_scripts == ("bg.js",)
+        assert manifest.manifest_version == 3
+
+    def test_mv2_background_scripts_keep_order(self):
+        manifest = ExtensionManifest.from_text(
+            '{"manifest_version": 2,'
+            ' "background": {"scripts": ["a.js", "b.js"]}}'
+        )
+        assert manifest.background_scripts == ("a.js", "b.js")
+
+    def test_content_scripts_with_matches(self):
+        manifest = ExtensionManifest.from_text(
+            '{"content_scripts": [{"matches": ["<all_urls>"],'
+            ' "js": ["c1.js", "c2.js"]}]}'
+        )
+        (script,) = manifest.content_scripts
+        assert script.matches == ("<all_urls>",)
+        assert script.js == ("c1.js", "c2.js")
+
+    def test_externally_connectable_matches(self):
+        manifest = ExtensionManifest.from_text(
+            '{"externally_connectable": {"matches": ["*://*.example.com/*"]}}'
+        )
+        assert manifest.externally_connectable == ("*://*.example.com/*",)
+
+    def test_script_files_background_first(self):
+        manifest = ExtensionManifest.from_text(
+            '{"background": {"service_worker": "bg.js"},'
+            ' "content_scripts": [{"js": ["c.js"]}]}'
+        )
+        assert manifest.script_files() == ("bg.js", "c.js")
+
+    def test_unknown_keys_ignored(self):
+        manifest = ExtensionManifest.from_text(
+            '{"name": "x", "icons": {"16": "i.png"}, "minimum_chrome_version": "99"}'
+        )
+        assert manifest.name == "x"
+
+    def test_invalid_json_raises_manifest_error(self):
+        with pytest.raises(ManifestError):
+            ExtensionManifest.from_text("{not json")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ManifestError):
+            ExtensionManifest.from_text("[1, 2]")
+
+    def test_non_string_permission_raises(self):
+        with pytest.raises(ManifestError):
+            ExtensionManifest.from_text('{"permissions": ["cookies", 3]}')
+
+    def test_background_must_be_object(self):
+        with pytest.raises(ManifestError):
+            ExtensionManifest.from_text('{"background": "bg.js"}')
