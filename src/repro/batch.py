@@ -186,8 +186,18 @@ class VetOutcome:
 
     @property
     def degradation_kinds(self) -> list[str]:
-        """The distinct degradation kinds of this outcome, sorted."""
-        return sorted({d["kind"] for d in self.degradations})
+        """The distinct degradation kinds of this outcome, sorted.
+
+        Tolerant of malformed events (a cache round-trip of a poison
+        shard can hand back non-dict entries or kindless dicts): those
+        bucket as ``unclassified`` instead of raising."""
+        kinds = set()
+        for event in self.degradations:
+            if isinstance(event, dict) and event.get("kind"):
+                kinds.add(str(event["kind"]))
+            else:
+                kinds.add("unclassified")
+        return sorted(kinds)
 
     def to_json(self) -> dict:
         data = dataclasses.asdict(self)
@@ -944,8 +954,14 @@ def summarize(outcomes: list[VetOutcome]) -> dict:
     cache_quarantined = 0
     pool_retries = 0
     for outcome in outcomes:
-        if not outcome.ok and outcome.failure is not None:
-            failures[outcome.failure] = failures.get(outcome.failure, 0) + 1
+        if not outcome.ok:
+            # Untyped failures (no FailureKind attached — e.g. an
+            # all-poison generated shard) still count in the per-kind
+            # breakdown, as ``unclassified``, so ``sum(failures
+            # .values()) == failed`` holds even when nothing vetted
+            # cleanly.
+            kind = outcome.failure or "unclassified"
+            failures[kind] = failures.get(kind, 0) + 1
         for kind in outcome.degradation_kinds:
             degradation_kinds[kind] = degradation_kinds.get(kind, 0) + 1
         if outcome.diff_verdict is not None:

@@ -57,13 +57,25 @@ def _resolve_spec(name: str, source: str):
     return None
 
 
+def _load_source(path: str) -> str:
+    """Load an addon file or bundle directory, turning a manifest
+    refusal (missing/empty content_scripts references, malformed
+    manifest.json) into a clean CLI error instead of a traceback."""
+    from repro.webext.loader import load_source
+    from repro.webext.manifest import ManifestError
+
+    try:
+        return load_source(path)
+    except ManifestError as error:
+        raise SystemExit(f"addon-sig: refused: {error}") from error
+
+
 def _cmd_vet(arguments: argparse.Namespace) -> int:
     from repro.api import vet
     from repro.faults import Budget
     from repro.signatures import parse_signature
-    from repro.webext.loader import load_source
 
-    source = load_source(arguments.path)
+    source = _load_source(arguments.path)
 
     manual = None
     if arguments.manual:
@@ -99,9 +111,8 @@ def _cmd_analyze(arguments: argparse.Namespace) -> int:
     from repro.api import vet
     from repro.faults import Budget
     from repro.signatures import parse_signature
-    from repro.webext.loader import load_source
 
-    source = load_source(arguments.file)
+    source = _load_source(arguments.file)
 
     manual = None
     if arguments.manual:
@@ -149,10 +160,9 @@ def _cmd_diff(arguments: argparse.Namespace) -> int:
 
     from repro.api import diff_vet
     from repro.faults import Budget
-    from repro.webext.loader import load_source
 
-    old_source = load_source(arguments.old)
-    new_source = load_source(arguments.new)
+    old_source = _load_source(arguments.old)
+    new_source = _load_source(arguments.new)
 
     budget = None
     if arguments.timeout is not None or arguments.max_steps is not None:
@@ -213,6 +223,31 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
     )
     print(render_bench(report))
     print(f"\nwritten to {arguments.output}")
+    return 0
+
+
+def _cmd_fleet(arguments: argparse.Namespace) -> int:
+    from repro.corpusgen.fleet import render_fleet, run_fleet
+
+    section = run_fleet(
+        count=arguments.count,
+        seed=arguments.seed,
+        workers=arguments.workers,
+        update_count=arguments.updates,
+        bundle_fraction=arguments.bundle_fraction,
+        service=arguments.service,
+        output=arguments.output,
+    )
+    print(render_fleet(section))
+    if arguments.output is not None:
+        print(f"\nfleet section merged into {arguments.output}")
+    if section["verdict_mismatches"]:
+        print(
+            f"FLEET UNSOUND: {section['verdict_mismatches']} verdict "
+            "mismatches (see the fleet section for details)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -475,6 +510,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-run wall-clock budget per addon (degrades, not fails)",
     )
     bench.set_defaults(handler=_cmd_bench)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="store-scale benchmark over a generated verdict-carrying "
+             "corpus; merge a fleet section into BENCH_corpus.json "
+             "(exit 1 on any verdict mismatch)",
+    )
+    fleet.add_argument(
+        "--count", type=int, default=1000,
+        help="generated addons to vet (default 1000)",
+    )
+    fleet.add_argument(
+        "--seed", type=int, default=0,
+        help="corpus seed (same seed = bit-identical corpus)",
+    )
+    fleet.add_argument("--workers", type=int, default=None)
+    fleet.add_argument(
+        "--updates", type=int, default=None, metavar="PAIRS",
+        help="update pairs for the incremental sweep "
+             "(default count // 5, at least 10)",
+    )
+    fleet.add_argument(
+        "--bundle-fraction", type=float, default=0.25,
+        help="share of multi-file WebExtension bundles in the corpus",
+    )
+    fleet.add_argument(
+        "--service", action="store_true",
+        help="also round-trip a sample through the service daemon",
+    )
+    fleet.add_argument("--output", default="BENCH_corpus.json")
+    fleet.set_defaults(handler=_cmd_fleet)
 
     scaling = subparsers.add_parser(
         "scaling",

@@ -23,7 +23,15 @@ from pathlib import Path
 from repro.addons import CORPUS
 from repro.batch import summarize, vet_corpus, vet_many
 
-SCHEMA = "addon-sig/bench-corpus/v6"
+SCHEMA = "addon-sig/bench-corpus/v7"
+
+
+def _hit_rate(hits: int, total: int) -> float | None:
+    """``hits/total`` rounded — or ``None`` (a null rate, not a crash)
+    when the corpus was empty or fully filtered and ``total`` is 0."""
+    if total == 0:
+        return None
+    return round(hits / total, 4)
 
 #: Where the examples corpus (the prefilter's benchmark) lives.
 EXAMPLES_DIR = "examples/addons"
@@ -49,9 +57,18 @@ def _bench_prefilter(examples_dir: str | Path | None) -> dict | None:
     if examples_dir is None:
         return None
     directory = Path(examples_dir)
+    if not directory.is_dir():
+        return None
     files = sorted(directory.glob("*.js"))
     if not files:
-        return None
+        # The directory exists but holds nothing vettable (empty or
+        # fully filtered): a zero-count section with a null rate — the
+        # old ``hits / len(files)`` was a ZeroDivisionError here.
+        return {
+            "corpus": str(directory), "addons": 0, "hits": 0,
+            "hit_rate": None, "wall_on_s": 0.0, "wall_off_s": 0.0,
+            "wall_delta_s": 0.0, "identical_signatures": True,
+        }
 
     def tasks(prefilter: bool) -> list[VetTask]:
         return [
@@ -75,7 +92,7 @@ def _bench_prefilter(examples_dir: str | Path | None) -> dict | None:
         "corpus": str(directory),
         "addons": len(files),
         "hits": hits,
-        "hit_rate": round(hits / len(files), 4),
+        "hit_rate": _hit_rate(hits, len(files)),
         "wall_on_s": round(wall_on, 6),
         "wall_off_s": round(wall_off, 6),
         "wall_delta_s": round(wall_off - wall_on, 6),
@@ -100,9 +117,19 @@ def _bench_incremental(versions_dir: str | Path | None) -> dict | None:
 
     if versions_dir is None:
         return None
+    if not Path(versions_dir).is_dir():
+        return None
     pairs = discover_pairs(versions_dir)
     if not pairs:
-        return None
+        # Existing-but-empty chains directory: null rate, zero counts
+        # (the old ``hits / len(pairs)`` divided by zero).
+        return {
+            "corpus": str(versions_dir), "pairs": 0, "hits": 0,
+            "hit_rate": None, "certifications_attempted": 0,
+            "certifications_skipped": 0, "wall_incremental_s": 0.0,
+            "wall_full_s": 0.0, "wall_delta_s": 0.0,
+            "identical_signatures": True, "verdicts": {},
+        }
 
     baselines = vet_many(
         [
@@ -148,7 +175,7 @@ def _bench_incremental(versions_dir: str | Path | None) -> dict | None:
         "corpus": str(versions_dir),
         "pairs": len(pairs),
         "hits": hits,
-        "hit_rate": round(hits / len(pairs), 4),
+        "hit_rate": _hit_rate(hits, len(pairs)),
         # The cost gate's economics: certificates attempted vs. skipped
         # because full re-analysis was predicted cheaper.
         "certifications_attempted": attempted,
@@ -189,7 +216,13 @@ def _bench_webext(extensions_dir: str | Path | None, runs: int = 3) -> dict | No
         if child.is_dir() and (child / "manifest.json").exists()
     )
     if not roots:
-        return None
+        # Existing-but-manifestless directory: zero-count section with
+        # a null rate (``hits / len(extensions)`` used to divide by 0).
+        return {
+            "corpus": str(directory), "extensions": [], "count": 0,
+            "prefilter_hits": 0, "prefilter_hit_rate": None,
+            "identical_signatures": True,
+        }
 
     extensions = []
     hits = 0
@@ -226,7 +259,7 @@ def _bench_webext(extensions_dir: str | Path | None, runs: int = 3) -> dict | No
         "extensions": extensions,
         "count": len(extensions),
         "prefilter_hits": hits,
-        "prefilter_hit_rate": round(hits / len(extensions), 4),
+        "prefilter_hit_rate": _hit_rate(hits, len(extensions)),
         "identical_signatures": identical,
     }
 
@@ -277,6 +310,15 @@ def run_bench(
     bundle-level prefilter hit rate with its bit-identical-signatures
     soundness check. Skipped (``None``) when the extensions directory
     is absent or holds no manifests.
+
+    Since v7 hit rates are *null* (``None``) with zero counts when a
+    section's corpus directory exists but is empty or fully filtered —
+    never a ZeroDivisionError — and the report can carry a ``fleet``
+    section written by ``addon-sig fleet`` (:mod:`repro.corpusgen
+    .fleet`): store-scale throughput, cache/prefilter/incremental hit
+    rates, peak RSS, and the zero-must-hold verdict-mismatch count over
+    a generated corpus. ``run_bench`` preserves an existing ``fleet``
+    section in ``output`` when rewriting the other sections.
 
     ``corpus`` restricts the sweep to the given addon specs (default:
     the full benchmark corpus)."""
@@ -350,9 +392,21 @@ def run_bench(
         "webext": _bench_webext(extensions_dir, runs=runs),
     }
     if output is not None:
+        import json
+
         from repro.store import atomic_write_json
 
-        atomic_write_json(Path(output), report, fsync=False)
+        # A fleet section (written by ``addon-sig fleet``) rides along:
+        # rewriting the bench sections must not drop it.
+        path = Path(output)
+        if path.exists():
+            try:
+                previous = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                previous = {}
+            if isinstance(previous, dict) and "fleet" in previous:
+                report["fleet"] = previous["fleet"]
+        atomic_write_json(path, report, fsync=False)
     return report
 
 
@@ -386,12 +440,15 @@ def render_bench(report: dict) -> str:
         f" summed pipeline {corpus['total_s']:.3f}s,"
         f" batch wall {corpus['wall_s']:.3f}s"
     )
+    def rate(value: float | None) -> str:
+        return "n/a" if value is None else f"{value:.0%}"
+
     prefilter = report.get("prefilter")
     if prefilter:
         lines.append(
             f"  prefilter ({prefilter['corpus']}):"
             f" {prefilter['hits']}/{prefilter['addons']} addons skipped"
-            f" (hit rate {prefilter['hit_rate']:.0%}),"
+            f" (hit rate {rate(prefilter['hit_rate'])}),"
             f" wall {prefilter['wall_on_s']:.3f}s on"
             f" vs {prefilter['wall_off_s']:.3f}s off"
         )
@@ -400,7 +457,7 @@ def render_bench(report: dict) -> str:
         lines.append(
             f"  incremental ({incremental['corpus']}):"
             f" {incremental['hits']}/{incremental['pairs']} updates fast-laned"
-            f" (hit rate {incremental['hit_rate']:.0%}),"
+            f" (hit rate {rate(incremental['hit_rate'])}),"
             f" wall {incremental['wall_incremental_s']:.3f}s on"
             f" vs {incremental['wall_full_s']:.3f}s off"
         )
@@ -412,7 +469,15 @@ def render_bench(report: dict) -> str:
             f"  webext ({webext['corpus']}):"
             f" {webext['count']} extensions in {total:.3f}s,"
             f" {channels} channels dispatched,"
-            f" prefilter hit rate {webext['prefilter_hit_rate']:.0%}"
+            f" prefilter hit rate {rate(webext['prefilter_hit_rate'])}"
+        )
+    fleet = report.get("fleet")
+    if fleet:
+        throughput = fleet.get("throughput", {})
+        lines.append(
+            f"  fleet: {fleet['count']} generated addons,"
+            f" {throughput.get('addons_per_s') or 0:.1f} addons/s,"
+            f" verdict mismatches {fleet['verdict_mismatches']}"
         )
     robustness = report.get("robustness", {})
     if robustness.get("failed") or robustness.get("degraded"):

@@ -133,7 +133,16 @@ def bundle_from_text(source: str) -> ExtensionBundle:
 
 
 def bundle_from_dir(path: str | Path) -> ExtensionBundle:
-    """Load an extension directory (must contain ``manifest.json``)."""
+    """Load an extension directory (must contain ``manifest.json``).
+
+    Loading from disk is strict where in-memory bundles are tolerant: a
+    manifest whose ``content_scripts`` entry lists zero scripts or
+    references a JS file absent from the directory is a typed
+    :class:`~repro.webext.manifest.ManifestError` refusal at load time.
+    On disk there is no later lint pass guaranteed to run before the
+    batch/service layers hash and journal the text, so a broken
+    reference must not become a silently-empty component downstream.
+    """
     root = Path(path)
     manifest_path = root / "manifest.json"
     if not manifest_path.is_file():
@@ -149,7 +158,18 @@ def bundle_from_dir(path: str | Path) -> ExtensionBundle:
     bundle = ExtensionBundle(
         name=root.name, manifest_text=manifest_text, files=files
     )
-    bundle.manifest  # validate eagerly: a bad manifest fails at load time
+    manifest = bundle.manifest  # a bad manifest fails at load time
+    for index, entry in enumerate(manifest.content_scripts):
+        if not entry.js:
+            raise ManifestError(
+                f"{root}: content_scripts[{index}] lists no js files"
+            )
+    missing = bundle.missing_files()
+    if missing:
+        raise ManifestError(
+            f"{root}: manifest references missing scripts: "
+            + ", ".join(sorted(missing))
+        )
     return bundle
 
 

@@ -42,7 +42,7 @@ class TestBenchProtocol:
     def test_report_is_written_and_round_trips(self, bench_report):
         report, output = bench_report
         assert json.loads(output.read_text(encoding="utf-8")) == report
-        assert report["schema"] == "addon-sig/bench-corpus/v6"
+        assert report["schema"] == "addon-sig/bench-corpus/v7"
 
     def test_single_run_protocol_keeps_its_only_sample(self):
         report = run_bench(
@@ -54,6 +54,66 @@ class TestBenchProtocol:
         for addon in report["addons"]:
             if addon["ok"]:
                 assert addon["samples_kept"] == 1
+
+
+class TestDegenerateCorpora:
+    """Empty or fully-filtered side corpora: null rates with zero
+    counts, never a ZeroDivisionError (the v7 contract)."""
+
+    def test_empty_examples_dir_yields_null_rate(self, tmp_path):
+        from repro.evaluation.bench import _bench_prefilter
+
+        section = _bench_prefilter(tmp_path)  # exists, holds no *.js
+        assert section["addons"] == 0
+        assert section["hits"] == 0
+        assert section["hit_rate"] is None
+        assert section["identical_signatures"]
+
+    def test_empty_versions_dir_yields_null_rate(self, tmp_path):
+        from repro.evaluation.bench import _bench_incremental
+
+        section = _bench_incremental(tmp_path)  # exists, holds no pairs
+        assert section["pairs"] == 0
+        assert section["hit_rate"] is None
+        assert section["verdicts"] == {}
+
+    def test_missing_dirs_still_skip_the_section(self, tmp_path):
+        from repro.evaluation.bench import (
+            _bench_incremental,
+            _bench_prefilter,
+        )
+
+        assert _bench_prefilter(tmp_path / "nope") is None
+        assert _bench_incremental(tmp_path / "nope") is None
+
+    def test_degenerate_sections_render(self, tmp_path):
+        from repro.evaluation.bench import render_bench
+
+        report = run_bench(
+            runs=1, workers=1, output=None,
+            examples_dir=tmp_path, versions_dir=tmp_path,
+            extensions_dir=None, corpus=CORPUS[:1],
+        )
+        assert report["prefilter"]["hit_rate"] is None
+        assert "n/a" in render_bench(report)
+
+
+class TestFleetSectionPreservation:
+    def test_rerunning_bench_keeps_the_fleet_section(self, tmp_path):
+        output = tmp_path / "BENCH_corpus.json"
+        output.write_text(json.dumps({
+            "schema": "addon-sig/bench-corpus/v7",
+            "fleet": {"count": 123, "verdict_mismatches": 0},
+        }))
+        report = run_bench(
+            runs=1, workers=1, output=output,
+            examples_dir=None, versions_dir=None, extensions_dir=None,
+            corpus=CORPUS[:1],
+        )
+        assert report["fleet"]["count"] == 123
+        written = json.loads(output.read_text(encoding="utf-8"))
+        assert written["fleet"] == report["fleet"]
+        assert written["corpus"]["count"] == 1
 
 
 #: One tiny size per shape: the contract under test is the report

@@ -79,6 +79,17 @@ class TestCli:
         assert main(["analyze", str(addon), "--dot", str(dot)]) == 0
         assert dot.read_text().startswith("digraph")
 
+    def test_vet_broken_bundle_refused_cleanly(self, tmp_path):
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "manifest.json").write_text(
+            '{"manifest_version": 3, "name": "bad", "version": "1.0",'
+            ' "content_scripts": [{"matches": ["<all_urls>"],'
+            ' "js": ["gone.js"]}]}'
+        )
+        with pytest.raises(SystemExit, match="refused:.*missing scripts"):
+            main(["vet", str(bad)])
+
     def test_table1_command(self, capsys):
         assert main(["table1"]) == 0
         assert "LivePagerank" in capsys.readouterr().out

@@ -281,6 +281,60 @@ class TestOutcomeRoundTripProperty:
         assert replayed.name == "a" and replayed.ok
 
 
+class TestSummarizeAllPoison:
+    """A generated fleet shard can be all-poison: nothing vetted
+    cleanly, failures untyped, degradation events malformed. The
+    summary must still add up rather than assume a clean signature."""
+
+    def test_all_error_outcomes_summarize(self, tmp_path):
+        outcomes = vet_many(
+            ["var a = ;;;(", "function (", ")...("], cache_dir=tmp_path
+        )
+        summary = batch.summarize(outcomes)
+        assert summary["total"] == summary["failed"] == 3
+        assert summary["ok"] == 0
+        assert sum(summary["failures"].values()) == 3
+
+    def test_untyped_failures_bucket_as_unclassified(self):
+        outcomes = [
+            batch.VetOutcome(name="poison", ok=False, error="boom"),
+            batch.VetOutcome(name="poison2", ok=False, error="boom",
+                             failure="budget-time"),
+        ]
+        summary = batch.summarize(outcomes)
+        assert summary["failures"] == {"budget-time": 1, "unclassified": 1}
+        assert sum(summary["failures"].values()) == summary["failed"]
+
+    def test_all_degraded_outcomes_summarize(self):
+        outcomes = [
+            batch.VetOutcome(
+                name=f"d{i}", ok=True, degraded=True,
+                degradations=[{"kind": "budget-steps", "detail": ""}],
+            )
+            for i in range(3)
+        ]
+        summary = batch.summarize(outcomes)
+        assert summary["degraded"] == 3
+        assert summary["degradation_kinds"] == {"budget-steps": 3}
+
+    def test_malformed_degradation_events_bucket_as_unclassified(self):
+        outcome = batch.VetOutcome(
+            name="mangled", ok=True, degraded=True,
+            # A poison cache shard can round-trip junk events.
+            degradations=[{"detail": "kindless"}, "not-a-dict",
+                          {"kind": "budget-steps"}],
+        )
+        assert outcome.degradation_kinds == ["budget-steps", "unclassified"]
+        summary = batch.summarize([outcome])
+        assert summary["degradation_kinds"]["unclassified"] == 1
+
+    def test_empty_outcome_list_summarizes(self):
+        summary = batch.summarize([])
+        assert summary["total"] == 0
+        assert summary["failures"] == {}
+        assert summary["diff_verdicts"] == {}
+
+
 class TestEngineShape:
     def test_string_items_get_default_names(self, tmp_path):
         outcomes = vet_many(["var a = 1;", "var b = 2;"], cache_dir=tmp_path)

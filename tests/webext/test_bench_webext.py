@@ -44,6 +44,10 @@ class TestWebextBenchSection:
         assert _bench_webext(tmp_path / "nope") is None
         assert _bench_webext(None) is None
 
-    def test_directory_without_manifests_is_skipped(self, tmp_path):
+    def test_directory_without_manifests_yields_zero_counts(self, tmp_path):
         (tmp_path / "stray").mkdir()
-        assert _bench_webext(tmp_path) is None
+        section = _bench_webext(tmp_path)
+        assert section["count"] == 0
+        assert section["prefilter_hits"] == 0
+        assert section["prefilter_hit_rate"] is None  # null rate, no crash
+        assert section["extensions"] == []

@@ -94,3 +94,38 @@ class TestLoadSource:
         (tmp_path / "sub" / "x.js").write_text("var x = 1;")
         bundle = bundle_from_dir(tmp_path)
         assert "sub/x.js" in bundle.file_map
+
+
+class TestStrictDirLoading:
+    """Disk loads refuse broken script references with a typed
+    ManifestError — never a bare KeyError/FileNotFoundError, never a
+    silently-empty component (generator fuzzing produces both shapes)."""
+
+    def test_missing_content_script_is_refused(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(MANIFEST)
+        (tmp_path / "bg.js").write_text("var a = 1;")
+        # c.js, referenced by content_scripts, is absent on disk.
+        with pytest.raises(ManifestError, match="missing scripts.*c.js"):
+            bundle_from_dir(tmp_path)
+
+    def test_zero_script_content_entry_is_refused(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            '{"name": "demo", "manifest_version": 3,'
+            ' "content_scripts": [{"matches": ["<all_urls>"], "js": []}]}'
+        )
+        with pytest.raises(ManifestError, match="lists no js files"):
+            bundle_from_dir(tmp_path)
+
+    def test_load_source_surfaces_the_typed_refusal(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(MANIFEST)
+        with pytest.raises(ManifestError):
+            load_source(tmp_path)
+
+    def test_in_memory_bundles_stay_tolerant(self):
+        # The strictness is a *loader* contract; bundle texts already in
+        # the pipeline (cache, journals) keep the tolerant semantics.
+        bundle = ExtensionBundle(
+            name="demo", manifest_text=MANIFEST, files=(("bg.js", ""),)
+        )
+        text = bundle.to_text()
+        assert bundle_from_text(text).missing_files() == ("c.js",)
