@@ -1,0 +1,17 @@
+// Keyboard shortcut palette: labels come out of a static table, keyed
+// by a value the constant-string lattice can pin down exactly.
+var labels = { visible: 'Show palette', hidden: 'Hide palette' };
+var mode = 'visible';
+
+function describe(active) {
+  var text = labels[active ? 'visible' : 'hidden'];
+  return text + ' (ctrl+k)';
+}
+
+// Left over from the v1 toolbar UI; nothing references it any more.
+function legacyDescribe() {
+  var text = labels['visible'];
+  return text + ' (toolbar)';
+}
+
+var banner = describe(mode == 'visible');

@@ -103,6 +103,13 @@ class VettingReport:
     #: The sound relevance prefilter (``repro.lint.surface``) proved no
     #: run of the full analysis could emit an entry, so none ran.
     prefiltered: bool = False
+    #: The prefilter's full decision (site spans for ``vet --explain``),
+    #: when the prefilter ran.
+    prefilter_decision: object | None = None
+    #: The whole-program pre-analysis (``repro.preanalysis``): computed
+    #: property resolution, call graph, pruning decision. ``None`` when
+    #: disabled (``--no-preanalysis``).
+    preanalysis: object | None = None
 
     @property
     def degraded(self) -> bool:
@@ -156,6 +163,7 @@ def vet(
     budget: Budget | None = None,
     recover: bool = False,
     prefilter: bool = False,
+    preanalysis: bool = True,
 ) -> VettingReport:
     """Run the full pipeline; optionally compare against a manual
     signature (the Table 2 methodology). The report carries per-phase
@@ -176,6 +184,16 @@ def vet(
     disqualifier falls back to the full pipeline, so the result is
     bit-identical either way (proven addon-by-addon in
     ``tests/lint/test_prefilter_soundness.py``).
+
+    ``preanalysis`` (on by default; ``--no-preanalysis`` in the CLI)
+    runs the flow-insensitive whole-program pre-analysis
+    (:mod:`repro.preanalysis`) between parsing and lowering: computed
+    property sites with provably-finite key sets stop disqualifying the
+    prefilter, unreferenced top-level functions are pruned before the
+    interpreter ever sees them (signature-preserving — proven
+    bit-identical in ``tests/preanalysis``), and the report gains the
+    ``resolved_sites`` / ``residual_dynamic_sites`` / ``pruned_nodes`` /
+    ``callgraph_edges`` counters.
 
     ``source`` may also be a serialized WebExtension bundle (the
     ``repro.webext.loader`` text form produced by ``load_source`` on an
@@ -200,6 +218,7 @@ def vet(
             budget=budget,
             recover=recover,
             prefilter=prefilter,
+            preanalysis=preanalysis,
         )
 
     resolved_spec = spec if spec is not None else mozilla_spec()
@@ -220,9 +239,18 @@ def vet(
         )
     else:
         syntax_tree = parse(source)
+    pre = None
+    if preanalysis:
+        from repro.preanalysis import preanalyze
+
+        pre = preanalyze([syntax_tree], degraded=bool(degradations))
+    decision = None
     if prefilter:
         decision = decide_relevance(
-            syntax_tree, resolved_spec, degraded=bool(degradations)
+            syntax_tree,
+            resolved_spec,
+            degraded=bool(degradations),
+            resolution=pre.resolution if pre is not None else None,
         )
         if not decision.relevant:
             after_parse = time.perf_counter()
@@ -234,6 +262,8 @@ def vet(
                 comparison = compare(detail.signature, manual, real_extras)
             counters = Counters()
             counters["prefiltered"] = 1
+            if pre is not None:
+                counters.update(pre.counters)
             return VettingReport(
                 program=lower(syntax_tree, event_loop=True),
                 result=None,
@@ -247,8 +277,16 @@ def vet(
                 counters=counters,
                 degradations=(),
                 prefiltered=True,
+                prefilter_decision=decision,
+                preanalysis=pre,
             )
-    program = lower(syntax_tree, event_loop=True)
+    analysis_tree = syntax_tree
+    if pre is not None and pre.prune.pruned_nodes:
+        # Pruning is signature-preserving (tests/preanalysis proves
+        # bit-identity); the original tree still supplies ast_nodes so
+        # the size metric stays the addon's, not the pruned residue's.
+        analysis_tree = pre.programs[0]
+    program = lower(analysis_tree, event_loop=True)
     result = analyze(program, BrowserEnvironment(), k=k, budget=budget, salvage=True)
     degradations.extend(result.degradations)
     after_p1 = time.perf_counter()
@@ -267,6 +305,8 @@ def vet(
     counters["signature_entries"] = len(detail.signature.entries)
     if degradations:
         counters["degradations"] = len(degradations)
+    if pre is not None:
+        counters.update(pre.counters)
     return VettingReport(
         program=program,
         result=result,
@@ -282,6 +322,8 @@ def vet(
         ),
         counters=counters,
         degradations=tuple(degradations),
+        prefilter_decision=decision,
+        preanalysis=pre,
     )
 
 

@@ -70,7 +70,12 @@ from repro.store import JsonStore
 #: the multi-file pipeline with the chrome.* model and the sender-guard
 #: downgrade, so a bundle's signature can differ from what v5 (a parse
 #: error on bundle text) produced.
-ENGINE_VERSION = 6
+#: v7: whole-program pre-analysis (``repro.preanalysis``): computed
+#: properties resolve against a constant-string lattice (prefilter
+#: decisions can change), dead top-level functions are pruned before
+#: lowering, and outcomes carry the pre-analysis counters; the switch
+#: joins the cache key.
+ENGINE_VERSION = 7
 
 #: The fast lane's cost gate: updates whose new version is smaller than
 #: this (source characters) skip the change-surface certificate and go
@@ -112,6 +117,12 @@ class VetTask:
     #: without the interpreter (bit-identical results either way; see
     #: ``repro.lint.surface``). On by default in batch vetting.
     prefilter: bool = True
+    #: Run the whole-program pre-analysis (computed-property resolution,
+    #: call graph, sound pruning) between parsing and lowering. On by
+    #: default; signatures are bit-identical either way (the resolution
+    #: only *demotes* dynamic-property refusals, and pruning is proven
+    #: signature-preserving — see ``repro.preanalysis``).
+    preanalysis: bool = True
     #: The approved previous version's source, for differential vetting.
     #: With both baseline fields set, the task is an *update*: the
     #: incremental fast lane may serve the baseline signature, and a
@@ -271,6 +282,7 @@ def cache_key(task: VetTask, spec: SecuritySpec | None) -> str:
             "max_steps": task.max_steps,
             "recover": task.recover,
             "prefilter": task.prefilter,
+            "preanalysis": task.preanalysis,
             "baseline": (
                 hashlib.sha256(
                     task.baseline_source.encode("utf-8")
@@ -517,7 +529,7 @@ def _execute_task(
             report = vet(
                 task.source, manual=manual, real_extras=extras,
                 spec=spec, k=task.k, budget=budget, recover=task.recover,
-                prefilter=task.prefilter,
+                prefilter=task.prefilter, preanalysis=task.preanalysis,
             )
             samples.append(report.phase_times)
             if report.degraded:
@@ -982,6 +994,23 @@ def summarize(outcomes: list[VetOutcome]) -> dict:
             o.counters.get("certification_skipped", 0) for o in outcomes
         ),
     }
+    preanalysis = {
+        "resolved_sites": sum(
+            o.counters.get("resolved_sites", 0) for o in outcomes
+        ),
+        "residual_dynamic_sites": sum(
+            o.counters.get("residual_dynamic_sites", 0) for o in outcomes
+        ),
+        "pruned_nodes": sum(
+            o.counters.get("pruned_nodes", 0) for o in outcomes
+        ),
+        "callgraph_edges": sum(
+            o.counters.get("callgraph_edges", 0) for o in outcomes
+        ),
+        "pruned_addons": sum(
+            1 for o in outcomes if o.counters.get("pruned_nodes", 0)
+        ),
+    }
     return {
         "total": len(outcomes),
         "ok": sum(1 for o in outcomes if o.ok),
@@ -992,6 +1021,9 @@ def summarize(outcomes: list[VetOutcome]) -> dict:
         # Fast-lane certification economics: how many updates attempted
         # the change-surface certificate vs. skipped it on the cost gate.
         "certifications": certifications,
+        # Pre-analysis aggregates: computed sites resolved vs. residual,
+        # nodes pruned before lowering, call-graph edge count.
+        "preanalysis": preanalysis,
         "cached": sum(1 for o in outcomes if o.cached),
         "failures": dict(sorted(failures.items())),
         "degradation_kinds": dict(sorted(degradation_kinds.items())),

@@ -94,16 +94,23 @@ def _cmd_vet(arguments: argparse.Namespace) -> int:
     report = vet(
         source, manual=manual, spec=_resolve_spec(arguments.spec, source),
         k=arguments.k, budget=budget, recover=arguments.recover,
-        prefilter=arguments.prefilter,
+        prefilter=arguments.prefilter, preanalysis=arguments.preanalysis,
     )
     print(report.render())
 
-    if arguments.explain and report.pdg is not None:
-        from repro.signatures import explain_all
-
-        for witness in explain_all(report.pdg, report.detail):
+    if arguments.explain:
+        if report.preanalysis is not None:
             print()
-            print(witness.render())
+            print(report.preanalysis.render())
+        if report.prefilter_decision is not None:
+            print()
+            print(report.prefilter_decision.render())
+        if report.pdg is not None:
+            from repro.signatures import explain_all
+
+            for witness in explain_all(report.pdg, report.detail):
+                print()
+                print(witness.render())
     return 0
 
 
@@ -399,6 +406,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--prefilter", action="store_true",
         help="sound relevance prefilter (union surface across all "
              "component files)",
+    )
+    vet.add_argument(
+        "--no-preanalysis", dest="preanalysis", action="store_false",
+        help="skip the whole-program pre-analysis (computed-property "
+             "resolution, call graph, dead-function pruning); signatures "
+             "are bit-identical either way",
     )
     vet.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",

@@ -19,7 +19,7 @@ and — the reason the corpus is generated rather than scraped — a
 carries its expected signature and every update pair its expected
 diffvet classification, so the throughput numbers are simultaneously a
 soundness sweep. Results land in the ``fleet`` section of
-``BENCH_corpus.json`` (schema v7), merged without disturbing the other
+``BENCH_corpus.json`` (schema v8), merged without disturbing the other
 sections.
 """
 
@@ -117,6 +117,30 @@ def _sweep_throughput(
     }
 
 
+def _prefiltered_without_resolution(addon: GeneratedAddon) -> bool:
+    """Would the prefilter skip this addon with *no* computed-property
+    resolution? A cheap parse + surface scan (no interpreter, no
+    pre-analysis) — the control for the ``resolution_gain`` number."""
+    from repro.browser import mozilla_spec
+    from repro.browser.chrome import webext_spec
+    from repro.js.parser import parse
+    from repro.lint.surface import decide_relevance, decide_relevance_many
+    from repro.webext.loader import bundle_from_text, is_bundle_text
+    from repro.webext.lowering import parse_extension
+
+    try:
+        if is_bundle_text(addon.source):
+            parsed = parse_extension(bundle_from_text(addon.source))
+            decision = decide_relevance_many(
+                parsed.parsed, webext_spec(), degraded=bool(parsed.skipped)
+            )
+        else:
+            decision = decide_relevance(parse(addon.source), mozilla_spec())
+    except Exception:
+        return False
+    return not decision.relevant
+
+
 def _sweep_prefilter(
     corpus: list[GeneratedAddon], workers: int | None,
     on_outcomes, on_wall: float, mismatches: list[dict],
@@ -130,10 +154,21 @@ def _sweep_prefilter(
     wall_off = time.perf_counter() - start
     _check_signatures(corpus, off, mismatches, "prefilter-off")
     hits = sum(1 for outcome in on_outcomes if outcome.prefiltered)
+    hits_plain = sum(
+        1 for addon in corpus if _prefiltered_without_resolution(addon)
+    )
     return {
         "addons": len(corpus),
         "hits": hits,
         "hit_rate": round(hits / len(corpus), 4) if corpus else None,
+        # The same decision without the pre-analysis resolver: computed
+        # sites all read as dynamic, so addons whose only dynamism is a
+        # provably-constant key fall out of the fast lane.
+        "hits_without_resolution": hits_plain,
+        "hit_rate_without_resolution": (
+            round(hits_plain / len(corpus), 4) if corpus else None
+        ),
+        "resolution_gain": hits - hits_plain,
         "wall_on_s": round(on_wall, 6),
         "wall_off_s": round(wall_off, 6),
         "wall_delta_s": round(wall_off - on_wall, 6),
@@ -333,7 +368,7 @@ def run_fleet(
     ``update_count`` defaults to ``max(count // 5, 10)`` version pairs.
     With ``output`` set, the section is merged into the bench report at
     that path (creating a minimal ``fleet``-only report when no bench
-    has run yet) under schema v7."""
+    has run yet) under schema v8."""
     corpus = generate_corpus(count, seed, bundle_fraction=bundle_fraction)
     updates = generate_updates(
         update_count if update_count is not None else max(count // 5, 10),
@@ -386,7 +421,7 @@ def run_fleet(
 
 def merge_fleet_section(path: Path, section: dict) -> dict:
     """Merge the ``fleet`` section into the bench report at ``path``,
-    preserving every other section, and stamp schema v7."""
+    preserving every other section, and stamp schema v8."""
     from repro.evaluation.bench import SCHEMA
     from repro.store import atomic_write_json
 

@@ -55,6 +55,12 @@ class FragmentSpec:
     group: str = ""
     dynamic: bool = False
     flow: bool = True  #: contributes signature entries (False = benign)
+    #: Contains a computed property access the pre-analysis resolver
+    #: cannot bound (param-keyed), so the prefilter can never skip an
+    #: addon holding it — kept out of the generator's benign draw pool
+    #: (it would silently cut the fleet's prefilter hit rate) but in the
+    #: library for tests that need an irreducibly-dynamic surface.
+    dynamic_surface: bool = False
 
 
 @dataclass(frozen=True)
@@ -200,6 +206,34 @@ def _benign_object(names: tuple[str, ...], domain: str) -> tuple[str, tuple[str,
     return text, ()
 
 
+def _benign_table(names: tuple[str, ...], domain: str) -> tuple[str, tuple[str, ...]]:
+    """Computed property access with a *provably constant* key: the
+    pre-analysis resolver bounds ``a[k]`` to ``{'alpha'}``, so the
+    prefilter still skips an addon made of these — without resolution
+    the site reads as dynamic and disqualifies the whole addon."""
+    a, k, b = names
+    text = (
+        f"var {a} = {{ alpha: 4, beta: 9 }};\n"
+        f"var {k} = 'alpha';\n"
+        f"var {b} = {a}[{k}] + {a}['beta'];\n"
+    )
+    return text, ()
+
+
+def _benign_pick(names: tuple[str, ...], domain: str) -> tuple[str, tuple[str, ...]]:
+    """The irreducibly-dynamic variant: the key is a function parameter,
+    which the resolver (soundly) refuses to bound — the site stays a
+    residual dynamic-property site and the prefilter must run the full
+    pipeline. Benign all the same: the object holds no spec surface."""
+    a, f, b = names
+    text = (
+        f"var {a} = {{ gamma: 5, delta: 6 }};\n"
+        f"function {f}(o, key) {{ return o[key]; }}\n"
+        f"var {b} = {f}({a}, 'gamma') + {f}({a}, 'delta');\n"
+    )
+    return text, ()
+
+
 #: The library. Flow fragments first, then APIs, then benign shapes.
 FRAGMENTS: dict[str, tuple[FragmentSpec, object]] = {
     "url-exfil": (
@@ -232,13 +266,27 @@ FRAGMENTS: dict[str, tuple[FragmentSpec, object]] = {
     "benign-object": (
         FragmentSpec("benign-object", 2, False, flow=False), _benign_object,
     ),
+    "benign-table": (
+        FragmentSpec("benign-table", 3, False, flow=False), _benign_table,
+    ),
+    "benign-pick": (
+        FragmentSpec("benign-pick", 3, False, flow=False, dynamic_surface=True),
+        _benign_pick,
+    ),
 }
 
 FLOW_KINDS: tuple[str, ...] = tuple(
     kind for kind, (spec, _) in FRAGMENTS.items() if spec.flow
 )
+#: The generator's benign draw pool; dynamic-surface shapes stay out
+#: (an addon holding one can never be prefiltered).
 BENIGN_KINDS: tuple[str, ...] = tuple(
-    kind for kind, (spec, _) in FRAGMENTS.items() if not spec.flow
+    kind
+    for kind, (spec, _) in FRAGMENTS.items()
+    if not spec.flow and not spec.dynamic_surface
+)
+DYNAMIC_SURFACE_KINDS: tuple[str, ...] = tuple(
+    kind for kind, (spec, _) in FRAGMENTS.items() if spec.dynamic_surface
 )
 
 

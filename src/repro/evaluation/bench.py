@@ -23,7 +23,7 @@ from pathlib import Path
 from repro.addons import CORPUS
 from repro.batch import summarize, vet_corpus, vet_many
 
-SCHEMA = "addon-sig/bench-corpus/v7"
+SCHEMA = "addon-sig/bench-corpus/v8"
 
 
 def _hit_rate(hits: int, total: int) -> float | None:
@@ -99,6 +99,94 @@ def _bench_prefilter(examples_dir: str | Path | None) -> dict | None:
         "identical_signatures": all(
             on.signature_text == off.signature_text
             for on, off in zip(with_prefilter, without_prefilter)
+        ),
+    }
+
+
+def _bench_preanalysis(examples_dir: str | Path | None) -> dict | None:
+    """Measure the whole-program pre-analysis on the examples corpus.
+
+    Vets every ``*.js`` under ``examples_dir`` twice — pre-analysis on,
+    pre-analysis off — with the prefilter enabled in both arms,
+    in-process, uncached, ``recover=True``. Records the computed-site
+    resolution rate, the fraction of AST nodes pruned as unreachable,
+    the prefilter hit rate in each arm (the resolver's contribution is
+    the difference), both wall clocks, and whether the arms produced
+    bit-identical signatures (they must: resolution and pruning are
+    sound)."""
+    from repro.batch import VetTask
+
+    if examples_dir is None:
+        return None
+    directory = Path(examples_dir)
+    if not directory.is_dir():
+        return None
+    files = sorted(directory.glob("*.js"))
+    if not files:
+        return {
+            "corpus": str(directory), "addons": 0, "resolved_sites": 0,
+            "residual_dynamic_sites": 0, "resolution_rate": None,
+            "pruned_nodes": 0, "pruned_node_fraction": None,
+            "callgraph_edges": 0, "hits_with_preanalysis": 0,
+            "hit_rate_with_preanalysis": None, "hits_without_preanalysis": 0,
+            "hit_rate_without_preanalysis": None, "wall_on_s": 0.0,
+            "wall_off_s": 0.0, "wall_delta_s": 0.0,
+            "identical_signatures": True,
+        }
+
+    def tasks(preanalysis: bool) -> list[VetTask]:
+        return [
+            VetTask(
+                name=path.name,
+                source=path.read_text(encoding="utf-8"),
+                recover=True,
+                prefilter=True,
+                preanalysis=preanalysis,
+            )
+            for path in files
+        ]
+
+    start = time.perf_counter()
+    with_pre = vet_many(tasks(True), use_cache=False, workers=1)
+    wall_on = time.perf_counter() - start
+    start = time.perf_counter()
+    without_pre = vet_many(tasks(False), use_cache=False, workers=1)
+    wall_off = time.perf_counter() - start
+
+    resolved = sum(o.counters.get("resolved_sites", 0) for o in with_pre)
+    residual = sum(
+        o.counters.get("residual_dynamic_sites", 0) for o in with_pre
+    )
+    pruned = sum(o.counters.get("pruned_nodes", 0) for o in with_pre)
+    edges = sum(o.counters.get("callgraph_edges", 0) for o in with_pre)
+    total_nodes = sum(o.ast_nodes or 0 for o in with_pre)
+    hits_on = sum(1 for o in with_pre if o.prefiltered)
+    hits_off = sum(1 for o in without_pre if o.prefiltered)
+    return {
+        "corpus": str(directory),
+        "addons": len(files),
+        "resolved_sites": resolved,
+        "residual_dynamic_sites": residual,
+        # Of all computed property sites, how many the constant-string
+        # lattice pinned down to named accesses.
+        "resolution_rate": _hit_rate(resolved, resolved + residual),
+        "pruned_nodes": pruned,
+        "pruned_node_fraction": (
+            _hit_rate(pruned, total_nodes + pruned) if total_nodes else None
+        ),
+        "callgraph_edges": edges,
+        # The prefilter's hit rate with and without the resolver — the
+        # difference is what the pre-analysis buys the fast lane.
+        "hits_with_preanalysis": hits_on,
+        "hit_rate_with_preanalysis": _hit_rate(hits_on, len(files)),
+        "hits_without_preanalysis": hits_off,
+        "hit_rate_without_preanalysis": _hit_rate(hits_off, len(files)),
+        "wall_on_s": round(wall_on, 6),
+        "wall_off_s": round(wall_off, 6),
+        "wall_delta_s": round(wall_off - wall_on, 6),
+        "identical_signatures": all(
+            on.signature_text == off.signature_text
+            for on, off in zip(with_pre, without_pre)
         ),
     }
 
@@ -320,6 +408,15 @@ def run_bench(
     a generated corpus. ``run_bench`` preserves an existing ``fleet``
     section in ``output`` when rewriting the other sections.
 
+    Since v8 the report carries a ``preanalysis`` section: the examples
+    corpus vetted with the whole-program pre-analysis on and off —
+    computed-site resolution rate, pruned-node fraction, call-graph
+    edge count, the prefilter hit rate in each arm (the resolver's
+    contribution is the difference), wall delta, and the bit-identical
+    -signatures soundness check — and the ``fleet`` prefilter section
+    gains the matching ``hits_without_resolution`` control and
+    ``resolution_gain``.
+
     ``corpus`` restricts the sweep to the given addon specs (default:
     the full benchmark corpus)."""
     start = time.perf_counter()
@@ -386,6 +483,8 @@ def run_bench(
         "robustness": summarize(outcomes),
         # The relevance prefilter measured on the examples corpus.
         "prefilter": _bench_prefilter(examples_dir),
+        # The whole-program pre-analysis measured on the same corpus.
+        "preanalysis": _bench_preanalysis(examples_dir),
         # The incremental fast lane measured on the versioned pairs.
         "incremental": _bench_incremental(versions_dir),
         # The multi-file WebExtensions pipeline on its mini-corpus.
@@ -451,6 +550,16 @@ def render_bench(report: dict) -> str:
             f" (hit rate {rate(prefilter['hit_rate'])}),"
             f" wall {prefilter['wall_on_s']:.3f}s on"
             f" vs {prefilter['wall_off_s']:.3f}s off"
+        )
+    preanalysis = report.get("preanalysis")
+    if preanalysis:
+        lines.append(
+            f"  preanalysis ({preanalysis['corpus']}):"
+            f" {preanalysis['resolved_sites']} computed site(s) resolved"
+            f" (rate {rate(preanalysis['resolution_rate'])}),"
+            f" {preanalysis['pruned_nodes']} node(s) pruned,"
+            f" prefilter {rate(preanalysis['hit_rate_without_preanalysis'])}"
+            f" -> {rate(preanalysis['hit_rate_with_preanalysis'])}"
         )
     incremental = report.get("incremental")
     if incremental:

@@ -193,6 +193,42 @@ def lint_source(
     return sorted(findings, key=Finding.sort_key)
 
 
+def file_surface(source: str) -> dict | None:
+    """The per-file syntactic-surface summary for the JSON report.
+
+    Runs the same resolution the vetting pre-analysis would (a lint
+    file is its own whole program), so the section shows the *residual*
+    dynamic sites — the ones that actually disqualify the prefilter —
+    next to the count of computed sites resolution bounded. ``None``
+    when the file cannot be tokenized (the ``R000`` finding covers it).
+    """
+    from repro.lint.surface import addon_surface
+    from repro.preanalysis import resolve_computed_sites
+
+    try:
+        tokens = tokenize(source)
+    except FrontendError:
+        return None
+    program, skipped = Parser(tokens, "<addon>").parse_program_with_recovery()
+    plain = addon_surface(program)
+    resolution = resolve_computed_sites(
+        (program,), trusted=not plain.dynamic_code and not skipped
+    )
+    surface = addon_surface(program, resolution=resolution)
+    return {
+        "dynamic_code": surface.dynamic_code,
+        "dynamic_code_sites": [
+            span.to_json() for span in surface.dynamic_code_sites
+        ],
+        "dynamic_properties": surface.dynamic_properties,
+        "dynamic_property_sites": [
+            span.to_json() for span in surface.dynamic_property_sites
+        ],
+        "resolved_sites": surface.resolved_sites,
+        "residual_dynamic_sites": len(surface.dynamic_property_sites),
+    }
+
+
 def expand_paths(paths: Iterable[str | Path]) -> list[Path]:
     """Resolve files/directories to the ``.js`` files under them,
     sorted for deterministic reports."""
@@ -225,10 +261,12 @@ def lint_paths(paths: Iterable[str | Path]) -> LintReport:
             report.findings.extend(lint_extension_dir(root))
     for path in expand_paths(paths):
         name = str(path)
+        source = path.read_text(encoding="utf-8")
         report.files.append(name)
-        report.findings.extend(
-            lint_source(path.read_text(encoding="utf-8"), filename=name)
-        )
+        report.findings.extend(lint_source(source, filename=name))
+        surface = file_surface(source)
+        if surface is not None:
+            report.surfaces[name] = surface
     return report
 
 
@@ -238,6 +276,10 @@ def lint_corpus() -> LintReport:
 
     report = LintReport()
     for spec in CORPUS:
+        source = spec.source()
         report.files.append(spec.name)
-        report.findings.extend(lint_source(spec.source(), filename=spec.name))
+        report.findings.extend(lint_source(source, filename=spec.name))
+        surface = file_surface(source)
+        if surface is not None:
+            report.surfaces[spec.name] = surface
     return report

@@ -72,7 +72,9 @@ class Finding:
 
 
 #: Schema tag stamped on the JSON report (bump on shape changes).
-SCHEMA = "addon-sig/lint/v1"
+#: v2: per-file ``surfaces`` section (dynamic-code / dynamic-property
+#: site spans and resolved-site counts from the pre-analysis).
+SCHEMA = "addon-sig/lint/v2"
 
 
 @dataclass
@@ -82,6 +84,9 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     #: The files linted (relative paths as given), in lint order.
     files: list[str] = field(default_factory=list)
+    #: file -> syntactic-surface summary (dynamic sites with spans,
+    #: resolved-site counts); absent for files that failed to tokenize.
+    surfaces: dict[str, dict] = field(default_factory=dict)
 
     def sorted_findings(self) -> list[Finding]:
         return sorted(self.findings, key=Finding.sort_key)
@@ -116,6 +121,10 @@ class LintReport:
             "files": list(self.files),
             "summary": self.summary(),
             "findings": [f.to_json() for f in self.sorted_findings()],
+            "surfaces": {
+                name: dict(surface)
+                for name, surface in sorted(self.surfaces.items())
+            },
         }
 
     def render_json(self) -> str:

@@ -345,3 +345,92 @@ class ScriptInjection(Rule):
                 "whatever src it is given will run with addon privileges",
                 context.span_of(node),
             )
+
+
+# ----------------------------------------------------------------------
+# Call-graph rules (whole-program: one check per file's Program node)
+
+#: Constructors and callables real addons invoke that the modeled
+#: browser environment does not install as globals. Calling one is fine
+#: at runtime, so CG002 must not fire on them (``Function`` is still
+#: flagged — by JS002, as dynamic code, which is the right complaint).
+_CALLABLE_BUILTINS = frozenset(
+    {
+        "Array", "Boolean", "Date", "Error", "Function", "Number",
+        "Object", "Promise", "RangeError", "RegExp", "String",
+        "TypeError",
+    }
+)
+
+
+@register
+class UnreachableFunction(Rule):
+    id = "CG001"
+    name = "unreachable-function"
+    severity = Severity.WARNING
+    description = (
+        "function declaration never referenced from top-level code or "
+        "any reachable handler: nothing can ever invoke it"
+    )
+    node_types = (js_ast.Program,)
+
+    def check(
+        self, node: js_ast.Node, context: LintContext
+    ) -> Iterator[tuple[str, Span]]:
+        assert isinstance(node, js_ast.Program)
+        # Imported lazily: repro.preanalysis.callgraph imports helpers
+        # from this module at import time.
+        from repro.preanalysis.callgraph import build_callgraph
+
+        graph = build_callgraph([node])
+        for info in graph.unreachable_declarations():
+            if info.kind != "declaration":
+                continue
+            yield (
+                f"function '{info.name}' is referenced by no top-level "
+                "statement and no reachable function; no execution can "
+                "invoke it",
+                info.span,
+            )
+
+
+@register
+class UnboundCallee(Rule):
+    id = "CG002"
+    name = "unbound-callee"
+    severity = Severity.WARNING
+    description = (
+        "call to a name the program never binds and the browser "
+        "environment does not provide: its callee set is empty"
+    )
+    node_types = (js_ast.Program,)
+
+    def check(
+        self, node: js_ast.Node, context: LintContext
+    ) -> Iterator[tuple[str, Span]]:
+        assert isinstance(node, js_ast.Program)
+        from repro.preanalysis import environment_global_names
+        from repro.preanalysis.callgraph import build_callgraph
+
+        graph = build_callgraph([node])
+        known = (
+            graph.program_bindings
+            | environment_global_names()
+            | _CALLABLE_BUILTINS
+        )
+        for call in node.walk():
+            if not isinstance(
+                call, (js_ast.CallExpression, js_ast.NewExpression)
+            ):
+                continue
+            if not isinstance(call.callee, js_ast.Identifier):
+                continue  # property calls resolve through objects
+            name = call.callee.name
+            if name in known:
+                continue
+            yield (
+                f"'{name}' is bound by neither the program nor the "
+                "browser environment; the abstract machine can only "
+                "call undefined here",
+                context.span_of(call),
+            )

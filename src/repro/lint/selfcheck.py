@@ -347,6 +347,29 @@ def _stringset_elements() -> list[StringSet]:
     ]
 
 
+def _keyvalue_elements():
+    """The resolution lattice of :mod:`repro.preanalysis.constants`:
+    every enumerated ``StringSet`` crossed with both ``surely_string``
+    flags (``True`` is the more precise claim, so ``True ⊑ False``)."""
+    from repro.preanalysis.constants import RESOLUTION_BOUND, KeyValue
+
+    sets = [
+        StringSet.bottom(RESOLUTION_BOUND),
+        StringSet.top(RESOLUTION_BOUND),
+        StringSet.exact("", RESOLUTION_BOUND),
+        StringSet.exact("a", RESOLUTION_BOUND),
+        StringSet.exact("b", RESOLUTION_BOUND),
+        StringSet.exact("ab", RESOLUTION_BOUND),
+        StringSet.prefix("a", RESOLUTION_BOUND),
+        StringSet.prefix("http://", RESOLUTION_BOUND),
+    ]
+    return [
+        KeyValue(tostr=tostr, surely_string=surely)
+        for tostr in sets
+        for surely in (True, False)
+    ]
+
+
 def _state_elements() -> list[State]:
     """Small, corner-heavy machine states — several built as COW aliases
     of one another (``copy()`` + mutation), so join/leq run against
@@ -555,6 +578,30 @@ def run_selfcheck() -> list[DomainCheck]:
             ],
         ),
     ]
+    from repro.preanalysis.constants import (
+        KEY_BOTTOM,
+        KEY_TOP,
+        KeyValue,
+        key_plus,
+    )
+
+    checks.append(
+        _LawChecker(
+            "keyvalue",
+            _keyvalue_elements(),
+            leq=KeyValue.leq,
+            join=KeyValue.join,
+            meet=KeyValue.meet,
+            bottom=KEY_BOTTOM,
+            top=KEY_TOP,
+            transfers=[
+                # The resolver treats `+` as concatenation when either
+                # side is surely a string: the fixpoint's soundness
+                # needs that evaluation monotone in both operands.
+                Transfer("key_plus", key_plus, arity=2),
+            ],
+        )
+    )
     return [checker.run() for checker in checks]
 
 

@@ -28,14 +28,26 @@ code and recovery-degraded parses disqualify it by fiat. The prefilter
 therefore never fires on an addon whose full analysis could emit an
 entry — tested addon-by-addon in
 ``tests/lint/test_prefilter_soundness.py``.
+
+Since the pre-analysis PR, the surface also records *where* each
+disqualifier lives (per-site spans, not just booleans), and the scan
+accepts the resolver's verdicts (:class:`repro.preanalysis.Resolution`):
+a computed site whose key provably ranges over a finite string set is
+demoted from ``dynamic_properties`` to ordinary named surface — its
+resolved names join ``Surface.names``, and only the *residual* sites
+still disqualify. Resolution is sound only whole-program (the solved
+environment must have seen every assignment), so fragment consumers
+(the diffvet change-surface certificate) call the scan without one.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.js import ast as js_ast
+from repro.js.errors import Span
 from repro.lint.rules import TIMER_NAMES, callee_name, static_property_name
 from repro.signatures.spec import (
     CallSource,
@@ -46,6 +58,9 @@ from repro.signatures.spec import (
     SecuritySpec,
 )
 
+if TYPE_CHECKING:
+    from repro.preanalysis.pipeline import Resolution
+
 #: Names that mean string-to-code execution wherever they appear.
 _DYNAMIC_CODE_NAMES = frozenset({"eval", "Function"})
 
@@ -55,22 +70,35 @@ class Surface:
     """A flow-insensitive over-approximation of what an addon can touch."""
 
     #: Every identifier, statically known property name, declared
-    #: variable/function/parameter name, and object-literal key.
+    #: variable/function/parameter name, object-literal key, and
+    #: resolved computed-key name.
     names: frozenset[str]
     #: The addon may build code from strings (eval / Function / string
     #: timer handlers) — nothing syntactic bounds what it touches.
     dynamic_code: bool
-    #: The addon uses a computed property key that is not a literal —
-    #: the property surface is unbounded.
+    #: The addon uses a computed property key that is not a literal and
+    #: that resolution could not bound — the property surface is
+    #: unbounded.
     dynamic_properties: bool
+    #: Where each dynamic-code construct appears.
+    dynamic_code_sites: tuple[Span, ...] = ()
+    #: Where each *unresolved* computed property access appears.
+    dynamic_property_sites: tuple[Span, ...] = ()
+    #: Computed sites the resolver bounded to a finite name set (their
+    #: names are already folded into ``names``).
+    resolved_sites: int = 0
 
 
-def addon_surface(program: js_ast.Node) -> Surface:
+def addon_surface(
+    program: js_ast.Node, resolution: "Resolution | None" = None
+) -> Surface:
     """Collect the addon's syntactic surface in one AST walk."""
-    return nodes_surface([program])
+    return nodes_surface([program], resolution=resolution)
 
 
-def nodes_surface(roots: Iterable[js_ast.Node]) -> Surface:
+def nodes_surface(
+    roots: Iterable[js_ast.Node], resolution: "Resolution | None" = None
+) -> Surface:
     """The combined syntactic surface of an arbitrary set of AST nodes
     (each walked recursively).
 
@@ -80,24 +108,40 @@ def nodes_surface(roots: Iterable[js_ast.Node]) -> Surface:
     statements* can touch, with exactly the same collection rules — so
     the change-surface certificate inherits the prefilter's soundness
     argument for named access.
+
+    ``resolution`` (whole-program callers only) demotes computed sites
+    the resolver proved finite: their resolved names join the surface
+    instead of tripping ``dynamic_properties``. It is keyed by node
+    identity, so it must come from a pre-analysis of these same AST
+    objects.
     """
     names: set[str] = set()
     dynamic_code = False
     dynamic_properties = False
+    dynamic_code_sites: list[Span] = []
+    dynamic_property_sites: list[Span] = []
+    resolved_sites = 0
+    resolved = resolution.resolved if resolution is not None else {}
 
     for node in _walk_all(roots):
         if isinstance(node, js_ast.Identifier):
             names.add(node.name)
             if node.name in _DYNAMIC_CODE_NAMES:
                 dynamic_code = True
+                dynamic_code_sites.append(Span.at(node.position))
         elif isinstance(node, js_ast.MemberExpression):
             prop = static_property_name(node)
             if prop is not None:
                 names.add(prop)
                 if prop in _DYNAMIC_CODE_NAMES:
                     dynamic_code = True
+                    dynamic_code_sites.append(Span.at(node.position))
+            elif id(node) in resolved:
+                names.update(resolved[id(node)])
+                resolved_sites += 1
             else:
                 dynamic_properties = True
+                dynamic_property_sites.append(Span.at(node.position))
         elif isinstance(node, js_ast.Property):
             names.add(node.key)
         elif isinstance(node, js_ast.VariableDeclarator):
@@ -119,10 +163,14 @@ def nodes_surface(roots: Iterable[js_ast.Node]) -> Surface:
                     # A timer handler that is not (a reference to) a
                     # function may be a string of code.
                     dynamic_code = True
+                    dynamic_code_sites.append(Span.at(node.position))
     return Surface(
         names=frozenset(names),
         dynamic_code=dynamic_code,
         dynamic_properties=dynamic_properties,
+        dynamic_code_sites=tuple(dynamic_code_sites),
+        dynamic_property_sites=tuple(dynamic_property_sites),
+        resolved_sites=resolved_sites,
     )
 
 
@@ -170,6 +218,15 @@ def spec_surface(spec: SecuritySpec) -> frozenset[str]:
     return frozenset(names)
 
 
+def _render_spans(spans: tuple[Span, ...], limit: int = 4) -> str:
+    shown = ", ".join(
+        f"{span.start.line}:{span.start.column}" for span in spans[:limit]
+    )
+    if len(spans) > limit:
+        shown += f", +{len(spans) - limit} more"
+    return shown
+
+
 @dataclass(frozen=True)
 class PrefilterDecision:
     """Whether the full analysis must run, and why."""
@@ -180,12 +237,41 @@ class PrefilterDecision:
     reason: str
     #: The names shared by addon and spec (empty unless surface-overlap).
     overlap: frozenset[str] = frozenset()
+    #: Every dynamic-code construct the scan saw (where the fast lane
+    #: died, when ``reason == "dynamic-code"``).
+    dynamic_code_sites: tuple[Span, ...] = ()
+    #: Every computed property access resolution could not bound.
+    dynamic_property_sites: tuple[Span, ...] = ()
+    #: Computed sites resolution *did* bound (demoted to named surface).
+    resolved_sites: int = 0
 
     def render(self) -> str:
         if not self.relevant:
-            return "prefiltered: addon surface shares nothing with the spec"
+            suffix = (
+                f" ({self.resolved_sites} computed site(s) resolved)"
+                if self.resolved_sites
+                else ""
+            )
+            return (
+                "prefiltered: addon surface shares nothing with the spec"
+                + suffix
+            )
         detail = f" ({', '.join(sorted(self.overlap))})" if self.overlap else ""
-        return f"relevant: {self.reason}{detail}"
+        lines = [f"relevant: {self.reason}{detail}"]
+        if self.dynamic_code_sites:
+            lines.append(
+                f"  dynamic code at {_render_spans(self.dynamic_code_sites)}"
+            )
+        if self.dynamic_property_sites:
+            lines.append(
+                "  unresolved computed properties at "
+                f"{_render_spans(self.dynamic_property_sites)}"
+            )
+        if self.resolved_sites:
+            lines.append(
+                f"  {self.resolved_sites} computed site(s) resolved to named surface"
+            )
+        return "\n".join(lines)
 
 
 def decide_relevance(
@@ -193,6 +279,7 @@ def decide_relevance(
     spec: SecuritySpec,
     *,
     degraded: bool = False,
+    resolution: "Resolution | None" = None,
 ) -> PrefilterDecision:
     """The prefilter decision for one parsed addon.
 
@@ -201,7 +288,9 @@ def decide_relevance(
     argument about it is sound and the full (widening) pipeline must
     run.
     """
-    return decide_relevance_many([program], spec, degraded=degraded)
+    return decide_relevance_many(
+        [program], spec, degraded=degraded, resolution=resolution
+    )
 
 
 def decide_relevance_many(
@@ -209,6 +298,7 @@ def decide_relevance_many(
     spec: SecuritySpec,
     *,
     degraded: bool = False,
+    resolution: "Resolution | None" = None,
 ) -> PrefilterDecision:
     """The prefilter decision over *several* parsed files at once.
 
@@ -218,17 +308,38 @@ def decide_relevance_many(
     The soundness argument is unchanged — the lowered program is built
     from exactly these ASTs, so every name the full analysis could
     resolve appears in one of them.
+
+    ``resolution`` must come from a pre-analysis of these same parsed
+    objects; resolved computed sites then count as named surface instead
+    of disqualifying dynamism (sound because the resolver's name sets
+    over-approximate the machine's key coercion — DESIGN.md §5j).
     """
     if degraded:
         return PrefilterDecision(relevant=True, reason="degraded-input")
-    surface = nodes_surface(programs)
+    surface = nodes_surface(programs, resolution=resolution)
     if surface.dynamic_code:
-        return PrefilterDecision(relevant=True, reason="dynamic-code")
+        return PrefilterDecision(
+            relevant=True,
+            reason="dynamic-code",
+            dynamic_code_sites=surface.dynamic_code_sites,
+            dynamic_property_sites=surface.dynamic_property_sites,
+            resolved_sites=surface.resolved_sites,
+        )
     if surface.dynamic_properties:
-        return PrefilterDecision(relevant=True, reason="dynamic-properties")
+        return PrefilterDecision(
+            relevant=True,
+            reason="dynamic-properties",
+            dynamic_property_sites=surface.dynamic_property_sites,
+            resolved_sites=surface.resolved_sites,
+        )
     overlap = surface.names & spec_surface(spec)
     if overlap:
         return PrefilterDecision(
-            relevant=True, reason="surface-overlap", overlap=overlap
+            relevant=True,
+            reason="surface-overlap",
+            overlap=overlap,
+            resolved_sites=surface.resolved_sites,
         )
-    return PrefilterDecision(relevant=False, reason="no-overlap")
+    return PrefilterDecision(
+        relevant=False, reason="no-overlap", resolved_sites=surface.resolved_sites
+    )

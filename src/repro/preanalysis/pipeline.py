@@ -1,0 +1,154 @@
+"""The pre-analysis orchestrator: resolve, graph, prune, count.
+
+``preanalyze`` is the single entry the vetting pipeline calls between
+parsing and lowering. It runs the three cooperating passes in their
+dependency order:
+
+1. computed-property **resolution** (:mod:`repro.preanalysis.constants`)
+   — each ``obj[k]`` site either resolves to a finite name set or stays
+   a *residual dynamic site*;
+2. the **call graph** (:mod:`repro.preanalysis.callgraph`) — advisory:
+   lint rules and counters, never signatures;
+3. **pruning** (:mod:`repro.preanalysis.prune`) — consumes the
+   resolution's residual count for its refusal ladder and its resolved
+   name sets for liveness.
+
+Resolution is *whole-program only*: the solved environment assumes it
+has seen every assignment to every name, which holds for a full parse
+set but not for program fragments. Fragment consumers (the diffvet
+change-surface certificate) must keep calling the resolution-free
+surface scan.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.js import ast as js_ast
+from repro.js.errors import Span
+from repro.lint.rules import static_property_name
+from repro.preanalysis.callgraph import CallGraph, build_callgraph
+from repro.preanalysis.constants import solve_environment
+from repro.preanalysis.prune import PruneResult, prune_programs
+
+
+@dataclass
+class Resolution:
+    """Per-site outcome of computed-property resolution.
+
+    ``resolved`` is keyed by ``id()`` of the ``MemberExpression`` node —
+    valid only against the exact AST objects that were preanalyzed (the
+    surface scan walks those same objects).
+    """
+
+    resolved: dict[int, frozenset[str]] = field(default_factory=dict)
+    resolved_spans: tuple[Span, ...] = ()
+    residual_spans: tuple[Span, ...] = ()
+
+    @property
+    def resolved_sites(self) -> int:
+        return len(self.resolved)
+
+    @property
+    def residual_sites(self) -> int:
+        return len(self.residual_spans)
+
+
+@dataclass
+class Preanalysis:
+    """Everything the pre-analysis learned about one program set."""
+
+    resolution: Resolution
+    callgraph: CallGraph
+    prune: PruneResult
+    #: The inputs, post-pruning (identical objects when pruning refused
+    #: or found nothing dead).
+    programs: tuple[js_ast.Program, ...]
+
+    @property
+    def counters(self) -> dict[str, int]:
+        return {
+            "resolved_sites": self.resolution.resolved_sites,
+            "residual_dynamic_sites": self.resolution.residual_sites,
+            "pruned_nodes": self.prune.pruned_nodes,
+            "callgraph_edges": self.callgraph.edges,
+        }
+
+    def render(self) -> str:
+        lines = [
+            "preanalysis: "
+            f"{self.resolution.resolved_sites} computed site(s) resolved, "
+            f"{self.resolution.residual_sites} residual dynamic, "
+            f"{self.callgraph.edges} call edge(s)",
+            self.prune.decision.render()
+            + (
+                f" ({self.prune.pruned_nodes} node(s) removed: "
+                + ", ".join(self.prune.removed)
+                + ")"
+                if self.prune.removed
+                else ""
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def resolve_computed_sites(
+    programs: tuple[js_ast.Program, ...], *, trusted: bool
+) -> Resolution:
+    """Classify every computed property site with a non-literal key.
+
+    ``trusted`` is False when dynamic code (or a degraded parse) means
+    the solved environment may miss assignments — every site is then
+    residual by fiat.
+    """
+    env = solve_environment(programs) if trusted else None
+    resolved: dict[int, frozenset[str]] = {}
+    resolved_spans: list[Span] = []
+    residual_spans: list[Span] = []
+    for program in programs:
+        for node in program.walk():
+            if not isinstance(node, js_ast.MemberExpression) or not node.computed:
+                continue
+            if static_property_name(node) is not None:
+                continue
+            names = None
+            if env is not None:
+                names = env.eval(node.property).concretes()
+            span = Span.at(node.position)
+            if names is None:
+                residual_spans.append(span)
+            else:
+                resolved[id(node)] = frozenset(names)
+                resolved_spans.append(span)
+    return Resolution(
+        resolved=resolved,
+        resolved_spans=tuple(resolved_spans),
+        residual_spans=tuple(residual_spans),
+    )
+
+
+def preanalyze(
+    programs: Iterable[js_ast.Program], *, degraded: bool = False
+) -> Preanalysis:
+    """Run the whole pre-analysis over a parsed program set."""
+    from repro.lint.surface import nodes_surface
+
+    programs = tuple(programs)
+    surface = nodes_surface(programs)
+    trusted = not degraded and not surface.dynamic_code
+    resolution = resolve_computed_sites(programs, trusted=trusted)
+    callgraph = build_callgraph(programs)
+    prune = prune_programs(
+        programs,
+        degraded=degraded,
+        dynamic_code=surface.dynamic_code,
+        residual_dynamic_sites=resolution.residual_sites,
+        resolved=resolution.resolved,
+    )
+    return Preanalysis(
+        resolution=resolution,
+        callgraph=callgraph,
+        prune=prune,
+        programs=prune.programs,
+    )

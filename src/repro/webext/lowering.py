@@ -47,6 +47,28 @@ from repro.webext.loader import ExtensionBundle
 
 
 @dataclass
+class ParsedExtension:
+    """All components of a bundle parsed, before lowering.
+
+    Splitting parse from lowering lets the pre-analysis run over the
+    parsed file ASTs (and, when pruning fires, substitute pruned
+    programs) while the prefilter and ``ast_nodes`` bookkeeping keep
+    seeing the originals.
+    """
+
+    #: component name -> file paths that formed it, in order.
+    component_files: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: Every parsed file AST (manifest order).
+    parsed: tuple[ast.Program, ...] = ()
+    #: Component name of each entry of ``parsed``, parallel to it.
+    owners: tuple[str, ...] = ()
+    #: Component names in manifest order (including file-less ones).
+    order: tuple[str, ...] = ()
+    #: ``(path, skipped)`` parse-recovery skips (empty unless recover).
+    skipped: tuple[tuple[str, SkippedStatement], ...] = ()
+
+
+@dataclass
 class LoweredExtension:
     """The lowered program plus front-end bookkeeping."""
 
@@ -60,32 +82,68 @@ class LoweredExtension:
     skipped: tuple[tuple[str, SkippedStatement], ...] = ()
 
 
-def lower_extension(
+def parse_extension(
     bundle: ExtensionBundle, recover: bool = False
-) -> LoweredExtension:
-    """Assemble and lower all components of ``bundle`` into one program."""
-    component_sources: list[tuple[str, list[ast.Statement], SourcePosition]] = []
+) -> ParsedExtension:
+    """Parse every component file of ``bundle``, keeping manifest order."""
     component_files: dict[str, tuple[str, ...]] = {}
     parsed: list[ast.Program] = []
+    owners: list[str] = []
+    order: list[str] = []
     skipped: list[tuple[str, SkippedStatement]] = []
 
     for component in bundle.components():
-        statements: list[ast.Statement] = []
-        position = SourcePosition(0, 0)
-        for index, (path, source) in enumerate(component.files):
+        order.append(component.name)
+        for path, source in component.files:
             if recover:
                 program, skips = parse_with_recovery(source, filename=path)
                 skipped.extend((path, skip) for skip in skips)
             else:
                 program = parse(source, filename=path)
             parsed.append(program)
-            if index == 0:
-                position = program.position
-            statements.extend(program.body)
-        component_sources.append((component.name, statements, position))
+            owners.append(component.name)
         component_files[component.name] = tuple(
             path for path, _ in component.files
         )
+
+    return ParsedExtension(
+        component_files=component_files,
+        parsed=tuple(parsed),
+        owners=tuple(owners),
+        order=tuple(order),
+        skipped=tuple(skipped),
+    )
+
+
+def lower_parsed_extension(
+    parsed_extension: ParsedExtension,
+    programs: tuple[ast.Program, ...] | None = None,
+) -> LoweredExtension:
+    """Lower an already-parsed bundle into one program.
+
+    ``programs``, when given, substitutes the statement source per file
+    (parallel to ``parsed_extension.parsed`` — the pruned programs of
+    :func:`repro.preanalysis.preanalyze`). Bookkeeping fields
+    (``parsed``, ``component_files``, ``skipped``) always describe the
+    *original* parse.
+    """
+    source_programs = (
+        programs if programs is not None else parsed_extension.parsed
+    )
+    component_sources: list[tuple[str, list[ast.Statement], SourcePosition]] = []
+    by_component: dict[str, list[ast.Program]] = {
+        name: [] for name in parsed_extension.order
+    }
+    for owner, program in zip(parsed_extension.owners, source_programs):
+        by_component[owner].append(program)
+    for name in parsed_extension.order:
+        statements: list[ast.Statement] = []
+        position = SourcePosition(0, 0)
+        for index, program in enumerate(by_component[name]):
+            if index == 0:
+                position = program.position
+            statements.extend(program.body)
+        component_sources.append((name, statements, position))
 
     lowerer = Lowerer()
     main = lowerer._new_function("<main>", params=[], parent=None)
@@ -138,7 +196,14 @@ def lower_extension(
     )
     return LoweredExtension(
         program=program,
-        component_files=component_files,
-        parsed=tuple(parsed),
-        skipped=tuple(skipped),
+        component_files=dict(parsed_extension.component_files),
+        parsed=parsed_extension.parsed,
+        skipped=parsed_extension.skipped,
     )
+
+
+def lower_extension(
+    bundle: ExtensionBundle, recover: bool = False
+) -> LoweredExtension:
+    """Assemble and lower all components of ``bundle`` into one program."""
+    return lower_parsed_extension(parse_extension(bundle, recover=recover))

@@ -28,7 +28,7 @@ from repro.signatures import (
 )
 from repro.webext.guards import downgrade_guarded, find_sender_guards
 from repro.webext.loader import ExtensionBundle, bundle_from_text
-from repro.webext.lowering import lower_extension
+from repro.webext.lowering import lower_parsed_extension, parse_extension
 
 
 def vet_extension(
@@ -40,6 +40,7 @@ def vet_extension(
     budget: Budget | None = None,
     recover: bool = False,
     prefilter: bool = False,
+    preanalysis: bool = True,
 ) -> VettingReport:
     """Vet one extension bundle (or its serialized bundle text).
 
@@ -48,13 +49,19 @@ def vet_extension(
     counters additionally record the cross-component shape of the run:
     ``components``, ``channels`` (distinct channels any loop
     dispatched), and ``sender_guards``.
+
+    The pre-analysis (``preanalysis=True``) runs over the union of all
+    parsed component files — resolution and pruning are whole-bundle
+    (a content script may hold the only reference to a background
+    function's property name), so the liveness fixpoint must see every
+    file at once.
     """
     from repro.lint.surface import decide_relevance_many
 
     bundle = source if isinstance(source, ExtensionBundle) else bundle_from_text(source)
     resolved_spec = spec if spec is not None else webext_spec()
     start = time.perf_counter()
-    lowered = lower_extension(bundle, recover=recover)
+    parsed = parse_extension(bundle, recover=recover)
     degradations: list[Degradation] = [
         Degradation(
             kind=(
@@ -64,15 +71,26 @@ def vet_extension(
             ),
             detail=f"skipped top-level statement in {path}: {skip.render()}",
         )
-        for path, skip in lowered.skipped
+        for path, skip in parsed.skipped
     ]
-    ast_nodes = sum(node_count(program) for program in lowered.parsed)
+    ast_nodes = sum(node_count(program) for program in parsed.parsed)
 
+    pre = None
+    if preanalysis:
+        from repro.preanalysis import preanalyze
+
+        pre = preanalyze(parsed.parsed, degraded=bool(degradations))
+
+    decision = None
     if prefilter:
         decision = decide_relevance_many(
-            lowered.parsed, resolved_spec, degraded=bool(degradations)
+            parsed.parsed,
+            resolved_spec,
+            degraded=bool(degradations),
+            resolution=pre.resolution if pre is not None else None,
         )
         if not decision.relevant:
+            lowered = lower_parsed_extension(parsed)
             after_parse = time.perf_counter()
             detail = InferenceDetail(
                 signature=Signature(), provenance={}, source_statements={}
@@ -82,7 +100,9 @@ def vet_extension(
                 comparison = compare(detail.signature, manual, real_extras)
             counters = Counters()
             counters["prefiltered"] = 1
-            counters["components"] = len(lowered.component_files)
+            counters["components"] = len(parsed.component_files)
+            if pre is not None:
+                counters.update(pre.counters)
             return VettingReport(
                 program=lowered.program,
                 result=None,
@@ -94,7 +114,16 @@ def vet_extension(
                 counters=counters,
                 degradations=(),
                 prefiltered=True,
+                prefilter_decision=decision,
+                preanalysis=pre,
             )
+
+    # Lower the pruned programs when pruning fired; bookkeeping (the
+    # ``parsed`` ASTs, ``ast_nodes``) stays on the originals.
+    analysis_programs = (
+        pre.programs if pre is not None and pre.prune.pruned_nodes else None
+    )
+    lowered = lower_parsed_extension(parsed, programs=analysis_programs)
 
     result = analyze(
         lowered.program, WebExtEnvironment(), k=k, budget=budget, salvage=True
@@ -116,13 +145,15 @@ def vet_extension(
     counters["pdg_edges"] = len(pdg.edges)
     counters["pdg_cyclic_statements"] = len(pdg.cyclic)
     counters["signature_entries"] = len(detail.signature.entries)
-    counters["components"] = len(lowered.component_files)
+    counters["components"] = len(parsed.component_files)
     counters["channels"] = len(
         {channel for channels in result.loop_channels.values() for channel in channels}
     )
     counters["sender_guards"] = len(guards.branches)
     if degradations:
         counters["degradations"] = len(degradations)
+    if pre is not None:
+        counters.update(pre.counters)
     return VettingReport(
         program=lowered.program,
         result=result,
@@ -138,4 +169,6 @@ def vet_extension(
         ),
         counters=counters,
         degradations=tuple(degradations),
+        prefilter_decision=decision,
+        preanalysis=pre,
     )

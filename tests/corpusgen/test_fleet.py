@@ -71,7 +71,7 @@ class TestFleetMerge:
         }))
         merged = merge_fleet_section(path, {"count": 5})
         data = json.loads(path.read_text())
-        assert data["schema"].endswith("/v7")
+        assert data["schema"].endswith("/v8")
         assert data["corpus"] == {"count": 10}
         assert data["prefilter"] == {"hit_rate": 0.33}
         assert data["fleet"] == {"count": 5}
@@ -93,4 +93,4 @@ class TestFleetMerge:
         report, output = section
         data = json.loads(output.read_text())
         assert data["fleet"]["count"] == report["count"]
-        assert data["schema"].endswith("/v7")
+        assert data["schema"].endswith("/v8")

@@ -17,6 +17,7 @@ from hypothesis import strategies as st
 from repro.api import diff_vet, vet
 from repro.corpusgen import (
     BENIGN_KINDS,
+    DYNAMIC_SURFACE_KINDS,
     FLOW_KINDS,
     FRAGMENTS,
     PRESERVING_MUTATIONS,
@@ -48,7 +49,10 @@ def _vetted(source: str) -> str:
 # actually infers for it, in isolation.
 
 
-@pytest.mark.parametrize("kind", sorted(FLOW_KINDS) + sorted(BENIGN_KINDS))
+@pytest.mark.parametrize(
+    "kind",
+    sorted(FLOW_KINDS) + sorted(BENIGN_KINDS) + sorted(DYNAMIC_SURFACE_KINDS),
+)
 def test_fragment_template_matches_pipeline(kind):
     spec = FRAGMENTS[kind][0]
     names = tuple(f"frag{i}" for i in range(spec.arity))
@@ -58,11 +62,32 @@ def test_fragment_template_matches_pipeline(kind):
     assert _vetted(fragment.text) == expected_signature_text(fragment.entries)
 
 
+def _benign_instance(kind):
+    spec = FRAGMENTS[kind][0]
+    return build_fragment(
+        kind, tuple(f"benign{i}" for i in range(spec.arity)), None
+    )
+
+
 def test_benign_fragments_are_prefiltered():
     for kind in sorted(BENIGN_KINDS):
-        fragment = build_fragment(kind, ("benign0", "benign1"), None)
-        report = vet(fragment.text, prefilter=True)
+        report = vet(_benign_instance(kind).text, prefilter=True)
         assert report.prefiltered, kind
+        assert report.signature.render() == ""
+
+
+def test_constant_computed_fragment_needs_resolution_to_prefilter():
+    # benign-table's obj[key] sites are provably constant: only the
+    # pre-analysis resolver lets the prefilter skip it.
+    text = _benign_instance("benign-table").text
+    assert vet(text, prefilter=True).prefiltered
+    assert not vet(text, prefilter=True, preanalysis=False).prefiltered
+
+
+def test_dynamic_surface_fragments_stay_out_of_the_fast_lane():
+    for kind in sorted(DYNAMIC_SURFACE_KINDS):
+        report = vet(_benign_instance(kind).text, prefilter=True)
+        assert not report.prefiltered, kind
         assert report.signature.render() == ""
 
 

@@ -42,7 +42,7 @@ class TestBenchProtocol:
     def test_report_is_written_and_round_trips(self, bench_report):
         report, output = bench_report
         assert json.loads(output.read_text(encoding="utf-8")) == report
-        assert report["schema"] == "addon-sig/bench-corpus/v7"
+        assert report["schema"] == "addon-sig/bench-corpus/v8"
 
     def test_single_run_protocol_keeps_its_only_sample(self):
         report = run_bench(
@@ -77,14 +77,26 @@ class TestDegenerateCorpora:
         assert section["hit_rate"] is None
         assert section["verdicts"] == {}
 
+    def test_empty_examples_dir_yields_null_preanalysis_rates(self, tmp_path):
+        from repro.evaluation.bench import _bench_preanalysis
+
+        section = _bench_preanalysis(tmp_path)  # exists, holds no *.js
+        assert section["addons"] == 0
+        assert section["resolution_rate"] is None
+        assert section["pruned_node_fraction"] is None
+        assert section["hit_rate_with_preanalysis"] is None
+        assert section["identical_signatures"]
+
     def test_missing_dirs_still_skip_the_section(self, tmp_path):
         from repro.evaluation.bench import (
             _bench_incremental,
+            _bench_preanalysis,
             _bench_prefilter,
         )
 
         assert _bench_prefilter(tmp_path / "nope") is None
         assert _bench_incremental(tmp_path / "nope") is None
+        assert _bench_preanalysis(tmp_path / "nope") is None
 
     def test_degenerate_sections_render(self, tmp_path):
         from repro.evaluation.bench import render_bench
@@ -102,7 +114,7 @@ class TestFleetSectionPreservation:
     def test_rerunning_bench_keeps_the_fleet_section(self, tmp_path):
         output = tmp_path / "BENCH_corpus.json"
         output.write_text(json.dumps({
-            "schema": "addon-sig/bench-corpus/v7",
+            "schema": "addon-sig/bench-corpus/v8",
             "fleet": {"count": 123, "verdict_mismatches": 0},
         }))
         report = run_bench(

@@ -94,7 +94,10 @@ class TestExamplesIdentity:
             if vet(path.read_text(encoding="utf-8"), recover=True,
                    prefilter=True).prefiltered
         ]
-        assert hits == ["clock_badge.js", "ui_theme.js"]
+        # shortcut_palette is the resolver's hit: its only dynamism is
+        # a provably-constant computed key, so the fast lane needs the
+        # pre-analysis to take it.
+        assert hits == ["clock_badge.js", "shortcut_palette.js", "ui_theme.js"]
 
 
 class TestDisqualifiers:

@@ -24,15 +24,16 @@ def _rules_of(source: str) -> list[str]:
 
 
 class TestRegistry:
-    def test_eight_js_rules_registered(self):
+    def test_registered_rule_ids(self):
         ids = [rule.id for rule in all_rules()]
-        assert ids == [f"JS00{n}" for n in range(1, 9)]
+        assert ids == ["CG001", "CG002"] + [f"JS00{n}" for n in range(1, 9)]
 
     def test_rule_table_includes_frontend_pseudo_rules(self):
         ids = {row[0] for row in rule_table()}
         assert {"R000", "R001"} <= ids
         assert {"WEB001", "WEB002", "WEB003"} <= ids
-        assert len(ids) == 13
+        assert {"CG001", "CG002"} <= ids
+        assert len(ids) == 15
 
     def test_rule_metadata_complete(self):
         for rule in all_rules():
@@ -157,13 +158,22 @@ class TestGoldenReport:
     def test_json_report_schema(self):
         report = lint_paths([EXAMPLES])
         data = report.to_json()
-        assert data["schema"] == "addon-sig/lint/v1"
+        assert data["schema"] == "addon-sig/lint/v2"
         assert set(data["summary"]) == {"error", "warning", "info"}
         for finding in data["findings"]:
             assert set(finding) == {
                 "rule", "name", "severity", "message", "span", "file",
             }
             assert set(finding["span"]) == {"start", "end"}
+        assert data["surfaces"], "per-file surface section missing"
+        for surface in data["surfaces"].values():
+            assert set(surface) == {
+                "dynamic_code", "dynamic_code_sites", "dynamic_properties",
+                "dynamic_property_sites", "resolved_sites",
+                "residual_dynamic_sites",
+            }
+            for span in surface["dynamic_code_sites"]:
+                assert set(span) == {"start", "end"}
 
 
 def test_expand_paths_sorts_directory(tmp_path):

@@ -19,7 +19,8 @@ pytestmark = pytest.mark.lint
 class TestRealDomains:
     def test_every_domain_covered(self):
         assert set(RESULTS) == {
-            "prefix", "bools", "numbers", "values", "stringset", "state"
+            "prefix", "bools", "numbers", "values", "stringset", "state",
+            "keyvalue",
         }
 
     @pytest.mark.parametrize("domain", sorted(RESULTS))

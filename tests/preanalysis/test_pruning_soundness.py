@@ -1,0 +1,165 @@
+"""Pre-analysis soundness, proven corpus-by-corpus.
+
+The claim: for every addon — curated benchmark corpus, examples corpus
+under recovery, WebExtension bundles, generated fleet corpus — vetting
+with the pre-analysis (resolution + pruning) on produces bit-identical
+rendered signatures to vetting with it off. Budget trips are the one
+sanctioned divergence: pruning changes step counts, so the degraded
+(⊤-widened) arm must *subsume* the exact one rather than equal it.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.addons import CORPUS
+from repro.api import vet
+from repro.faults import Budget
+from repro.preanalysis import preanalyze, prune_programs
+from repro.signatures import subsumes
+
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLE_FILES = sorted((REPO / "examples" / "addons").glob("*.js"))
+EXTENSION_DIRS = sorted(
+    child
+    for child in (REPO / "examples" / "extensions").iterdir()
+    if child.is_dir() and (child / "manifest.json").exists()
+)
+
+pytestmark = pytest.mark.preanalysis
+
+
+def _identical(source: str, **kwargs) -> None:
+    on = vet(source, preanalysis=True, **kwargs)
+    off = vet(source, preanalysis=False, **kwargs)
+    assert on.signature.render() == off.signature.render()
+    assert on.degraded == off.degraded
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("spec", CORPUS, ids=lambda s: s.name)
+    def test_curated_corpus(self, spec):
+        _identical(spec.source())
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_examples_under_recovery(self, path):
+        _identical(path.read_text(encoding="utf-8"), recover=True)
+
+    @pytest.mark.parametrize("root", EXTENSION_DIRS, ids=lambda p: p.name)
+    def test_webext_bundles(self, root):
+        from repro.webext.loader import load_source
+
+        _identical(load_source(root))
+
+    @pytest.mark.slow
+    def test_generated_corpus(self):
+        from repro.corpusgen import generate_corpus
+
+        for addon in generate_corpus(20, seed=13):
+            _identical(addon.source)
+
+
+class TestBudgetTrips:
+    """Pruning changes step counts, so a tiny budget can trip in one
+    arm only; soundness there is subsumption, not equality."""
+
+    def test_tiny_budget_arms_subsume(self):
+        source = (REPO / "examples" / "addons" / "telemetry_beacon.js").read_text(
+            encoding="utf-8"
+        )
+        exact = vet(source).signature
+        for max_steps in (2, 5, 20, 100):
+            on = vet(source, preanalysis=True, budget=Budget(max_steps=max_steps))
+            off = vet(source, preanalysis=False, budget=Budget(max_steps=max_steps))
+            for arm in (on, off):
+                assert subsumes(arm.signature, exact), max_steps
+
+
+class TestRefusals:
+    def test_degraded_input_refuses(self):
+        from repro.js.lexer import tokenize
+        from repro.js.parser import Parser
+
+        program, skipped = Parser(
+            tokenize("var ok = 1;\nwith (o) { x = 1; }"), "<t>"
+        ).parse_program_with_recovery()
+        assert skipped
+        pre = preanalyze((program,), degraded=True)
+        assert not pre.prune.decision.pruned
+        assert pre.prune.decision.reason == "degraded-input"
+
+    def test_dynamic_code_refuses(self):
+        from repro.js.parser import parse
+
+        pre = preanalyze((parse("function dead() {}\neval('x');"),))
+        assert pre.prune.decision.reason == "dynamic-code"
+        assert pre.resolution.resolved_sites == 0  # untrusted
+
+    def test_residual_dynamic_property_refuses(self):
+        from repro.js.parser import parse
+
+        pre = preanalyze(
+            (parse("function dead() {}\nfunction p(k) { return o[k]; }\np('a');"),)
+        )
+        assert pre.prune.decision.reason == "dynamic-properties"
+        assert pre.prune.pruned_nodes == 0
+
+    def test_refused_prune_returns_the_same_objects(self):
+        from repro.js.parser import parse
+
+        program = parse("function dead() {}\neval('x');")
+        result = prune_programs(
+            (program,), degraded=False, dynamic_code=True,
+            residual_dynamic_sites=0,
+        )
+        assert result.programs[0] is program
+
+
+class TestPruningFires:
+    def test_dead_function_is_removed(self):
+        from repro.js.parser import parse
+
+        program = parse("function dead() { return 1; }\nvar x = 2;")
+        pre = preanalyze((program,))
+        assert pre.prune.decision.pruned
+        assert pre.prune.removed == ("dead",)
+        assert pre.prune.pruned_nodes > 0
+        # The original program object is untouched; the substitute lost
+        # the declaration.
+        assert len(program.body) == 2
+        assert len(pre.programs[0].body) == 1
+
+    def test_shortcut_palette_example_prunes_and_preserves(self):
+        source = (
+            REPO / "examples" / "addons" / "shortcut_palette.js"
+        ).read_text(encoding="utf-8")
+        report = vet(source, recover=True)
+        assert report.counters["resolved_sites"] == 1
+        assert report.counters["pruned_nodes"] > 0
+        _identical(source, recover=True)
+
+    def test_mention_in_dead_candidate_does_not_keep_it(self):
+        from repro.js.parser import parse
+
+        # a and b reference each other but nothing live references
+        # either: the liveness fixpoint prunes the whole cycle.
+        program = parse(
+            "function a() { b(); }\nfunction b() { a(); }\nvar x = 1;"
+        )
+        pre = preanalyze((program,))
+        assert pre.prune.removed == ("a", "b")
+
+    def test_resolved_computed_mention_keeps_the_function(self):
+        from repro.js.parser import parse
+
+        # The only mention of `helper` is through a resolved computed
+        # site: defense in depth says that mention is live.
+        program = parse(
+            "function helper() {}\n"
+            "var table = { helper: helper };\n"
+            "var k = 'helper';\n"
+            "var v = table[k];"
+        )
+        pre = preanalyze((program,))
+        assert pre.prune.decision.pruned
+        assert "helper" not in pre.prune.removed

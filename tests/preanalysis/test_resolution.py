@@ -1,0 +1,112 @@
+"""Computed-property resolution: what resolves, what must refuse.
+
+Resolution is sound only as an over-approximation of the abstract
+machine's ``ToString`` coercion, so each refusal case here is a shape
+where the solved environment genuinely cannot bound the key — the site
+must stay residual (and with it, the prefilter must stay off).
+"""
+
+import pytest
+
+from repro.js.parser import parse
+from repro.preanalysis import environment_global_names, resolve_computed_sites
+
+pytestmark = pytest.mark.preanalysis
+
+
+def _resolution(source: str, trusted: bool = True):
+    return resolve_computed_sites((parse(source),), trusted=trusted)
+
+
+def _only_site_names(source: str) -> frozenset[str]:
+    resolution = _resolution(source)
+    assert resolution.resolved_sites == 1, resolution
+    [names] = resolution.resolved.values()
+    return names
+
+
+class TestResolves:
+    def test_literal_variable_key(self):
+        names = _only_site_names(
+            "var o = { alpha: 1 };\nvar k = 'alpha';\nvar v = o[k];"
+        )
+        # Hoisted reads can observe the pre-assignment undefined.
+        assert names == frozenset({"alpha", "undefined"})
+
+    def test_concatenated_key(self):
+        names = _only_site_names(
+            "var p = 'al';\nvar k = p + 'pha';\nvar v = o[k];"
+        )
+        assert "alpha" in names
+
+    def test_conditional_key(self):
+        names = _only_site_names(
+            "var o = {};\nvar v = o[flag ? 'a' : 'b'];"
+        )
+        assert {"a", "b"} <= names
+
+    def test_numeric_suffix_key(self):
+        names = _only_site_names("var i = 1;\nvar v = o['q' + i];")
+        assert "q1" in names
+
+    def test_multiple_assignments_join(self):
+        names = _only_site_names(
+            "var k = 'a';\nk = 'b';\nvar v = o[k];"
+        )
+        assert {"a", "b"} <= names
+
+
+class TestRefuses:
+    def test_parameter_key_is_residual(self):
+        resolution = _resolution(
+            "var o = {};\nfunction pick(k) { return o[k]; }\npick('a');"
+        )
+        assert resolution.resolved_sites == 0
+        assert resolution.residual_sites == 1
+
+    def test_for_in_variable_is_residual(self):
+        resolution = _resolution(
+            "var o = { a: 1 };\nfor (var k in o) { var v = o[k]; }"
+        )
+        assert resolution.residual_sites == 1
+
+    def test_environment_global_key_is_residual(self):
+        # `name` is a window global: the environment can bind it to
+        # values the constant lattice does not model.
+        resolution = _resolution("var v = o[location];")
+        assert resolution.residual_sites == 1
+
+    def test_compound_assignment_blocks_the_name(self):
+        resolution = _resolution(
+            "var k = 'a';\nk += 'b';\nvar v = o[k];"
+        )
+        assert resolution.residual_sites == 1
+
+    def test_untrusted_input_makes_every_site_residual(self):
+        source = "var k = 'a';\nvar v = o[k];"
+        assert _resolution(source).resolved_sites == 1
+        untrusted = _resolution(source, trusted=False)
+        assert untrusted.resolved_sites == 0
+        assert untrusted.residual_sites == 1
+
+    def test_call_result_key_is_residual(self):
+        resolution = _resolution("var k = pick();\nvar v = o[k];")
+        assert resolution.residual_sites == 1
+
+
+class TestEnvironmentBlocklist:
+    def test_enumerated_from_the_real_environments(self):
+        names = environment_global_names()
+        # The classic escape hatches must all be present: if any of
+        # these ever left the blocklist, a key like `o[window]` would
+        # resolve against an environment value we do not model.
+        assert {
+            "window", "document", "chrome", "browser", "location",
+            "XMLHttpRequest", "setTimeout", "eval",
+        } <= names
+
+    def test_literal_sites_are_not_counted(self):
+        # `o['a']` has a static name: neither resolved nor residual.
+        resolution = _resolution("var v = o['a'];")
+        assert resolution.resolved_sites == 0
+        assert resolution.residual_sites == 0
